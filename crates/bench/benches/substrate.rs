@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the substrates: executor joins, GBSA
+//! binning, Bayesian-network inference, and filter compilation. These back
+//! the engineering claims in DESIGN.md (ablations of design choices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use factorjoin::{build_group_bins, BinningStrategy};
+use fj_datagen::{stats_catalog, StatsConfig};
+use fj_exec::TrueCardEngine;
+use fj_query::parse_query;
+use fj_stats::{BaseTableEstimator, BayesNetEstimator, BnConfig, TableBins};
+use std::collections::HashMap;
+
+fn executor_join(c: &mut Criterion) {
+    let cat = stats_catalog(&StatsConfig { scale: 0.1, ..Default::default() });
+    let q = parse_query(
+        &cat,
+        "SELECT COUNT(*) FROM users u, posts p, comments c \
+         WHERE u.id = p.owner_user_id AND p.id = c.post_id AND p.score > 0;",
+    )
+    .expect("valid query");
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(10);
+    group.bench_function("three_way_true_cardinality", |b| {
+        b.iter(|| {
+            let mut eng = TrueCardEngine::new(&cat, &q);
+            std::hint::black_box(eng.full_cardinality())
+        })
+    });
+    group.finish();
+}
+
+fn binning_strategies(c: &mut Criterion) {
+    // Zipf-ish frequency map of 20k values.
+    let freq: HashMap<i64, u64> =
+        (0..20_000).map(|v| (v, 1 + (20_000 / (v + 1)) as u64)).collect();
+    let mut group = c.benchmark_group("binning_20k_values");
+    group.sample_size(10);
+    for (label, strat) in [
+        ("gbsa", BinningStrategy::Gbsa),
+        ("equal_width", BinningStrategy::EqualWidth),
+        ("equal_depth", BinningStrategy::EqualDepth),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &strat, |b, &s| {
+            b.iter(|| std::hint::black_box(build_group_bins(&[&freq], 100, s)))
+        });
+    }
+    group.finish();
+}
+
+fn bayesnet_inference(c: &mut Criterion) {
+    let cat = stats_catalog(&StatsConfig { scale: 0.1, ..Default::default() });
+    let posts = cat.table("posts").expect("table exists");
+    let bn = BayesNetEstimator::build(posts, &TableBins::new(), BnConfig::default());
+    let filter = fj_query::FilterExpr::pred(fj_query::Predicate::cmp(
+        "score",
+        fj_query::CmpOp::Ge,
+        5,
+    ));
+    let mut group = c.benchmark_group("bayesnet");
+    group.sample_size(20);
+    group.bench_function("filter_inference", |b| {
+        b.iter(|| std::hint::black_box(bn.estimate_filter(&filter)))
+    });
+    group.finish();
+}
+
+fn filter_compilation(c: &mut Criterion) {
+    let cat = stats_catalog(&StatsConfig { scale: 0.1, ..Default::default() });
+    let posts = cat.table("posts").expect("table exists");
+    let filter = fj_query::FilterExpr::and(vec![
+        fj_query::FilterExpr::pred(fj_query::Predicate::between("score", 0, 50)),
+        fj_query::FilterExpr::pred(fj_query::Predicate::cmp(
+            "view_count",
+            fj_query::CmpOp::Ge,
+            100,
+        )),
+    ]);
+    let mut group = c.benchmark_group("filter");
+    group.sample_size(20);
+    group.bench_function("compile_and_count", |b| {
+        b.iter(|| std::hint::black_box(fj_query::filtered_count(posts, &filter)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, executor_join, binning_strategies, bayesnet_inference, filter_compilation);
+criterion_main!(benches);

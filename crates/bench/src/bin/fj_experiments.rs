@@ -1,0 +1,73 @@
+//! `fj-experiments` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! fj-experiments all                 # everything (slow)
+//! fj-experiments table3 fig9        # selected experiments
+//! FJ_SCALE=0.3 fj-experiments table4 # bigger data
+//! FJ_QUERIES=40 fj-experiments all   # cap workload size
+//! ```
+
+use fj_bench::experiments::{
+    end_to_end, fig6, fig7, fig9, per_query, table1, table2, table5, table6, table7, table8,
+    ExpConfig,
+};
+use fj_bench::BenchKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ExpConfig::from_env();
+    if args.is_empty() {
+        eprintln!(
+            "usage: fj-experiments [all|table1|table2|table3|table4|table5|table6|table7|table8|fig6|fig7|fig8|fig9|fig10|fig11] …"
+        );
+        eprintln!("env: FJ_SCALE=<f64> (default 0.15), FJ_QUERIES=<n> (default full workload)");
+        std::process::exit(2);
+    }
+    println!(
+        "# FactorJoin reproduction experiments (scale={}, queries={})",
+        cfg.scale,
+        cfg.queries.map(|q| q.to_string()).unwrap_or_else(|| "full".into())
+    );
+    let run_all = args.iter().any(|a| a == "all");
+    let want = |id: &str| run_all || args.iter().any(|a| a == id);
+
+    if want("table1") {
+        table1();
+    }
+    if want("table2") {
+        table2(cfg);
+    }
+    if want("table3") {
+        end_to_end(BenchKind::StatsCeb, cfg);
+    }
+    if want("table4") {
+        end_to_end(BenchKind::ImdbJob, cfg);
+    }
+    if want("table5") {
+        table5(cfg);
+    }
+    if want("table6") {
+        table6(cfg);
+    }
+    if want("table7") {
+        table7(cfg);
+    }
+    if want("table8") {
+        table8(cfg);
+    }
+    if want("fig6") {
+        fig6(cfg);
+    }
+    if want("fig7") {
+        fig7(cfg);
+    }
+    if want("fig8") || want("fig10") {
+        per_query(BenchKind::StatsCeb, cfg);
+    }
+    if want("fig9") {
+        fig9(cfg);
+    }
+    if want("fig11") {
+        per_query(BenchKind::ImdbJob, cfg);
+    }
+}

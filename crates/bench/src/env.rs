@@ -1,0 +1,117 @@
+//! Benchmark environments: catalog + workload + cached true cardinalities.
+
+use fj_datagen::{
+    imdb_catalog, imdb_job_workload, stats_catalog, stats_ceb_workload, ImdbConfig,
+    StatsConfig, WorkloadConfig,
+};
+use fj_exec::TrueCardEngine;
+use fj_query::{Query, SubplanMask};
+use fj_storage::Catalog;
+use std::collections::HashMap;
+
+/// Which benchmark to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchKind {
+    /// STATS-CEB-like: 8 tables, 146 queries, star/chain templates.
+    StatsCeb,
+    /// IMDB-JOB-like: 21 tables, 113 queries, cyclic joins + LIKE.
+    ImdbJob,
+}
+
+/// A fully-materialized benchmark: data, queries, and true cardinalities.
+pub struct BenchEnv {
+    /// Benchmark kind.
+    pub kind: BenchKind,
+    /// The synthetic database.
+    pub catalog: Catalog,
+    /// The evaluation workload.
+    pub queries: Vec<Query>,
+    /// Per query: true cardinality of every connected sub-plan.
+    truth: Vec<HashMap<SubplanMask, f64>>,
+}
+
+impl BenchEnv {
+    /// Builds a benchmark at `scale` (1.0 ≈ paper-shaped row counts scaled
+    /// to laptop size; use 0.1–0.3 for quick runs).
+    pub fn build(kind: BenchKind, scale: f64, queries_cap: Option<usize>) -> Self {
+        let (catalog, mut queries) = match kind {
+            BenchKind::StatsCeb => {
+                let cat = stats_catalog(&StatsConfig { scale, ..Default::default() });
+                let wl = stats_ceb_workload(&cat, &WorkloadConfig::stats_ceb());
+                (cat, wl)
+            }
+            BenchKind::ImdbJob => {
+                let cat = imdb_catalog(&ImdbConfig { scale, ..Default::default() });
+                let wl = imdb_job_workload(&cat, &WorkloadConfig::imdb_job());
+                (cat, wl)
+            }
+        };
+        if let Some(cap) = queries_cap {
+            queries.truncate(cap);
+        }
+        let truth = queries
+            .iter()
+            .map(|q| {
+                let mut eng = TrueCardEngine::new(&catalog, q);
+                eng.subplan_cardinalities(q, 1).into_iter().collect()
+            })
+            .collect();
+        BenchEnv { kind, catalog, queries, truth }
+    }
+
+    /// Builds an environment from an existing catalog and workload,
+    /// computing all true cardinalities (used by the update experiment,
+    /// where the catalog is the post-insert database).
+    pub fn from_parts(kind: BenchKind, catalog: Catalog, queries: Vec<Query>) -> Self {
+        let truth = queries
+            .iter()
+            .map(|q| {
+                let mut eng = TrueCardEngine::new(&catalog, q);
+                eng.subplan_cardinalities(q, 1).into_iter().collect()
+            })
+            .collect();
+        BenchEnv { kind, catalog, queries, truth }
+    }
+
+    /// Benchmark name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            BenchKind::StatsCeb => "STATS-CEB",
+            BenchKind::ImdbJob => "IMDB-JOB",
+        }
+    }
+
+    /// True cardinality of a sub-plan of query `qi`.
+    pub fn truth(&self, qi: usize, mask: SubplanMask) -> f64 {
+        self.truth[qi][&mask]
+    }
+
+    /// All (mask, truth) pairs of query `qi`.
+    pub fn truth_map(&self, qi: usize) -> &HashMap<SubplanMask, f64> {
+        &self.truth[qi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_env_builds_with_truth() {
+        let env = BenchEnv::build(BenchKind::StatsCeb, 0.03, Some(5));
+        assert_eq!(env.queries.len(), 5);
+        assert_eq!(env.name(), "STATS-CEB");
+        for (qi, q) in env.queries.iter().enumerate() {
+            let full = (1u64 << q.num_tables()) - 1;
+            assert!(env.truth(qi, full) >= 0.0);
+            assert!(env.truth_map(qi).len() >= q.num_tables());
+        }
+    }
+
+    #[test]
+    fn imdb_env_builds() {
+        let env = BenchEnv::build(BenchKind::ImdbJob, 0.03, Some(3));
+        assert_eq!(env.queries.len(), 3);
+        assert_eq!(env.catalog.num_tables(), 21);
+    }
+}

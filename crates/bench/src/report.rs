@@ -1,0 +1,161 @@
+//! Plain-text table/series rendering for experiment output.
+
+/// A simple aligned text table.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} ===\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Seconds with adaptive precision, as the paper's tables print them.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.1}s")
+    } else if s >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+/// Bytes with adaptive units.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1}MB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// The `p`-th percentile (0–100) of `values` (sorted copy, linear interp).
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let pos = (p / 100.0) * (v.len() - 1) as f64;
+    let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (v[hi] - v[lo]) * (pos - lo as f64)
+    }
+}
+
+/// q-error of an estimate against truth (≥ 1; symmetric).
+pub fn q_error(est: f64, truth: f64) -> f64 {
+    let (e, t) = (est.max(1.0), truth.max(1.0));
+    (e / t).max(t / e)
+}
+
+/// Relative error `est / truth` as plotted in Figure 7 (under-estimates
+/// fall below 1).
+pub fn relative_error(est: f64, truth: f64) -> f64 {
+    est.max(1e-9) / truth.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["method", "time"]);
+        t.row(vec!["pg".into(), "1.0s".into()]);
+        t.row(vec!["factorjoin".into(), "0.5s".into()]);
+        let s = t.render();
+        assert!(s.contains("=== demo ==="));
+        assert!(s.contains("factorjoin"));
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('s')).collect();
+        assert!(lines.len() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 50.0), 2.5);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn q_error_symmetric() {
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(5.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_seconds(123.0), "123s");
+        assert_eq!(fmt_seconds(1.25), "1.2s");
+        assert_eq!(fmt_seconds(0.01), "10.0ms");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0MB");
+        assert_eq!(fmt_bytes(10), "10B");
+    }
+}

@@ -1,0 +1,376 @@
+//! Bin selection for equivalent key groups (paper §4.2, Algorithm 2).
+//!
+//! A bin set partitions the *value set* of one equivalent key group. Bound
+//! tightness hinges on within-bin count variance: if every value in a bin
+//! occurs equally often on every member key, the MFV bound is exact. GBSA
+//! greedily minimizes that variance across all member keys; equal-width and
+//! equal-depth binning are provided for the Table 6 ablation.
+
+use fj_stats::KeyBinMap;
+use std::collections::HashMap;
+
+/// Frequency map of one join-key column: value → occurrence count.
+pub type KeyFreq = HashMap<i64, u64>;
+
+/// Binning strategies evaluated in paper Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinningStrategy {
+    /// Greedy Bin Selection Algorithm — minimizes within-bin count variance
+    /// across all member keys (the paper's contribution).
+    Gbsa,
+    /// Equal-width ranges over the value domain.
+    EqualWidth,
+    /// Equal-depth (equal total frequency mass) over the sorted domain.
+    EqualDepth,
+}
+
+/// Per-group bin budget: either a uniform `k` per group or a global budget
+/// split proportionally to workload join-pattern frequencies (paper §4.2,
+/// "Deciding k based on query workloads").
+#[derive(Debug, Clone)]
+pub enum BinBudget {
+    /// Every group gets the same number of bins.
+    Uniform(usize),
+    /// A total budget `total` split as `k_i = total · n_i / Σ n_j` given
+    /// per-group workload weights `n_i` (missing groups weigh 1).
+    Workload {
+        /// Total bins across all groups.
+        total: usize,
+        /// group id → frequency weight.
+        weights: HashMap<usize, f64>,
+    },
+}
+
+impl BinBudget {
+    /// Bins for group `gid` of `num_groups`.
+    pub fn bins_for(&self, gid: usize, num_groups: usize) -> usize {
+        match self {
+            BinBudget::Uniform(k) => (*k).max(1),
+            BinBudget::Workload { total, weights } => {
+                let w = |g: usize| weights.get(&g).copied().unwrap_or(1.0).max(1e-9);
+                let sum: f64 = (0..num_groups).map(w).sum();
+                (((*total as f64) * w(gid) / sum).round() as usize).max(1)
+            }
+        }
+    }
+}
+
+/// Builds the value→bin map for one key group from its member keys'
+/// frequency maps. `freqs` must be non-empty; `k` is clamped to the number
+/// of distinct values.
+pub fn build_group_bins(freqs: &[&KeyFreq], k: usize, strategy: BinningStrategy) -> KeyBinMap {
+    assert!(!freqs.is_empty(), "a key group has at least one member");
+    // The group domain is the union of member domains.
+    let mut domain: Vec<i64> = freqs
+        .iter()
+        .flat_map(|f| f.keys().copied())
+        .collect::<std::collections::HashSet<i64>>()
+        .into_iter()
+        .collect();
+    domain.sort_unstable();
+    if domain.is_empty() {
+        return KeyBinMap::single_bin();
+    }
+    let k = k.clamp(1, domain.len());
+    let assign = match strategy {
+        BinningStrategy::EqualWidth => equal_width(&domain, k),
+        BinningStrategy::EqualDepth => equal_depth(&domain, freqs, k),
+        BinningStrategy::Gbsa => gbsa(&domain, freqs, k),
+    };
+    KeyBinMap::new(k, assign)
+}
+
+fn equal_width(domain: &[i64], k: usize) -> HashMap<i64, u32> {
+    let (lo, hi) = (domain[0], *domain.last().expect("non-empty"));
+    let width = ((hi - lo) as f64 + 1.0) / k as f64;
+    domain
+        .iter()
+        .map(|&v| {
+            let b = (((v - lo) as f64) / width).floor() as usize;
+            (v, b.min(k - 1) as u32)
+        })
+        .collect()
+}
+
+fn equal_depth(domain: &[i64], freqs: &[&KeyFreq], k: usize) -> HashMap<i64, u32> {
+    let total_count = |v: i64| -> u64 {
+        freqs.iter().map(|f| f.get(&v).copied().unwrap_or(0)).sum()
+    };
+    let total: u64 = domain.iter().map(|&v| total_count(v)).sum();
+    let per = (total as f64 / k as f64).max(1.0);
+    let mut out = HashMap::with_capacity(domain.len());
+    let mut acc = 0f64;
+    let mut bin = 0u32;
+    for &v in domain {
+        out.insert(v, bin);
+        acc += total_count(v) as f64;
+        if acc >= per * (bin as f64 + 1.0) && (bin as usize) < k - 1 {
+            bin += 1;
+        }
+    }
+    out
+}
+
+/// Greedy Bin Selection Algorithm (paper Algorithm 2).
+///
+/// 1. Sort member keys by domain size (descending — the widest key, usually
+///    the PK side, seeds the bins).
+/// 2. Spend half the budget on minimum-variance bins for the first key:
+///    sort values by that key's count and cut into equal-population chunks,
+///    so each bin holds values of similar frequency.
+/// 3. For each remaining key: apply the current bins, rank bins by that
+///    key's within-bin count variance, and dichotomize the worst
+///    `remaining/2` bins by that key's counts; halve the remaining budget.
+fn gbsa(domain: &[i64], freqs: &[&KeyFreq], k: usize) -> HashMap<i64, u32> {
+    // Order member keys by descending domain size.
+    let mut order: Vec<usize> = (0..freqs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(freqs[i].len()));
+
+    // Bins as vectors of values.
+    let mut bins: Vec<Vec<i64>>;
+    let first = freqs[order[0]];
+    let k_init = if freqs.len() == 1 { k } else { (k / 2).max(1) };
+    bins = min_variance_bins(domain, first, k_init);
+    let mut remaining = k.saturating_sub(bins.len());
+
+    for &j in order.iter().skip(1) {
+        if remaining == 0 {
+            break;
+        }
+        let fj = freqs[j];
+        // Rank current bins by their variance under key j.
+        let mut ranked: Vec<(f64, usize)> = bins
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.len() > 1)
+            .map(|(i, b)| (count_variance(b, fj), i))
+            .collect();
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("variance is finite"));
+        let splits = (remaining / 2).max(1).min(ranked.len()).min(remaining);
+        // Collect indices first: splitting appends new bins at the end.
+        let targets: Vec<usize> = ranked.iter().take(splits).map(|&(_, i)| i).collect();
+        let mut used = 0;
+        for i in targets {
+            if let Some((a, b)) = min_variance_dichotomy(&bins[i], fj) {
+                bins[i] = a;
+                bins.push(b);
+                used += 1;
+            }
+        }
+        remaining -= used;
+    }
+
+    // While budget remains (e.g. duplicate-free groups), split the largest
+    // bins by the first key's counts.
+    while remaining > 0 {
+        let (idx, _) = match bins
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.len() > 1)
+            .max_by_key(|(_, b)| b.len())
+        {
+            Some((i, b)) => (i, b.len()),
+            None => break,
+        };
+        match min_variance_dichotomy(&bins[idx], first) {
+            Some((a, b)) => {
+                bins[idx] = a;
+                bins.push(b);
+                remaining -= 1;
+            }
+            None => break,
+        }
+    }
+
+    let mut out = HashMap::with_capacity(domain.len());
+    for (bi, b) in bins.iter().enumerate() {
+        for &v in b {
+            out.insert(v, bi as u32);
+        }
+    }
+    out
+}
+
+/// Minimum-variance binning of a single key: sort values by count and cut
+/// into `k` equal-population chunks (similar counts share a bin).
+fn min_variance_bins(domain: &[i64], freq: &KeyFreq, k: usize) -> Vec<Vec<i64>> {
+    let mut by_count: Vec<i64> = domain.to_vec();
+    by_count.sort_by_key(|v| (freq.get(v).copied().unwrap_or(0), *v));
+    let k = k.clamp(1, by_count.len());
+    let per = by_count.len().div_ceil(k);
+    by_count.chunks(per).map(|c| c.to_vec()).collect()
+}
+
+/// Variance of key counts within a bin.
+fn count_variance(bin: &[i64], freq: &KeyFreq) -> f64 {
+    if bin.len() < 2 {
+        return 0.0;
+    }
+    let counts: Vec<f64> =
+        bin.iter().map(|v| freq.get(v).copied().unwrap_or(0) as f64).collect();
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<f64>() / n;
+    counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n
+}
+
+/// Splits a bin into two halves of the count-sorted order (minimizing the
+/// larger half's variance under `freq`). Returns `None` for unsplittable
+/// singleton bins.
+fn min_variance_dichotomy(bin: &[i64], freq: &KeyFreq) -> Option<(Vec<i64>, Vec<i64>)> {
+    if bin.len() < 2 {
+        return None;
+    }
+    let mut sorted: Vec<i64> = bin.to_vec();
+    sorted.sort_by_key(|v| (freq.get(v).copied().unwrap_or(0), *v));
+    let mid = sorted.len() / 2;
+    let right = sorted.split_off(mid);
+    Some((sorted, right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freq(pairs: &[(i64, u64)]) -> KeyFreq {
+        pairs.iter().copied().collect()
+    }
+
+    fn bins_of(map: &KeyBinMap, domain: &[i64]) -> Vec<Vec<i64>> {
+        let mut out = vec![Vec::new(); map.k()];
+        for &v in domain {
+            out[map.bin_of(v)].push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn every_value_gets_exactly_one_bin() {
+        let f = freq(&[(1, 10), (2, 1), (3, 100), (4, 1), (5, 50), (6, 2)]);
+        for strat in
+            [BinningStrategy::Gbsa, BinningStrategy::EqualWidth, BinningStrategy::EqualDepth]
+        {
+            let map = build_group_bins(&[&f], 3, strat);
+            assert_eq!(map.k(), 3, "{strat:?}");
+            let bins = bins_of(&map, &[1, 2, 3, 4, 5, 6]);
+            let total: usize = bins.iter().map(Vec::len).sum();
+            assert_eq!(total, 6, "{strat:?}: partition covers the domain");
+        }
+    }
+
+    #[test]
+    fn equal_width_splits_ranges() {
+        let f = freq(&[(0, 1), (5, 1), (10, 1), (15, 1), (20, 1), (29, 1)]);
+        let map = build_group_bins(&[&f], 3, BinningStrategy::EqualWidth);
+        assert_eq!(map.bin_of(0), 0);
+        assert_eq!(map.bin_of(5), 0);
+        assert_eq!(map.bin_of(10), 1);
+        assert_eq!(map.bin_of(29), 2);
+    }
+
+    #[test]
+    fn equal_depth_balances_mass() {
+        // Value 1 carries 90% of the mass → it gets a bin almost alone.
+        let f = freq(&[(1, 900), (2, 25), (3, 25), (4, 25), (5, 25)]);
+        let map = build_group_bins(&[&f], 2, BinningStrategy::EqualDepth);
+        let b1 = map.bin_of(1);
+        assert!(
+            [2, 3, 4, 5].iter().all(|&v| map.bin_of(v) != b1),
+            "heavy value should be isolated"
+        );
+    }
+
+    #[test]
+    fn gbsa_groups_similar_counts() {
+        // Counts: {1,2}:100, {3,4}:10, {5,6}:1 — GBSA with k=3 should
+        // recover exactly these groups (zero within-bin variance).
+        let f = freq(&[(1, 100), (2, 100), (3, 10), (4, 10), (5, 1), (6, 1)]);
+        let map = build_group_bins(&[&f], 3, BinningStrategy::Gbsa);
+        assert_eq!(map.bin_of(1), map.bin_of(2));
+        assert_eq!(map.bin_of(3), map.bin_of(4));
+        assert_eq!(map.bin_of(5), map.bin_of(6));
+        assert_ne!(map.bin_of(1), map.bin_of(3));
+        assert_ne!(map.bin_of(3), map.bin_of(5));
+    }
+
+    #[test]
+    fn gbsa_refines_for_second_key() {
+        // Key A (PK): every value count 1 → any binning has zero variance.
+        // Key B (FK): values 1..8, counts 1,1,1,1,100,100,100,100.
+        // GBSA must separate the heavy B values from the light ones.
+        let a: KeyFreq = (1..=8).map(|v| (v, 1u64)).collect();
+        let b = freq(&[(1, 1), (2, 1), (3, 1), (4, 1), (5, 100), (6, 100), (7, 100), (8, 100)]);
+        let map = build_group_bins(&[&a, &b], 4, BinningStrategy::Gbsa);
+        // No bin mixes a count-1 and a count-100 value of B.
+        let bins = bins_of(&map, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        for bin in bins.iter().filter(|bn| !bn.is_empty()) {
+            let heavy = bin.iter().filter(|&&v| b[&v] >= 100).count();
+            assert!(
+                heavy == 0 || heavy == bin.len(),
+                "bin {bin:?} mixes heavy and light B values"
+            );
+        }
+    }
+
+    #[test]
+    fn gbsa_variance_beats_equal_width_on_skew() {
+        // Zipf-ish counts over an interleaved domain: equal-width mixes
+        // heavy and light values; GBSA should achieve lower total variance.
+        let f: KeyFreq = (0..200)
+            .map(|v| (v, if v % 10 == 0 { 1000u64 } else { (v % 7 + 1) as u64 }))
+            .collect();
+        let domain: Vec<i64> = (0..200).collect();
+        let var_of = |map: &KeyBinMap| -> f64 {
+            bins_of(map, &domain)
+                .iter()
+                .filter(|b| !b.is_empty())
+                .map(|b| count_variance(b, &f))
+                .sum()
+        };
+        let gb = build_group_bins(&[&f], 20, BinningStrategy::Gbsa);
+        let ew = build_group_bins(&[&f], 20, BinningStrategy::EqualWidth);
+        assert!(
+            var_of(&gb) < var_of(&ew) / 10.0,
+            "gbsa {} vs equal-width {}",
+            var_of(&gb),
+            var_of(&ew)
+        );
+    }
+
+    #[test]
+    fn k_clamps_to_domain_size() {
+        let f = freq(&[(1, 5), (2, 5)]);
+        let map = build_group_bins(&[&f], 100, BinningStrategy::Gbsa);
+        assert!(map.k() <= 2);
+    }
+
+    #[test]
+    fn single_bin_budget() {
+        let f = freq(&[(1, 5), (2, 7), (3, 2)]);
+        let map = build_group_bins(&[&f], 1, BinningStrategy::Gbsa);
+        assert_eq!(map.k(), 1);
+        assert_eq!(map.bin_of(1), 0);
+        assert_eq!(map.bin_of(3), 0);
+    }
+
+    #[test]
+    fn budget_split_by_workload() {
+        let weights: HashMap<usize, f64> = [(0, 3.0), (1, 1.0)].into_iter().collect();
+        let b = BinBudget::Workload { total: 200, weights };
+        assert_eq!(b.bins_for(0, 2), 150);
+        assert_eq!(b.bins_for(1, 2), 50);
+        let u = BinBudget::Uniform(42);
+        assert_eq!(u.bins_for(0, 5), 42);
+        assert_eq!(u.bins_for(4, 5), 42);
+    }
+
+    #[test]
+    fn multi_member_union_domain() {
+        let a = freq(&[(1, 1), (2, 1)]);
+        let b = freq(&[(2, 5), (3, 5)]);
+        let map = build_group_bins(&[&a, &b], 2, BinningStrategy::EqualDepth);
+        // All of 1, 2, 3 are assigned.
+        for v in [1, 2, 3] {
+            assert!(map.bin_of(v) < 2);
+        }
+    }
+}

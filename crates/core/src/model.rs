@@ -1,0 +1,691 @@
+//! The FactorJoin model: offline training and online estimation.
+
+use crate::binning::{build_group_bins, BinBudget, BinningStrategy, KeyFreq};
+use crate::factor::Factor;
+use crate::keystats::KeyStats;
+use fj_query::{connected_subplans, Query, QueryGraph, SubplanMask};
+use fj_stats::{
+    BaseTableEstimator, BayesNetEstimator, BnConfig, ExactEstimator, KeyBinMap,
+    SamplingEstimator, TableBins,
+};
+use fj_storage::{Catalog, KeyRef, Table, TableSchema};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Which single-table estimator backs the model (paper Table 7 ablation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BaseEstimatorKind {
+    /// Chow-Liu-tree Bayesian network (BayesCard stand-in) — the paper's
+    /// choice for STATS-CEB.
+    BayesNet(BnConfig),
+    /// Uniform sampling with the given rate — the paper's choice for
+    /// IMDB-JOB (supports `LIKE` and disjunctions).
+    Sampling {
+        /// Sampling fraction in (0, 1].
+        rate: f64,
+    },
+    /// Exact scanning ("TrueScan"): tight bounds, high estimation latency.
+    TrueScan,
+}
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct FactorJoinConfig {
+    /// Bins per equivalent key group (paper default k = 100).
+    pub bin_budget: BinBudget,
+    /// Binning strategy (paper default GBSA).
+    pub strategy: BinningStrategy,
+    /// Single-table estimator.
+    pub estimator: BaseEstimatorKind,
+    /// Seed for the sampling estimator.
+    pub seed: u64,
+}
+
+impl Default for FactorJoinConfig {
+    fn default() -> Self {
+        FactorJoinConfig {
+            bin_budget: BinBudget::Uniform(100),
+            strategy: BinningStrategy::Gbsa,
+            estimator: BaseEstimatorKind::BayesNet(BnConfig::default()),
+            seed: 42,
+        }
+    }
+}
+
+/// Offline-training metadata (paper Figure 6 reports these).
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+    /// Deployable model size in bytes (estimators + bins + per-bin stats).
+    pub model_bytes: usize,
+    /// Number of equivalent key groups found in the schema.
+    pub num_groups: usize,
+    /// Bins allocated to each group.
+    pub bins_per_group: Vec<usize>,
+}
+
+/// A trained FactorJoin model.
+pub struct FactorJoinModel {
+    config: FactorJoinConfig,
+    group_of: HashMap<KeyRef, usize>,
+    group_bins: Vec<KeyBinMap>,
+    key_stats: HashMap<KeyRef, KeyStats>,
+    table_bins: HashMap<String, TableBins>,
+    estimators: HashMap<String, Box<dyn BaseTableEstimator>>,
+    schemas: HashMap<String, TableSchema>,
+    report: TrainingReport,
+}
+
+impl FactorJoinModel {
+    /// Trains the model on `catalog` (paper Figure 4, offline phase).
+    pub fn train(catalog: &Catalog, config: FactorJoinConfig) -> Self {
+        let start = Instant::now();
+        let groups = catalog.equivalent_key_groups();
+        let num_groups = groups.len();
+
+        // Frequency maps of every join key.
+        let mut freqs: HashMap<KeyRef, KeyFreq> = HashMap::new();
+        for g in &groups {
+            for kr in &g.keys {
+                let table = catalog.table(&kr.table).expect("group keys exist");
+                let ci = table.schema().index_of(&kr.column).expect("group keys exist");
+                let col = table.column(ci);
+                let mut f = KeyFreq::default();
+                for r in 0..col.len() {
+                    if let Some(v) = col.key_at(r) {
+                        *f.entry(v).or_default() += 1;
+                    }
+                }
+                freqs.insert(kr.clone(), f);
+            }
+        }
+
+        // Bin each group and compute per-key stats.
+        let mut group_of = HashMap::new();
+        let mut group_bins = Vec::with_capacity(num_groups);
+        let mut key_stats = HashMap::new();
+        let mut bins_per_group = Vec::with_capacity(num_groups);
+        for g in &groups {
+            let k = config.bin_budget.bins_for(g.id, num_groups);
+            let member_freqs: Vec<&KeyFreq> = g.keys.iter().map(|kr| &freqs[kr]).collect();
+            let bins = build_group_bins(&member_freqs, k, config.strategy);
+            bins_per_group.push(bins.k());
+            for kr in &g.keys {
+                group_of.insert(kr.clone(), g.id);
+                key_stats
+                    .insert(kr.clone(), KeyStats::from_freq(freqs[kr].clone(), &bins));
+            }
+            group_bins.push(bins);
+        }
+
+        // Per-table bin sets and estimators.
+        let mut table_bins: HashMap<String, TableBins> = HashMap::new();
+        for (kr, &gid) in &group_of {
+            table_bins
+                .entry(kr.table.clone())
+                .or_default()
+                .insert(&kr.column, group_bins[gid].clone());
+        }
+        let mut estimators: HashMap<String, Box<dyn BaseTableEstimator>> = HashMap::new();
+        let mut schemas = HashMap::new();
+        for table in catalog.tables() {
+            let bins = table_bins.entry(table.name().to_string()).or_default().clone();
+            estimators.insert(
+                table.name().to_string(),
+                build_estimator(&config.estimator, table, &bins, config.seed),
+            );
+            schemas.insert(table.name().to_string(), table.schema().clone());
+        }
+
+        let mut model = FactorJoinModel {
+            config,
+            group_of,
+            group_bins,
+            key_stats,
+            table_bins,
+            estimators,
+            schemas,
+            report: TrainingReport {
+                train_seconds: 0.0,
+                model_bytes: 0,
+                num_groups,
+                bins_per_group,
+            },
+        };
+        model.report.model_bytes = model.model_bytes();
+        model.report.train_seconds = start.elapsed().as_secs_f64();
+        model
+    }
+
+    /// Training metadata.
+    pub fn report(&self) -> &TrainingReport {
+        &self.report
+    }
+
+    /// Training configuration.
+    pub fn config(&self) -> &FactorJoinConfig {
+        &self.config
+    }
+
+    /// Bin map of a key group (for baselines sharing the binning layer).
+    pub fn group_bins(&self, gid: usize) -> &KeyBinMap {
+        &self.group_bins[gid]
+    }
+
+    /// Group id of a join key, if it is part of a declared relation.
+    pub fn group_of(&self, key: &KeyRef) -> Option<usize> {
+        self.group_of.get(key).copied()
+    }
+
+    /// Per-key offline statistics.
+    pub fn key_stats(&self, key: &KeyRef) -> Option<&KeyStats> {
+        self.key_stats.get(key)
+    }
+
+    /// Iterates over all (key, statistics) pairs (used by persistence).
+    pub fn iter_key_stats(&self) -> impl Iterator<Item = (&KeyRef, &KeyStats)> {
+        self.key_stats.iter()
+    }
+
+    /// Reassembles a model from persisted statistics, rebuilding the
+    /// single-table estimators against `catalog`.
+    pub(crate) fn from_parts(
+        config: FactorJoinConfig,
+        group_of: HashMap<KeyRef, usize>,
+        group_bins: Vec<KeyBinMap>,
+        key_stats: HashMap<KeyRef, KeyStats>,
+        catalog: &Catalog,
+    ) -> Self {
+        let start = Instant::now();
+        let mut table_bins: HashMap<String, TableBins> = HashMap::new();
+        for (kr, &gid) in &group_of {
+            table_bins
+                .entry(kr.table.clone())
+                .or_default()
+                .insert(&kr.column, group_bins[gid].clone());
+        }
+        let mut estimators: HashMap<String, Box<dyn BaseTableEstimator>> = HashMap::new();
+        let mut schemas = HashMap::new();
+        for table in catalog.tables() {
+            let bins = table_bins.entry(table.name().to_string()).or_default().clone();
+            estimators.insert(
+                table.name().to_string(),
+                build_estimator(&config.estimator, table, &bins, config.seed),
+            );
+            schemas.insert(table.name().to_string(), table.schema().clone());
+        }
+        let num_groups = group_bins.len();
+        let bins_per_group = group_bins.iter().map(KeyBinMap::k).collect();
+        let mut model = FactorJoinModel {
+            config,
+            group_of,
+            group_bins,
+            key_stats,
+            table_bins,
+            estimators,
+            schemas,
+            report: TrainingReport {
+                train_seconds: 0.0,
+                model_bytes: 0,
+                num_groups,
+                bins_per_group,
+            },
+        };
+        model.report.model_bytes = model.model_bytes();
+        model.report.train_seconds = start.elapsed().as_secs_f64();
+        model
+    }
+
+    /// The single-table estimator of `table` (for baselines and tests).
+    pub fn estimator(&self, table: &str) -> Option<&dyn BaseTableEstimator> {
+        self.estimators.get(table).map(|b| b.as_ref())
+    }
+
+    /// The bin maps of `table`'s join keys.
+    pub fn table_bins(&self, table: &str) -> Option<&TableBins> {
+        self.table_bins.get(table)
+    }
+
+    /// Deployable model size: estimators, bin maps, per-bin statistics.
+    pub fn model_bytes(&self) -> usize {
+        let est: usize = self.estimators.values().map(|e| e.model_bytes()).sum();
+        let bins: usize = self.group_bins.iter().map(KeyBinMap::heap_bytes).sum();
+        let stats: usize = self.key_stats.values().map(KeyStats::heap_bytes).sum();
+        est + bins + stats
+    }
+
+    /// Builds the base factor of alias `i` of `query`, profiling its filter
+    /// once for all adjacent variables.
+    fn base_factor(&self, query: &Query, graph: &QueryGraph, alias: usize) -> Factor {
+        let tref = &query.tables()[alias];
+        let schema = &self.schemas[&tref.table];
+        let est = &self.estimators[&tref.table];
+
+        // Distinct key columns of this alias, with their variables.
+        let keys = graph.alias_keys(alias);
+        let col_names: Vec<String> =
+            keys.iter().map(|&(c, _)| schema.column(c).name.clone()).collect();
+        let name_refs: Vec<&str> = col_names.iter().map(String::as_str).collect();
+        let profile = est.profile(query.filter(alias), &name_refs);
+
+        // Group per var: a var may have several member columns within this
+        // alias (e.g. movie_id and linked_movie_id equated); combine with
+        // elementwise min — a valid upper bound for "all members equal".
+        let mut per_var: HashMap<usize, (Vec<f64>, Vec<f64>)> = HashMap::new();
+        for (idx, &(_, var)) in keys.iter().enumerate() {
+            let dist = profile.key_dists[idx].clone();
+            let kr = KeyRef::new(&tref.table, &col_names[idx]);
+            let mfv = match self.key_stats.get(&kr) {
+                Some(s) => s.bin_mfv.clone(),
+                None => vec![1.0; dist.len()],
+            };
+            match per_var.entry(var) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((dist, mfv));
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let (d0, m0) = e.get_mut();
+                    let k = d0.len().min(dist.len());
+                    d0.truncate(k);
+                    m0.truncate(k);
+                    for i in 0..k {
+                        d0[i] = d0[i].min(dist[i]);
+                        m0[i] = m0[i].min(mfv[i]);
+                    }
+                }
+            }
+        }
+        let entries =
+            per_var.into_iter().map(|(v, (d, m))| (v, d, m)).collect::<Vec<_>>();
+        Factor::base(profile.rows, entries)
+    }
+
+    /// Estimates the probabilistic cardinality bound of `query` (paper
+    /// Figure 4, online phase): build the factor graph, then fold factors
+    /// along the join graph with the bound-preserving join.
+    pub fn estimate(&self, query: &Query) -> f64 {
+        let n = query.num_tables();
+        if n == 0 {
+            return 0.0;
+        }
+        let graph = QueryGraph::analyze(query);
+        if n == 1 {
+            return self.estimators[&query.tables()[0].table]
+                .estimate_filter(query.filter(0));
+        }
+        let factors: Vec<Factor> =
+            (0..n).map(|i| self.base_factor(query, &graph, i)).collect();
+
+        // Fold smallest-first along adjacency, eliminating variables whose
+        // member aliases are all joined.
+        let mut joined: u64 = 0;
+        let order_start = (0..n)
+            .min_by(|&a, &b| {
+                factors[a].rows.partial_cmp(&factors[b].rows).expect("rows are finite")
+            })
+            .expect("non-empty query");
+        joined |= 1 << order_start;
+        let mut acc = factors[order_start].clone();
+        while joined.count_ones() < n as u32 {
+            let next = (0..n)
+                .filter(|&i| joined & (1 << i) == 0)
+                .min_by_key(|&i| {
+                    let adjacent =
+                        graph.neighbors(i).iter().any(|&nb| joined & (1 << nb) != 0);
+                    (!adjacent, factors[i].rows as i64)
+                })
+                .expect("remaining alias exists");
+            joined |= 1 << next;
+            let joined_copy = joined;
+            let keep = |v: usize| {
+                graph.vars()[v]
+                    .members
+                    .iter()
+                    .any(|cr| joined_copy & (1 << cr.alias) == 0)
+            };
+            acc = acc.join(&factors[next], &keep);
+            if acc.rows == 0.0 {
+                return 0.0;
+            }
+        }
+        acc.rows
+    }
+
+    /// Progressively estimates every connected sub-plan of `query` with at
+    /// least `min_size` aliases (paper §5.2): each sub-plan is one factor
+    /// join away from a cached smaller sub-plan, so the whole set costs
+    /// little more than the final query alone.
+    pub fn estimate_subplans(
+        &self,
+        query: &Query,
+        min_size: u32,
+    ) -> Vec<(SubplanMask, f64)> {
+        let n = query.num_tables();
+        let graph = QueryGraph::analyze(query);
+        let masks = connected_subplans(query, 1);
+        let mut cache: HashMap<SubplanMask, Factor> = HashMap::with_capacity(masks.len());
+        let mut out = Vec::with_capacity(masks.len());
+
+        // Base factors, including exact single-table row estimates.
+        let mut base: Vec<Option<Factor>> = vec![None; n];
+        for &mask in &masks {
+            if mask.count_ones() == 1 {
+                let i = mask.trailing_zeros() as usize;
+                let f = self.base_factor(query, &graph, i);
+                out.push((mask, f.rows));
+                base[i] = Some(f.clone());
+                cache.insert(mask, f);
+            } else {
+                // Split off one alias whose removal keeps the rest cached.
+                let (rest, alias) = split_mask(mask, &cache);
+                let keep = |v: usize| {
+                    graph.vars()[v]
+                        .members
+                        .iter()
+                        .any(|cr| mask & (1 << cr.alias) == 0)
+                };
+                let joined = cache[&rest]
+                    .join(base[alias].as_ref().expect("singletons come first"), &keep);
+                out.push((mask, joined.rows));
+                cache.insert(mask, joined);
+            }
+        }
+        out.retain(|(m, _)| m.count_ones() >= min_size);
+        out
+    }
+
+    /// Incorporates rows `first_new_row..` of the updated `table` (paper
+    /// §4.3): bins stay fixed, per-bin statistics and the single-table
+    /// estimator update incrementally.
+    pub fn insert(&mut self, table: &Table, first_new_row: usize) {
+        let name = table.name().to_string();
+        // Update key statistics for this table's join keys.
+        let keys: Vec<KeyRef> = self
+            .key_stats
+            .keys()
+            .filter(|kr| kr.table == name)
+            .cloned()
+            .collect();
+        for kr in keys {
+            let ci = table.schema().index_of(&kr.column).expect("schema unchanged");
+            let gid = self.group_of[&kr];
+            // Adopt new values into the group map so the per-key stats and
+            // the estimator bins agree on fallback assignments.
+            let stats = self.key_stats.get_mut(&kr).expect("key exists");
+            stats.insert(table, ci, first_new_row, &mut self.group_bins[gid]);
+        }
+        if let Some(est) = self.estimators.get_mut(&name) {
+            est.insert(table, first_new_row);
+        }
+        self.report.model_bytes = {
+            let est: usize = self.estimators.values().map(|e| e.model_bytes()).sum();
+            let bins: usize = self.group_bins.iter().map(KeyBinMap::heap_bytes).sum();
+            let stats: usize = self.key_stats.values().map(KeyStats::heap_bytes).sum();
+            est + bins + stats
+        };
+    }
+}
+
+/// Finds `(rest, alias)` with `mask = rest | bit(alias)` and `rest` cached.
+fn split_mask(mask: SubplanMask, cache: &HashMap<SubplanMask, Factor>) -> (SubplanMask, usize) {
+    let mut rest = mask;
+    while rest != 0 {
+        let bit = rest & rest.wrapping_neg();
+        let candidate = mask & !bit;
+        if cache.contains_key(&candidate) {
+            return (candidate, bit.trailing_zeros() as usize);
+        }
+        rest &= rest - 1;
+    }
+    panic!("connected sub-plan must have a cached connected predecessor");
+}
+
+fn build_estimator(
+    kind: &BaseEstimatorKind,
+    table: &Table,
+    bins: &TableBins,
+    seed: u64,
+) -> Box<dyn BaseTableEstimator> {
+    match kind {
+        BaseEstimatorKind::BayesNet(cfg) => {
+            Box::new(BayesNetEstimator::build(table, bins, *cfg))
+        }
+        BaseEstimatorKind::Sampling { rate } => {
+            Box::new(SamplingEstimator::build(table, bins, *rate, seed))
+        }
+        BaseEstimatorKind::TrueScan => Box::new(ExactEstimator::build(table, bins)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
+    use fj_exec::TrueCardEngine;
+    use fj_query::parse_query;
+
+    fn tiny_catalog() -> Catalog {
+        stats_catalog(&StatsConfig { scale: 0.05, ..Default::default() })
+    }
+
+    fn truescan_config(k: usize) -> FactorJoinConfig {
+        FactorJoinConfig {
+            bin_budget: BinBudget::Uniform(k),
+            strategy: BinningStrategy::Gbsa,
+            estimator: BaseEstimatorKind::TrueScan,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn training_report_is_populated() {
+        let cat = tiny_catalog();
+        let model = FactorJoinModel::train(&cat, FactorJoinConfig::default());
+        let r = model.report();
+        assert_eq!(r.num_groups, 2);
+        assert_eq!(r.bins_per_group.len(), 2);
+        assert!(r.model_bytes > 0);
+        assert!(r.train_seconds >= 0.0);
+    }
+
+    #[test]
+    fn single_table_estimate_matches_estimator() {
+        let cat = tiny_catalog();
+        let model = FactorJoinModel::train(&cat, truescan_config(20));
+        let q = parse_query(
+            &cat,
+            "SELECT COUNT(*) FROM posts p, comments c WHERE p.id = c.post_id AND p.score > 0;",
+        )
+        .unwrap();
+        let subs = model.estimate_subplans(&q, 1);
+        let single = subs.iter().find(|(m, _)| *m == 0b01).unwrap().1;
+        let exact = fj_query::filtered_count(cat.table("posts").unwrap(), q.filter(0)) as f64;
+        assert_eq!(single, exact, "TrueScan single-table estimates are exact");
+    }
+
+    #[test]
+    fn two_table_bound_dominates_truth_with_truescan() {
+        // With exact single-table statistics the two-table bound is a
+        // genuine upper bound (paper §4.1).
+        let cat = tiny_catalog();
+        let model = FactorJoinModel::train(&cat, truescan_config(50));
+        for sql in [
+            "SELECT COUNT(*) FROM posts p, comments c WHERE p.id = c.post_id;",
+            "SELECT COUNT(*) FROM users u, badges b WHERE u.id = b.user_id AND u.reputation > 50;",
+            "SELECT COUNT(*) FROM posts p, votes v WHERE p.id = v.post_id AND p.score >= 1;",
+        ] {
+            let q = parse_query(&cat, sql).unwrap();
+            let bound = model.estimate(&q);
+            let truth = TrueCardEngine::new(&cat, &q).full_cardinality();
+            assert!(
+                bound >= truth * 0.999,
+                "{sql}: bound {bound} < truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_bins_tighten_the_bound() {
+        let cat = tiny_catalog();
+        let q = parse_query(
+            &cat,
+            "SELECT COUNT(*) FROM posts p, comments c WHERE p.id = c.post_id;",
+        )
+        .unwrap();
+        let truth = TrueCardEngine::new(&cat, &q).full_cardinality();
+        let bounds: Vec<f64> = [1usize, 10, 100]
+            .iter()
+            .map(|&k| FactorJoinModel::train(&cat, truescan_config(k)).estimate(&q))
+            .collect();
+        assert!(
+            bounds[0] >= bounds[1] * 0.999 && bounds[1] >= bounds[2] * 0.999,
+            "bounds should shrink with k: {bounds:?}"
+        );
+        assert!(bounds[2] >= truth * 0.999, "k=100 still an upper bound");
+        // k=1 is loose but finite.
+        assert!(bounds[0].is_finite());
+    }
+
+    #[test]
+    fn progressive_full_query_matches_direct_estimate() {
+        let cat = tiny_catalog();
+        let model = FactorJoinModel::train(&cat, truescan_config(30));
+        let q = parse_query(
+            &cat,
+            "SELECT COUNT(*) FROM users u, posts p, comments c \
+             WHERE u.id = p.owner_user_id AND p.id = c.post_id AND u.reputation > 10;",
+        )
+        .unwrap();
+        let subs = model.estimate_subplans(&q, 1);
+        assert_eq!(subs.len(), 6);
+        let full = subs.iter().find(|(m, _)| *m == 0b111).unwrap().1;
+        let direct = model.estimate(&q);
+        // Same factor folds modulo order; both are valid bounds and should
+        // agree within a small factor.
+        let ratio = (full / direct).max(direct / full);
+        assert!(ratio < 2.0, "progressive {full} vs direct {direct}");
+    }
+
+    #[test]
+    fn workload_bounds_mostly_dominate_truth() {
+        // Paper Figure 7: FactorJoin upper-bounds > 90% of sub-plans. With
+        // the exact (TrueScan) base estimator we check the same property on
+        // a small workload.
+        let cat = tiny_catalog();
+        let model = FactorJoinModel::train(&cat, truescan_config(50));
+        let wl = stats_ceb_workload(&cat, &WorkloadConfig::tiny(3));
+        let mut total = 0usize;
+        let mut upper = 0usize;
+        for q in &wl {
+            let mut eng = TrueCardEngine::new(&cat, q);
+            for (mask, est) in model.estimate_subplans(q, 2) {
+                let truth = eng.cardinality(mask);
+                total += 1;
+                if est >= truth * 0.999 {
+                    upper += 1;
+                }
+            }
+        }
+        let frac = upper as f64 / total as f64;
+        assert!(
+            frac >= 0.9,
+            "only {upper}/{total} sub-plans upper-bounded ({frac:.2})"
+        );
+    }
+
+    #[test]
+    fn self_join_and_cyclic_queries_estimate() {
+        let cat = tiny_catalog();
+        let model = FactorJoinModel::train(&cat, truescan_config(20));
+        // Self join of postLinks through posts (two aliases of postLinks).
+        let q = parse_query(
+            &cat,
+            "SELECT COUNT(*) FROM postLinks l1, postLinks l2 \
+             WHERE l1.related_post_id = l2.post_id;",
+        )
+        .unwrap();
+        let bound = model.estimate(&q);
+        let truth = TrueCardEngine::new(&cat, &q).full_cardinality();
+        assert!(bound >= truth * 0.999, "self-join bound {bound} < truth {truth}");
+        // Cyclic: two join conditions between the same pair of aliases.
+        let q2 = parse_query(
+            &cat,
+            "SELECT COUNT(*) FROM posts p, postLinks l \
+             WHERE p.id = l.post_id AND p.id = l.related_post_id;",
+        )
+        .unwrap();
+        let b2 = model.estimate(&q2);
+        let t2 = TrueCardEngine::new(&cat, &q2).full_cardinality();
+        assert!(b2 >= t2 * 0.999, "cyclic bound {b2} < truth {t2}");
+    }
+
+    #[test]
+    fn bayesnet_and_sampling_models_give_reasonable_estimates() {
+        let cat = tiny_catalog();
+        let q = parse_query(
+            &cat,
+            "SELECT COUNT(*) FROM posts p, comments c WHERE p.id = c.post_id AND p.score > 0;",
+        )
+        .unwrap();
+        let truth = TrueCardEngine::new(&cat, &q).full_cardinality();
+        for kind in [
+            BaseEstimatorKind::BayesNet(BnConfig::default()),
+            BaseEstimatorKind::Sampling { rate: 0.2 },
+        ] {
+            let model = FactorJoinModel::train(
+                &cat,
+                FactorJoinConfig { estimator: kind, ..truescan_config(50) },
+            );
+            let est = model.estimate(&q);
+            let q_err = (est.max(1.0) / truth.max(1.0)).max(truth.max(1.0) / est.max(1.0));
+            assert!(
+                q_err < 30.0,
+                "{kind:?}: estimate {est} vs truth {truth} (q={q_err:.1})"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_insert_tracks_growth() {
+        use fj_datagen::stats_catalog_split_by_date;
+        let cfg = StatsConfig { scale: 0.05, ..Default::default() };
+        let (mut base, inserts) = stats_catalog_split_by_date(&cfg, 1825);
+        let mut model = FactorJoinModel::train(&base, truescan_config(30));
+        let q = parse_query(
+            &base,
+            "SELECT COUNT(*) FROM posts p, comments c WHERE p.id = c.post_id;",
+        )
+        .unwrap();
+        let before = model.estimate(&q);
+        for (tname, rows) in &inserts {
+            let first = base.table(tname).unwrap().nrows();
+            base.table_mut(tname).unwrap().append_rows(rows).unwrap();
+            let table = base.table(tname).unwrap().clone();
+            model.insert(&table, first);
+        }
+        let after = model.estimate(&q);
+        let truth = TrueCardEngine::new(&base, &q).full_cardinality();
+        assert!(after > before, "estimate should grow after inserts");
+        assert!(
+            after >= truth * 0.95,
+            "updated bound {after} should still dominate truth {truth}"
+        );
+    }
+
+    #[test]
+    fn estimation_latency_is_small() {
+        // Paper: ~10k sub-plans per second even for big queries; here we
+        // just sanity-check that a workload's sub-plans estimate quickly.
+        let cat = tiny_catalog();
+        let model = FactorJoinModel::train(&cat, FactorJoinConfig::default());
+        let wl = stats_ceb_workload(&cat, &WorkloadConfig::tiny(9));
+        let start = Instant::now();
+        let mut count = 0usize;
+        for q in &wl {
+            count += model.estimate_subplans(q, 1).len();
+        }
+        let per_sec = count as f64 / start.elapsed().as_secs_f64();
+        assert!(per_sec > 200.0, "only {per_sec:.0} sub-plans/s (debug build)");
+    }
+}

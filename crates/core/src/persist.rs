@@ -1,0 +1,209 @@
+//! Model persistence.
+//!
+//! FactorJoin's deployable statistics — the per-group bin maps and the
+//! per-key bin statistics — serialize to JSON. Single-table estimators are
+//! *rebuilt* from the catalog on load: they train in well under a second at
+//! paper scale (Figure 6), so shipping them would only complicate the
+//! format. The saved file pins the binning, which is the part whose
+//! reproducibility matters (bin selection is the expensive, data-dependent
+//! step, and incremental updates must keep bins fixed, §4.3).
+
+use crate::binning::BinningStrategy;
+use crate::keystats::KeyStats;
+use crate::model::{BaseEstimatorKind, FactorJoinConfig, FactorJoinModel};
+use fj_stats::{BnConfig, KeyBinMap};
+use fj_storage::{Catalog, KeyRef};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// On-disk representation of a trained model's statistics.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SavedModel {
+    /// Format version.
+    pub version: u32,
+    /// Binning strategy used at training time.
+    pub strategy: String,
+    /// Estimator kind ("bayesnet", "sampling:<rate>", "truescan").
+    pub estimator: String,
+    /// Seed for sampling estimators.
+    pub seed: u64,
+    /// Per-group bin maps.
+    pub group_bins: Vec<KeyBinMap>,
+    /// Join key → group id.
+    pub group_of: HashMap<String, usize>,
+    /// Join key → per-bin statistics.
+    pub key_stats: HashMap<String, KeyStats>,
+}
+
+fn key_to_string(k: &KeyRef) -> String {
+    format!("{}.{}", k.table, k.column)
+}
+
+/// Serializes the model's statistics to `path` as JSON.
+pub fn save_model(model: &FactorJoinModel, path: &Path) -> std::io::Result<()> {
+    let cfg = model.config();
+    let estimator = match cfg.estimator {
+        BaseEstimatorKind::BayesNet(_) => "bayesnet".to_string(),
+        BaseEstimatorKind::Sampling { rate } => format!("sampling:{rate}"),
+        BaseEstimatorKind::TrueScan => "truescan".to_string(),
+    };
+    let strategy = match cfg.strategy {
+        BinningStrategy::Gbsa => "gbsa",
+        BinningStrategy::EqualWidth => "equal-width",
+        BinningStrategy::EqualDepth => "equal-depth",
+    };
+    // Walk the model's public accessors to collect the stats.
+    let mut group_of = HashMap::new();
+    let mut key_stats = HashMap::new();
+    let mut max_gid = 0usize;
+    for (kr, stats) in model.iter_key_stats() {
+        let gid = model.group_of(kr).expect("stats exist only for grouped keys");
+        max_gid = max_gid.max(gid);
+        group_of.insert(key_to_string(kr), gid);
+        key_stats.insert(key_to_string(kr), stats.clone());
+    }
+    let group_bins: Vec<KeyBinMap> =
+        (0..=max_gid).map(|g| model.group_bins(g).clone()).collect();
+    let saved = SavedModel {
+        version: 1,
+        strategy: strategy.to_string(),
+        estimator,
+        seed: cfg.seed,
+        group_bins,
+        group_of,
+        key_stats,
+    };
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    serde_json::to_writer(&mut w, &saved)?;
+    w.flush()
+}
+
+/// Loads a saved model, rebuilding single-table estimators from `catalog`.
+///
+/// The catalog must have the same schema as at save time; data may have
+/// changed (estimators retrain on the current data while the saved bins
+/// and key statistics are restored verbatim).
+pub fn load_model(path: &Path, catalog: &Catalog) -> std::io::Result<FactorJoinModel> {
+    let file = std::fs::File::open(path)?;
+    let saved: SavedModel = serde_json::from_reader(BufReader::new(file))?;
+    let estimator = if saved.estimator == "bayesnet" {
+        BaseEstimatorKind::BayesNet(BnConfig::default())
+    } else if saved.estimator == "truescan" {
+        BaseEstimatorKind::TrueScan
+    } else if let Some(rate) = saved.estimator.strip_prefix("sampling:") {
+        BaseEstimatorKind::Sampling { rate: rate.parse().unwrap_or(0.01) }
+    } else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unknown estimator {:?}", saved.estimator),
+        ));
+    };
+    let strategy = match saved.strategy.as_str() {
+        "gbsa" => BinningStrategy::Gbsa,
+        "equal-width" => BinningStrategy::EqualWidth,
+        "equal-depth" => BinningStrategy::EqualDepth,
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unknown strategy {other:?}"),
+            ))
+        }
+    };
+    let config = FactorJoinConfig {
+        bin_budget: crate::binning::BinBudget::Uniform(
+            saved.group_bins.first().map(KeyBinMap::k).unwrap_or(1),
+        ),
+        strategy,
+        estimator,
+        seed: saved.seed,
+    };
+    let mut group_of = HashMap::new();
+    let mut key_stats = HashMap::new();
+    for (key, gid) in &saved.group_of {
+        let (table, column) = key
+            .split_once('.')
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad key"))?;
+        let kr = KeyRef::new(table, column);
+        group_of.insert(kr.clone(), *gid);
+        if let Some(s) = saved.key_stats.get(key) {
+            key_stats.insert(kr, s.clone());
+        }
+    }
+    Ok(FactorJoinModel::from_parts(
+        config,
+        group_of,
+        saved.group_bins,
+        key_stats,
+        catalog,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::BinBudget;
+    use fj_datagen::{stats_catalog, StatsConfig};
+    use fj_query::parse_query;
+
+    #[test]
+    fn save_load_roundtrip_preserves_estimates() {
+        let cat = stats_catalog(&StatsConfig { scale: 0.05, ..Default::default() });
+        let cfg = FactorJoinConfig {
+            bin_budget: BinBudget::Uniform(20),
+            estimator: BaseEstimatorKind::TrueScan,
+            ..Default::default()
+        };
+        let model = FactorJoinModel::train(&cat, cfg);
+        let q = parse_query(
+            &cat,
+            "SELECT COUNT(*) FROM posts p, comments c WHERE p.id = c.post_id;",
+        )
+        .unwrap();
+        let before = model.estimate(&q);
+
+        let dir = std::env::temp_dir().join("fj_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_model(&model, &path).unwrap();
+        let loaded = load_model(&path, &cat).unwrap();
+        let after = loaded.estimate(&q);
+        assert_eq!(before, after, "persisted bins must reproduce the bound");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("fj_persist_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        let cat = stats_catalog(&StatsConfig { scale: 0.02, ..Default::default() });
+        assert!(load_model(&path, &cat).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn saved_file_is_json_with_version() {
+        let cat = stats_catalog(&StatsConfig { scale: 0.02, ..Default::default() });
+        let model = FactorJoinModel::train(
+            &cat,
+            FactorJoinConfig {
+                bin_budget: BinBudget::Uniform(5),
+                estimator: BaseEstimatorKind::Sampling { rate: 0.5 },
+                ..Default::default()
+            },
+        );
+        let dir = std::env::temp_dir().join("fj_persist_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_model(&model, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["version"], 1);
+        assert_eq!(v["estimator"], "sampling:0.5");
+        std::fs::remove_file(&path).ok();
+    }
+}

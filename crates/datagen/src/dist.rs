@@ -1,0 +1,203 @@
+//! Distribution helpers: zipf-skewed key generators and correlated attributes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, Zipf};
+
+/// Draws join-key values from a zipf-skewed permutation of `1..=domain`.
+///
+/// The zipf rank is mapped through a seeded permutation so that *which*
+/// values are frequent is decorrelated from their numeric order — real FK
+/// columns are skewed by popularity, not by id magnitude. The same generator
+/// is used for every FK referencing a given PK domain so referential
+/// integrity holds by construction.
+#[derive(Debug, Clone)]
+pub struct ZipfKeys {
+    perm: Vec<i64>,
+    zipf: Zipf<f64>,
+}
+
+impl ZipfKeys {
+    /// Creates a generator over `1..=domain` with skew exponent `s`
+    /// (`s = 0` is uniform; `s ≈ 1` is heavily skewed).
+    pub fn new(rng: &mut StdRng, domain: u64, s: f64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        let mut perm: Vec<i64> = (1..=domain as i64).collect();
+        // Fisher–Yates with the provided RNG for reproducibility.
+        for i in (1..perm.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let zipf = Zipf::new(domain, s.max(1e-9)).expect("valid zipf parameters");
+        ZipfKeys { perm, zipf }
+    }
+
+    /// Samples one key.
+    pub fn sample(&self, rng: &mut StdRng) -> i64 {
+        let rank = self.zipf.sample(rng) as usize;
+        self.perm[(rank - 1).min(self.perm.len() - 1)]
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> usize {
+        self.perm.len()
+    }
+}
+
+/// Generates an integer attribute correlated with a driver value.
+///
+/// `value = base + slope · driver_bucket + noise`, clamped to `[min, max]`.
+/// Correlation with join keys is what makes the benchmarks hard: filtering
+/// on the attribute shifts the join-key distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelatedInt {
+    /// Intercept.
+    pub base: f64,
+    /// Strength of the correlation with the driver.
+    pub slope: f64,
+    /// Standard deviation of Gaussian noise.
+    pub noise: f64,
+    /// Inclusive lower clamp.
+    pub min: i64,
+    /// Inclusive upper clamp.
+    pub max: i64,
+}
+
+impl CorrelatedInt {
+    /// Samples a value driven by `driver` (any integer, e.g. a join key or
+    /// another attribute; internally reduced to a stable pseudo-bucket).
+    pub fn sample(&self, rng: &mut StdRng, driver: i64) -> i64 {
+        // Hash the driver to a bucket in [0, 100) so correlation strength is
+        // independent of the driver's magnitude but deterministic per driver.
+        let bucket = (mix64(driver as u64) % 100) as f64;
+        let noise: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let v = self.base + self.slope * bucket + noise * self.noise;
+        (v.round() as i64).clamp(self.min, self.max)
+    }
+}
+
+/// SplitMix64 finalizer — a cheap, well-distributed integer hash.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Samples a categorical value from weighted options.
+pub fn weighted_choice(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut t = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let z = ZipfKeys::new(&mut rng, 1000, 1.0);
+        let mut counts: HashMap<i64, usize> = HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(z.sample(&mut rng)).or_default() += 1;
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Top value should dominate: far above the uniform expectation of 20.
+        assert!(freqs[0] > 1000, "zipf(1.0) top frequency {} too small", freqs[0]);
+        // But the tail should still exist.
+        assert!(counts.len() > 100, "domain coverage too small: {}", counts.len());
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let z = ZipfKeys::new(&mut rng, 100, 0.0);
+        let mut counts: HashMap<i64, usize> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(z.sample(&mut rng)).or_default() += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let min = *counts.values().min().unwrap();
+        assert!(max < min * 3, "uniform-ish expected, got max={max} min={min}");
+    }
+
+    #[test]
+    fn zipf_respects_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = ZipfKeys::new(&mut rng, 50, 1.2);
+        for _ in 0..1000 {
+            let v = z.sample(&mut rng);
+            assert!((1..=50).contains(&v), "value {v} outside domain");
+        }
+    }
+
+    #[test]
+    fn zipf_deterministic_for_seed() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let z = ZipfKeys::new(&mut rng, 500, 0.9);
+            (0..100).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(42), gen(42));
+        assert_ne!(gen(42), gen(43));
+    }
+
+    #[test]
+    fn correlated_attribute_tracks_driver() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = CorrelatedInt { base: 0.0, slope: 10.0, noise: 5.0, min: 0, max: 2000 };
+        // Same driver → tightly clustered values; different drivers → spread.
+        let same: Vec<i64> = (0..200).map(|_| c.sample(&mut rng, 77)).collect();
+        let spread = same.iter().max().unwrap() - same.iter().min().unwrap();
+        assert!(spread <= 20, "same-driver spread {spread} too wide");
+        let mut all = Vec::new();
+        for d in 0..200 {
+            all.push(c.sample(&mut rng, d));
+        }
+        let full = all.iter().max().unwrap() - all.iter().min().unwrap();
+        assert!(full > 500, "cross-driver spread {full} too narrow");
+    }
+
+    #[test]
+    fn clamping_applies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = CorrelatedInt { base: 0.0, slope: 100.0, noise: 0.0, min: 0, max: 50 };
+        for d in 0..100 {
+            let v = c.sample(&mut rng, d);
+            assert!((0..=50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_choice_distribution() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = [8.0, 1.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[weighted_choice(&mut rng, &w)] += 1;
+        }
+        assert!(counts[0] > 7000 && counts[0] < 9000, "counts {counts:?}");
+        assert!(counts[1] > 500 && counts[2] > 500);
+    }
+
+    #[test]
+    fn mix64_spreads_small_inputs() {
+        let outs: Vec<u64> = (0..16).map(mix64).collect();
+        let mut dedup = outs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), outs.len());
+    }
+}

@@ -1,0 +1,492 @@
+//! STATS-like synthetic database (stand-in for the STATS-CEB dataset).
+//!
+//! The real STATS dataset is an anonymized Stack-Exchange dump: 8 tables,
+//! 34 active columns, 13 join keys forming 2 equivalent key groups (user ids
+//! and post ids). We reproduce the schema and the statistical character:
+//! zipf-skewed FK fan-outs, attributes correlated with keys, nullable FKs,
+//! and a `creation_date` column on (almost) every table so the
+//! incremental-update experiment can split by date (paper Table 5).
+
+use crate::dist::{weighted_choice, CorrelatedInt, ZipfKeys};
+use fj_storage::{Catalog, ColumnDef, DataType, Table, TableSchema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation knobs for the STATS-like database.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsConfig {
+    /// Linear scale factor on all row counts (1.0 ≈ 48k rows total).
+    pub scale: f64,
+    /// RNG seed; the same seed always yields the same database.
+    pub seed: u64,
+    /// Zipf exponent for FKs into `users.id`.
+    pub user_skew: f64,
+    /// Zipf exponent for FKs into `posts.id`.
+    pub post_skew: f64,
+}
+
+impl Default for StatsConfig {
+    fn default() -> Self {
+        StatsConfig { scale: 1.0, seed: 42, user_skew: 0.8, post_skew: 1.0 }
+    }
+}
+
+impl StatsConfig {
+    /// A small configuration for unit tests (≈ 5k rows).
+    pub fn tiny() -> Self {
+        StatsConfig { scale: 0.1, ..Default::default() }
+    }
+
+    fn n(&self, base: usize) -> usize {
+        ((base as f64) * self.scale).round().max(8.0) as usize
+    }
+}
+
+/// Date domain: days since epoch, spanning ten "years".
+pub const DATE_MIN: i64 = 0;
+/// Exclusive upper bound of the date domain.
+pub const DATE_MAX: i64 = 3650;
+
+fn date(rng: &mut StdRng) -> i64 {
+    rng.gen_range(DATE_MIN..DATE_MAX)
+}
+
+/// Builds the STATS-like catalog: 8 tables, 13 join keys, 2 key groups.
+pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_users = cfg.n(2000);
+    let n_posts = cfg.n(6000);
+    let n_comments = cfg.n(10_000);
+    let n_votes = cfg.n(15_000);
+    let n_badges = cfg.n(5000);
+    let n_history = cfg.n(8000);
+    let n_links = cfg.n(1500);
+    let n_tags = cfg.n(500);
+
+    let user_keys = ZipfKeys::new(&mut rng, n_users as u64, cfg.user_skew);
+    let post_keys = ZipfKeys::new(&mut rng, n_posts as u64, cfg.post_skew);
+
+    let mut cat = Catalog::new();
+
+    // users(id, reputation, creation_date, views, upvotes, downvotes)
+    {
+        let schema = TableSchema::new(vec![
+            ColumnDef::key("id"),
+            ColumnDef::new("reputation", DataType::Int),
+            ColumnDef::new("creation_date", DataType::Int),
+            ColumnDef::new("views", DataType::Int),
+            ColumnDef::new("upvotes", DataType::Int),
+            ColumnDef::new("downvotes", DataType::Int),
+        ]);
+        let rep_gen = CorrelatedInt { base: 1.0, slope: 40.0, noise: 60.0, min: 1, max: 100_000 };
+        let rows: Vec<Vec<Value>> = (1..=n_users as i64)
+            .map(|id| {
+                let rep = rep_gen.sample(&mut rng, id);
+                let up = CorrelatedInt { base: 0.0, slope: 0.0, noise: 0.0, min: 0, max: 50_000 }
+                    .sample(&mut rng, id)
+                    + rep / 10
+                    + rng.gen_range(0..20);
+                vec![
+                    Value::Int(id),
+                    Value::Int(rep),
+                    Value::Int(date(&mut rng)),
+                    Value::Int(rng.gen_range(0..5000)),
+                    Value::Int(up),
+                    Value::Int(rng.gen_range(0..100)),
+                ]
+            })
+            .collect();
+        cat.add_table(Table::from_rows("users", schema, &rows).expect("valid rows"))
+            .expect("fresh catalog");
+    }
+
+    // posts(id, owner_user_id, creation_date, score, view_count,
+    //       answer_count, comment_count, favorite_count, post_type)
+    {
+        let schema = TableSchema::new(vec![
+            ColumnDef::key("id"),
+            ColumnDef::key("owner_user_id"),
+            ColumnDef::new("creation_date", DataType::Int),
+            ColumnDef::new("score", DataType::Int),
+            ColumnDef::new("view_count", DataType::Int),
+            ColumnDef::new("answer_count", DataType::Int),
+            ColumnDef::new("comment_count", DataType::Int),
+            ColumnDef::new("favorite_count", DataType::Int),
+            ColumnDef::new("post_type", DataType::Int),
+        ]);
+        let score_gen = CorrelatedInt { base: -2.0, slope: 0.8, noise: 6.0, min: -20, max: 120 };
+        let rows: Vec<Vec<Value>> = (1..=n_posts as i64)
+            .map(|id| {
+                let owner = if rng.gen_bool(0.03) {
+                    Value::Null
+                } else {
+                    Value::Int(user_keys.sample(&mut rng))
+                };
+                // Score correlates with the owner id (popular users score
+                // higher) — this is the key↔attribute correlation.
+                let driver = owner.as_int().unwrap_or(0);
+                let score = score_gen.sample(&mut rng, driver);
+                let views = (score.max(0) * 30 + rng.gen_range(0..400)).max(0);
+                vec![
+                    Value::Int(id),
+                    owner,
+                    Value::Int(date(&mut rng)),
+                    Value::Int(score),
+                    Value::Int(views),
+                    Value::Int(rng.gen_range(0..12)),
+                    Value::Int(rng.gen_range(0..25)),
+                    Value::Int(rng.gen_range(0..40)),
+                    Value::Int(1 + weighted_choice(&mut rng, &[6.0, 3.0, 0.5, 0.5]) as i64),
+                ]
+            })
+            .collect();
+        cat.add_table(Table::from_rows("posts", schema, &rows).expect("valid rows"))
+            .expect("fresh catalog");
+    }
+
+    // comments(id, post_id, user_id, score, creation_date)
+    {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::key("post_id"),
+            ColumnDef::key("user_id"),
+            ColumnDef::new("score", DataType::Int),
+            ColumnDef::new("creation_date", DataType::Int),
+        ]);
+        let score_gen = CorrelatedInt { base: 0.0, slope: 0.15, noise: 2.0, min: 0, max: 60 };
+        let rows: Vec<Vec<Value>> = (1..=n_comments as i64)
+            .map(|id| {
+                let post = post_keys.sample(&mut rng);
+                let user = if rng.gen_bool(0.05) {
+                    Value::Null
+                } else {
+                    Value::Int(user_keys.sample(&mut rng))
+                };
+                vec![
+                    Value::Int(id),
+                    Value::Int(post),
+                    user,
+                    Value::Int(score_gen.sample(&mut rng, post)),
+                    Value::Int(date(&mut rng)),
+                ]
+            })
+            .collect();
+        cat.add_table(Table::from_rows("comments", schema, &rows).expect("valid rows"))
+            .expect("fresh catalog");
+    }
+
+    // badges(id, user_id, date, class)
+    {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::key("user_id"),
+            ColumnDef::new("date", DataType::Int),
+            ColumnDef::new("class", DataType::Int),
+        ]);
+        let rows: Vec<Vec<Value>> = (1..=n_badges as i64)
+            .map(|id| {
+                vec![
+                    Value::Int(id),
+                    Value::Int(user_keys.sample(&mut rng)),
+                    Value::Int(date(&mut rng)),
+                    Value::Int(1 + weighted_choice(&mut rng, &[1.0, 3.0, 8.0]) as i64),
+                ]
+            })
+            .collect();
+        cat.add_table(Table::from_rows("badges", schema, &rows).expect("valid rows"))
+            .expect("fresh catalog");
+    }
+
+    // votes(id, post_id, user_id, vote_type, creation_date)
+    {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::key("post_id"),
+            ColumnDef::key("user_id"),
+            ColumnDef::new("vote_type", DataType::Int),
+            ColumnDef::new("creation_date", DataType::Int),
+        ]);
+        let rows: Vec<Vec<Value>> = (1..=n_votes as i64)
+            .map(|id| {
+                let user = if rng.gen_bool(0.40) {
+                    // Most votes are anonymous in STATS.
+                    Value::Null
+                } else {
+                    Value::Int(user_keys.sample(&mut rng))
+                };
+                vec![
+                    Value::Int(id),
+                    Value::Int(post_keys.sample(&mut rng)),
+                    user,
+                    Value::Int(
+                        1 + weighted_choice(&mut rng, &[1.0, 10.0, 4.0, 0.3, 1.2, 0.4]) as i64,
+                    ),
+                    Value::Int(date(&mut rng)),
+                ]
+            })
+            .collect();
+        cat.add_table(Table::from_rows("votes", schema, &rows).expect("valid rows"))
+            .expect("fresh catalog");
+    }
+
+    // postHistory(id, post_id, user_id, post_history_type, creation_date)
+    {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::key("post_id"),
+            ColumnDef::key("user_id"),
+            ColumnDef::new("post_history_type", DataType::Int),
+            ColumnDef::new("creation_date", DataType::Int),
+        ]);
+        let rows: Vec<Vec<Value>> = (1..=n_history as i64)
+            .map(|id| {
+                let user = if rng.gen_bool(0.08) {
+                    Value::Null
+                } else {
+                    Value::Int(user_keys.sample(&mut rng))
+                };
+                vec![
+                    Value::Int(id),
+                    Value::Int(post_keys.sample(&mut rng)),
+                    user,
+                    Value::Int(1 + weighted_choice(&mut rng, &[5.0, 3.0, 2.0, 1.0, 1.0]) as i64),
+                    Value::Int(date(&mut rng)),
+                ]
+            })
+            .collect();
+        cat.add_table(Table::from_rows("postHistory", schema, &rows).expect("valid rows"))
+            .expect("fresh catalog");
+    }
+
+    // postLinks(id, post_id, related_post_id, link_type, creation_date)
+    {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::key("post_id"),
+            ColumnDef::key("related_post_id"),
+            ColumnDef::new("link_type", DataType::Int),
+            ColumnDef::new("creation_date", DataType::Int),
+        ]);
+        let rows: Vec<Vec<Value>> = (1..=n_links as i64)
+            .map(|id| {
+                vec![
+                    Value::Int(id),
+                    Value::Int(post_keys.sample(&mut rng)),
+                    Value::Int(post_keys.sample(&mut rng)),
+                    Value::Int(1 + weighted_choice(&mut rng, &[8.0, 1.0]) as i64),
+                    Value::Int(date(&mut rng)),
+                ]
+            })
+            .collect();
+        cat.add_table(Table::from_rows("postLinks", schema, &rows).expect("valid rows"))
+            .expect("fresh catalog");
+    }
+
+    // tags(id, excerpt_post_id, count)
+    {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::key("excerpt_post_id"),
+            ColumnDef::new("count", DataType::Int),
+        ]);
+        let rows: Vec<Vec<Value>> = (1..=n_tags as i64)
+            .map(|id| {
+                vec![
+                    Value::Int(id),
+                    Value::Int(post_keys.sample(&mut rng)),
+                    Value::Int(rng.gen_range(1..5000)),
+                ]
+            })
+            .collect();
+        cat.add_table(Table::from_rows("tags", schema, &rows).expect("valid rows"))
+            .expect("fresh catalog");
+    }
+
+    declare_relations(&mut cat);
+    cat
+}
+
+/// Declares the 11 FK→PK join relations (⇒ 13 join keys, 2 key groups).
+fn declare_relations(cat: &mut Catalog) {
+    let user_fks = [
+        ("posts", "owner_user_id"),
+        ("comments", "user_id"),
+        ("badges", "user_id"),
+        ("votes", "user_id"),
+        ("postHistory", "user_id"),
+    ];
+    for (t, c) in user_fks {
+        cat.relate("users", "id", t, c).expect("schema declares join keys");
+    }
+    let post_fks = [
+        ("comments", "post_id"),
+        ("votes", "post_id"),
+        ("postHistory", "post_id"),
+        ("postLinks", "post_id"),
+        ("postLinks", "related_post_id"),
+        ("tags", "excerpt_post_id"),
+    ];
+    for (t, c) in post_fks {
+        cat.relate("posts", "id", t, c).expect("schema declares join keys");
+    }
+}
+
+/// Splits the STATS-like database by `creation_date` for the incremental
+/// update experiment: returns the catalog of rows dated before `cutoff`
+/// plus, per table, the remaining rows to insert later.
+///
+/// Tables without a date column (`tags`) go entirely into the base catalog.
+pub fn stats_catalog_split_by_date(
+    cfg: &StatsConfig,
+    cutoff: i64,
+) -> (Catalog, Vec<(String, Vec<Vec<Value>>)>) {
+    let full = stats_catalog(cfg);
+    let mut base = Catalog::new();
+    let mut inserts = Vec::new();
+    for table in full.tables() {
+        let date_col = table
+            .schema()
+            .index_of("creation_date")
+            .or_else(|| table.schema().index_of("date"));
+        match date_col {
+            None => {
+                base.add_table(table.clone()).expect("fresh catalog");
+            }
+            Some(ci) => {
+                let col = table.column(ci);
+                let mut old_rows = Vec::new();
+                let mut new_rows = Vec::new();
+                for i in 0..table.nrows() {
+                    let is_old = !col.is_null(i) && col.ints()[i] < cutoff;
+                    if is_old {
+                        old_rows.push(i);
+                    } else {
+                        new_rows.push(table.row(i));
+                    }
+                }
+                base.add_table(table.select_rows(table.name(), &old_rows))
+                    .expect("fresh catalog");
+                if !new_rows.is_empty() {
+                    inserts.push((table.name().to_string(), new_rows));
+                }
+            }
+        }
+    }
+    declare_relations(&mut base);
+    (base, inserts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape_matches_paper() {
+        let cat = stats_catalog(&StatsConfig::tiny());
+        assert_eq!(cat.num_tables(), 8);
+        assert_eq!(cat.join_keys().len(), 13, "13 join keys as in Table 2");
+        assert_eq!(cat.equivalent_key_groups().len(), 2, "2 key groups as in Table 2");
+        assert_eq!(cat.relations().len(), 11);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = stats_catalog(&StatsConfig::tiny());
+        let b = stats_catalog(&StatsConfig::tiny());
+        for t in a.tables() {
+            let u = b.table(t.name()).unwrap();
+            assert_eq!(t.nrows(), u.nrows());
+            if t.nrows() > 0 {
+                assert_eq!(t.row(0), u.row(0), "table {}", t.name());
+                assert_eq!(t.row(t.nrows() - 1), u.row(t.nrows() - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn fk_skew_present() {
+        let cat = stats_catalog(&StatsConfig::tiny());
+        let c = cat.table("comments").unwrap();
+        let pid = c.column_by_name("post_id").unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..c.nrows() {
+            if let Some(k) = pid.key_at(i) {
+                *counts.entry(k).or_insert(0usize) += 1;
+            }
+        }
+        let max = counts.values().copied().max().unwrap();
+        let mean = c.nrows() as f64 / counts.len() as f64;
+        assert!(
+            (max as f64) > 5.0 * mean,
+            "expected skew: max {max} vs mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn attribute_key_correlation_exists() {
+        // Comments on the same post should have more similar scores than
+        // comments on different posts (score is driven by post_id).
+        let cat = stats_catalog(&StatsConfig::tiny());
+        let c = cat.table("comments").unwrap();
+        let pid = c.column_by_name("post_id").unwrap().ints();
+        let score = c.column_by_name("score").unwrap().ints();
+        let mut by_post: std::collections::HashMap<i64, Vec<i64>> = Default::default();
+        for i in 0..c.nrows() {
+            by_post.entry(pid[i]).or_default().push(score[i]);
+        }
+        let overall_var = variance(score);
+        let mut within = 0.0f64;
+        let mut groups = 0.0f64;
+        for v in by_post.values().filter(|v| v.len() >= 3) {
+            within += variance(v);
+            groups += 1.0;
+        }
+        let within_var = within / groups.max(1.0);
+        assert!(
+            within_var < 0.8 * overall_var,
+            "within-post variance {within_var:.1} not below overall {overall_var:.1}"
+        );
+    }
+
+    fn variance(xs: &[i64]) -> f64 {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<i64>() as f64 / n;
+        xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n
+    }
+
+    #[test]
+    fn nullable_fks_have_nulls() {
+        let cat = stats_catalog(&StatsConfig::tiny());
+        let votes = cat.table("votes").unwrap();
+        let uid = votes.column_by_name("user_id").unwrap();
+        let nulls = uid.nulls().null_count();
+        assert!(nulls > votes.nrows() / 5, "votes.user_id should be ~40% null");
+    }
+
+    #[test]
+    fn split_by_date_partitions_rows() {
+        let cfg = StatsConfig::tiny();
+        let full = stats_catalog(&cfg);
+        let (base, inserts) = stats_catalog_split_by_date(&cfg, (DATE_MIN + DATE_MAX) / 2);
+        let insert_count: usize = inserts.iter().map(|(_, r)| r.len()).sum();
+        assert_eq!(base.total_rows() + insert_count, full.total_rows());
+        // Roughly half the dated rows move; tags stays whole.
+        assert!(insert_count > full.total_rows() / 4);
+        assert!(insert_count < 3 * full.total_rows() / 4);
+        assert!(!inserts.iter().any(|(t, _)| t == "tags"));
+        // Replaying the inserts restores the full row counts.
+        let mut replay = base.clone();
+        for (t, rows) in &inserts {
+            replay.table_mut(t).unwrap().append_rows(rows).unwrap();
+        }
+        assert_eq!(replay.total_rows(), full.total_rows());
+        assert_eq!(replay.equivalent_key_groups().len(), 2);
+    }
+
+    #[test]
+    fn scale_factor_scales_rows() {
+        let small = stats_catalog(&StatsConfig { scale: 0.05, ..Default::default() });
+        let large = stats_catalog(&StatsConfig { scale: 0.2, ..Default::default() });
+        assert!(large.total_rows() > 3 * small.total_rows());
+    }
+}

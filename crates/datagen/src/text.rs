@@ -1,0 +1,155 @@
+//! Pseudo-natural text generators for string columns.
+//!
+//! IMDB-JOB queries use `LIKE '%substring%'` predicates against titles,
+//! names, keywords, and info strings. The generators compose words from
+//! fixed vocabularies so substring selectivities span several orders of
+//! magnitude (common words hit often, rare words rarely) — the property the
+//! sampling-based single-table estimator is stress-tested on.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Common words (high `LIKE` selectivity when used as patterns).
+pub const COMMON_WORDS: &[&str] = &[
+    "the", "dark", "man", "night", "love", "story", "last", "house", "girl", "king", "return",
+    "world", "life", "day", "blood", "city", "dead", "star", "time", "dream",
+];
+
+/// Rare words (low selectivity patterns).
+pub const RARE_WORDS: &[&str] = &[
+    "zephyr", "quixotic", "obsidian", "labyrinth", "ephemeral", "vermilion", "sonder",
+    "petrichor", "halcyon", "aurora",
+];
+
+/// First names for person-name columns.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "john", "anna", "robert", "linda", "michael", "susan", "david", "karen",
+    "carlos", "yuki", "ahmed", "ingrid", "pierre", "olga", "raj", "mei", "sven", "fatima",
+];
+
+/// Surnames for person-name columns.
+pub const SURNAMES: &[&str] = &[
+    "smith", "johnson", "lee", "garcia", "muller", "tanaka", "kowalski", "rossi", "ivanov",
+    "silva", "chen", "kim", "nguyen", "patel", "haddad", "berg", "dubois", "novak", "costa",
+    "okafor",
+];
+
+/// Country codes used by `company_name.country_code` (bracketed like IMDB).
+pub const COUNTRY_CODES: &[&str] =
+    &["[us]", "[gb]", "[de]", "[fr]", "[jp]", "[in]", "[it]", "[ca]", "[es]", "[se]"];
+
+/// Movie-info genre-ish tokens.
+pub const INFO_TOKENS: &[&str] = &[
+    "drama", "comedy", "thriller", "documentary", "horror", "action", "romance", "sci-fi",
+    "animation", "crime", "fantasy", "western", "musical", "war", "biography",
+];
+
+/// Generates a movie-title-like string of 2–4 words; ~10% of titles embed a
+/// rare word so low-selectivity `LIKE` patterns have non-empty answers.
+pub fn title(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(2..=4);
+    let mut parts = Vec::with_capacity(n);
+    for i in 0..n {
+        if i == 1 && rng.gen_bool(0.10) {
+            parts.push(RARE_WORDS[rng.gen_range(0..RARE_WORDS.len())]);
+        } else {
+            parts.push(COMMON_WORDS[rng.gen_range(0..COMMON_WORDS.len())]);
+        }
+    }
+    parts.join(" ")
+}
+
+/// Generates a person name `surname, first`.
+pub fn person_name(rng: &mut StdRng) -> String {
+    format!(
+        "{}, {}",
+        SURNAMES[rng.gen_range(0..SURNAMES.len())],
+        FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())]
+    )
+}
+
+/// Generates a company-name-like string.
+pub fn company_name(rng: &mut StdRng) -> String {
+    let w = COMMON_WORDS[rng.gen_range(0..COMMON_WORDS.len())];
+    let suffix = ["films", "pictures", "studios", "productions", "entertainment"]
+        [rng.gen_range(0..5)];
+    format!("{w} {suffix}")
+}
+
+/// Generates a keyword token; occasionally hyphenated.
+pub fn keyword(rng: &mut StdRng) -> String {
+    let a = COMMON_WORDS[rng.gen_range(0..COMMON_WORDS.len())];
+    if rng.gen_bool(0.3) {
+        let b = INFO_TOKENS[rng.gen_range(0..INFO_TOKENS.len())];
+        format!("{a}-{b}")
+    } else {
+        a.to_string()
+    }
+}
+
+/// Generates a movie-info payload (genre token, possibly with a qualifier).
+pub fn info_text(rng: &mut StdRng) -> String {
+    let t = INFO_TOKENS[rng.gen_range(0..INFO_TOKENS.len())];
+    if rng.gen_bool(0.25) {
+        format!("{t} (tv)")
+    } else {
+        t.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn titles_have_two_to_four_words() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let t = title(&mut rng);
+            let words = t.split(' ').count();
+            assert!((2..=4).contains(&words), "bad title {t:?}");
+        }
+    }
+
+    #[test]
+    fn person_names_have_comma_format() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let n = person_name(&mut rng);
+            assert!(n.contains(", "), "bad name {n:?}");
+        }
+    }
+
+    #[test]
+    fn rare_words_appear_but_rarely() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let titles: Vec<String> = (0..2000).map(|_| title(&mut rng)).collect();
+        let rare_hits = titles
+            .iter()
+            .filter(|t| RARE_WORDS.iter().any(|w| t.contains(w)))
+            .count();
+        assert!(rare_hits > 20, "rare words never appear ({rare_hits})");
+        assert!(rare_hits < 600, "rare words too common ({rare_hits})");
+        // Common word selectivity is much higher than any rare word's.
+        let common_hits = titles.iter().filter(|t| t.contains("the")).count();
+        assert!(common_hits > rare_hits);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10).map(|_| keyword(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn info_and_company_nonempty() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!info_text(&mut rng).is_empty());
+        assert!(!company_name(&mut rng).is_empty());
+        assert!(!keyword(&mut rng).is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Hash-join cost model.
+//!
+//! The planner and the end-to-end harness use the same cost shape, the
+//! `C_mm` model of "How Good Are Query Optimizers, Really?" (Leis et al.,
+//! which introduced the JOB benchmark the paper evaluates on): a hash join
+//! costs its output plus a constant factor times the build and probe
+//! inputs; scans cost their input. During *planning* the model is fed
+//! estimated cardinalities; during *evaluation* it is fed true
+//! cardinalities from [`crate::TrueCardEngine`], giving a deterministic,
+//! hardware-independent proxy for Postgres execution time.
+
+use crate::plan::PlanNode;
+use fj_query::SubplanMask;
+
+/// Cost-model constants.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Weight of build-side input tuples (hash table construction).
+    pub build_weight: f64,
+    /// Weight of probe-side input tuples.
+    pub probe_weight: f64,
+    /// Weight of output tuples.
+    pub output_weight: f64,
+    /// Tuples-per-second rate converting cost units to simulated seconds.
+    pub tuples_per_second: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // C_mm-like: output dominates, build is twice as expensive as probe.
+        CostModel {
+            build_weight: 2.0,
+            probe_weight: 1.0,
+            output_weight: 1.0,
+            tuples_per_second: 2.0e6,
+        }
+    }
+}
+
+/// Cost evaluation of a plan under a cardinality function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCostBreakdown {
+    /// Total model cost in tuple units.
+    pub total: f64,
+    /// `C_out`: the sum of intermediate (join-node) cardinalities — the
+    /// classic plan-quality metric.
+    pub c_out: f64,
+    /// Sum of base (scan-leaf) cardinalities.
+    pub base: f64,
+}
+
+impl PlanCostBreakdown {
+    /// Simulated wall-clock seconds under `model`.
+    pub fn seconds(&self, model: &CostModel) -> f64 {
+        self.total / model.tuples_per_second
+    }
+}
+
+/// Costs `plan` using `card_of` (mask → cardinality) under `model`.
+///
+/// `card_of` may be estimated (planning) or exact (evaluation).
+pub fn plan_cost(
+    plan: &PlanNode,
+    card_of: &mut dyn FnMut(SubplanMask) -> f64,
+    model: &CostModel,
+) -> PlanCostBreakdown {
+    fn walk(
+        node: &PlanNode,
+        card_of: &mut dyn FnMut(SubplanMask) -> f64,
+        model: &CostModel,
+        acc: &mut PlanCostBreakdown,
+    ) -> f64 {
+        match node {
+            PlanNode::Scan { .. } => {
+                let c = card_of(node.mask()).max(0.0);
+                acc.base += c;
+                acc.total += c;
+                c
+            }
+            PlanNode::Join { left, right } => {
+                let lc = walk(left, card_of, model, acc);
+                let rc = walk(right, card_of, model, acc);
+                let out = card_of(node.mask()).max(0.0);
+                // Build on the smaller input, as a real executor would.
+                let (build, probe) = if lc <= rc { (lc, rc) } else { (rc, lc) };
+                acc.total += model.build_weight * build
+                    + model.probe_weight * probe
+                    + model.output_weight * out;
+                acc.c_out += out;
+                out
+            }
+        }
+    }
+    let mut acc = PlanCostBreakdown { total: 0.0, c_out: 0.0, base: 0.0 };
+    walk(plan, card_of, model, &mut acc);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn cards(pairs: &[(u64, f64)]) -> HashMap<u64, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    fn scan(i: usize) -> PlanNode {
+        PlanNode::Scan { alias: i }
+    }
+
+    fn join(l: PlanNode, r: PlanNode) -> PlanNode {
+        PlanNode::Join { left: Box::new(l), right: Box::new(r) }
+    }
+
+    #[test]
+    fn two_table_cost() {
+        let m = CostModel::default();
+        let table = cards(&[(0b01, 100.0), (0b10, 10.0), (0b11, 50.0)]);
+        let plan = join(scan(0), scan(1));
+        let cost = plan_cost(&plan, &mut |mask| table[&mask], &m);
+        // base: 110; join: build on 10 (smaller), probe 100, out 50.
+        assert_eq!(cost.base, 110.0);
+        assert_eq!(cost.c_out, 50.0);
+        assert_eq!(cost.total, 110.0 + 2.0 * 10.0 + 100.0 + 50.0);
+        assert!(cost.seconds(&m) > 0.0);
+    }
+
+    #[test]
+    fn cout_sums_internal_nodes_only() {
+        let table = cards(&[
+            (0b001, 10.0),
+            (0b010, 20.0),
+            (0b100, 30.0),
+            (0b011, 5.0),
+            (0b111, 7.0),
+        ]);
+        let plan = join(join(scan(0), scan(1)), scan(2));
+        let cost = plan_cost(&plan, &mut |m| table[&m], &CostModel::default());
+        assert_eq!(cost.c_out, 5.0 + 7.0);
+        assert_eq!(cost.base, 60.0);
+    }
+
+    #[test]
+    fn bad_plan_costs_more() {
+        // Joining the two big tables first (huge intermediate) must cost
+        // more than going through the small one.
+        let table = cards(&[
+            (0b001, 1000.0),
+            (0b010, 1000.0),
+            (0b100, 10.0),
+            (0b011, 500_000.0),
+            (0b101, 100.0),
+            (0b110, 100.0),
+            (0b111, 900.0),
+        ]);
+        let m = CostModel::default();
+        let bad = join(join(scan(0), scan(1)), scan(2));
+        let good = join(join(scan(0), scan(2)), scan(1));
+        let cb = plan_cost(&bad, &mut |x| table[&x], &m);
+        let cg = plan_cost(&good, &mut |x| table[&x], &m);
+        assert!(cb.total > 10.0 * cg.total, "bad {} vs good {}", cb.total, cg.total);
+    }
+
+    #[test]
+    fn negative_estimates_are_clamped() {
+        let plan = join(scan(0), scan(1));
+        let cost = plan_cost(&plan, &mut |_| -5.0, &CostModel::default());
+        assert_eq!(cost.total, 0.0);
+    }
+}

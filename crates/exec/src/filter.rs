@@ -1,0 +1,10 @@
+//! Re-export of the compiled-filter machinery.
+//!
+//! Filter compilation lives in [`fj_query::compile`] so that estimator
+//! crates can evaluate filters on tables (and on their samples) without
+//! depending on the executor. The executor re-exports it under its
+//! historical path.
+
+pub use fj_query::compile::{
+    compile_filter, filtered_count, filtered_selection, CompiledFilter,
+};

@@ -1,0 +1,248 @@
+//! Count-preserving grouped relations — the engine's intermediate format.
+//!
+//! A relation is represented as a map from join-variable value tuples to
+//! multiplicity counts. Joining two grouped relations on their shared
+//! variables, then projecting away variables no longer referenced, computes
+//! exact join cardinalities in time proportional to the number of *distinct
+//! key combinations*, not the number of tuples.
+//!
+//! NULL join keys are encoded as [`NULL_KEY`], a sentinel that never matches
+//! in a join (SQL `NULL = NULL` is unknown) but still contributes to
+//! cardinality while unjoined.
+
+use std::collections::HashMap;
+
+/// Sentinel encoding a NULL join-key value. Generated data uses small
+/// non-negative ids, so `i64::MIN` cannot collide.
+pub const NULL_KEY: i64 = i64::MIN;
+
+/// A bag of tuples over join variables, grouped with multiplicity counts.
+#[derive(Debug, Clone)]
+pub struct GroupedRel {
+    /// Sorted variable ids labelling the key positions.
+    vars: Vec<usize>,
+    /// value-tuple (aligned with `vars`) → multiplicity.
+    groups: HashMap<Box<[i64]>, f64>,
+}
+
+impl GroupedRel {
+    /// Creates a relation over `vars` (must be sorted, deduplicated).
+    pub fn new(vars: Vec<usize>) -> Self {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted unique");
+        GroupedRel { vars, groups: HashMap::new() }
+    }
+
+    /// The variable ids of this relation.
+    pub fn vars(&self) -> &[usize] {
+        &self.vars
+    }
+
+    /// Number of distinct key combinations.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Adds `count` tuples with the given key values (aligned with vars).
+    pub fn add(&mut self, key: Box<[i64]>, count: f64) {
+        debug_assert_eq!(key.len(), self.vars.len());
+        *self.groups.entry(key).or_insert(0.0) += count;
+    }
+
+    /// Total tuple count (the relation's cardinality).
+    pub fn cardinality(&self) -> f64 {
+        self.groups.values().sum()
+    }
+
+    /// Iterates over (key, count) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[i64], f64)> {
+        self.groups.iter().map(|(k, &c)| (k.as_ref(), c))
+    }
+
+    /// Natural join on shared variables. Tuples whose shared-variable values
+    /// include [`NULL_KEY`] never match. The result's variables are the
+    /// union of both sides'.
+    pub fn join(&self, other: &GroupedRel) -> GroupedRel {
+        // Determine shared and result variable layouts.
+        let shared: Vec<usize> =
+            self.vars.iter().copied().filter(|v| other.vars.contains(v)).collect();
+        let mut out_vars: Vec<usize> = self.vars.clone();
+        for &v in &other.vars {
+            if !out_vars.contains(&v) {
+                out_vars.push(v);
+            }
+        }
+        out_vars.sort_unstable();
+
+        // Positions of shared vars in each side and of out vars in inputs.
+        let pos_in = |vars: &[usize], v: usize| vars.iter().position(|&x| x == v).expect("var");
+        let shared_l: Vec<usize> = shared.iter().map(|&v| pos_in(&self.vars, v)).collect();
+        let shared_r: Vec<usize> = shared.iter().map(|&v| pos_in(&other.vars, v)).collect();
+
+        // Index the smaller side by shared-key.
+        let (build, probe, shared_b, shared_p, build_is_left) =
+            if self.groups.len() <= other.groups.len() {
+                (self, other, &shared_l, &shared_r, true)
+            } else {
+                (other, self, &shared_r, &shared_l, false)
+            };
+
+        let mut index: HashMap<Vec<i64>, Vec<(&[i64], f64)>> =
+            HashMap::with_capacity(build.groups.len());
+        'build: for (k, &c) in &build.groups {
+            let mut sk = Vec::with_capacity(shared_b.len());
+            for &p in shared_b.iter() {
+                if k[p] == NULL_KEY {
+                    continue 'build; // NULL never joins
+                }
+                sk.push(k[p]);
+            }
+            index.entry(sk).or_default().push((k.as_ref(), c));
+        }
+
+        let mut out = GroupedRel::new(out_vars);
+        let out_vars_ref: Vec<usize> = out.vars.clone();
+        let mut sk = Vec::with_capacity(shared_p.len());
+        'probe: for (k, &c) in &probe.groups {
+            sk.clear();
+            for &p in shared_p.iter() {
+                if k[p] == NULL_KEY {
+                    continue 'probe;
+                }
+                sk.push(k[p]);
+            }
+            let Some(matches) = index.get(&sk) else { continue };
+            for &(bk, bc) in matches {
+                let (lk, rk) = if build_is_left { (bk, k.as_ref()) } else { (k.as_ref(), bk) };
+                let key: Box<[i64]> = out_vars_ref
+                    .iter()
+                    .map(|&v| {
+                        // Prefer the left side's value; they agree on shared.
+                        match self.vars.iter().position(|&x| x == v) {
+                            Some(p) => lk[p],
+                            None => rk[pos_in(&other.vars, v)],
+                        }
+                    })
+                    .collect();
+                out.add(key, bc * c);
+            }
+        }
+        out
+    }
+
+    /// Projects onto `keep` (sorted subset of this relation's vars), summing
+    /// the counts of collapsed groups.
+    pub fn project(&self, keep: &[usize]) -> GroupedRel {
+        debug_assert!(keep.iter().all(|v| self.vars.contains(v)));
+        if keep == self.vars.as_slice() {
+            return self.clone();
+        }
+        let positions: Vec<usize> =
+            keep.iter().map(|&v| self.vars.iter().position(|&x| x == v).expect("var")).collect();
+        let mut out = GroupedRel::new(keep.to_vec());
+        for (k, &c) in &self.groups {
+            let key: Box<[i64]> = positions.iter().map(|&p| k[p]).collect();
+            out.add(key, c);
+        }
+        out
+    }
+
+    /// Approximate heap footprint (for diagnostics).
+    pub fn heap_bytes(&self) -> usize {
+        self.groups.len() * (self.vars.len() * 8 + 24)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(vars: &[usize], entries: &[(&[i64], f64)]) -> GroupedRel {
+        let mut r = GroupedRel::new(vars.to_vec());
+        for (k, c) in entries {
+            r.add((*k).into(), *c);
+        }
+        r
+    }
+
+    #[test]
+    fn paper_figure2_two_table_join() {
+        // Figure 2 of the paper: A|Q(A) has a:8, b:4, c:3 (+f:1, g:...);
+        // B|Q(B) has a:6, b:5, c:5 (+e:2,...). |A ⋈ B| on the shared key
+        // = 8·6 + 4·5 + 3·5 = 83.
+        let a = rel(&[0], &[(&[1], 8.0), (&[2], 4.0), (&[3], 3.0), (&[4], 1.0)]);
+        let b = rel(&[0], &[(&[1], 6.0), (&[2], 5.0), (&[3], 5.0), (&[5], 2.0)]);
+        let j = a.join(&b);
+        assert_eq!(j.cardinality(), 83.0);
+        assert_eq!(j.num_groups(), 3);
+    }
+
+    #[test]
+    fn join_on_disjoint_vars_is_cross_product() {
+        let a = rel(&[0], &[(&[1], 2.0), (&[2], 3.0)]);
+        let b = rel(&[1], &[(&[7], 4.0)]);
+        let j = a.join(&b);
+        assert_eq!(j.vars(), &[0, 1]);
+        assert_eq!(j.cardinality(), (2.0 + 3.0) * 4.0);
+    }
+
+    #[test]
+    fn null_keys_never_match_but_count_unjoined() {
+        let a = rel(&[0], &[(&[NULL_KEY], 5.0), (&[1], 2.0)]);
+        let b = rel(&[0], &[(&[NULL_KEY], 7.0), (&[1], 3.0)]);
+        let j = a.join(&b);
+        // Only the value-1 groups match: 2·3 = 6. NULLs drop out.
+        assert_eq!(j.cardinality(), 6.0);
+        // But cardinality before joining includes NULL groups.
+        assert_eq!(a.cardinality(), 7.0);
+    }
+
+    #[test]
+    fn multi_var_join_aligns_values() {
+        // L(v0, v1), R(v1, v2): join on v1.
+        let l = rel(&[0, 1], &[(&[10, 100], 2.0), (&[11, 101], 3.0)]);
+        let r = rel(&[1, 2], &[(&[100, 7], 5.0), (&[100, 8], 1.0)]);
+        let j = l.join(&r);
+        assert_eq!(j.vars(), &[0, 1, 2]);
+        assert_eq!(j.cardinality(), 2.0 * 5.0 + 2.0 * 1.0);
+        // Check a specific output key: (v0=10, v1=100, v2=7) → 10.
+        let found: Vec<(Vec<i64>, f64)> =
+            j.iter().map(|(k, c)| (k.to_vec(), c)).collect();
+        assert!(found.contains(&(vec![10, 100, 7], 10.0)));
+    }
+
+    #[test]
+    fn project_sums_counts() {
+        let l = rel(&[0, 1], &[(&[1, 10], 2.0), (&[1, 11], 3.0), (&[2, 10], 4.0)]);
+        let p = l.project(&[0]);
+        assert_eq!(p.vars(), &[0]);
+        assert_eq!(p.cardinality(), 9.0);
+        let m: std::collections::HashMap<i64, f64> =
+            p.iter().map(|(k, c)| (k[0], c)).collect();
+        assert_eq!(m[&1], 5.0);
+        assert_eq!(m[&2], 4.0);
+    }
+
+    #[test]
+    fn project_identity_is_noop() {
+        let l = rel(&[0, 1], &[(&[1, 10], 2.0)]);
+        let p = l.project(&[0, 1]);
+        assert_eq!(p.num_groups(), 1);
+        assert_eq!(p.cardinality(), 2.0);
+    }
+
+    #[test]
+    fn join_is_commutative_in_cardinality() {
+        let a = rel(&[0, 1], &[(&[1, 5], 2.0), (&[2, 5], 1.0), (&[2, 6], 4.0)]);
+        let b = rel(&[1, 2], &[(&[5, 9], 3.0), (&[6, 9], 2.0)]);
+        assert_eq!(a.join(&b).cardinality(), b.join(&a).cardinality());
+    }
+
+    #[test]
+    fn empty_join_results() {
+        let a = rel(&[0], &[(&[1], 2.0)]);
+        let b = rel(&[0], &[(&[2], 3.0)]);
+        let j = a.join(&b);
+        assert_eq!(j.cardinality(), 0.0);
+        assert_eq!(j.num_groups(), 0);
+    }
+}

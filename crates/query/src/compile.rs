@@ -1,0 +1,353 @@
+//! Filter compilation and evaluation against columnar tables.
+//!
+//! A [`fj_query::FilterExpr`] is compiled once per (table, filter) pair:
+//! column names resolve to indices, string predicates pre-evaluate against
+//! the column dictionary (so `LIKE` costs one dictionary scan, not one
+//! pattern match per row), and literals are coerced to the column type.
+//! Evaluation is then a tight per-row loop over typed vectors.
+
+use crate::like::like_match;
+use crate::predicate::{CmpOp, Predicate};
+use crate::expr::FilterExpr;
+use fj_storage::{Column, DataType, Table, Value};
+use std::collections::HashSet;
+
+/// A compiled atomic predicate.
+enum CompiledPred {
+    /// Integer comparison against an integer literal.
+    IntCmp { col: usize, op: CmpOp, v: i64 },
+    /// Integer column compared against a float literal.
+    IntCmpF { col: usize, op: CmpOp, v: f64 },
+    /// Float column comparison.
+    FloatCmp { col: usize, op: CmpOp, v: f64 },
+    /// Integer range (inclusive).
+    IntBetween { col: usize, lo: i64, hi: i64 },
+    /// Float range (inclusive).
+    FloatBetween { col: usize, lo: f64, hi: f64 },
+    /// Integer set membership.
+    IntIn { col: usize, set: HashSet<i64> },
+    /// String predicate pre-evaluated per dictionary code.
+    StrCodes { col: usize, codes: Vec<bool> },
+    /// NULL test.
+    IsNull { col: usize, negated: bool },
+    /// Statically false (e.g. type-mismatched literal).
+    Never,
+}
+
+/// A compiled boolean filter for one specific table.
+pub struct CompiledFilter {
+    root: CompiledNode,
+}
+
+enum CompiledNode {
+    True,
+    Pred(CompiledPred),
+    And(Vec<CompiledNode>),
+    Or(Vec<CompiledNode>),
+    Not(Box<CompiledNode>),
+}
+
+/// Compiles `expr` for `table`. Panics on unknown columns — queries are
+/// validated at bind time, so reaching here with a bad column is a bug.
+pub fn compile_filter(table: &Table, expr: &FilterExpr) -> CompiledFilter {
+    CompiledFilter { root: compile_node(table, expr) }
+}
+
+fn compile_node(table: &Table, expr: &FilterExpr) -> CompiledNode {
+    match expr {
+        FilterExpr::True => CompiledNode::True,
+        FilterExpr::Pred(p) => CompiledNode::Pred(compile_pred(table, p)),
+        FilterExpr::And(parts) => {
+            CompiledNode::And(parts.iter().map(|p| compile_node(table, p)).collect())
+        }
+        FilterExpr::Or(parts) => {
+            CompiledNode::Or(parts.iter().map(|p| compile_node(table, p)).collect())
+        }
+        FilterExpr::Not(inner) => CompiledNode::Not(Box::new(compile_node(table, inner))),
+    }
+}
+
+/// Pre-evaluates a string predicate against every dictionary entry.
+fn str_codes(column: &Column, pred: impl Fn(&str) -> bool) -> Vec<bool> {
+    column.dict().iter().map(|s| pred(s)).collect()
+}
+
+fn compile_pred(table: &Table, p: &Predicate) -> CompiledPred {
+    let col = table
+        .schema()
+        .index_of(p.column())
+        .unwrap_or_else(|| panic!("unbound column {} in compiled filter", p.column()));
+    let column = table.column(col);
+    let dtype = column.dtype();
+    match p {
+        Predicate::Cmp { op, value, .. } => match (dtype, value) {
+            (DataType::Int, Value::Int(v)) => CompiledPred::IntCmp { col, op: *op, v: *v },
+            (DataType::Int, Value::Float(v)) => CompiledPred::IntCmpF { col, op: *op, v: *v },
+            (DataType::Float, v) => match v.as_float() {
+                Some(f) => CompiledPred::FloatCmp { col, op: *op, v: f },
+                None => CompiledPred::Never,
+            },
+            (DataType::Str, Value::Str(s)) => {
+                let op = *op;
+                let s = s.clone();
+                CompiledPred::StrCodes {
+                    col,
+                    codes: str_codes(column, |d| op.eval(d.cmp(s.as_str()))),
+                }
+            }
+            _ => CompiledPred::Never,
+        },
+        Predicate::Between { lo, hi, .. } => match dtype {
+            DataType::Int => match (lo, hi) {
+                (Value::Int(a), Value::Int(b)) => CompiledPred::IntBetween { col, lo: *a, hi: *b },
+                _ => match (lo.as_float(), hi.as_float()) {
+                    (Some(a), Some(b)) => {
+                        // Integer column, float bounds: tighten to ints.
+                        CompiledPred::IntBetween {
+                            col,
+                            lo: a.ceil() as i64,
+                            hi: b.floor() as i64,
+                        }
+                    }
+                    _ => CompiledPred::Never,
+                },
+            },
+            DataType::Float => match (lo.as_float(), hi.as_float()) {
+                (Some(a), Some(b)) => CompiledPred::FloatBetween { col, lo: a, hi: b },
+                _ => CompiledPred::Never,
+            },
+            DataType::Str => match (lo, hi) {
+                (Value::Str(a), Value::Str(b)) => {
+                    let (a, b) = (a.clone(), b.clone());
+                    CompiledPred::StrCodes {
+                        col,
+                        codes: str_codes(column, |d| d >= a.as_str() && d <= b.as_str()),
+                    }
+                }
+                _ => CompiledPred::Never,
+            },
+        },
+        Predicate::InList { values, .. } => match dtype {
+            DataType::Int => {
+                let set: HashSet<i64> = values.iter().filter_map(Value::as_int).collect();
+                CompiledPred::IntIn { col, set }
+            }
+            DataType::Str => {
+                let wanted: HashSet<&str> =
+                    values.iter().filter_map(Value::as_str).collect();
+                CompiledPred::StrCodes {
+                    col,
+                    codes: str_codes(column, |d| wanted.contains(d)),
+                }
+            }
+            DataType::Float => CompiledPred::Never,
+        },
+        Predicate::Like { pattern, negated, .. } => match dtype {
+            DataType::Str => {
+                let (pat, neg) = (pattern.clone(), *negated);
+                CompiledPred::StrCodes {
+                    col,
+                    codes: str_codes(column, |d| like_match(&pat, d) != neg),
+                }
+            }
+            _ => CompiledPred::Never,
+        },
+        Predicate::IsNull { negated, .. } => CompiledPred::IsNull { col, negated: *negated },
+    }
+}
+
+impl CompiledFilter {
+    /// Evaluates the filter for row `idx` of the table it was compiled for.
+    #[inline]
+    pub fn eval(&self, table: &Table, idx: usize) -> bool {
+        eval_node(&self.root, table, idx)
+    }
+}
+
+fn eval_node(node: &CompiledNode, table: &Table, idx: usize) -> bool {
+    match node {
+        CompiledNode::True => true,
+        CompiledNode::Pred(p) => eval_pred(p, table, idx),
+        CompiledNode::And(parts) => parts.iter().all(|n| eval_node(n, table, idx)),
+        CompiledNode::Or(parts) => parts.iter().any(|n| eval_node(n, table, idx)),
+        CompiledNode::Not(inner) => !eval_node(inner, table, idx),
+    }
+}
+
+#[inline]
+fn eval_pred(p: &CompiledPred, table: &Table, idx: usize) -> bool {
+    match p {
+        CompiledPred::IntCmp { col, op, v } => {
+            let c = table.column(*col);
+            !c.is_null(idx) && op.eval(c.ints()[idx].cmp(v))
+        }
+        CompiledPred::IntCmpF { col, op, v } => {
+            let c = table.column(*col);
+            !c.is_null(idx)
+                && (c.ints()[idx] as f64)
+                    .partial_cmp(v)
+                    .is_some_and(|ord| op.eval(ord))
+        }
+        CompiledPred::FloatCmp { col, op, v } => {
+            let c = table.column(*col);
+            !c.is_null(idx)
+                && c.floats()[idx].partial_cmp(v).is_some_and(|ord| op.eval(ord))
+        }
+        CompiledPred::IntBetween { col, lo, hi } => {
+            let c = table.column(*col);
+            !c.is_null(idx) && {
+                let v = c.ints()[idx];
+                v >= *lo && v <= *hi
+            }
+        }
+        CompiledPred::FloatBetween { col, lo, hi } => {
+            let c = table.column(*col);
+            !c.is_null(idx) && {
+                let v = c.floats()[idx];
+                v >= *lo && v <= *hi
+            }
+        }
+        CompiledPred::IntIn { col, set } => {
+            let c = table.column(*col);
+            !c.is_null(idx) && set.contains(&c.ints()[idx])
+        }
+        CompiledPred::StrCodes { col, codes } => {
+            let c = table.column(*col);
+            !c.is_null(idx) && codes[c.codes()[idx] as usize]
+        }
+        CompiledPred::IsNull { col, negated } => table.column(*col).is_null(idx) != *negated,
+        CompiledPred::Never => false,
+    }
+}
+
+/// Returns the indices of rows matching `expr`.
+pub fn filtered_selection(table: &Table, expr: &FilterExpr) -> Vec<u32> {
+    let compiled = compile_filter(table, expr);
+    let mut out = Vec::new();
+    for i in 0..table.nrows() {
+        if compiled.eval(table, i) {
+            out.push(i as u32);
+        }
+    }
+    out
+}
+
+/// Counts rows matching `expr` without materializing the selection.
+pub fn filtered_count(table: &Table, expr: &FilterExpr) -> u64 {
+    let compiled = compile_filter(table, expr);
+    let mut n = 0u64;
+    for i in 0..table.nrows() {
+        if compiled.eval(table, i) {
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_storage::{ColumnDef, TableSchema};
+
+    fn table() -> Table {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("f", DataType::Float),
+            ColumnDef::new("s", DataType::Str),
+        ]);
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(0.5), Value::Str("apple pie".into())],
+            vec![Value::Int(5), Value::Float(2.5), Value::Str("banana".into())],
+            vec![Value::Null, Value::Float(-1.0), Value::Str("apple tart".into())],
+            vec![Value::Int(10), Value::Null, Value::Null],
+            vec![Value::Int(5), Value::Float(9.0), Value::Str("cherry".into())],
+        ];
+        Table::from_rows("t", schema, &rows).unwrap()
+    }
+
+    /// Cross-check against the reference row-at-a-time evaluator in fj-query.
+    fn reference(table: &Table, expr: &FilterExpr) -> Vec<u32> {
+        (0..table.nrows())
+            .filter(|&i| {
+                expr.eval(&|col: &str| table.column_by_name(col).unwrap().get(i))
+            })
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    fn check(expr: FilterExpr) {
+        let t = table();
+        assert_eq!(filtered_selection(&t, &expr), reference(&t, &expr), "expr {expr}");
+    }
+
+    #[test]
+    fn int_comparisons_match_reference() {
+        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            check(FilterExpr::pred(Predicate::cmp("a", op, 5)));
+        }
+    }
+
+    #[test]
+    fn float_and_widened_comparisons() {
+        check(FilterExpr::pred(Predicate::cmp("f", CmpOp::Gt, 0)));
+        check(FilterExpr::pred(Predicate::cmp("f", CmpOp::Le, 2.5)));
+        check(FilterExpr::pred(Predicate::cmp("a", CmpOp::Gt, 4.5)));
+    }
+
+    #[test]
+    fn between_in_like() {
+        check(FilterExpr::pred(Predicate::between("a", 2, 9)));
+        check(FilterExpr::pred(Predicate::in_list(
+            "a",
+            vec![Value::Int(1), Value::Int(10)],
+        )));
+        check(FilterExpr::pred(Predicate::like("s", "%apple%")));
+        check(FilterExpr::pred(Predicate::Like {
+            column: "s".into(),
+            pattern: "%apple%".into(),
+            negated: true,
+        }));
+    }
+
+    #[test]
+    fn null_tests_and_boolean_composition() {
+        check(FilterExpr::pred(Predicate::IsNull { column: "a".into(), negated: false }));
+        check(FilterExpr::pred(Predicate::IsNull { column: "s".into(), negated: true }));
+        check(FilterExpr::and(vec![
+            FilterExpr::pred(Predicate::cmp("a", CmpOp::Ge, 1)),
+            FilterExpr::or(vec![
+                FilterExpr::pred(Predicate::like("s", "%an%")),
+                FilterExpr::pred(Predicate::cmp("f", CmpOp::Gt, 5)),
+            ]),
+        ]));
+        check(FilterExpr::Not(Box::new(FilterExpr::pred(Predicate::eq("a", 5)))));
+    }
+
+    #[test]
+    fn string_equality_and_order() {
+        check(FilterExpr::pred(Predicate::eq("s", "banana")));
+        check(FilterExpr::pred(Predicate::cmp("s", CmpOp::Lt, "banana")));
+        // Literal absent from the dictionary still works (matches nothing).
+        check(FilterExpr::pred(Predicate::eq("s", "zzz")));
+    }
+
+    #[test]
+    fn filtered_count_matches_selection_len() {
+        let t = table();
+        let e = FilterExpr::pred(Predicate::cmp("a", CmpOp::Ge, 1));
+        assert_eq!(filtered_count(&t, &e), filtered_selection(&t, &e).len() as u64);
+    }
+
+    #[test]
+    fn trivial_filter_selects_everything() {
+        let t = table();
+        assert_eq!(filtered_count(&t, &FilterExpr::True), t.nrows() as u64);
+    }
+
+    #[test]
+    fn type_mismatch_matches_nothing() {
+        // Comparing a string column to an int is statically Never.
+        check(FilterExpr::pred(Predicate::eq("s", 5)));
+        check(FilterExpr::pred(Predicate::like("a", "%1%")));
+    }
+}

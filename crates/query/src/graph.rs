@@ -1,0 +1,252 @@
+//! Per-query join graph and equivalent key group variables.
+//!
+//! This is the structure behind paper Figure 3: every join key that appears
+//! in the query is a node; equi-join conditions are edges; connected
+//! components become *equivalent key group variables* `V₁…Vₙ` — the variable
+//! nodes of the factor graph. Each alias (table occurrence) touches a set of
+//! variables, and that alias's factor node will hold the distribution of
+//! exactly those variables.
+
+use crate::query::{ColRef, Query};
+use fj_storage::UnionFind;
+use std::collections::BTreeMap;
+
+/// An equivalent key group variable of one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyVar {
+    /// Variable id, dense `0..n`.
+    pub id: usize,
+    /// Member join keys (alias, column) — at least two, unless degenerate.
+    pub members: Vec<ColRef>,
+}
+
+/// The analyzed join structure of a query.
+#[derive(Debug, Clone)]
+pub struct QueryGraph {
+    vars: Vec<KeyVar>,
+    /// For each alias, the distinct (column, var) pairs it contributes.
+    alias_keys: Vec<Vec<(usize, usize)>>,
+    /// Alias-level adjacency derived from shared variables.
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl QueryGraph {
+    /// Analyzes `query` into variables and per-alias key sets.
+    pub fn analyze(query: &Query) -> Self {
+        // Collect distinct join-key ColRefs in first-appearance order.
+        let mut keys: Vec<ColRef> = Vec::new();
+        let mut index: BTreeMap<ColRef, usize> = BTreeMap::new();
+        for j in query.joins() {
+            for cr in [j.left, j.right] {
+                index.entry(cr).or_insert_with(|| {
+                    keys.push(cr);
+                    keys.len() - 1
+                });
+            }
+        }
+        let mut uf = UnionFind::new(keys.len());
+        for j in query.joins() {
+            uf.union(index[&j.left], index[&j.right]);
+        }
+        let groups = uf.groups();
+        let mut vars = Vec::with_capacity(groups.len());
+        let mut key_to_var = vec![0usize; keys.len()];
+        for (vid, members) in groups.into_iter().enumerate() {
+            for &m in &members {
+                key_to_var[m] = vid;
+            }
+            vars.push(KeyVar { id: vid, members: members.into_iter().map(|m| keys[m]).collect() });
+        }
+
+        let n = query.num_tables();
+        let mut alias_keys: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (ki, cr) in keys.iter().enumerate() {
+            let entry = (cr.column, key_to_var[ki]);
+            if !alias_keys[cr.alias].contains(&entry) {
+                alias_keys[cr.alias].push(entry);
+            }
+        }
+        for ak in &mut alias_keys {
+            ak.sort_unstable();
+        }
+
+        let mut adjacency = vec![Vec::new(); n];
+        for j in query.joins() {
+            let (a, b) = (j.left.alias, j.right.alias);
+            if !adjacency[a].contains(&b) {
+                adjacency[a].push(b);
+            }
+            if !adjacency[b].contains(&a) {
+                adjacency[b].push(a);
+            }
+        }
+        for adj in &mut adjacency {
+            adj.sort_unstable();
+        }
+
+        QueryGraph { vars, alias_keys, adjacency }
+    }
+
+    /// Equivalent key group variables.
+    pub fn vars(&self) -> &[KeyVar] {
+        &self.vars
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Distinct (column index, variable id) pairs contributed by `alias`.
+    pub fn alias_keys(&self, alias: usize) -> &[(usize, usize)] {
+        &self.alias_keys[alias]
+    }
+
+    /// Variable ids touched by `alias`.
+    pub fn alias_vars(&self, alias: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = self.alias_keys[alias].iter().map(|&(_, var)| var).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Alias-level neighbors of `alias` in the join graph.
+    pub fn neighbors(&self, alias: usize) -> &[usize] {
+        &self.adjacency[alias]
+    }
+
+    /// Maximum number of distinct join keys in any single alias — the
+    /// `max(|JK|)` exponent in the paper's complexity analysis (§3.2).
+    pub fn max_keys_per_alias(&self) -> usize {
+        self.alias_keys.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The variable id of a given (alias, column) key, if it is a join key
+    /// of this query.
+    pub fn var_of(&self, alias: usize, column: usize) -> Option<usize> {
+        self.alias_keys[alias]
+            .iter()
+            .find(|&&(c, _)| c == column)
+            .map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::FilterExpr;
+    use crate::query::TableRef;
+    use fj_storage::{Catalog, ColumnDef, Table, TableSchema, Value};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for (name, keys) in [
+            ("a", vec!["id", "id2"]),
+            ("b", vec!["a_id", "c_id"]),
+            ("c", vec!["a_id2", "id"]),
+            ("d", vec!["c_id"]),
+        ] {
+            let cols: Vec<ColumnDef> = keys.iter().map(|k| ColumnDef::key(k)).collect();
+            let schema = TableSchema::new(cols);
+            let row: Vec<Value> = (0..schema.len()).map(|i| Value::Int(i as i64)).collect();
+            cat.add_table(Table::from_rows(name, schema, &[row]).unwrap()).unwrap();
+        }
+        cat
+    }
+
+    fn j(la: &str, lc: &str, ra: &str, rc: &str) -> ((String, String), (String, String)) {
+        ((la.into(), lc.into()), (ra.into(), rc.into()))
+    }
+
+    /// The four-table query of paper Figure 3:
+    /// A.id = B.Aid, A.id2 = C.Aid2, C.id = B.Cid, C.id = D.Cid.
+    fn figure3_query(cat: &Catalog) -> Query {
+        Query::new(
+            cat,
+            vec![
+                TableRef::new("a", "a"),
+                TableRef::new("b", "b"),
+                TableRef::new("c", "c"),
+                TableRef::new("d", "d"),
+            ],
+            &[
+                j("a", "id", "b", "a_id"),
+                j("a", "id2", "c", "a_id2"),
+                j("c", "id", "b", "c_id"),
+                j("c", "id", "d", "c_id"),
+            ],
+            vec![FilterExpr::True; 4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure3_has_three_variables() {
+        let cat = catalog();
+        let g = QueryGraph::analyze(&figure3_query(&cat));
+        // V1 = {A.id, B.Aid}, V2 = {A.id2, C.Aid2}, V3 = {C.id, B.Cid, D.Cid}.
+        assert_eq!(g.num_vars(), 3);
+        let sizes: Vec<usize> = g.vars().iter().map(|v| v.members.len()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![2, 2, 3]);
+        // Max join keys in one table is 2 (paper: exponent = 2 for Q2).
+        assert_eq!(g.max_keys_per_alias(), 2);
+    }
+
+    #[test]
+    fn alias_vars_and_adjacency() {
+        let cat = catalog();
+        let q = figure3_query(&cat);
+        let g = QueryGraph::analyze(&q);
+        // Alias a (index 0) touches two variables; alias d (index 3) one.
+        assert_eq!(g.alias_vars(0).len(), 2);
+        assert_eq!(g.alias_vars(3).len(), 1);
+        // a is adjacent to b and c, not d.
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn chain_query_one_var_per_edge_group() {
+        let cat = catalog();
+        // a.id = b.a_id and b.c_id = c.id: two variables.
+        let q = Query::new(
+            &cat,
+            vec![TableRef::new("a", "a"), TableRef::new("b", "b"), TableRef::new("c", "c")],
+            &[j("a", "id", "b", "a_id"), j("b", "c_id", "c", "id")],
+            vec![FilterExpr::True; 3],
+        )
+        .unwrap();
+        let g = QueryGraph::analyze(&q);
+        assert_eq!(g.num_vars(), 2);
+        assert_eq!(g.alias_vars(1).len(), 2, "middle table touches both vars");
+    }
+
+    #[test]
+    fn star_join_merges_into_single_var() {
+        let cat = catalog();
+        // a.id = b.a_id and a.id = c.a_id2: one variable with 3 members.
+        let q = Query::new(
+            &cat,
+            vec![TableRef::new("a", "a"), TableRef::new("b", "b"), TableRef::new("c", "c")],
+            &[j("a", "id", "b", "a_id"), j("a", "id", "c", "a_id2")],
+            vec![FilterExpr::True; 3],
+        )
+        .unwrap();
+        let g = QueryGraph::analyze(&q);
+        assert_eq!(g.num_vars(), 1);
+        assert_eq!(g.vars()[0].members.len(), 3);
+    }
+
+    #[test]
+    fn var_of_lookup() {
+        let cat = catalog();
+        let q = figure3_query(&cat);
+        let g = QueryGraph::analyze(&q);
+        let a_id_col = cat.table("a").unwrap().schema().index_of("id").unwrap();
+        let b_aid_col = cat.table("b").unwrap().schema().index_of("a_id").unwrap();
+        assert_eq!(g.var_of(0, a_id_col), g.var_of(1, b_aid_col));
+        assert_eq!(g.var_of(3, 99), None);
+    }
+}

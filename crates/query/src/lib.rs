@@ -1,0 +1,33 @@
+//! # fj-query — query IR, join graphs, sub-plan enumeration, SQL parser
+//!
+//! The FactorJoin paper (§2.1) defines a query as a *join graph* over table
+//! aliases plus per-alias base-table filter predicates. This crate provides:
+//!
+//! * [`Predicate`] / [`FilterExpr`] — conjunction/disjunction trees of
+//!   comparison, range, `IN`, `LIKE`, and NULL-test predicates (the paper
+//!   supports disjunctive clauses and string pattern matching, §1);
+//! * [`Query`] — aliases (self-joins are two aliases of the same table),
+//!   equi-join conditions (cyclic join graphs allowed), and filters;
+//! * [`QueryGraph`] — alias-level adjacency and per-query *equivalent key
+//!   group* variables (paper §3.1), which become the factor-graph variables;
+//! * [`subplan`] — enumeration of all connected sub-plans, which is the set
+//!   of cardinalities a cost-based optimizer requests (paper §5.2);
+//! * [`parser`] — a SQL-subset parser so workloads can be written as text.
+
+pub mod compile;
+pub mod expr;
+pub mod graph;
+pub mod like;
+pub mod parser;
+pub mod predicate;
+pub mod query;
+pub mod subplan;
+
+pub use compile::{compile_filter, filtered_count, filtered_selection, CompiledFilter};
+pub use expr::FilterExpr;
+pub use graph::{KeyVar, QueryGraph};
+pub use like::like_match;
+pub use parser::{parse_query, ParseError};
+pub use predicate::{CmpOp, Predicate};
+pub use query::{ColRef, JoinPredicate, Query, QueryError, TableRef};
+pub use subplan::{connected_subplans, SubplanMask};

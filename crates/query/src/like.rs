@@ -1,0 +1,134 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! `%` matches any (possibly empty) substring, `_` matches exactly one
+//! character, and a backslash escapes the next character. Matching is
+//! case-sensitive, as in PostgreSQL's `LIKE` (the IMDB-JOB workload uses
+//! case-sensitive patterns).
+
+/// Returns true when `text` matches the SQL LIKE `pattern`.
+///
+/// The implementation is the classic two-pointer greedy algorithm with
+/// backtracking on the last `%`, which runs in O(|text|·|pattern|) worst
+/// case but linear time for the common `%substr%` patterns.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    // Position after the most recent '%' (pattern) and the text position we
+    // will retry from on mismatch.
+    let mut star: Option<(usize, usize)> = None;
+
+    while ti < t.len() {
+        if pi < p.len() {
+            match p[pi] {
+                '%' => {
+                    star = Some((pi + 1, ti));
+                    pi += 1;
+                    continue;
+                }
+                '_' => {
+                    pi += 1;
+                    ti += 1;
+                    continue;
+                }
+                '\\' if pi + 1 < p.len() => {
+                    if p[pi + 1] == t[ti] {
+                        pi += 2;
+                        ti += 1;
+                        continue;
+                    }
+                }
+                c => {
+                    if c == t[ti] {
+                        pi += 1;
+                        ti += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        // Mismatch: backtrack to the last '%' and consume one more text char.
+        match star {
+            Some((sp, st)) => {
+                pi = sp;
+                ti = st + 1;
+                star = Some((sp, st + 1));
+            }
+            None => return false,
+        }
+    }
+    // Remaining pattern must be all '%'.
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_without_wildcards() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(!like_match("abc", "ab"));
+        assert!(!like_match("ab", "abc"));
+    }
+
+    #[test]
+    fn percent_matches_any_run() {
+        assert!(like_match("%", ""));
+        assert!(like_match("%", "anything"));
+        assert!(like_match("a%", "abcdef"));
+        assert!(like_match("%f", "abcdef"));
+        assert!(like_match("%cd%", "abcdef"));
+        assert!(!like_match("%cd%", "abdcef"));
+        assert!(like_match("a%c%e%", "abcde"));
+    }
+
+    #[test]
+    fn underscore_matches_one_char() {
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "ac"));
+        assert!(!like_match("a_c", "abbc"));
+        assert!(like_match("___", "xyz"));
+    }
+
+    #[test]
+    fn mixed_wildcards() {
+        assert!(like_match("%an_", "Anna and".to_lowercase().as_str()));
+        assert!(like_match("%An%", "Banana An Split"));
+        assert!(like_match("_%_", "ab"));
+        assert!(!like_match("_%_", "a"));
+    }
+
+    #[test]
+    fn escape_literal_wildcards() {
+        assert!(like_match("100\\%", "100%"));
+        assert!(!like_match("100\\%", "1000"));
+        assert!(like_match("a\\_b", "a_b"));
+        assert!(!like_match("a\\_b", "axb"));
+    }
+
+    #[test]
+    fn case_sensitive() {
+        assert!(!like_match("%an%", "Anna"));
+        assert!(like_match("%nn%", "Anna"));
+    }
+
+    #[test]
+    fn pathological_backtracking_terminates() {
+        let text = "a".repeat(200);
+        assert!(like_match("%a%a%a%a%a%a%a%a%b%", &(text.clone() + "b")));
+        assert!(!like_match("%a%a%a%a%a%a%a%a%b%", &text));
+    }
+
+    #[test]
+    fn empty_pattern_and_text() {
+        assert!(like_match("", ""));
+        assert!(!like_match("", "x"));
+        assert!(!like_match("x", ""));
+        assert!(like_match("%%", ""));
+    }
+}

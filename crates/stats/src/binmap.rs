@@ -1,0 +1,176 @@
+//! Value→bin maps for join-key columns.
+//!
+//! Bins in FactorJoin partition a key group's *value set*, not its value
+//! range: GBSA (paper §4.2) groups values by frequency, so a bin is an
+//! arbitrary subset of the domain. [`KeyBinMap`] materializes the mapping
+//! as a hash map plus a deterministic fallback for values never seen during
+//! binning (which appear after incremental inserts, paper §4.3).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Mapping from join-key values to bin indices `0..k`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeyBinMap {
+    k: usize,
+    map: HashMap<i64, u32>,
+}
+
+impl KeyBinMap {
+    /// Creates a map with `k` bins from explicit assignments.
+    pub fn new(k: usize, map: HashMap<i64, u32>) -> Self {
+        assert!(k > 0, "at least one bin required");
+        debug_assert!(map.values().all(|&b| (b as usize) < k), "bin index out of range");
+        KeyBinMap { k, map }
+    }
+
+    /// Single-bin map (the k=1 ablation of paper Figure 9).
+    pub fn single_bin() -> Self {
+        KeyBinMap { k: 1, map: HashMap::new() }
+    }
+
+    /// Number of bins.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of explicitly assigned values.
+    pub fn assigned(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Bin of `value`. Unseen values hash deterministically into a bin so
+    /// that inserted data lands in a stable place without re-binning.
+    #[inline]
+    pub fn bin_of(&self, value: i64) -> usize {
+        match self.map.get(&value) {
+            Some(&b) => b as usize,
+            None => (fxhash(value) % self.k as u64) as usize,
+        }
+    }
+
+    /// Registers a newly-seen value into its fallback bin (used by
+    /// incremental updates to make the assignment explicit).
+    pub fn adopt(&mut self, value: i64) -> usize {
+        let b = self.bin_of(value);
+        self.map.insert(value, b as u32);
+        b
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.map.len() * (8 + 4 + 8) // key + value + bucket overhead
+    }
+}
+
+#[inline]
+fn fxhash(v: i64) -> u64 {
+    (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+}
+
+/// The bin maps for every join-key column of one table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TableBins {
+    per_key: HashMap<String, KeyBinMap>,
+}
+
+impl TableBins {
+    /// Empty set of bins (table with no join keys).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the bin map for `column`.
+    pub fn insert(&mut self, column: &str, map: KeyBinMap) {
+        self.per_key.insert(column.to_string(), map);
+    }
+
+    /// Bin map of `column`, if it is a binned join key.
+    pub fn get(&self, column: &str) -> Option<&KeyBinMap> {
+        self.per_key.get(column)
+    }
+
+    /// Mutable bin map of `column`.
+    pub fn get_mut(&mut self, column: &str) -> Option<&mut KeyBinMap> {
+        self.per_key.get_mut(column)
+    }
+
+    /// Iterates over (column, map) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &KeyBinMap)> {
+        self.per_key.iter()
+    }
+
+    /// Number of binned key columns.
+    pub fn len(&self) -> usize {
+        self.per_key.len()
+    }
+
+    /// True when no key columns are binned.
+    pub fn is_empty(&self) -> bool {
+        self.per_key.is_empty()
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.per_key.values().map(KeyBinMap::heap_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_assignments_resolve() {
+        let map: HashMap<i64, u32> = [(10, 0), (20, 1), (30, 1)].into_iter().collect();
+        let b = KeyBinMap::new(3, map);
+        assert_eq!(b.bin_of(10), 0);
+        assert_eq!(b.bin_of(20), 1);
+        assert_eq!(b.bin_of(30), 1);
+        assert_eq!(b.k(), 3);
+        assert_eq!(b.assigned(), 3);
+    }
+
+    #[test]
+    fn unseen_values_fall_back_deterministically() {
+        let b = KeyBinMap::new(7, HashMap::new());
+        let x = b.bin_of(999);
+        assert_eq!(x, b.bin_of(999));
+        assert!(x < 7);
+        // Different values spread across bins.
+        let bins: std::collections::HashSet<usize> = (0..100).map(|v| b.bin_of(v)).collect();
+        assert!(bins.len() > 3, "fallback should spread: {bins:?}");
+    }
+
+    #[test]
+    fn adopt_pins_the_fallback() {
+        let mut b = KeyBinMap::new(4, HashMap::new());
+        let bin = b.adopt(55);
+        assert_eq!(b.bin_of(55), bin);
+        assert_eq!(b.assigned(), 1);
+    }
+
+    #[test]
+    fn single_bin_maps_everything_to_zero() {
+        let b = KeyBinMap::single_bin();
+        assert_eq!(b.bin_of(i64::MAX), 0);
+        assert_eq!(b.bin_of(-5), 0);
+        assert_eq!(b.k(), 1);
+    }
+
+    #[test]
+    fn table_bins_lookup() {
+        let mut tb = TableBins::new();
+        tb.insert("id", KeyBinMap::single_bin());
+        assert!(tb.get("id").is_some());
+        assert!(tb.get("other").is_none());
+        assert_eq!(tb.len(), 1);
+        assert!(!tb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        KeyBinMap::new(0, HashMap::new());
+    }
+}

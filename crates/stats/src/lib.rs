@@ -1,0 +1,43 @@
+//! # fj-stats — single-table cardinality estimators
+//!
+//! FactorJoin decomposes join estimation into single-table estimates of
+//! (a) filter selectivities and (b) join-key distributions over a *binned*
+//! key domain, conditioned on the filter (paper §3.3: "In principle, any
+//! single-table CardEst method that is able to provide conditional
+//! distributions can be adapted into FactorJoin"). This crate provides the
+//! three estimators the paper evaluates (Table 7):
+//!
+//! * [`BayesNetEstimator`] — a BayesCard-style Chow-Liu-tree Bayesian
+//!   network over discretized attributes with exact tree inference;
+//! * [`SamplingEstimator`] — a uniform row sample, supporting arbitrary
+//!   filter shapes (disjunctions, `LIKE`, …);
+//! * [`ExactEstimator`] — "TrueScan": scans and filters the live table at
+//!   estimation time (exact, but high latency — paper Table 7).
+//!
+//! It also provides the per-column [`histogram`] machinery (equi-depth
+//! buckets + most-common values + distinct counts) used by the traditional
+//! baselines in `fj-baselines`.
+//!
+//! All estimators implement [`BaseTableEstimator`] and are constructed
+//! against a [`TableBins`] — the value→bin maps for the table's join keys,
+//! produced by the binning layer in the `factorjoin` crate.
+
+pub mod bayesnet;
+pub mod binmap;
+pub mod chowliu;
+pub mod discretize;
+pub mod evidence;
+pub mod exact;
+pub mod histogram;
+pub mod sampler;
+pub mod traits;
+
+pub use bayesnet::{BayesNetEstimator, BnConfig};
+pub use binmap::{KeyBinMap, TableBins};
+pub use chowliu::chow_liu_tree;
+pub use discretize::{DiscreteColumn, Discretizer};
+pub use evidence::{clause_weights, split_per_column};
+pub use exact::ExactEstimator;
+pub use histogram::ColumnHistogram;
+pub use sampler::SamplingEstimator;
+pub use traits::{BaseTableEstimator, TableProfile};

@@ -1,0 +1,90 @@
+//! The estimator interface FactorJoin plugs into.
+
+use fj_query::FilterExpr;
+use fj_storage::Table;
+
+/// Everything FactorJoin needs from a table for one query: the estimated
+/// filtered row count and the conditional binned distribution of each
+/// requested join key (paper Eq. 1: `P(key = v | Q(A)) · |Q(A)|`).
+#[derive(Debug, Clone)]
+pub struct TableProfile {
+    /// Estimated `|Q(A)|` — rows satisfying the filter.
+    pub rows: f64,
+    /// For each requested key column: estimated rows per bin (unnormalized
+    /// distribution over the key's binned domain, NULL keys excluded).
+    pub key_dists: Vec<Vec<f64>>,
+}
+
+/// A single-table cardinality estimator bound to one table.
+///
+/// Implementations must be self-contained (no borrowed table data) so that
+/// models can be sized, serialized, and updated independently of the live
+/// catalog — except [`crate::ExactEstimator`], which by design scans a
+/// snapshot it owns.
+pub trait BaseTableEstimator: Send + Sync {
+    /// Short method name ("bayesnet", "sampling", "truescan").
+    fn name(&self) -> &'static str;
+
+    /// Estimated number of rows satisfying `filter`.
+    fn estimate_filter(&self, filter: &FilterExpr) -> f64;
+
+    /// Estimated rows per bin of join key `key_col`, conditioned on
+    /// `filter`. Length equals the key's bin count; NULL keys excluded.
+    fn key_distribution(&self, key_col: &str, filter: &FilterExpr) -> Vec<f64>;
+
+    /// Number of bins of `key_col` (the length `key_distribution` returns).
+    fn key_bins(&self, key_col: &str) -> usize;
+
+    /// Filtered row count *and* several key distributions in one pass —
+    /// the hot path of sub-plan estimation. The default calls the two
+    /// methods above; implementations override to share work.
+    fn profile(&self, filter: &FilterExpr, key_cols: &[&str]) -> TableProfile {
+        TableProfile {
+            rows: self.estimate_filter(filter),
+            key_dists: key_cols.iter().map(|k| self.key_distribution(k, filter)).collect(),
+        }
+    }
+
+    /// Incorporates rows `first_new_row..` of the (already updated) table —
+    /// the incremental-update hook of paper §4.3.
+    fn insert(&mut self, table: &Table, first_new_row: usize);
+
+    /// Approximate model size in bytes (paper Figure 6 reports model sizes).
+    fn model_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial estimator to exercise the default `profile` impl.
+    struct Fixed;
+
+    impl BaseTableEstimator for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn estimate_filter(&self, _f: &FilterExpr) -> f64 {
+            10.0
+        }
+        fn key_distribution(&self, _k: &str, _f: &FilterExpr) -> Vec<f64> {
+            vec![4.0, 6.0]
+        }
+        fn key_bins(&self, _k: &str) -> usize {
+            2
+        }
+        fn insert(&mut self, _t: &Table, _i: usize) {}
+        fn model_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn default_profile_combines_calls() {
+        let e = Fixed;
+        let p = e.profile(&FilterExpr::True, &["a", "b"]);
+        assert_eq!(p.rows, 10.0);
+        assert_eq!(p.key_dists.len(), 2);
+        assert_eq!(p.key_dists[0], vec![4.0, 6.0]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Typed columnar vectors with null bitmaps and string dictionaries.
+
+use crate::bitmap::NullBitmap;
+use crate::schema::DataType;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A column of values, stored as a typed dense vector plus a null bitmap.
+///
+/// String columns are dictionary-encoded: the `codes` vector stores `u32`
+/// indices into `dict`. The dictionary is per-column (not global), which is
+/// all the estimators need — `LIKE` predicates are resolved against the
+/// dictionary once per query and then evaluated as code-set membership.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Column {
+    /// Integer data; NULL rows carry an arbitrary placeholder in `values`.
+    Int { values: Vec<i64>, nulls: NullBitmap },
+    /// Floating-point data.
+    Float { values: Vec<f64>, nulls: NullBitmap },
+    /// Dictionary-encoded strings.
+    Str { codes: Vec<u32>, dict: Vec<String>, nulls: NullBitmap },
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int { values, .. } => values.len(),
+            Column::Float { values, .. } => values.len(),
+            Column::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's logical type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Int { .. } => DataType::Int,
+            Column::Float { .. } => DataType::Float,
+            Column::Str { .. } => DataType::Str,
+        }
+    }
+
+    /// Null bitmap.
+    pub fn nulls(&self) -> &NullBitmap {
+        match self {
+            Column::Int { nulls, .. } | Column::Float { nulls, .. } | Column::Str { nulls, .. } => {
+                nulls
+            }
+        }
+    }
+
+    /// True when row `idx` is NULL.
+    #[inline]
+    pub fn is_null(&self, idx: usize) -> bool {
+        self.nulls().is_null(idx)
+    }
+
+    /// Integer payload vector (panics if not an Int column).
+    pub fn ints(&self) -> &[i64] {
+        match self {
+            Column::Int { values, .. } => values,
+            other => panic!("expected Int column, got {}", other.dtype().name()),
+        }
+    }
+
+    /// Float payload vector (panics if not a Float column).
+    pub fn floats(&self) -> &[f64] {
+        match self {
+            Column::Float { values, .. } => values,
+            other => panic!("expected Float column, got {}", other.dtype().name()),
+        }
+    }
+
+    /// Dictionary codes (panics if not a Str column).
+    pub fn codes(&self) -> &[u32] {
+        match self {
+            Column::Str { codes, .. } => codes,
+            other => panic!("expected Str column, got {}", other.dtype().name()),
+        }
+    }
+
+    /// String dictionary (panics if not a Str column).
+    pub fn dict(&self) -> &[String] {
+        match self {
+            Column::Str { dict, .. } => dict,
+            other => panic!("expected Str column, got {}", other.dtype().name()),
+        }
+    }
+
+    /// Row `idx` as a [`Value`] (boundary use only — not for hot loops).
+    pub fn get(&self, idx: usize) -> Value {
+        if self.is_null(idx) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int { values, .. } => Value::Int(values[idx]),
+            Column::Float { values, .. } => Value::Float(values[idx]),
+            Column::Str { codes, dict, .. } => Value::Str(dict[codes[idx] as usize].clone()),
+        }
+    }
+
+    /// The join-key value of row `idx` as `i64`, treating NULL as `None`.
+    ///
+    /// Join keys are Ints; for Str columns the dictionary code is used (this
+    /// supports string-typed keys without special cases downstream).
+    #[inline]
+    pub fn key_at(&self, idx: usize) -> Option<i64> {
+        if self.is_null(idx) {
+            return None;
+        }
+        match self {
+            Column::Int { values, .. } => Some(values[idx]),
+            Column::Str { codes, .. } => Some(codes[idx] as i64),
+            Column::Float { .. } => None,
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        let base = match self {
+            Column::Int { values, nulls } => values.capacity() * 8 + nulls.heap_bytes(),
+            Column::Float { values, nulls } => values.capacity() * 8 + nulls.heap_bytes(),
+            Column::Str { codes, dict, nulls } => {
+                codes.capacity() * 4
+                    + dict.iter().map(|s| s.capacity() + 24).sum::<usize>()
+                    + nulls.heap_bytes()
+            }
+        };
+        base
+    }
+}
+
+/// Incremental builder for a [`Column`], accepting [`Value`]s.
+///
+/// The builder interns strings into the dictionary as they arrive, so loading
+/// a table is a single pass.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    dtype: DataType,
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    codes: Vec<u32>,
+    dict: Vec<String>,
+    intern: HashMap<String, u32>,
+    nulls: NullBitmap,
+}
+
+impl ColumnBuilder {
+    /// Creates a builder for columns of type `dtype`.
+    pub fn new(dtype: DataType) -> Self {
+        ColumnBuilder {
+            dtype,
+            ints: Vec::new(),
+            floats: Vec::new(),
+            codes: Vec::new(),
+            dict: Vec::new(),
+            intern: HashMap::new(),
+            nulls: NullBitmap::new(),
+        }
+    }
+
+    /// Creates a builder with pre-reserved capacity for `n` rows.
+    pub fn with_capacity(dtype: DataType, n: usize) -> Self {
+        let mut b = Self::new(dtype);
+        match dtype {
+            DataType::Int => b.ints.reserve(n),
+            DataType::Float => b.floats.reserve(n),
+            DataType::Str => b.codes.reserve(n),
+        }
+        b
+    }
+
+    /// Appends one value, coercing `Int`→`Float` for float columns.
+    ///
+    /// Returns an error string on type mismatch (converted to a typed error
+    /// by [`crate::Table`], which knows the column name).
+    pub fn push(&mut self, v: &Value) -> std::result::Result<(), &'static str> {
+        match (self.dtype, v) {
+            (_, Value::Null) => {
+                self.nulls.push(true);
+                match self.dtype {
+                    DataType::Int => self.ints.push(0),
+                    DataType::Float => self.floats.push(0.0),
+                    DataType::Str => self.codes.push(0),
+                }
+                // The dictionary must stay non-empty if code 0 is referenced.
+                if self.dtype == DataType::Str && self.dict.is_empty() {
+                    self.dict.push(String::new());
+                    self.intern.insert(String::new(), 0);
+                }
+                Ok(())
+            }
+            (DataType::Int, Value::Int(x)) => {
+                self.nulls.push(false);
+                self.ints.push(*x);
+                Ok(())
+            }
+            (DataType::Float, Value::Float(x)) => {
+                self.nulls.push(false);
+                self.floats.push(*x);
+                Ok(())
+            }
+            (DataType::Float, Value::Int(x)) => {
+                self.nulls.push(false);
+                self.floats.push(*x as f64);
+                Ok(())
+            }
+            (DataType::Str, Value::Str(s)) => {
+                self.nulls.push(false);
+                let code = match self.intern.get(s.as_str()) {
+                    Some(&c) => c,
+                    None => {
+                        let c = self.dict.len() as u32;
+                        self.dict.push(s.clone());
+                        self.intern.insert(s.clone(), c);
+                        c
+                    }
+                };
+                self.codes.push(code);
+                Ok(())
+            }
+            _ => Err(v.type_name()),
+        }
+    }
+
+    /// Number of rows appended so far.
+    pub fn len(&self) -> usize {
+        self.nulls.len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finalizes the builder into an immutable [`Column`].
+    pub fn finish(self) -> Column {
+        match self.dtype {
+            DataType::Int => Column::Int { values: self.ints, nulls: self.nulls },
+            DataType::Float => Column::Float { values: self.floats, nulls: self.nulls },
+            DataType::Str => Column::Str { codes: self.codes, dict: self.dict, nulls: self.nulls },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        for v in [Value::Int(1), Value::Null, Value::Int(-3)] {
+            b.push(&v).unwrap();
+        }
+        let c = b.finish();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0).as_int(), Some(1));
+        assert!(c.get(1).is_null());
+        assert_eq!(c.key_at(1), None);
+        assert_eq!(c.key_at(2), Some(-3));
+    }
+
+    #[test]
+    fn float_coerces_ints() {
+        let mut b = ColumnBuilder::new(DataType::Float);
+        b.push(&Value::Int(2)).unwrap();
+        b.push(&Value::Float(0.5)).unwrap();
+        let c = b.finish();
+        assert_eq!(c.floats(), &[2.0, 0.5]);
+    }
+
+    #[test]
+    fn string_dictionary_interning() {
+        let mut b = ColumnBuilder::new(DataType::Str);
+        for s in ["a", "b", "a", "c", "b"] {
+            b.push(&Value::Str(s.into())).unwrap();
+        }
+        let c = b.finish();
+        assert_eq!(c.dict().len(), 3);
+        assert_eq!(c.codes(), &[0, 1, 0, 2, 1]);
+        assert_eq!(c.get(2).as_str(), Some("a"));
+        // String keys surface dictionary codes.
+        assert_eq!(c.key_at(3), Some(2));
+    }
+
+    #[test]
+    fn null_string_reserves_code_zero() {
+        let mut b = ColumnBuilder::new(DataType::Str);
+        b.push(&Value::Null).unwrap();
+        b.push(&Value::Str("x".into())).unwrap();
+        let c = b.finish();
+        assert!(c.get(0).is_null());
+        assert_eq!(c.get(1).as_str(), Some("x"));
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        assert!(b.push(&Value::Str("x".into())).is_err());
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int column")]
+    fn wrong_accessor_panics() {
+        let b = ColumnBuilder::new(DataType::Str);
+        b.finish().ints();
+    }
+
+    #[test]
+    fn heap_bytes_positive_for_nonempty() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        b.push(&Value::Int(1)).unwrap();
+        assert!(b.finish().heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Scalar values exchanged between the query layer and storage.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically-typed scalar.
+///
+/// `Value` appears on the *boundary* of the system — predicates in the query
+/// IR, row literals in loaders and tests. Hot paths (filter evaluation, join
+/// probing) never touch `Value`; they operate on the typed column vectors
+/// directly.
+/// Structural equality (`PartialEq`) treats `Null == Null` as true and does
+/// not widen numerics; use [`Value::sql_eq`] for SQL semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer; also carries join keys and dictionary codes.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string (pre-dictionary-encoding).
+    Str(String),
+}
+
+impl Value {
+    /// Short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "Null",
+            Value::Int(_) => "Int",
+            Value::Float(_) => "Float",
+            Value::Str(_) => "Str",
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer payload if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float payload, widening integers (SQL-style numeric comparison).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String payload if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued comparison: NULL compares as `None`.
+    ///
+    /// Numeric values compare across `Int`/`Float`; strings compare
+    /// lexicographically; mixed string/number comparisons return `None`.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_float()?, b.as_float()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// SQL equality (`NULL = x` is unknown ⇒ `false` under filter semantics).
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.sql_cmp(other) == Some(Ordering::Equal)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Int(1).sql_eq(&Value::Null));
+    }
+
+    #[test]
+    fn numeric_widening() {
+        assert!(Value::Int(2).sql_eq(&Value::Float(2.0)));
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(1.5)), Some(Ordering::Less));
+        assert_eq!(Value::Float(3.0).sql_cmp(&Value::Int(2)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn string_comparisons_are_lexicographic() {
+        assert_eq!(
+            Value::Str("abc".into()).sql_cmp(&Value::Str("abd".into())),
+            Some(Ordering::Less)
+        );
+        assert!(Value::Str("x".into()).sql_eq(&Value::Str("x".into())));
+    }
+
+    #[test]
+    fn mixed_string_number_is_unknown() {
+        assert_eq!(Value::Str("1".into()).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_escapes_quotes() {
+        assert_eq!(Value::Str("o'neil".into()).to_string(), "'o''neil'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(5i64).as_int(), Some(5));
+        assert_eq!(Value::from(5i32).as_int(), Some(5));
+        assert_eq!(Value::from(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+    }
+}
