@@ -74,11 +74,18 @@ impl DataDrivenFanout {
     /// Materializes and models every schema relation's two-table join.
     pub fn build(catalog: &Catalog, size: FanoutSize) -> Self {
         let start = Instant::now();
-        let cfg = BnConfig { max_codes: size.max_codes(), ..Default::default() };
+        let cfg = BnConfig {
+            max_codes: size.max_codes(),
+            ..Default::default()
+        };
         let mut pairs = HashMap::new();
         for rel in catalog.relations() {
-            let lt = catalog.table(&rel.left.table).expect("relation tables exist");
-            let rt = catalog.table(&rel.right.table).expect("relation tables exist");
+            let lt = catalog
+                .table(&rel.left.table)
+                .expect("relation tables exist");
+            let rt = catalog
+                .table(&rel.right.table)
+                .expect("relation tables exist");
             let joined = denormalize_pair(lt, &rel.left.column, rt, &rel.right.column);
             let join_rows = joined.nrows() as f64;
             let model = BayesNetEstimator::build(&joined, &TableBins::new(), cfg);
@@ -110,15 +117,13 @@ impl DataDrivenFanout {
     }
 
     /// Finds the pair model for a join predicate, with side orientation.
-    fn pair_for(
-        &self,
-        lkey: &str,
-        rkey: &str,
-    ) -> Option<(&PairModel, bool)> {
+    fn pair_for(&self, lkey: &str, rkey: &str) -> Option<(&PairModel, bool)> {
         if let Some(p) = self.pairs.get(&(lkey.to_string(), rkey.to_string())) {
             return Some((p, false));
         }
-        self.pairs.get(&(rkey.to_string(), lkey.to_string())).map(|p| (p, true))
+        self.pairs
+            .get(&(rkey.to_string(), lkey.to_string()))
+            .map(|p| (p, true))
     }
 }
 
@@ -136,10 +141,18 @@ fn denormalize_pair(left: &Table, lcol: &str, right: &Table, rcol: &str) -> Tabl
     }
     let mut cols: Vec<ColumnDef> = Vec::new();
     for d in left.schema().columns() {
-        cols.push(ColumnDef { name: format!("l_{}", d.name), dtype: d.dtype, join_key: false });
+        cols.push(ColumnDef {
+            name: format!("l_{}", d.name),
+            dtype: d.dtype,
+            join_key: false,
+        });
     }
     for d in right.schema().columns() {
-        cols.push(ColumnDef { name: format!("r_{}", d.name), dtype: d.dtype, join_key: false });
+        cols.push(ColumnDef {
+            name: format!("r_{}", d.name),
+            dtype: d.dtype,
+            join_key: false,
+        });
     }
     let schema = TableSchema::new(cols);
     let lc = left.column(lci);
@@ -149,7 +162,9 @@ fn denormalize_pair(left: &Table, lcol: &str, right: &Table, rcol: &str) -> Tabl
     const MAX_ROWS: usize = 200_000;
     'outer: for lr in 0..left.nrows() {
         let Some(v) = lc.key_at(lr) else { continue };
-        let Some(matches) = index.get(&v) else { continue };
+        let Some(matches) = index.get(&v) else {
+            continue;
+        };
         for &rr in matches {
             let mut row = left.row(lr);
             row.extend(right.row(rr));
@@ -180,23 +195,33 @@ fn prefix_filter(filter: &FilterExpr, prefix: &str) -> FilterExpr {
 fn prefix_pred(p: &Predicate, prefix: &str) -> Predicate {
     let rename = |c: &str| format!("{prefix}{c}");
     match p {
-        Predicate::Cmp { column, op, value } => {
-            Predicate::Cmp { column: rename(column), op: *op, value: value.clone() }
-        }
-        Predicate::Between { column, lo, hi } => {
-            Predicate::Between { column: rename(column), lo: lo.clone(), hi: hi.clone() }
-        }
-        Predicate::InList { column, values } => {
-            Predicate::InList { column: rename(column), values: values.clone() }
-        }
-        Predicate::Like { column, pattern, negated } => Predicate::Like {
+        Predicate::Cmp { column, op, value } => Predicate::Cmp {
+            column: rename(column),
+            op: *op,
+            value: value.clone(),
+        },
+        Predicate::Between { column, lo, hi } => Predicate::Between {
+            column: rename(column),
+            lo: lo.clone(),
+            hi: hi.clone(),
+        },
+        Predicate::InList { column, values } => Predicate::InList {
+            column: rename(column),
+            values: values.clone(),
+        },
+        Predicate::Like {
+            column,
+            pattern,
+            negated,
+        } => Predicate::Like {
             column: rename(column),
             pattern: pattern.clone(),
             negated: *negated,
         },
-        Predicate::IsNull { column, negated } => {
-            Predicate::IsNull { column: rename(column), negated: *negated }
-        }
+        Predicate::IsNull { column, negated } => Predicate::IsNull {
+            column: rename(column),
+            negated: *negated,
+        },
     }
 }
 
@@ -216,17 +241,22 @@ impl CardEst for DataDrivenFanout {
         // tree node shared with the already-estimated prefix.
         let mut card: Option<f64> = None;
         let mut seen = vec![false; n];
-        let schemas: Vec<&str> =
-            query.tables().iter().map(|t| t.table.as_str()).collect();
+        let schemas: Vec<&str> = query.tables().iter().map(|t| t.table.as_str()).collect();
         for j in query.joins() {
             let (la, ra) = (j.left.alias, j.right.alias);
             // Resolve key names through the singles models' source schema:
             // the query stores indices; we re-derive names from the query's
             // SQL-level structure via the pair-model key strings.
-            let lkey =
-                format!("{}.{}", schemas[la], self.column_name(schemas[la], j.left.column));
-            let rkey =
-                format!("{}.{}", schemas[ra], self.column_name(schemas[ra], j.right.column));
+            let lkey = format!(
+                "{}.{}",
+                schemas[la],
+                self.column_name(schemas[la], j.left.column)
+            );
+            let rkey = format!(
+                "{}.{}",
+                schemas[ra],
+                self.column_name(schemas[ra], j.right.column)
+            );
             let Some((pair, swapped)) = self.pair_for(&lkey, &rkey) else {
                 // Ad-hoc join with no template: no model covers it.
                 continue;
@@ -256,8 +286,15 @@ impl CardEst for DataDrivenFanout {
     }
 
     fn model_bytes(&self) -> usize {
-        self.pairs.values().map(|p| p.model.model_bytes()).sum::<usize>()
-            + self.singles.values().map(|s| s.model_bytes()).sum::<usize>()
+        self.pairs
+            .values()
+            .map(|p| p.model.model_bytes())
+            .sum::<usize>()
+            + self
+                .singles
+                .values()
+                .map(|s| s.model_bytes())
+                .sum::<usize>()
     }
 
     fn train_seconds(&self) -> f64 {
@@ -288,7 +325,10 @@ mod tests {
     use fj_query::parse_query;
 
     fn catalog() -> Catalog {
-        stats_catalog(&StatsConfig { scale: 0.04, ..Default::default() })
+        stats_catalog(&StatsConfig {
+            scale: 0.04,
+            ..Default::default()
+        })
     }
 
     fn qerr(est: f64, truth: f64) -> f64 {
@@ -307,10 +347,7 @@ mod tests {
             let q = parse_query(&cat, sql).unwrap();
             let truth = TrueCardEngine::new(&cat, &q).full_cardinality();
             let est = dd.estimate(&q);
-            assert!(
-                qerr(est, truth) < 5.0,
-                "{sql}: est {est} vs truth {truth}"
-            );
+            assert!(qerr(est, truth) < 5.0, "{sql}: est {est} vs truth {truth}");
         }
     }
 
@@ -322,7 +359,10 @@ mod tests {
         assert!(large.model_bytes() > small.model_bytes());
         assert_eq!(small.name(), "bayescard");
         assert_eq!(large.name(), "flat");
-        assert_eq!(DataDrivenFanout::build(&cat, FanoutSize::Medium).name(), "deepdb");
+        assert_eq!(
+            DataDrivenFanout::build(&cat, FanoutSize::Medium).name(),
+            "deepdb"
+        );
     }
 
     #[test]
@@ -331,10 +371,7 @@ mod tests {
         // up size/training time versus FactorJoin's single-table models.
         let cat = catalog();
         let dd = DataDrivenFanout::build(&cat, FanoutSize::Medium);
-        let fj = factorjoin::FactorJoinModel::train(
-            &cat,
-            factorjoin::FactorJoinConfig::default(),
-        );
+        let fj = factorjoin::FactorJoinModel::train(&cat, factorjoin::FactorJoinConfig::default());
         assert!(
             dd.model_bytes() > fj.model_bytes(),
             "fanout {} vs factorjoin {}",

@@ -58,7 +58,10 @@ mod tests {
 
     #[test]
     fn adapter_delegates() {
-        let cat = stats_catalog(&StatsConfig { scale: 0.03, ..Default::default() });
+        let cat = stats_catalog(&StatsConfig {
+            scale: 0.03,
+            ..Default::default()
+        });
         let model = FactorJoinModel::train(&cat, FactorJoinConfig::default());
         let mut est = FactorJoinEst::new(model);
         let q = parse_query(

@@ -36,7 +36,11 @@ pub struct JoinHistConfig {
 impl JoinHistConfig {
     /// Classic JoinHist with `k` equal-depth bins.
     pub fn classic(bins: usize) -> Self {
-        JoinHistConfig { with_bound: false, with_conditional: false, bins }
+        JoinHistConfig {
+            with_bound: false,
+            with_conditional: false,
+            bins,
+        }
     }
 }
 
@@ -128,7 +132,10 @@ impl JoinHist {
             rows.insert(table.name().to_string(), table.nrows() as f64);
             schemas.insert(table.name().to_string(), table.schema().clone());
             if cfg.with_conditional {
-                let bins = table_bins.entry(table.name().to_string()).or_default().clone();
+                let bins = table_bins
+                    .entry(table.name().to_string())
+                    .or_default()
+                    .clone();
                 models.insert(
                     table.name().to_string(),
                     BayesNetEstimator::build(table, &bins, BnConfig::default()),
@@ -183,8 +190,10 @@ impl JoinHist {
         let mut out = HashMap::new();
         if self.cfg.with_conditional {
             let model = &self.models[&tref.table];
-            let names: Vec<String> =
-                keys.iter().map(|&(c, _)| schema.column(c).name.clone()).collect();
+            let names: Vec<String> = keys
+                .iter()
+                .map(|&(c, _)| schema.column(c).name.clone())
+                .collect();
             let refs: Vec<&str> = names.iter().map(String::as_str).collect();
             let profile = model.profile(query.filter(alias), &refs);
             for (idx, &(_, var)) in keys.iter().enumerate() {
@@ -239,24 +248,27 @@ impl CardEst for JoinHist {
         // the uniformity formula or the MFV bound, scaling residual vars by
         // the implied fan-out (mirrors FactorJoin's fold so the ablation
         // isolates exactly the two ingredients).
-        let profiles: Vec<(f64, HashMap<usize, (Vec<f64>, Vec<f64>, Vec<f64>)>)> =
-            (0..n).map(|i| self.alias_profile(query, &graph, i)).collect();
+        let profiles: Vec<(f64, HashMap<usize, (Vec<f64>, Vec<f64>, Vec<f64>)>)> = (0..n)
+            .map(|i| self.alias_profile(query, &graph, i))
+            .collect();
         let mut joined = 1u64 << 0;
         let (mut rows, mut dists) = profiles[0].clone();
         while joined.count_ones() < n as u32 {
             let next = (0..n)
                 .filter(|&i| joined & (1 << i) == 0)
                 .min_by_key(|&i| {
-                    let adjacent =
-                        graph.neighbors(i).iter().any(|&nb| joined & (1 << nb) != 0);
+                    let adjacent = graph.neighbors(i).iter().any(|&nb| joined & (1 << nb) != 0);
                     (!adjacent, i)
                 })
                 .expect("aliases remain");
             joined |= 1 << next;
             let (nrows, nd) = &profiles[next];
             // Shared variables.
-            let shared: Vec<usize> =
-                dists.keys().copied().filter(|v| nd.contains_key(v)).collect();
+            let shared: Vec<usize> = dists
+                .keys()
+                .copied()
+                .filter(|v| nd.contains_key(v))
+                .collect();
             if shared.is_empty() {
                 rows *= nrows;
                 for (_, (d, _, _)) in dists.iter_mut() {
@@ -302,8 +314,7 @@ impl CardEst for JoinHist {
                     .iter()
                     .any(|cr| joined & (1 << cr.alias) == 0);
                 if keep {
-                    let m2: Vec<f64> =
-                        (0..k).map(|i| ml[i].max(1.0) * mr[i].max(1.0)).collect();
+                    let m2: Vec<f64> = (0..k).map(|i| ml[i].max(1.0) * mr[i].max(1.0)).collect();
                     let n2: Vec<f64> = (0..k).map(|i| nl[i].min(nr[i]).max(1.0)).collect();
                     dists.insert(v, (combined.clone(), m2, n2));
                 }
@@ -323,9 +334,20 @@ impl CardEst for JoinHist {
 
     fn model_bytes(&self) -> usize {
         let hists: usize = self.key_hists.values().map(|h| h.total.len() * 24).sum();
-        let cols: usize = self.column_stats.values().map(ColumnHistogram::heap_bytes).sum();
+        let cols: usize = self
+            .column_stats
+            .values()
+            .map(ColumnHistogram::heap_bytes)
+            .sum();
         let models: usize = self.models.values().map(|m| m.model_bytes()).sum();
-        hists + cols + models + self.group_bins.iter().map(KeyBinMap::heap_bytes).sum::<usize>()
+        hists
+            + cols
+            + models
+            + self
+                .group_bins
+                .iter()
+                .map(KeyBinMap::heap_bytes)
+                .sum::<usize>()
     }
 
     fn train_seconds(&self) -> f64 {
@@ -335,8 +357,7 @@ impl CardEst for JoinHist {
     fn supports(&self, query: &Query) -> bool {
         // The classical method handles tree templates only (paper §6.1:
         // "JoinHist … do not support this benchmark" for cyclic IMDB-JOB).
-        query.joins().len() < query.num_tables()
-            || self.cfg.with_bound && self.cfg.with_conditional
+        query.joins().len() < query.num_tables() || self.cfg.with_bound && self.cfg.with_conditional
     }
 }
 
@@ -350,7 +371,10 @@ mod tests {
     use fj_query::parse_query;
 
     fn catalog() -> Catalog {
-        stats_catalog(&StatsConfig { scale: 0.05, ..Default::default() })
+        stats_catalog(&StatsConfig {
+            scale: 0.05,
+            ..Default::default()
+        })
     }
 
     fn qerr(est: f64, truth: f64) -> f64 {
@@ -377,7 +401,11 @@ mod tests {
         let cat = catalog();
         let mut jh = JoinHist::build(
             &cat,
-            JoinHistConfig { with_bound: true, with_conditional: false, bins: 64 },
+            JoinHistConfig {
+                with_bound: true,
+                with_conditional: false,
+                bins: 64,
+            },
         );
         let q = parse_query(
             &cat,
@@ -398,7 +426,11 @@ mod tests {
         let mut classic = JoinHist::build(&cat, JoinHistConfig::classic(64));
         let mut cond = JoinHist::build(
             &cat,
-            JoinHistConfig { with_bound: false, with_conditional: true, bins: 64 },
+            JoinHistConfig {
+                with_bound: false,
+                with_conditional: true,
+                bins: 64,
+            },
         );
         let sqls = [
             "SELECT COUNT(*) FROM users u, posts p WHERE u.id = p.owner_user_id AND p.score >= 10;",
@@ -427,7 +459,11 @@ mod tests {
         let cat = catalog();
         let mut both = JoinHist::build(
             &cat,
-            JoinHistConfig { with_bound: true, with_conditional: true, bins: 64 },
+            JoinHistConfig {
+                with_bound: true,
+                with_conditional: true,
+                bins: 64,
+            },
         );
         for sql in [
             "SELECT COUNT(*) FROM posts p, comments c WHERE p.id = c.post_id;",
@@ -444,11 +480,18 @@ mod tests {
     #[test]
     fn names_reflect_variants() {
         let cat = catalog();
-        assert_eq!(JoinHist::build(&cat, JoinHistConfig::classic(8)).name(), "joinhist");
+        assert_eq!(
+            JoinHist::build(&cat, JoinHistConfig::classic(8)).name(),
+            "joinhist"
+        );
         assert_eq!(
             JoinHist::build(
                 &cat,
-                JoinHistConfig { with_bound: true, with_conditional: false, bins: 8 }
+                JoinHistConfig {
+                    with_bound: true,
+                    with_conditional: false,
+                    bins: 8
+                }
             )
             .name(),
             "joinhist+bound"
@@ -456,7 +499,11 @@ mod tests {
         assert_eq!(
             JoinHist::build(
                 &cat,
-                JoinHistConfig { with_bound: true, with_conditional: true, bins: 8 }
+                JoinHistConfig {
+                    with_bound: true,
+                    with_conditional: true,
+                    bins: 8
+                }
             )
             .name(),
             "joinhist+both"

@@ -30,7 +30,12 @@ pub struct MscnConfig {
 
 impl Default for MscnConfig {
     fn default() -> Self {
-        MscnConfig { hidden: (64, 32), lr: 1e-3, epochs: 40, seed: 17 }
+        MscnConfig {
+            hidden: (64, 32),
+            lr: 1e-3,
+            epochs: 40,
+            seed: 17,
+        }
     }
 }
 
@@ -106,7 +111,9 @@ impl MscnLite {
             x[n_tables + slot] += 1.0;
         }
         for (i, tref) in q.tables().iter().enumerate() {
-            let Some(&ti) = self.table_index.get(&tref.table) else { continue };
+            let Some(&ti) = self.table_index.get(&tref.table) else {
+                continue;
+            };
             let base = n_tables + n_joins + 3 * ti;
             let preds = q.filter(i).predicates();
             x[base] += preds.len() as f64;
@@ -162,7 +169,10 @@ mod tests {
     use fj_exec::TrueCardEngine;
 
     fn setup() -> (Catalog, Vec<(Query, f64)>, Vec<(Query, f64)>) {
-        let cat = stats_catalog(&StatsConfig { scale: 0.04, ..Default::default() });
+        let cat = stats_catalog(&StatsConfig {
+            scale: 0.04,
+            ..Default::default()
+        });
         let label = |qs: Vec<Query>| -> Vec<(Query, f64)> {
             qs.into_iter()
                 .map(|q| {
@@ -206,7 +216,14 @@ mod tests {
     #[test]
     fn estimation_is_fast() {
         let (cat, train, eval) = setup();
-        let mut m = MscnLite::train(&cat, &train, MscnConfig { epochs: 5, ..Default::default() });
+        let mut m = MscnLite::train(
+            &cat,
+            &train,
+            MscnConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
         let start = std::time::Instant::now();
         for (q, _) in &eval {
             m.estimate(q);
@@ -217,7 +234,14 @@ mod tests {
     #[test]
     fn model_size_reflects_parameters() {
         let (cat, train, _) = setup();
-        let m = MscnLite::train(&cat, &train, MscnConfig { epochs: 1, ..Default::default() });
+        let m = MscnLite::train(
+            &cat,
+            &train,
+            MscnConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
         assert!(m.model_bytes() > 1000);
         assert!(m.train_seconds() > 0.0);
     }
@@ -225,10 +249,17 @@ mod tests {
     #[test]
     fn estimates_are_positive_and_bounded() {
         let (cat, train, eval) = setup();
-        let mut m = MscnLite::train(&cat, &train, MscnConfig { epochs: 3, ..Default::default() });
+        let mut m = MscnLite::train(
+            &cat,
+            &train,
+            MscnConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
         for (q, _) in &eval {
             let e = m.estimate(q);
-            assert!(e >= 1.0 && e <= 1e15);
+            assert!((1.0..=1e15).contains(&e));
         }
     }
 }

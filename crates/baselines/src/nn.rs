@@ -24,7 +24,9 @@ struct Dense {
 impl Dense {
     fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
         let scale = (2.0 / n_in as f64).sqrt();
-        let w = (0..n_in * n_out).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
+        let w = (0..n_in * n_out)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
         Dense {
             w,
             b: vec![0.0; n_out],
@@ -105,7 +107,14 @@ impl Mlp {
         let h2: Vec<f64> = a2.iter().map(|&v| v.max(0.0)).collect();
         let mut out = Vec::new();
         self.l3.forward(&h2, &mut out);
-        Tape { x: x.to_vec(), a1, h1, a2, h2, y: out[0] }
+        Tape {
+            x: x.to_vec(),
+            a1,
+            h1,
+            a2,
+            h2,
+            y: out[0],
+        }
     }
 
     /// One SGD (Adam) step on a single example; returns the squared error.

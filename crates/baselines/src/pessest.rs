@@ -24,7 +24,10 @@ pub struct PessEst {
 impl PessEst {
     /// Creates a PessEst with `buckets` hash partitions per key.
     pub fn new(catalog: &Catalog, buckets: usize) -> Self {
-        PessEst { catalog: catalog.clone(), buckets: buckets.max(1) }
+        PessEst {
+            catalog: catalog.clone(),
+            buckets: buckets.max(1),
+        }
     }
 
     #[inline]
@@ -45,10 +48,14 @@ impl CardEst for PessEst {
         // the expensive step that dominates PessEst's planning time.
         let mut factors: Vec<Factor> = Vec::with_capacity(n);
         for i in 0..n {
-            let table = self.catalog.table(&query.tables()[i].table).expect("validated");
+            let table = self
+                .catalog
+                .table(&query.tables()[i].table)
+                .expect("validated");
             let compiled = compile_filter(table, query.filter(i));
-            let sel: Vec<usize> =
-                (0..table.nrows()).filter(|&r| compiled.eval(table, r)).collect();
+            let sel: Vec<usize> = (0..table.nrows())
+                .filter(|&r| compiled.eval(table, r))
+                .collect();
             let mut entries = Vec::new();
             for &var in &graph.alias_vars(i) {
                 let cols: Vec<usize> = graph
@@ -95,8 +102,7 @@ impl CardEst for PessEst {
             let next = (0..n)
                 .filter(|&i| joined & (1 << i) == 0)
                 .min_by_key(|&i| {
-                    let adjacent =
-                        graph.neighbors(i).iter().any(|&nb| joined & (1 << nb) != 0);
+                    let adjacent = graph.neighbors(i).iter().any(|&nb| joined & (1 << nb) != 0);
                     (!adjacent, factors[i].rows as i64)
                 })
                 .expect("aliases remain");
@@ -125,7 +131,10 @@ mod tests {
     use fj_query::parse_query;
 
     fn catalog() -> Catalog {
-        stats_catalog(&StatsConfig { scale: 0.05, ..Default::default() })
+        stats_catalog(&StatsConfig {
+            scale: 0.05,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -140,7 +149,10 @@ mod tests {
             let q = parse_query(&cat, sql).unwrap();
             let truth = TrueCardEngine::new(&cat, &q).full_cardinality();
             let bound = pe.estimate(&q);
-            assert!(bound >= truth * 0.999, "{sql}: bound {bound} < truth {truth}");
+            assert!(
+                bound >= truth * 0.999,
+                "{sql}: bound {bound} < truth {truth}"
+            );
         }
     }
 
@@ -169,8 +181,7 @@ mod tests {
         )
         .unwrap();
         let (single, _) = q.project(0b01);
-        let exact =
-            fj_query::filtered_count(cat.table("posts").unwrap(), q.filter(0)) as f64;
+        let exact = fj_query::filtered_count(cat.table("posts").unwrap(), q.filter(0)) as f64;
         assert_eq!(pe.estimate(&single), exact);
     }
 

@@ -39,7 +39,12 @@ impl PostgresLike {
                 );
             }
         }
-        PostgresLike { stats, rows, schemas, train_seconds: start.elapsed().as_secs_f64() }
+        PostgresLike {
+            stats,
+            rows,
+            schemas,
+            train_seconds: start.elapsed().as_secs_f64(),
+        }
     }
 
     /// Filter selectivity of one alias under attribute independence.
@@ -121,7 +126,10 @@ mod tests {
     use fj_query::parse_query;
 
     fn catalog() -> Catalog {
-        stats_catalog(&StatsConfig { scale: 0.05, ..Default::default() })
+        stats_catalog(&StatsConfig {
+            scale: 0.05,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -135,8 +143,7 @@ mod tests {
         .unwrap();
         let (single, _) = q.project(0b01);
         let est = pg.estimate(&single);
-        let exact =
-            fj_query::filtered_count(cat.table("posts").unwrap(), q.filter(0)) as f64;
+        let exact = fj_query::filtered_count(cat.table("posts").unwrap(), q.filter(0)) as f64;
         let qerr = (est.max(1.0) / exact.max(1.0)).max(exact.max(1.0) / est.max(1.0));
         assert!(qerr < 3.0, "est {est} vs exact {exact}");
     }

@@ -80,7 +80,11 @@ mod tests {
         }
         let q = Query::new(
             &cat,
-            vec![TableRef::new("a", "a"), TableRef::new("b", "b"), TableRef::new("c", "c")],
+            vec![
+                TableRef::new("a", "a"),
+                TableRef::new("b", "b"),
+                TableRef::new("c", "c"),
+            ],
             &[
                 (("a".into(), "id".into()), ("b".into(), "fk".into())),
                 (("b".into(), "id".into()), ("c".into(), "fk".into())),

@@ -17,7 +17,9 @@ pub struct TrueCard {
 impl TrueCard {
     /// Snapshots the catalog.
     pub fn new(catalog: &Catalog) -> Self {
-        TrueCard { catalog: catalog.clone() }
+        TrueCard {
+            catalog: catalog.clone(),
+        }
     }
 }
 
@@ -43,7 +45,10 @@ mod tests {
 
     #[test]
     fn oracle_matches_engine() {
-        let cat = stats_catalog(&StatsConfig { scale: 0.03, ..Default::default() });
+        let cat = stats_catalog(&StatsConfig {
+            scale: 0.03,
+            ..Default::default()
+        });
         let mut oracle = TrueCard::new(&cat);
         let q = parse_query(
             &cat,
@@ -59,7 +64,10 @@ mod tests {
 
     #[test]
     fn zero_cost_model() {
-        let cat = stats_catalog(&StatsConfig { scale: 0.02, ..Default::default() });
+        let cat = stats_catalog(&StatsConfig {
+            scale: 0.02,
+            ..Default::default()
+        });
         let oracle = TrueCard::new(&cat);
         assert_eq!(oracle.model_bytes(), 0);
         assert_eq!(oracle.train_seconds(), 0.0);

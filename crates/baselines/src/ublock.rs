@@ -51,12 +51,22 @@ impl UBlock {
             }
             let mut by_count: Vec<(i64, u64)> = freq.into_iter().collect();
             by_count.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            let top: HashMap<i64, f64> =
-                by_count.iter().take(k).map(|&(v, c)| (v, c as f64)).collect();
+            let top: HashMap<i64, f64> = by_count
+                .iter()
+                .take(k)
+                .map(|&(v, c)| (v, c as f64))
+                .collect();
             let rest = &by_count[k.min(by_count.len())..];
             let rest_total: f64 = rest.iter().map(|&(_, c)| c as f64).sum();
             let rest_max = rest.first().map(|&(_, c)| c as f64).unwrap_or(0.0);
-            stats.insert(kr.clone(), TopK { top, rest_total, rest_max });
+            stats.insert(
+                kr.clone(),
+                TopK {
+                    top,
+                    rest_total,
+                    rest_max,
+                },
+            );
         }
         let mut column_stats = HashMap::new();
         let mut rows = HashMap::new();
@@ -71,7 +81,13 @@ impl UBlock {
                 );
             }
         }
-        UBlock { stats, column_stats, rows, schemas, train_seconds: start.elapsed().as_secs_f64() }
+        UBlock {
+            stats,
+            column_stats,
+            rows,
+            schemas,
+            train_seconds: start.elapsed().as_secs_f64(),
+        }
     }
 
     fn selectivity(&self, query: &Query, alias: usize) -> f64 {
@@ -134,9 +150,8 @@ impl CardEst for UBlock {
         }
         if n == 1 {
             let t = &query.tables()[0].table;
-            return (self.rows.get(t).copied().unwrap_or(1.0)
-                * self.selectivity(query, 0))
-            .max(1.0);
+            return (self.rows.get(t).copied().unwrap_or(1.0) * self.selectivity(query, 0))
+                .max(1.0);
         }
         // Bound each join edge pairwise and chain multiplicatively:
         // |Q| ≤ bound(e₁) · Π_k bound(e_k) / |T_shared_k| — the block
@@ -194,7 +209,10 @@ mod tests {
     use fj_query::parse_query;
 
     fn catalog() -> Catalog {
-        stats_catalog(&StatsConfig { scale: 0.05, ..Default::default() })
+        stats_catalog(&StatsConfig {
+            scale: 0.05,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -208,7 +226,10 @@ mod tests {
             let q = parse_query(&cat, sql).unwrap();
             let truth = TrueCardEngine::new(&cat, &q).full_cardinality();
             let bound = ub.estimate(&q);
-            assert!(bound >= truth * 0.999, "{sql}: bound {bound} < truth {truth}");
+            assert!(
+                bound >= truth * 0.999,
+                "{sql}: bound {bound} < truth {truth}"
+            );
         }
     }
 

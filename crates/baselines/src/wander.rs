@@ -129,7 +129,10 @@ impl CardEst for WanderJoin {
         }
         for j in query.joins() {
             let covered = tree_edges.iter().any(|&(f, fc, t, tc)| {
-                (f == j.left.alias && fc == j.left.column && t == j.right.alias && tc == j.right.column)
+                (f == j.left.alias
+                    && fc == j.left.column
+                    && t == j.right.alias
+                    && tc == j.right.column)
                     || (f == j.right.alias
                         && fc == j.right.column
                         && t == j.left.alias
@@ -216,7 +219,10 @@ mod tests {
     use fj_query::parse_query;
 
     fn catalog() -> Catalog {
-        stats_catalog(&StatsConfig { scale: 0.05, ..Default::default() })
+        stats_catalog(&StatsConfig {
+            scale: 0.05,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -306,8 +312,7 @@ mod tests {
         )
         .unwrap();
         let (single, _) = q.project(0b01);
-        let exact =
-            fj_query::filtered_count(cat.table("posts").unwrap(), q.filter(0)) as f64;
+        let exact = fj_query::filtered_count(cat.table("posts").unwrap(), q.filter(0)) as f64;
         assert_eq!(wj.estimate(&single), exact);
     }
 }

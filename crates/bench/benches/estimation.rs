@@ -8,10 +8,17 @@ use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig}
 use fj_stats::BnConfig;
 
 fn bench_env() -> (fj_storage::Catalog, Vec<fj_query::Query>) {
-    let cat = stats_catalog(&StatsConfig { scale: 0.1, ..Default::default() });
+    let cat = stats_catalog(&StatsConfig {
+        scale: 0.1,
+        ..Default::default()
+    });
     let wl = stats_ceb_workload(
         &cat,
-        &WorkloadConfig { num_queries: 8, num_templates: 4, ..WorkloadConfig::tiny(5) },
+        &WorkloadConfig {
+            num_queries: 8,
+            num_templates: 4,
+            ..WorkloadConfig::tiny(5)
+        },
     );
     (cat, wl)
 }
@@ -100,7 +107,10 @@ fn planning_latency(c: &mut Criterion) {
 
 /// Training time by estimator kind (Figure 6 training-time series).
 fn training_time(c: &mut Criterion) {
-    let cat = stats_catalog(&StatsConfig { scale: 0.05, ..Default::default() });
+    let cat = stats_catalog(&StatsConfig {
+        scale: 0.05,
+        ..Default::default()
+    });
     let mut group = c.benchmark_group("fig6_training_time");
     group.sample_size(10);
     for (label, kind) in [
@@ -111,7 +121,10 @@ fn training_time(c: &mut Criterion) {
             b.iter(|| {
                 let model = FactorJoinModel::train(
                     &cat,
-                    FactorJoinConfig { estimator: kind, ..Default::default() },
+                    FactorJoinConfig {
+                        estimator: kind,
+                        ..Default::default()
+                    },
                 );
                 std::hint::black_box(model.model_bytes())
             })
@@ -120,5 +133,10 @@ fn training_time(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig9_latency_vs_bins, planning_latency, training_time);
+criterion_group!(
+    benches,
+    fig9_latency_vs_bins,
+    planning_latency,
+    training_time
+);
 criterion_main!(benches);

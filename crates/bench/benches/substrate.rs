@@ -11,7 +11,10 @@ use fj_stats::{BaseTableEstimator, BayesNetEstimator, BnConfig, TableBins};
 use std::collections::HashMap;
 
 fn executor_join(c: &mut Criterion) {
-    let cat = stats_catalog(&StatsConfig { scale: 0.1, ..Default::default() });
+    let cat = stats_catalog(&StatsConfig {
+        scale: 0.1,
+        ..Default::default()
+    });
     let q = parse_query(
         &cat,
         "SELECT COUNT(*) FROM users u, posts p, comments c \
@@ -31,8 +34,9 @@ fn executor_join(c: &mut Criterion) {
 
 fn binning_strategies(c: &mut Criterion) {
     // Zipf-ish frequency map of 20k values.
-    let freq: HashMap<i64, u64> =
-        (0..20_000).map(|v| (v, 1 + (20_000 / (v + 1)) as u64)).collect();
+    let freq: HashMap<i64, u64> = (0..20_000)
+        .map(|v| (v, 1 + (20_000 / (v + 1)) as u64))
+        .collect();
     let mut group = c.benchmark_group("binning_20k_values");
     group.sample_size(10);
     for (label, strat) in [
@@ -48,14 +52,14 @@ fn binning_strategies(c: &mut Criterion) {
 }
 
 fn bayesnet_inference(c: &mut Criterion) {
-    let cat = stats_catalog(&StatsConfig { scale: 0.1, ..Default::default() });
+    let cat = stats_catalog(&StatsConfig {
+        scale: 0.1,
+        ..Default::default()
+    });
     let posts = cat.table("posts").expect("table exists");
     let bn = BayesNetEstimator::build(posts, &TableBins::new(), BnConfig::default());
-    let filter = fj_query::FilterExpr::pred(fj_query::Predicate::cmp(
-        "score",
-        fj_query::CmpOp::Ge,
-        5,
-    ));
+    let filter =
+        fj_query::FilterExpr::pred(fj_query::Predicate::cmp("score", fj_query::CmpOp::Ge, 5));
     let mut group = c.benchmark_group("bayesnet");
     group.sample_size(20);
     group.bench_function("filter_inference", |b| {
@@ -65,7 +69,10 @@ fn bayesnet_inference(c: &mut Criterion) {
 }
 
 fn filter_compilation(c: &mut Criterion) {
-    let cat = stats_catalog(&StatsConfig { scale: 0.1, ..Default::default() });
+    let cat = stats_catalog(&StatsConfig {
+        scale: 0.1,
+        ..Default::default()
+    });
     let posts = cat.table("posts").expect("table exists");
     let filter = fj_query::FilterExpr::and(vec![
         fj_query::FilterExpr::pred(fj_query::Predicate::between("score", 0, 50)),
@@ -83,5 +90,11 @@ fn filter_compilation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, executor_join, binning_strategies, bayesnet_inference, filter_compilation);
+criterion_group!(
+    benches,
+    executor_join,
+    binning_strategies,
+    bayesnet_inference,
+    filter_compilation
+);
 criterion_main!(benches);

@@ -13,20 +13,32 @@ use fj_bench::experiments::{
 };
 use fj_bench::BenchKind;
 
+const KNOWN_IDS: &[&str] = &[
+    "all", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig6",
+    "fig7", "fig8", "fig9", "fig10", "fig11",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = ExpConfig::from_env();
     if args.is_empty() {
+        eprintln!("usage: fj-experiments [{}] …", KNOWN_IDS.join("|"));
+        eprintln!("env: FJ_SCALE=<f64> (default 0.5), FJ_QUERIES=<n> (default full workload)");
+        std::process::exit(2);
+    }
+    if let Some(unknown) = args.iter().find(|a| !KNOWN_IDS.contains(&a.as_str())) {
         eprintln!(
-            "usage: fj-experiments [all|table1|table2|table3|table4|table5|table6|table7|table8|fig6|fig7|fig8|fig9|fig10|fig11] …"
+            "error: unknown experiment id {unknown:?} (known: {})",
+            KNOWN_IDS.join(", ")
         );
-        eprintln!("env: FJ_SCALE=<f64> (default 0.15), FJ_QUERIES=<n> (default full workload)");
         std::process::exit(2);
     }
     println!(
         "# FactorJoin reproduction experiments (scale={}, queries={})",
         cfg.scale,
-        cfg.queries.map(|q| q.to_string()).unwrap_or_else(|| "full".into())
+        cfg.queries
+            .map(|q| q.to_string())
+            .unwrap_or_else(|| "full".into())
     );
     let run_all = args.iter().any(|a| a == "all");
     let want = |id: &str| run_all || args.iter().any(|a| a == id);

@@ -1,8 +1,8 @@
 //! Benchmark environments: catalog + workload + cached true cardinalities.
 
 use fj_datagen::{
-    imdb_catalog, imdb_job_workload, stats_catalog, stats_ceb_workload, ImdbConfig,
-    StatsConfig, WorkloadConfig,
+    imdb_catalog, imdb_job_workload, stats_catalog, stats_ceb_workload, ImdbConfig, StatsConfig,
+    WorkloadConfig,
 };
 use fj_exec::TrueCardEngine;
 use fj_query::{Query, SubplanMask};
@@ -36,12 +36,18 @@ impl BenchEnv {
     pub fn build(kind: BenchKind, scale: f64, queries_cap: Option<usize>) -> Self {
         let (catalog, mut queries) = match kind {
             BenchKind::StatsCeb => {
-                let cat = stats_catalog(&StatsConfig { scale, ..Default::default() });
+                let cat = stats_catalog(&StatsConfig {
+                    scale,
+                    ..Default::default()
+                });
                 let wl = stats_ceb_workload(&cat, &WorkloadConfig::stats_ceb());
                 (cat, wl)
             }
             BenchKind::ImdbJob => {
-                let cat = imdb_catalog(&ImdbConfig { scale, ..Default::default() });
+                let cat = imdb_catalog(&ImdbConfig {
+                    scale,
+                    ..Default::default()
+                });
                 let wl = imdb_job_workload(&cat, &WorkloadConfig::imdb_job());
                 (cat, wl)
             }
@@ -56,7 +62,12 @@ impl BenchEnv {
                 eng.subplan_cardinalities(q, 1).into_iter().collect()
             })
             .collect();
-        BenchEnv { kind, catalog, queries, truth }
+        BenchEnv {
+            kind,
+            catalog,
+            queries,
+            truth,
+        }
     }
 
     /// Builds an environment from an existing catalog and workload,
@@ -70,7 +81,12 @@ impl BenchEnv {
                 eng.subplan_cardinalities(q, 1).into_iter().collect()
             })
             .collect();
-        BenchEnv { kind, catalog, queries, truth }
+        BenchEnv {
+            kind,
+            catalog,
+            queries,
+            truth,
+        }
     }
 
     /// Benchmark name as used in the paper's tables.

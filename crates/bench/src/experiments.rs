@@ -7,8 +7,8 @@ use factorjoin::{
     BaseEstimatorKind, BinBudget, BinningStrategy, FactorJoinConfig, FactorJoinModel,
 };
 use fj_baselines::{
-    CardEst, DataDrivenFanout, FactorJoinEst, FanoutSize, JoinHist, JoinHistConfig,
-    MscnConfig, MscnLite, PessEst, PostgresLike, TrueCard, UBlock, WanderJoin,
+    CardEst, DataDrivenFanout, FactorJoinEst, FanoutSize, JoinHist, JoinHistConfig, MscnConfig,
+    MscnLite, PessEst, PostgresLike, TrueCard, UBlock, WanderJoin,
 };
 use fj_datagen::{stats_catalog_split_by_date, training_workload, StatsConfig, WorkloadConfig};
 use fj_exec::TrueCardEngine;
@@ -30,14 +30,27 @@ impl ExpConfig {
     pub fn from_env() -> Self {
         // Default sized so that simulated execution dominates planning, as
         // in the paper's benchmarks (their queries run seconds-to-hours).
-        let scale = std::env::var("FJ_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.5);
-        let queries = std::env::var("FJ_QUERIES").ok().and_then(|s| s.parse().ok());
-        ExpConfig { scale, queries, mscn_train: 200 }
+        let scale = std::env::var("FJ_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.5);
+        let queries = std::env::var("FJ_QUERIES")
+            .ok()
+            .and_then(|s| s.parse().ok());
+        ExpConfig {
+            scale,
+            queries,
+            mscn_train: 200,
+        }
     }
 
     /// Fast settings for tests.
     pub fn quick() -> Self {
-        ExpConfig { scale: 0.04, queries: Some(10), mscn_train: 40 }
+        ExpConfig {
+            scale: 0.04,
+            queries: Some(10),
+            mscn_train: 40,
+        }
     }
 }
 
@@ -77,19 +90,61 @@ fn mscn_for(env: &BenchEnv, n_train: usize) -> MscnLite {
 pub fn table1() {
     let mut t = Table::new(
         "Table 1 — CardEst method taxonomy (qualitative, from the paper)",
-        &["method", "category", "handles correlation", "handles joins", "bound"],
+        &[
+            "method",
+            "category",
+            "handles correlation",
+            "handles joins",
+            "bound",
+        ],
     );
     for (m, c, corr, joins, bound) in [
-        ("postgres", "traditional", "no (indep.)", "NDV uniformity", "no"),
-        ("joinhist", "traditional", "no (indep.)", "per-bin uniformity", "no"),
+        (
+            "postgres",
+            "traditional",
+            "no (indep.)",
+            "NDV uniformity",
+            "no",
+        ),
+        (
+            "joinhist",
+            "traditional",
+            "no (indep.)",
+            "per-bin uniformity",
+            "no",
+        ),
         ("wjsample", "sampling", "via sampling", "random walks", "no"),
         ("mscn", "query-driven", "learned", "learned", "no"),
-        ("bayescard/deepdb/flat", "data-driven", "learned", "fanout templates", "no"),
-        ("pessest", "bound-based", "exact at runtime", "sketch bound", "yes"),
+        (
+            "bayescard/deepdb/flat",
+            "data-driven",
+            "learned",
+            "fanout templates",
+            "no",
+        ),
+        (
+            "pessest",
+            "bound-based",
+            "exact at runtime",
+            "sketch bound",
+            "yes",
+        ),
         ("ublock", "bound-based", "no", "top-k bound", "yes"),
-        ("factorjoin", "this paper", "single-table models", "factor-graph bound", "yes"),
+        (
+            "factorjoin",
+            "this paper",
+            "single-table models",
+            "factor-graph bound",
+            "yes",
+        ),
     ] {
-        t.row(vec![m.into(), c.into(), corr.into(), joins.into(), bound.into()]);
+        t.row(vec![
+            m.into(),
+            c.into(),
+            corr.into(),
+            joins.into(),
+            bound.into(),
+        ]);
     }
     t.print();
 }
@@ -121,8 +176,9 @@ pub fn table2(cfg: ExpConfig) {
         format!("{lo:.0} — {hi:.0}")
     };
     let subplans = |env: &BenchEnv| {
-        let counts: Vec<usize> =
-            (0..env.queries.len()).map(|qi| env.truth_map(qi).len()).collect();
+        let counts: Vec<usize> = (0..env.queries.len())
+            .map(|qi| env.truth_map(qi).len())
+            .collect();
         let max = counts.iter().copied().max().unwrap_or(0);
         let min = counts.iter().copied().min().unwrap_or(0);
         format!("{min} — {max}")
@@ -144,9 +200,17 @@ pub fn table2(cfg: ExpConfig) {
             stats.catalog.equivalent_key_groups().len().to_string(),
             imdb.catalog.equivalent_key_groups().len().to_string(),
         ),
-        ("# queries", stats.queries.len().to_string(), imdb.queries.len().to_string()),
+        (
+            "# queries",
+            stats.queries.len().to_string(),
+            imdb.queries.len().to_string(),
+        ),
         ("# sub-plans per query", subplans(&stats), subplans(&imdb)),
-        ("true cardinality range", card_range(&stats), card_range(&imdb)),
+        (
+            "true cardinality range",
+            card_range(&stats),
+            card_range(&imdb),
+        ),
     ] {
         t.row(vec![label.into(), s, i]);
     }
@@ -160,7 +224,15 @@ fn print_end_to_end(title: &str, results: &[MethodResult]) {
         .expect("postgres baseline present");
     let mut t = Table::new(
         title,
-        &["method", "end-to-end", "exec", "plan", "improvement", "model", "train"],
+        &[
+            "method",
+            "end-to-end",
+            "exec",
+            "plan",
+            "improvement",
+            "model",
+            "train",
+        ],
     );
     for r in results {
         t.row(vec![
@@ -215,7 +287,10 @@ pub fn end_to_end(kind: BenchKind, cfg: ExpConfig) -> Vec<MethodResult> {
 
     let table_no = if kind == BenchKind::StatsCeb { 3 } else { 4 };
     print_end_to_end(
-        &format!("Table {table_no} — end-to-end performance on {}", env.name()),
+        &format!(
+            "Table {table_no} — end-to-end performance on {}",
+            env.name()
+        ),
         &results,
     );
     results
@@ -234,7 +309,9 @@ pub fn fig6(cfg: ExpConfig) {
         t.row(vec![
             r.method.clone(),
             fmt_seconds(r.total_s()),
-            imdb_r.map(|x| fmt_seconds(x.total_s())).unwrap_or_else(|| "n/s".into()),
+            imdb_r
+                .map(|x| fmt_seconds(x.total_s()))
+                .unwrap_or_else(|| "n/s".into()),
             fmt_bytes(r.model_bytes),
             fmt_seconds(r.train_s),
         ]);
@@ -248,7 +325,16 @@ pub fn fig7(cfg: ExpConfig) {
     let runner = EndToEnd::new(&env);
     let mut t = Table::new(
         "Figure 7 — relative error (estimate / true) percentiles, STATS-CEB sub-plans",
-        &["method", "p5", "p25", "p50", "p75", "p95", "p99", "% ≥ 1 (upper bound)"],
+        &[
+            "method",
+            "p5",
+            "p25",
+            "p50",
+            "p75",
+            "p95",
+            "p99",
+            "% ≥ 1 (upper bound)",
+        ],
     );
     let mut methods: Vec<Box<dyn CardEst>> = vec![
         Box::new(PostgresLike::build(&env.catalog)),
@@ -266,8 +352,11 @@ pub fn fig7(cfg: ExpConfig) {
             .filter(|&&(_, tr)| tr >= 1.0)
             .map(|&(e, tr)| relative_error(e, tr))
             .collect();
-        let frac_upper = r.est_truth.iter().filter(|&&(e, tr)| e >= tr * 0.999).count()
-            as f64
+        let frac_upper = r
+            .est_truth
+            .iter()
+            .filter(|&&(e, tr)| e >= tr * 0.999)
+            .count() as f64
             / r.est_truth.len().max(1) as f64;
         t.row(vec![
             r.method.clone(),
@@ -304,7 +393,14 @@ pub fn per_query(kind: BenchKind, cfg: ExpConfig) {
             "Figure {fig} — improvement over Postgres by query runtime cluster ({})",
             env.name()
         ),
-        &["method", "cluster", "queries", "pg total", "method total", "improvement"],
+        &[
+            "method",
+            "cluster",
+            "queries",
+            "pg total",
+            "method total",
+            "improvement",
+        ],
     );
     // Cluster queries into runtime intervals by Postgres end-to-end time.
     let totals_pg: Vec<f64> = r_pg
@@ -315,8 +411,10 @@ pub fn per_query(kind: BenchKind, cfg: ExpConfig) {
         .collect();
     let mut sorted = totals_pg.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let cuts: Vec<f64> =
-        [0.25, 0.5, 0.75].iter().map(|&q| percentile(&sorted, q * 100.0)).collect();
+    let cuts: Vec<f64> = [0.25, 0.5, 0.75]
+        .iter()
+        .map(|&q| percentile(&sorted, q * 100.0))
+        .collect();
     let cluster_of = |s: f64| cuts.iter().filter(|&&c| s > c).count();
     let names = ["fastest 25%", "25–50%", "50–75%", "slowest 25%"];
     for m in &mut methods {
@@ -325,8 +423,9 @@ pub fn per_query(kind: BenchKind, cfg: ExpConfig) {
         run.zero_planning = zero;
         let r = run.run(m.as_mut());
         for c in 0..4 {
-            let idx: Vec<usize> =
-                (0..env.queries.len()).filter(|&i| cluster_of(totals_pg[i]) == c).collect();
+            let idx: Vec<usize> = (0..env.queries.len())
+                .filter(|&i| cluster_of(totals_pg[i]) == c)
+                .collect();
             if idx.is_empty() {
                 continue;
             }
@@ -350,7 +449,10 @@ pub fn per_query(kind: BenchKind, cfg: ExpConfig) {
 
 /// Table 5: incremental updates on STATS-CEB.
 pub fn table5(cfg: ExpConfig) {
-    let stats_cfg = StatsConfig { scale: cfg.scale, ..Default::default() };
+    let stats_cfg = StatsConfig {
+        scale: cfg.scale,
+        ..Default::default()
+    };
     let (mut base, inserts) = stats_catalog_split_by_date(&stats_cfg, 1825);
     // Train stale models on the first half.
     let fj_cfg = FactorJoinConfig::default();
@@ -363,7 +465,10 @@ pub fn table5(cfg: ExpConfig) {
     let t_fj = std::time::Instant::now();
     for (tname, rows) in &inserts {
         let first = base.table(tname).expect("table exists").nrows();
-        base.table_mut(tname).expect("table exists").append_rows(rows).expect("valid rows");
+        base.table_mut(tname)
+            .expect("table exists")
+            .append_rows(rows)
+            .expect("valid rows");
         let table = base.table(tname).expect("table exists").clone();
         fj.insert(&table, first);
     }
@@ -390,7 +495,12 @@ pub fn table5(cfg: ExpConfig) {
 
     let mut t = Table::new(
         "Table 5 — incremental update performance on STATS-CEB",
-        &["method", "update time", "end-to-end", "improvement over postgres"],
+        &[
+            "method",
+            "update time",
+            "end-to-end",
+            "improvement over postgres",
+        ],
     );
     t.row(vec![
         "deepdb-like (retrain)".into(),
@@ -417,7 +527,14 @@ pub fn table6(cfg: ExpConfig) {
     let runner = EndToEnd::new(&env);
     let mut t = Table::new(
         "Table 6 — binning strategies (k = 100, BayesNet base estimator)",
-        &["strategy", "end-to-end", "improvement", "rel-err p50", "p95", "p99"],
+        &[
+            "strategy",
+            "end-to-end",
+            "improvement",
+            "rel-err p50",
+            "p95",
+            "p99",
+        ],
     );
     let mut pg = PostgresLike::build(&env.catalog);
     let r_pg = runner.run(&mut pg);
@@ -428,12 +545,18 @@ pub fn table6(cfg: ExpConfig) {
     ] {
         let model = FactorJoinModel::train(
             &env.catalog,
-            FactorJoinConfig { strategy, ..Default::default() },
+            FactorJoinConfig {
+                strategy,
+                ..Default::default()
+            },
         );
         let mut est = FactorJoinEst::new(model);
         let r = runner.run(&mut est);
-        let rels: Vec<f64> =
-            r.est_truth.iter().map(|&(e, tr)| relative_error(e, tr)).collect();
+        let rels: Vec<f64> = r
+            .est_truth
+            .iter()
+            .map(|&(e, tr)| relative_error(e, tr))
+            .collect();
         t.row(vec![
             label.into(),
             fmt_seconds(r.total_s()),
@@ -463,7 +586,10 @@ pub fn table7(cfg: ExpConfig) {
     ] {
         let model = FactorJoinModel::train(
             &env.catalog,
-            FactorJoinConfig { estimator: kind, ..Default::default() },
+            FactorJoinConfig {
+                estimator: kind,
+                ..Default::default()
+            },
         );
         let mut est = FactorJoinEst::new(model);
         let r = runner.run(&mut est);
@@ -491,7 +617,11 @@ pub fn table8(cfg: ExpConfig) {
     for (bound, cond) in [(false, false), (true, false), (false, true), (true, true)] {
         let mut jh = JoinHist::build(
             &env.catalog,
-            JoinHistConfig { with_bound: bound, with_conditional: cond, bins: 100 },
+            JoinHistConfig {
+                with_bound: bound,
+                with_conditional: cond,
+                bins: 100,
+            },
         );
         let r = runner.run(&mut jh);
         t.row(vec![
@@ -510,19 +640,34 @@ pub fn fig9(cfg: ExpConfig) {
     let runner = EndToEnd::new(&env);
     let mut t = Table::new(
         "Figure 9 — effect of the number of bins k",
-        &["k", "end-to-end", "rel-err p50", "p95", "p99", "latency/query", "train", "model"],
+        &[
+            "k",
+            "end-to-end",
+            "rel-err p50",
+            "p95",
+            "p99",
+            "latency/query",
+            "train",
+            "model",
+        ],
     );
     for k in [1usize, 10, 50, 100, 200] {
         let model = FactorJoinModel::train(
             &env.catalog,
-            FactorJoinConfig { bin_budget: BinBudget::Uniform(k), ..Default::default() },
+            FactorJoinConfig {
+                bin_budget: BinBudget::Uniform(k),
+                ..Default::default()
+            },
         );
         let train_s = model.report().train_seconds;
         let bytes = model.model_bytes();
         let mut est = FactorJoinEst::new(model);
         let r = runner.run(&mut est);
-        let rels: Vec<f64> =
-            r.est_truth.iter().map(|&(e, tr)| relative_error(e, tr)).collect();
+        let rels: Vec<f64> = r
+            .est_truth
+            .iter()
+            .map(|&(e, tr)| relative_error(e, tr))
+            .collect();
         let lat = r.planning_s / env.queries.len() as f64;
         t.row(vec![
             k.to_string(),

@@ -52,7 +52,11 @@ pub struct EndToEnd<'a> {
 impl<'a> EndToEnd<'a> {
     /// Creates a runner with the default cost model.
     pub fn new(env: &'a BenchEnv) -> Self {
-        EndToEnd { env, model: CostModel::default(), zero_planning: false }
+        EndToEnd {
+            env,
+            model: CostModel::default(),
+            zero_planning: false,
+        }
     }
 
     /// Runs one estimator over the whole workload.
@@ -85,10 +89,12 @@ impl<'a> EndToEnd<'a> {
                     .map(|&m| (m, 1000.0))
                     .collect()
             };
-            let plan_elapsed =
-                if self.zero_planning { 0.0 } else { t0.elapsed().as_secs_f64() };
-            let estimates: std::collections::HashMap<u64, f64> =
-                subs.iter().copied().collect();
+            let plan_elapsed = if self.zero_planning {
+                0.0
+            } else {
+                t0.elapsed().as_secs_f64()
+            };
+            let estimates: std::collections::HashMap<u64, f64> = subs.iter().copied().collect();
             if est.supports(q) {
                 // Error statistics cover join sub-plans (≥ 2 aliases), as
                 // in the paper's Figure 7; single-table estimates feed the
@@ -107,11 +113,7 @@ impl<'a> EndToEnd<'a> {
                 &self.model,
             );
             // Execution: cost the chosen plan with TRUE cardinalities.
-            let cost = plan_cost(
-                &plan.root,
-                &mut |m| self.env.truth(qi, m),
-                &self.model,
-            );
+            let cost = plan_cost(&plan.root, &mut |m| self.env.truth(qi, m), &self.model);
             let exec = cost.seconds(&self.model);
             result.planning_s += plan_elapsed;
             result.exec_s += exec;
@@ -123,10 +125,7 @@ impl<'a> EndToEnd<'a> {
 }
 
 /// Convenience: run several estimators and return results in order.
-pub fn run_end_to_end(
-    env: &BenchEnv,
-    methods: Vec<(&mut dyn CardEst, bool)>,
-) -> Vec<MethodResult> {
+pub fn run_end_to_end(env: &BenchEnv, methods: Vec<(&mut dyn CardEst, bool)>) -> Vec<MethodResult> {
     methods
         .into_iter()
         .map(|(est, zero_planning)| {

@@ -93,9 +93,8 @@ fn equal_width(domain: &[i64], k: usize) -> HashMap<i64, u32> {
 }
 
 fn equal_depth(domain: &[i64], freqs: &[&KeyFreq], k: usize) -> HashMap<i64, u32> {
-    let total_count = |v: i64| -> u64 {
-        freqs.iter().map(|f| f.get(&v).copied().unwrap_or(0)).sum()
-    };
+    let total_count =
+        |v: i64| -> u64 { freqs.iter().map(|f| f.get(&v).copied().unwrap_or(0)).sum() };
     let total: u64 = domain.iter().map(|&v| total_count(v)).sum();
     let per = (total as f64 / k as f64).max(1.0);
     let mut out = HashMap::with_capacity(domain.len());
@@ -206,8 +205,10 @@ fn count_variance(bin: &[i64], freq: &KeyFreq) -> f64 {
     if bin.len() < 2 {
         return 0.0;
     }
-    let counts: Vec<f64> =
-        bin.iter().map(|v| freq.get(v).copied().unwrap_or(0) as f64).collect();
+    let counts: Vec<f64> = bin
+        .iter()
+        .map(|v| freq.get(v).copied().unwrap_or(0) as f64)
+        .collect();
     let n = counts.len() as f64;
     let mean = counts.iter().sum::<f64>() / n;
     counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n
@@ -246,9 +247,11 @@ mod tests {
     #[test]
     fn every_value_gets_exactly_one_bin() {
         let f = freq(&[(1, 10), (2, 1), (3, 100), (4, 1), (5, 50), (6, 2)]);
-        for strat in
-            [BinningStrategy::Gbsa, BinningStrategy::EqualWidth, BinningStrategy::EqualDepth]
-        {
+        for strat in [
+            BinningStrategy::Gbsa,
+            BinningStrategy::EqualWidth,
+            BinningStrategy::EqualDepth,
+        ] {
             let map = build_group_bins(&[&f], 3, strat);
             assert_eq!(map.k(), 3, "{strat:?}");
             let bins = bins_of(&map, &[1, 2, 3, 4, 5, 6]);
@@ -298,7 +301,16 @@ mod tests {
         // Key B (FK): values 1..8, counts 1,1,1,1,100,100,100,100.
         // GBSA must separate the heavy B values from the light ones.
         let a: KeyFreq = (1..=8).map(|v| (v, 1u64)).collect();
-        let b = freq(&[(1, 1), (2, 1), (3, 1), (4, 1), (5, 100), (6, 100), (7, 100), (8, 100)]);
+        let b = freq(&[
+            (1, 1),
+            (2, 1),
+            (3, 1),
+            (4, 1),
+            (5, 100),
+            (6, 100),
+            (7, 100),
+            (8, 100),
+        ]);
         let map = build_group_bins(&[&a, &b], 4, BinningStrategy::Gbsa);
         // No bin mixes a count-1 and a count-100 value of B.
         let bins = bins_of(&map, &[1, 2, 3, 4, 5, 6, 7, 8]);
@@ -316,7 +328,16 @@ mod tests {
         // Zipf-ish counts over an interleaved domain: equal-width mixes
         // heavy and light values; GBSA should achieve lower total variance.
         let f: KeyFreq = (0..200)
-            .map(|v| (v, if v % 10 == 0 { 1000u64 } else { (v % 7 + 1) as u64 }))
+            .map(|v| {
+                (
+                    v,
+                    if v % 10 == 0 {
+                        1000u64
+                    } else {
+                        (v % 7 + 1) as u64
+                    },
+                )
+            })
             .collect();
         let domain: Vec<i64> = (0..200).collect();
         let var_of = |map: &KeyBinMap| -> f64 {
@@ -355,7 +376,10 @@ mod tests {
     #[test]
     fn budget_split_by_workload() {
         let weights: HashMap<usize, f64> = [(0, 3.0), (1, 1.0)].into_iter().collect();
-        let b = BinBudget::Workload { total: 200, weights };
+        let b = BinBudget::Workload {
+            total: 200,
+            weights,
+        };
         assert_eq!(b.bins_for(0, 2), 150);
         assert_eq!(b.bins_for(1, 2), 50);
         let u = BinBudget::Uniform(42);
@@ -372,5 +396,118 @@ mod tests {
         for v in [1, 2, 3] {
             assert!(map.bin_of(v) < 2);
         }
+    }
+
+    #[test]
+    fn bins_partition_domain_for_all_strategies_and_budgets() {
+        // Skewed frequency map: every domain value must land in exactly one
+        // bin below k, for every strategy and a sweep of budgets.
+        let f: KeyFreq = (0..97).map(|v| (v * 3, (1 + v % 13) as u64 * 7)).collect();
+        let domain: Vec<i64> = f.keys().copied().collect();
+        for strat in [
+            BinningStrategy::Gbsa,
+            BinningStrategy::EqualWidth,
+            BinningStrategy::EqualDepth,
+        ] {
+            for k in [1usize, 2, 5, 13, 64, 500] {
+                let map = build_group_bins(&[&f], k, strat);
+                assert!(map.k() <= k.max(1), "{strat:?} k={k}: produced {}", map.k());
+                assert!(
+                    map.k() <= domain.len(),
+                    "{strat:?} k={k}: more bins than values"
+                );
+                let mut per_bin = vec![0usize; map.k()];
+                for &v in &domain {
+                    let b = map.bin_of(v);
+                    assert!(
+                        b < map.k(),
+                        "{strat:?} k={k}: value {v} → bin {b} out of range"
+                    );
+                    per_bin[b] += 1;
+                }
+                let assigned: usize = per_bin.iter().sum();
+                assert_eq!(
+                    assigned,
+                    domain.len(),
+                    "{strat:?} k={k}: partition covers domain"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bin_counts_sum_to_table_cardinality() {
+        use crate::keystats::KeyStats;
+        // Per-bin totals under any binning must sum to the column's non-null
+        // cardinality: bins partition values, so no row is lost or counted
+        // twice.
+        let f: KeyFreq = (0..60)
+            .map(|v| {
+                (
+                    v,
+                    if v % 9 == 0 {
+                        500u64
+                    } else {
+                        (v % 5 + 1) as u64
+                    },
+                )
+            })
+            .collect();
+        let cardinality: u64 = f.values().sum();
+        for strat in [
+            BinningStrategy::Gbsa,
+            BinningStrategy::EqualWidth,
+            BinningStrategy::EqualDepth,
+        ] {
+            for k in [1usize, 4, 16, 60] {
+                let map = build_group_bins(&[&f], k, strat);
+                let stats = KeyStats::from_freq(f.clone(), &map);
+                assert_eq!(
+                    stats.total(),
+                    cardinality as f64,
+                    "{strat:?} k={k}: per-bin totals must sum to the cardinality"
+                );
+                // MFV dominates the mean but never exceeds the bin total.
+                for b in 0..map.k() {
+                    assert!(
+                        stats.bin_mfv[b] <= stats.bin_total[b],
+                        "{strat:?} k={k} bin {b}"
+                    );
+                    assert!(
+                        stats.bin_ndv[b] == 0.0 || stats.bin_mfv[b] >= 1.0,
+                        "{strat:?} k={k} bin {b}: non-empty bin needs an MFV"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_budget_floors_at_one_bin() {
+        // Zero/missing weights must still yield at least one bin per group,
+        // and heavily-weighted groups get proportionally more.
+        let weights: HashMap<usize, f64> = [(0, 0.0), (1, 1000.0)].into_iter().collect();
+        let b = BinBudget::Workload {
+            total: 100,
+            weights,
+        };
+        assert!(b.bins_for(0, 3) >= 1, "zero-weight group still binned");
+        assert!(b.bins_for(2, 3) >= 1, "missing-weight group still binned");
+        assert!(
+            b.bins_for(1, 3) > b.bins_for(2, 3),
+            "weighting is proportional"
+        );
+        let tiny = BinBudget::Workload {
+            total: 1,
+            weights: HashMap::new(),
+        };
+        for g in 0..4 {
+            assert_eq!(tiny.bins_for(g, 4).max(1), tiny.bins_for(g, 4));
+        }
+        assert_eq!(
+            BinBudget::Uniform(0).bins_for(0, 1),
+            1,
+            "uniform budget floors at 1"
+        );
     }
 }

@@ -37,16 +37,28 @@ impl Factor {
         let mut dists = BTreeMap::new();
         let mut mfvs = BTreeMap::new();
         for (v, d, m) in entries {
-            assert_eq!(d.len(), m.len(), "distribution/MFV length mismatch for var {v}");
+            assert_eq!(
+                d.len(),
+                m.len(),
+                "distribution/MFV length mismatch for var {v}"
+            );
             dists.insert(v, d);
             mfvs.insert(v, m);
         }
-        Factor { rows: rows.max(0.0), dists, mfvs }
+        Factor {
+            rows: rows.max(0.0),
+            dists,
+            mfvs,
+        }
     }
 
     /// A factor with no variables (single-table sub-plan).
     pub fn scalar(rows: f64) -> Self {
-        Factor { rows: rows.max(0.0), dists: BTreeMap::new(), mfvs: BTreeMap::new() }
+        Factor {
+            rows: rows.max(0.0),
+            dists: BTreeMap::new(),
+            mfvs: BTreeMap::new(),
+        }
     }
 
     /// Variable ids this factor carries.
@@ -69,8 +81,12 @@ impl Factor {
     /// still references it). Returns the joined factor, whose `rows` is the
     /// probabilistic cardinality bound of the join.
     pub fn join(&self, other: &Factor, keep: &dyn Fn(usize) -> bool) -> Factor {
-        let shared: Vec<usize> =
-            self.dists.keys().copied().filter(|v| other.dists.contains_key(v)).collect();
+        let shared: Vec<usize> = self
+            .dists
+            .keys()
+            .copied()
+            .filter(|v| other.dists.contains_key(v))
+            .collect();
         if shared.is_empty() {
             return self.cross_product(other, keep);
         }
@@ -95,8 +111,10 @@ impl Factor {
                 }
                 // MFV counts are ≥ 1 whenever the bin holds offline mass;
                 // estimated mass in an offline-empty bin assumes MFV 1.
-                let (va, vb) = (ma.get(i).copied().unwrap_or(1.0).max(1.0),
-                                mb.get(i).copied().unwrap_or(1.0).max(1.0));
+                let (va, vb) = (
+                    ma.get(i).copied().unwrap_or(1.0).max(1.0),
+                    mb.get(i).copied().unwrap_or(1.0).max(1.0),
+                );
                 // Eq. 5, with the always-valid cross-product cap.
                 bound[i] = (a * vb).min(b * va).min(a * b);
             }
@@ -153,14 +171,20 @@ impl Factor {
         let mult_for_2: f64 = shared.iter().map(|&v| max_mfv(&self.mfvs, v)).product();
         for (v, d) in d1 {
             if keep(v) {
-                let m = self.mfvs[&v].iter().map(|&x| x.max(1.0) * mult_for_1).collect();
+                let m = self.mfvs[&v]
+                    .iter()
+                    .map(|&x| x.max(1.0) * mult_for_1)
+                    .collect();
                 out.dists.insert(v, d);
                 out.mfvs.insert(v, m);
             }
         }
         for (v, d) in d2 {
             if keep(v) {
-                let m = other.mfvs[&v].iter().map(|&x| x.max(1.0) * mult_for_2).collect();
+                let m = other.mfvs[&v]
+                    .iter()
+                    .map(|&x| x.max(1.0) * mult_for_2)
+                    .collect();
                 out.dists.insert(v, d);
                 out.mfvs.insert(v, m);
             }
@@ -176,7 +200,10 @@ impl Factor {
                     out.dists.insert(v, d.iter().map(|&x| x * mult).collect());
                     out.mfvs.insert(
                         v,
-                        src.mfvs[&v].iter().map(|&x| x.max(1.0) * mult.max(1.0)).collect(),
+                        src.mfvs[&v]
+                            .iter()
+                            .map(|&x| x.max(1.0) * mult.max(1.0))
+                            .collect(),
                     );
                 }
             }
@@ -186,7 +213,11 @@ impl Factor {
 
     /// Approximate heap size in bytes.
     pub fn heap_bytes(&self) -> usize {
-        self.dists.values().chain(self.mfvs.values()).map(|v| v.len() * 8 + 32).sum()
+        self.dists
+            .values()
+            .chain(self.mfvs.values())
+            .map(|v| v.len() * 8 + 32)
+            .sum()
     }
 }
 
@@ -219,14 +250,8 @@ mod tests {
 
     #[test]
     fn multi_bin_bound_sums_bins() {
-        let a = Factor::base(
-            10.0,
-            vec![(0, vec![6.0, 4.0], vec![3.0, 2.0])],
-        );
-        let b = Factor::base(
-            9.0,
-            vec![(0, vec![3.0, 6.0], vec![1.0, 3.0])],
-        );
+        let a = Factor::base(10.0, vec![(0, vec![6.0, 4.0], vec![3.0, 2.0])]);
+        let b = Factor::base(9.0, vec![(0, vec![3.0, 6.0], vec![1.0, 3.0])]);
         let j = a.join(&b, &|_| false);
         // bin0: min(6·1, 3·3, 6·3) = 6; bin1: min(4·3, 6·2, 4·6) = 12.
         assert_eq!(j.rows, 18.0);
@@ -276,7 +301,10 @@ mod tests {
     fn join_is_symmetric_in_rows() {
         let a = Factor::base(
             12.0,
-            vec![(0, vec![5.0, 7.0], vec![3.0, 4.0]), (1, vec![12.0], vec![5.0])],
+            vec![
+                (0, vec![5.0, 7.0], vec![3.0, 4.0]),
+                (1, vec![12.0], vec![5.0]),
+            ],
         );
         let b = Factor::base(6.0, vec![(0, vec![2.0, 4.0], vec![1.0, 2.0])]);
         let ab = a.join(&b, &|_| true);

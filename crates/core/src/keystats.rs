@@ -50,7 +50,12 @@ impl KeyStats {
                 bin_mfv[b] = c as f64;
             }
         }
-        KeyStats { bin_total, bin_mfv, bin_ndv, freq }
+        KeyStats {
+            bin_total,
+            bin_mfv,
+            bin_ndv,
+            freq,
+        }
     }
 
     /// Number of bins.
@@ -66,13 +71,7 @@ impl KeyStats {
     /// Incorporates the new rows `first_new_row..` of `table`'s column
     /// `ci`, updating frequencies, totals, NDV, and MFV counts. New values
     /// are adopted into their fallback bin of `bins`.
-    pub fn insert(
-        &mut self,
-        table: &Table,
-        ci: usize,
-        first_new_row: usize,
-        bins: &mut KeyBinMap,
-    ) {
+    pub fn insert(&mut self, table: &Table, ci: usize, first_new_row: usize, bins: &mut KeyBinMap) {
         let column = table.column(ci);
         for r in first_new_row..table.nrows() {
             if let Some(v) = column.key_at(r) {
@@ -149,7 +148,7 @@ mod tests {
         // Figure 5: A.id counts a:8, b:4, c:1, f:3 in bin1 → MFV 8, total 16.
         let mut values = Vec::new();
         for (v, c) in [(1i64, 8), (2, 4), (3, 1), (4, 3)] {
-            values.extend(std::iter::repeat(Some(v)).take(c));
+            values.extend(std::iter::repeat_n(Some(v), c));
         }
         let t = column(&values);
         let map: HashMap<i64, u32> = [(1, 0), (2, 0), (3, 0), (4, 0)].into_iter().collect();

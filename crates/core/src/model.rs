@@ -5,8 +5,8 @@ use crate::factor::Factor;
 use crate::keystats::KeyStats;
 use fj_query::{connected_subplans, Query, QueryGraph, SubplanMask};
 use fj_stats::{
-    BaseTableEstimator, BayesNetEstimator, BnConfig, ExactEstimator, KeyBinMap,
-    SamplingEstimator, TableBins,
+    BaseTableEstimator, BayesNetEstimator, BnConfig, ExactEstimator, KeyBinMap, SamplingEstimator,
+    TableBins,
 };
 use fj_storage::{Catalog, KeyRef, Table, TableSchema};
 use std::collections::HashMap;
@@ -89,7 +89,10 @@ impl FactorJoinModel {
         for g in &groups {
             for kr in &g.keys {
                 let table = catalog.table(&kr.table).expect("group keys exist");
-                let ci = table.schema().index_of(&kr.column).expect("group keys exist");
+                let ci = table
+                    .schema()
+                    .index_of(&kr.column)
+                    .expect("group keys exist");
                 let col = table.column(ci);
                 let mut f = KeyFreq::default();
                 for r in 0..col.len() {
@@ -113,8 +116,7 @@ impl FactorJoinModel {
             bins_per_group.push(bins.k());
             for kr in &g.keys {
                 group_of.insert(kr.clone(), g.id);
-                key_stats
-                    .insert(kr.clone(), KeyStats::from_freq(freqs[kr].clone(), &bins));
+                key_stats.insert(kr.clone(), KeyStats::from_freq(freqs[kr].clone(), &bins));
             }
             group_bins.push(bins);
         }
@@ -130,7 +132,10 @@ impl FactorJoinModel {
         let mut estimators: HashMap<String, Box<dyn BaseTableEstimator>> = HashMap::new();
         let mut schemas = HashMap::new();
         for table in catalog.tables() {
-            let bins = table_bins.entry(table.name().to_string()).or_default().clone();
+            let bins = table_bins
+                .entry(table.name().to_string())
+                .or_default()
+                .clone();
             estimators.insert(
                 table.name().to_string(),
                 build_estimator(&config.estimator, table, &bins, config.seed),
@@ -208,7 +213,10 @@ impl FactorJoinModel {
         let mut estimators: HashMap<String, Box<dyn BaseTableEstimator>> = HashMap::new();
         let mut schemas = HashMap::new();
         for table in catalog.tables() {
-            let bins = table_bins.entry(table.name().to_string()).or_default().clone();
+            let bins = table_bins
+                .entry(table.name().to_string())
+                .or_default()
+                .clone();
             estimators.insert(
                 table.name().to_string(),
                 build_estimator(&config.estimator, table, &bins, config.seed),
@@ -264,8 +272,10 @@ impl FactorJoinModel {
 
         // Distinct key columns of this alias, with their variables.
         let keys = graph.alias_keys(alias);
-        let col_names: Vec<String> =
-            keys.iter().map(|&(c, _)| schema.column(c).name.clone()).collect();
+        let col_names: Vec<String> = keys
+            .iter()
+            .map(|&(c, _)| schema.column(c).name.clone())
+            .collect();
         let name_refs: Vec<&str> = col_names.iter().map(String::as_str).collect();
         let profile = est.profile(query.filter(alias), &name_refs);
 
@@ -296,8 +306,10 @@ impl FactorJoinModel {
                 }
             }
         }
-        let entries =
-            per_var.into_iter().map(|(v, (d, m))| (v, d, m)).collect::<Vec<_>>();
+        let entries = per_var
+            .into_iter()
+            .map(|(v, (d, m))| (v, d, m))
+            .collect::<Vec<_>>();
         Factor::base(profile.rows, entries)
     }
 
@@ -311,18 +323,19 @@ impl FactorJoinModel {
         }
         let graph = QueryGraph::analyze(query);
         if n == 1 {
-            return self.estimators[&query.tables()[0].table]
-                .estimate_filter(query.filter(0));
+            return self.estimators[&query.tables()[0].table].estimate_filter(query.filter(0));
         }
-        let factors: Vec<Factor> =
-            (0..n).map(|i| self.base_factor(query, &graph, i)).collect();
+        let factors: Vec<Factor> = (0..n).map(|i| self.base_factor(query, &graph, i)).collect();
 
         // Fold smallest-first along adjacency, eliminating variables whose
         // member aliases are all joined.
         let mut joined: u64 = 0;
         let order_start = (0..n)
             .min_by(|&a, &b| {
-                factors[a].rows.partial_cmp(&factors[b].rows).expect("rows are finite")
+                factors[a]
+                    .rows
+                    .partial_cmp(&factors[b].rows)
+                    .expect("rows are finite")
             })
             .expect("non-empty query");
         joined |= 1 << order_start;
@@ -331,8 +344,7 @@ impl FactorJoinModel {
             let next = (0..n)
                 .filter(|&i| joined & (1 << i) == 0)
                 .min_by_key(|&i| {
-                    let adjacent =
-                        graph.neighbors(i).iter().any(|&nb| joined & (1 << nb) != 0);
+                    let adjacent = graph.neighbors(i).iter().any(|&nb| joined & (1 << nb) != 0);
                     (!adjacent, factors[i].rows as i64)
                 })
                 .expect("remaining alias exists");
@@ -356,11 +368,7 @@ impl FactorJoinModel {
     /// least `min_size` aliases (paper §5.2): each sub-plan is one factor
     /// join away from a cached smaller sub-plan, so the whole set costs
     /// little more than the final query alone.
-    pub fn estimate_subplans(
-        &self,
-        query: &Query,
-        min_size: u32,
-    ) -> Vec<(SubplanMask, f64)> {
+    pub fn estimate_subplans(&self, query: &Query, min_size: u32) -> Vec<(SubplanMask, f64)> {
         let n = query.num_tables();
         let graph = QueryGraph::analyze(query);
         let masks = connected_subplans(query, 1);
@@ -385,8 +393,8 @@ impl FactorJoinModel {
                         .iter()
                         .any(|cr| mask & (1 << cr.alias) == 0)
                 };
-                let joined = cache[&rest]
-                    .join(base[alias].as_ref().expect("singletons come first"), &keep);
+                let joined =
+                    cache[&rest].join(base[alias].as_ref().expect("singletons come first"), &keep);
                 out.push((mask, joined.rows));
                 cache.insert(mask, joined);
             }
@@ -408,7 +416,10 @@ impl FactorJoinModel {
             .cloned()
             .collect();
         for kr in keys {
-            let ci = table.schema().index_of(&kr.column).expect("schema unchanged");
+            let ci = table
+                .schema()
+                .index_of(&kr.column)
+                .expect("schema unchanged");
             let gid = self.group_of[&kr];
             // Adopt new values into the group map so the per-key stats and
             // the estimator bins agree on fallback assignments.
@@ -448,9 +459,7 @@ fn build_estimator(
     seed: u64,
 ) -> Box<dyn BaseTableEstimator> {
     match kind {
-        BaseEstimatorKind::BayesNet(cfg) => {
-            Box::new(BayesNetEstimator::build(table, bins, *cfg))
-        }
+        BaseEstimatorKind::BayesNet(cfg) => Box::new(BayesNetEstimator::build(table, bins, *cfg)),
         BaseEstimatorKind::Sampling { rate } => {
             Box::new(SamplingEstimator::build(table, bins, *rate, seed))
         }
@@ -466,7 +475,10 @@ mod tests {
     use fj_query::parse_query;
 
     fn tiny_catalog() -> Catalog {
-        stats_catalog(&StatsConfig { scale: 0.05, ..Default::default() })
+        stats_catalog(&StatsConfig {
+            scale: 0.05,
+            ..Default::default()
+        })
     }
 
     fn truescan_config(k: usize) -> FactorJoinConfig {
@@ -607,7 +619,10 @@ mod tests {
         .unwrap();
         let bound = model.estimate(&q);
         let truth = TrueCardEngine::new(&cat, &q).full_cardinality();
-        assert!(bound >= truth * 0.999, "self-join bound {bound} < truth {truth}");
+        assert!(
+            bound >= truth * 0.999,
+            "self-join bound {bound} < truth {truth}"
+        );
         // Cyclic: two join conditions between the same pair of aliases.
         let q2 = parse_query(
             &cat,
@@ -635,7 +650,10 @@ mod tests {
         ] {
             let model = FactorJoinModel::train(
                 &cat,
-                FactorJoinConfig { estimator: kind, ..truescan_config(50) },
+                FactorJoinConfig {
+                    estimator: kind,
+                    ..truescan_config(50)
+                },
             );
             let est = model.estimate(&q);
             let q_err = (est.max(1.0) / truth.max(1.0)).max(truth.max(1.0) / est.max(1.0));
@@ -649,7 +667,10 @@ mod tests {
     #[test]
     fn incremental_insert_tracks_growth() {
         use fj_datagen::stats_catalog_split_by_date;
-        let cfg = StatsConfig { scale: 0.05, ..Default::default() };
+        let cfg = StatsConfig {
+            scale: 0.05,
+            ..Default::default()
+        };
         let (mut base, inserts) = stats_catalog_split_by_date(&cfg, 1825);
         let mut model = FactorJoinModel::train(&base, truescan_config(30));
         let q = parse_query(
@@ -686,6 +707,9 @@ mod tests {
             count += model.estimate_subplans(q, 1).len();
         }
         let per_sec = count as f64 / start.elapsed().as_secs_f64();
-        assert!(per_sec > 200.0, "only {per_sec:.0} sub-plans/s (debug build)");
+        assert!(
+            per_sec > 200.0,
+            "only {per_sec:.0} sub-plans/s (debug build)"
+        );
     }
 }

@@ -8,18 +8,23 @@
 //! reproducibility matters (bin selection is the expensive, data-dependent
 //! step, and incremental updates must keep bins fixed, §4.3).
 
-use crate::binning::BinningStrategy;
+use crate::binning::{BinningStrategy, KeyFreq};
 use crate::keystats::KeyStats;
 use crate::model::{BaseEstimatorKind, FactorJoinConfig, FactorJoinModel};
 use fj_stats::{BnConfig, KeyBinMap};
 use fj_storage::{Catalog, KeyRef};
-use serde::{Deserialize, Serialize};
+use serde_json::Value;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 
 /// On-disk representation of a trained model's statistics.
-#[derive(Debug, Serialize, Deserialize)]
+///
+/// The JSON mapping is hand-rolled against [`serde_json::Value`] (the
+/// vendored serde derives are no-ops, see `vendor/README.md`): integers
+/// keyed maps are stored as sorted `[key, value]` pair arrays so the output
+/// is deterministic and stays valid JSON.
+#[derive(Debug)]
 pub struct SavedModel {
     /// Format version.
     pub version: u32,
@@ -35,6 +40,202 @@ pub struct SavedModel {
     pub group_of: HashMap<String, usize>,
     /// Join key → per-bin statistics.
     pub key_stats: HashMap<String, KeyStats>,
+}
+
+// ------------------------------------------------------- JSON conversion
+
+fn err(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+fn binmap_to_json(b: &KeyBinMap) -> Value {
+    let mut pairs: Vec<(i64, u32)> = b.entries().collect();
+    pairs.sort_unstable();
+    Value::object([
+        ("k".to_string(), Value::from(b.k())),
+        (
+            "map".to_string(),
+            Value::Array(
+                pairs
+                    .into_iter()
+                    .map(|(v, bin)| Value::Array(vec![Value::from(v), Value::from(bin)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn binmap_from_json(v: &Value) -> std::io::Result<KeyBinMap> {
+    let k = v["k"].as_u64().ok_or_else(|| err("bin map: bad k"))? as usize;
+    let mut map = HashMap::new();
+    for pair in v["map"].as_array().ok_or_else(|| err("bin map: bad map"))? {
+        let key = pair[0].as_i64().ok_or_else(|| err("bin map: bad key"))?;
+        let bin = pair[1].as_u64().ok_or_else(|| err("bin map: bad bin"))? as u32;
+        if bin as usize >= k.max(1) {
+            return Err(err(format!("bin map: bin {bin} out of range for k={k}")));
+        }
+        map.insert(key, bin);
+    }
+    if k == 0 {
+        return Err(err("bin map: k must be positive"));
+    }
+    Ok(KeyBinMap::new(k, map))
+}
+
+fn f64s_to_json(xs: &[f64]) -> Value {
+    Value::Array(xs.iter().map(|&x| Value::from(x)).collect())
+}
+
+fn f64s_from_json(v: &Value) -> std::io::Result<Vec<f64>> {
+    v.as_array()
+        .ok_or_else(|| err("expected number array"))?
+        .iter()
+        .map(|x| x.as_f64().ok_or_else(|| err("expected number")))
+        .collect()
+}
+
+fn keystats_to_json(s: &KeyStats) -> Value {
+    let mut freq: Vec<(i64, u64)> = s.freq.iter().map(|(&v, &c)| (v, c)).collect();
+    freq.sort_unstable();
+    Value::object([
+        ("bin_total".to_string(), f64s_to_json(&s.bin_total)),
+        ("bin_mfv".to_string(), f64s_to_json(&s.bin_mfv)),
+        ("bin_ndv".to_string(), f64s_to_json(&s.bin_ndv)),
+        (
+            "freq".to_string(),
+            Value::Array(
+                freq.into_iter()
+                    .map(|(v, c)| Value::Array(vec![Value::from(v), Value::from(c)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn keystats_from_json(v: &Value) -> std::io::Result<KeyStats> {
+    let mut freq = KeyFreq::default();
+    for pair in v["freq"]
+        .as_array()
+        .ok_or_else(|| err("key stats: bad freq"))?
+    {
+        let value = pair[0]
+            .as_i64()
+            .ok_or_else(|| err("key stats: bad freq key"))?;
+        let count = pair[1]
+            .as_u64()
+            .ok_or_else(|| err("key stats: bad freq count"))?;
+        freq.insert(value, count);
+    }
+    Ok(KeyStats {
+        bin_total: f64s_from_json(&v["bin_total"])?,
+        bin_mfv: f64s_from_json(&v["bin_mfv"])?,
+        bin_ndv: f64s_from_json(&v["bin_ndv"])?,
+        freq,
+    })
+}
+
+fn saved_to_json(saved: &SavedModel) -> Value {
+    Value::object([
+        ("version".to_string(), Value::from(saved.version)),
+        ("strategy".to_string(), Value::from(saved.strategy.clone())),
+        (
+            "estimator".to_string(),
+            Value::from(saved.estimator.clone()),
+        ),
+        ("seed".to_string(), Value::from(saved.seed)),
+        (
+            "group_bins".to_string(),
+            Value::Array(saved.group_bins.iter().map(binmap_to_json).collect()),
+        ),
+        (
+            "group_of".to_string(),
+            Value::object(
+                saved
+                    .group_of
+                    .iter()
+                    .map(|(k, &g)| (k.clone(), Value::from(g))),
+            ),
+        ),
+        (
+            "key_stats".to_string(),
+            Value::object(
+                saved
+                    .key_stats
+                    .iter()
+                    .map(|(k, s)| (k.clone(), keystats_to_json(s))),
+            ),
+        ),
+    ])
+}
+
+fn saved_from_json(v: &Value) -> std::io::Result<SavedModel> {
+    let version = v["version"]
+        .as_u64()
+        .ok_or_else(|| err("missing version"))? as u32;
+    if version != 1 {
+        return Err(err(format!("unsupported model format version {version}")));
+    }
+    let strategy = v["strategy"]
+        .as_str()
+        .ok_or_else(|| err("missing strategy"))?
+        .to_string();
+    let estimator = v["estimator"]
+        .as_str()
+        .ok_or_else(|| err("missing estimator"))?
+        .to_string();
+    let seed = v["seed"].as_u64().ok_or_else(|| err("missing seed"))?;
+    let group_bins = v["group_bins"]
+        .as_array()
+        .ok_or_else(|| err("missing group_bins"))?
+        .iter()
+        .map(binmap_from_json)
+        .collect::<std::io::Result<Vec<_>>>()?;
+    let mut group_of = HashMap::new();
+    for (k, g) in v["group_of"]
+        .as_object()
+        .ok_or_else(|| err("missing group_of"))?
+    {
+        let gid = g.as_u64().ok_or_else(|| err("group_of: bad group id"))? as usize;
+        if gid >= group_bins.len() {
+            return Err(err(format!("group_of: group {gid} has no bin map")));
+        }
+        group_of.insert(k.clone(), gid);
+    }
+    let mut key_stats = HashMap::new();
+    for (k, s) in v["key_stats"]
+        .as_object()
+        .ok_or_else(|| err("missing key_stats"))?
+    {
+        let stats = keystats_from_json(s)?;
+        // Per-bin vectors must agree with each other and with the bin count
+        // of the key's group, or estimation would index out of bounds later.
+        if stats.bin_mfv.len() != stats.bin_total.len()
+            || stats.bin_ndv.len() != stats.bin_total.len()
+        {
+            return Err(err(format!(
+                "key stats {k:?}: per-bin vectors disagree in length"
+            )));
+        }
+        if let Some(&gid) = group_of.get(k) {
+            let expect = group_bins[gid].k();
+            if stats.k() != expect {
+                return Err(err(format!(
+                    "key stats {k:?}: {} bins but group {gid} has {expect}",
+                    stats.k()
+                )));
+            }
+        }
+        key_stats.insert(k.clone(), stats);
+    }
+    Ok(SavedModel {
+        version,
+        strategy,
+        estimator,
+        seed,
+        group_bins,
+        group_of,
+        key_stats,
+    })
 }
 
 fn key_to_string(k: &KeyRef) -> String {
@@ -59,13 +260,14 @@ pub fn save_model(model: &FactorJoinModel, path: &Path) -> std::io::Result<()> {
     let mut key_stats = HashMap::new();
     let mut max_gid = 0usize;
     for (kr, stats) in model.iter_key_stats() {
-        let gid = model.group_of(kr).expect("stats exist only for grouped keys");
+        let gid = model
+            .group_of(kr)
+            .expect("stats exist only for grouped keys");
         max_gid = max_gid.max(gid);
         group_of.insert(key_to_string(kr), gid);
         key_stats.insert(key_to_string(kr), stats.clone());
     }
-    let group_bins: Vec<KeyBinMap> =
-        (0..=max_gid).map(|g| model.group_bins(g).clone()).collect();
+    let group_bins: Vec<KeyBinMap> = (0..=max_gid).map(|g| model.group_bins(g).clone()).collect();
     let saved = SavedModel {
         version: 1,
         strategy: strategy.to_string(),
@@ -77,7 +279,7 @@ pub fn save_model(model: &FactorJoinModel, path: &Path) -> std::io::Result<()> {
     };
     let file = std::fs::File::create(path)?;
     let mut w = BufWriter::new(file);
-    serde_json::to_writer(&mut w, &saved)?;
+    serde_json::to_writer(&mut w, &saved_to_json(&saved))?;
     w.flush()
 }
 
@@ -88,13 +290,15 @@ pub fn save_model(model: &FactorJoinModel, path: &Path) -> std::io::Result<()> {
 /// and key statistics are restored verbatim).
 pub fn load_model(path: &Path, catalog: &Catalog) -> std::io::Result<FactorJoinModel> {
     let file = std::fs::File::open(path)?;
-    let saved: SavedModel = serde_json::from_reader(BufReader::new(file))?;
+    let saved = saved_from_json(&serde_json::from_reader(BufReader::new(file))?)?;
     let estimator = if saved.estimator == "bayesnet" {
         BaseEstimatorKind::BayesNet(BnConfig::default())
     } else if saved.estimator == "truescan" {
         BaseEstimatorKind::TrueScan
     } else if let Some(rate) = saved.estimator.strip_prefix("sampling:") {
-        BaseEstimatorKind::Sampling { rate: rate.parse().unwrap_or(0.01) }
+        BaseEstimatorKind::Sampling {
+            rate: rate.parse().unwrap_or(0.01),
+        }
     } else {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
@@ -150,7 +354,10 @@ mod tests {
 
     #[test]
     fn save_load_roundtrip_preserves_estimates() {
-        let cat = stats_catalog(&StatsConfig { scale: 0.05, ..Default::default() });
+        let cat = stats_catalog(&StatsConfig {
+            scale: 0.05,
+            ..Default::default()
+        });
         let cfg = FactorJoinConfig {
             bin_budget: BinBudget::Uniform(20),
             estimator: BaseEstimatorKind::TrueScan,
@@ -180,14 +387,20 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.json");
         std::fs::write(&path, b"{not json").unwrap();
-        let cat = stats_catalog(&StatsConfig { scale: 0.02, ..Default::default() });
+        let cat = stats_catalog(&StatsConfig {
+            scale: 0.02,
+            ..Default::default()
+        });
         assert!(load_model(&path, &cat).is_err());
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn saved_file_is_json_with_version() {
-        let cat = stats_catalog(&StatsConfig { scale: 0.02, ..Default::default() });
+        let cat = stats_catalog(&StatsConfig {
+            scale: 0.02,
+            ..Default::default()
+        });
         let model = FactorJoinModel::train(
             &cat,
             FactorJoinConfig {

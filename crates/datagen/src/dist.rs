@@ -115,9 +115,17 @@ mod tests {
         let mut freqs: Vec<usize> = counts.values().copied().collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));
         // Top value should dominate: far above the uniform expectation of 20.
-        assert!(freqs[0] > 1000, "zipf(1.0) top frequency {} too small", freqs[0]);
+        assert!(
+            freqs[0] > 1000,
+            "zipf(1.0) top frequency {} too small",
+            freqs[0]
+        );
         // But the tail should still exist.
-        assert!(counts.len() > 100, "domain coverage too small: {}", counts.len());
+        assert!(
+            counts.len() > 100,
+            "domain coverage too small: {}",
+            counts.len()
+        );
     }
 
     #[test]
@@ -130,7 +138,10 @@ mod tests {
         }
         let max = *counts.values().max().unwrap();
         let min = *counts.values().min().unwrap();
-        assert!(max < min * 3, "uniform-ish expected, got max={max} min={min}");
+        assert!(
+            max < min * 3,
+            "uniform-ish expected, got max={max} min={min}"
+        );
     }
 
     #[test]
@@ -157,7 +168,13 @@ mod tests {
     #[test]
     fn correlated_attribute_tracks_driver() {
         let mut rng = StdRng::seed_from_u64(1);
-        let c = CorrelatedInt { base: 0.0, slope: 10.0, noise: 5.0, min: 0, max: 2000 };
+        let c = CorrelatedInt {
+            base: 0.0,
+            slope: 10.0,
+            noise: 5.0,
+            min: 0,
+            max: 2000,
+        };
         // Same driver → tightly clustered values; different drivers → spread.
         let same: Vec<i64> = (0..200).map(|_| c.sample(&mut rng, 77)).collect();
         let spread = same.iter().max().unwrap() - same.iter().min().unwrap();
@@ -173,7 +190,13 @@ mod tests {
     #[test]
     fn clamping_applies() {
         let mut rng = StdRng::seed_from_u64(1);
-        let c = CorrelatedInt { base: 0.0, slope: 100.0, noise: 0.0, min: 0, max: 50 };
+        let c = CorrelatedInt {
+            base: 0.0,
+            slope: 100.0,
+            noise: 0.0,
+            min: 0,
+            max: 50,
+        };
         for d in 0..100 {
             let v = c.sample(&mut rng, d);
             assert!((0..=50).contains(&v));

@@ -32,14 +32,22 @@ pub struct ImdbConfig {
 
 impl Default for ImdbConfig {
     fn default() -> Self {
-        ImdbConfig { scale: 1.0, seed: 1337, movie_skew: 1.0, person_skew: 0.9 }
+        ImdbConfig {
+            scale: 1.0,
+            seed: 1337,
+            movie_skew: 1.0,
+            person_skew: 0.9,
+        }
     }
 }
 
 impl ImdbConfig {
     /// A small configuration for unit tests (≈ 9k rows).
     pub fn tiny() -> Self {
-        ImdbConfig { scale: 0.1, ..Default::default() }
+        ImdbConfig {
+            scale: 0.1,
+            ..Default::default()
+        }
     }
 
     fn n(&self, base: usize) -> usize {
@@ -55,7 +63,10 @@ fn dim_table(name: &str, text_col: &str, n: usize, rng: &mut StdRng) -> Table {
     ]);
     let rows: Vec<Vec<Value>> = (1..=n as i64)
         .map(|id| {
-            vec![Value::Int(id), Value::Str(format!("{}_{id}", text::keyword(rng)))]
+            vec![
+                Value::Int(id),
+                Value::Str(format!("{}_{id}", text::keyword(rng))),
+            ]
         })
         .collect();
     Table::from_rows(name, schema, &rows).expect("valid rows")
@@ -93,7 +104,8 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
         ("link_type", "link", N_LINK),
         ("comp_cast_type", "kind", N_CCT),
     ] {
-        cat.add_table(dim_table(name, col, n, &mut rng)).expect("fresh catalog");
+        cat.add_table(dim_table(name, col, n, &mut rng))
+            .expect("fresh catalog");
     }
 
     // --------------------------------------------------------------- title
@@ -111,10 +123,8 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
                 // correlating year filters with the movie key domain.
                 let base_year = 1930 + (id * 90 / n_title as i64);
                 let year = (base_year + rng.gen_range(-5..=5)).clamp(1900, 2023);
-                let kind = 1 + weighted_choice(
-                    &mut rng,
-                    &[10.0, 2.0, 1.0, 5.0, 0.5, 0.5, 0.5],
-                ) as i64;
+                let kind =
+                    1 + weighted_choice(&mut rng, &[10.0, 2.0, 1.0, 5.0, 0.5, 0.5, 0.5]) as i64;
                 let episode = if kind == 4 {
                     Value::Int(rng.gen_range(1..500))
                 } else {
@@ -147,7 +157,11 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
                     1 => Value::Str("f".into()),
                     _ => Value::Null,
                 };
-                vec![Value::Int(id), Value::Str(text::person_name(&mut rng)), gender]
+                vec![
+                    Value::Int(id),
+                    Value::Str(text::person_name(&mut rng)),
+                    gender,
+                ]
             })
             .collect();
         cat.add_table(Table::from_rows("name", schema, &rows).expect("valid rows"))
@@ -156,8 +170,10 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
 
     // ----------------------------------------------------------- char_name
     {
-        let schema =
-            TableSchema::new(vec![ColumnDef::key("id"), ColumnDef::new("name", DataType::Str)]);
+        let schema = TableSchema::new(vec![
+            ColumnDef::key("id"),
+            ColumnDef::new("name", DataType::Str),
+        ]);
         let rows: Vec<Vec<Value>> = (1..=n_char as i64)
             .map(|id| vec![Value::Int(id), Value::Str(text::person_name(&mut rng))])
             .collect();
@@ -266,40 +282,56 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
     }
 
     // movie_info / movie_info_idx / person_info share a shape.
-    let info_fact = |name: &str,
-                     n: usize,
-                     key_col: &str,
-                     keys: &ZipfKeys,
-                     rng: &mut StdRng|
-     -> Table {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key(key_col),
-            ColumnDef::key("info_type_id"),
-            ColumnDef::new("info", DataType::Str),
-        ]);
-        let rows: Vec<Vec<Value>> = (1..=n as i64)
-            .map(|id| {
-                // Info-type skew: a handful of types dominate, as in IMDB.
-                let itype = 1 + (crate::dist::mix64(rng.gen::<u64>()) % 113).min(
-                    if rng.gen_bool(0.7) { 7 } else { 112 },
-                ) as i64;
-                vec![
-                    Value::Int(id),
-                    Value::Int(keys.sample(rng)),
-                    Value::Int(itype),
-                    Value::Str(text::info_text(rng)),
-                ]
-            })
-            .collect();
-        Table::from_rows(name, schema, &rows).expect("valid rows")
-    };
-    cat.add_table(info_fact("movie_info", cfg.n(12_000), "movie_id", &movie_keys, &mut rng))
-        .expect("fresh catalog");
-    cat.add_table(info_fact("movie_info_idx", cfg.n(5000), "movie_id", &movie_keys, &mut rng))
-        .expect("fresh catalog");
-    cat.add_table(info_fact("person_info", cfg.n(6000), "person_id", &person_keys, &mut rng))
-        .expect("fresh catalog");
+    let info_fact =
+        |name: &str, n: usize, key_col: &str, keys: &ZipfKeys, rng: &mut StdRng| -> Table {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::key(key_col),
+                ColumnDef::key("info_type_id"),
+                ColumnDef::new("info", DataType::Str),
+            ]);
+            let rows: Vec<Vec<Value>> =
+                (1..=n as i64)
+                    .map(|id| {
+                        // Info-type skew: a handful of types dominate, as in IMDB.
+                        let itype = 1
+                            + (crate::dist::mix64(rng.gen::<u64>()) % 113)
+                                .min(if rng.gen_bool(0.7) { 7 } else { 112 })
+                                as i64;
+                        vec![
+                            Value::Int(id),
+                            Value::Int(keys.sample(rng)),
+                            Value::Int(itype),
+                            Value::Str(text::info_text(rng)),
+                        ]
+                    })
+                    .collect();
+            Table::from_rows(name, schema, &rows).expect("valid rows")
+        };
+    cat.add_table(info_fact(
+        "movie_info",
+        cfg.n(12_000),
+        "movie_id",
+        &movie_keys,
+        &mut rng,
+    ))
+    .expect("fresh catalog");
+    cat.add_table(info_fact(
+        "movie_info_idx",
+        cfg.n(5000),
+        "movie_id",
+        &movie_keys,
+        &mut rng,
+    ))
+    .expect("fresh catalog");
+    cat.add_table(info_fact(
+        "person_info",
+        cfg.n(6000),
+        "person_id",
+        &person_keys,
+        &mut rng,
+    ))
+    .expect("fresh catalog");
 
     // movie_keyword(id, movie_id, keyword_id)
     {
@@ -421,29 +453,43 @@ fn declare_relations(cat: &mut Catalog) {
         ("movie_link", "linked_movie_id"),
     ];
     for (t, c) in movie_fks {
-        cat.relate("title", "id", t, c).expect("schema declares join keys");
+        cat.relate("title", "id", t, c)
+            .expect("schema declares join keys");
     }
-    for (t, c) in
-        [("cast_info", "person_id"), ("aka_name", "person_id"), ("person_info", "person_id")]
-    {
-        cat.relate("name", "id", t, c).expect("schema declares join keys");
+    for (t, c) in [
+        ("cast_info", "person_id"),
+        ("aka_name", "person_id"),
+        ("person_info", "person_id"),
+    ] {
+        cat.relate("name", "id", t, c)
+            .expect("schema declares join keys");
     }
     for (t, c) in [
         ("movie_info", "info_type_id"),
         ("movie_info_idx", "info_type_id"),
         ("person_info", "info_type_id"),
     ] {
-        cat.relate("info_type", "id", t, c).expect("schema declares join keys");
+        cat.relate("info_type", "id", t, c)
+            .expect("schema declares join keys");
     }
-    cat.relate("kind_type", "id", "title", "kind_id").expect("join keys");
-    cat.relate("company_name", "id", "movie_companies", "company_id").expect("join keys");
-    cat.relate("company_type", "id", "movie_companies", "company_type_id").expect("join keys");
-    cat.relate("keyword", "id", "movie_keyword", "keyword_id").expect("join keys");
-    cat.relate("role_type", "id", "cast_info", "role_id").expect("join keys");
-    cat.relate("char_name", "id", "cast_info", "person_role_id").expect("join keys");
-    cat.relate("comp_cast_type", "id", "complete_cast", "subject_id").expect("join keys");
-    cat.relate("comp_cast_type", "id", "complete_cast", "status_id").expect("join keys");
-    cat.relate("link_type", "id", "movie_link", "link_type_id").expect("join keys");
+    cat.relate("kind_type", "id", "title", "kind_id")
+        .expect("join keys");
+    cat.relate("company_name", "id", "movie_companies", "company_id")
+        .expect("join keys");
+    cat.relate("company_type", "id", "movie_companies", "company_type_id")
+        .expect("join keys");
+    cat.relate("keyword", "id", "movie_keyword", "keyword_id")
+        .expect("join keys");
+    cat.relate("role_type", "id", "cast_info", "role_id")
+        .expect("join keys");
+    cat.relate("char_name", "id", "cast_info", "person_role_id")
+        .expect("join keys");
+    cat.relate("comp_cast_type", "id", "complete_cast", "subject_id")
+        .expect("join keys");
+    cat.relate("comp_cast_type", "id", "complete_cast", "status_id")
+        .expect("join keys");
+    cat.relate("link_type", "id", "movie_link", "link_type_id")
+        .expect("join keys");
 }
 
 #[cfg(test)]
@@ -454,7 +500,11 @@ mod tests {
     fn schema_shape_matches_paper() {
         let cat = imdb_catalog(&ImdbConfig::tiny());
         assert_eq!(cat.num_tables(), 21, "21 tables as in Table 2");
-        assert_eq!(cat.equivalent_key_groups().len(), 11, "11 key groups as in Table 2");
+        assert_eq!(
+            cat.equivalent_key_groups().len(),
+            11,
+            "11 key groups as in Table 2"
+        );
         // 35 join keys (paper reports 36; title.id serving many FKs counts once here).
         assert_eq!(cat.join_keys().len(), 35);
     }
@@ -465,7 +515,11 @@ mod tests {
         let groups = cat.equivalent_key_groups();
         let movie_group = groups
             .iter()
-            .find(|g| g.keys.iter().any(|k| k.table == "title" && k.column == "id"))
+            .find(|g| {
+                g.keys
+                    .iter()
+                    .any(|k| k.table == "title" && k.column == "id")
+            })
             .expect("movie group exists");
         assert!(movie_group
             .keys
@@ -482,7 +536,12 @@ mod tests {
             let u = b.table(t.name()).unwrap();
             assert_eq!(t.nrows(), u.nrows());
             if t.nrows() > 0 {
-                assert_eq!(t.row(t.nrows() / 2), u.row(u.nrows() / 2), "table {}", t.name());
+                assert_eq!(
+                    t.row(t.nrows() / 2),
+                    u.row(u.nrows() / 2),
+                    "table {}",
+                    t.name()
+                );
             }
         }
     }
@@ -509,7 +568,10 @@ mod tests {
     #[test]
     fn dimension_tables_are_small_and_fixed() {
         let small = imdb_catalog(&ImdbConfig::tiny());
-        let big = imdb_catalog(&ImdbConfig { scale: 0.5, ..Default::default() });
+        let big = imdb_catalog(&ImdbConfig {
+            scale: 0.5,
+            ..Default::default()
+        });
         for dim in ["kind_type", "info_type", "role_type", "link_type"] {
             assert_eq!(
                 small.table(dim).unwrap().nrows(),
@@ -517,7 +579,9 @@ mod tests {
                 "dimension {dim} must not scale"
             );
         }
-        assert!(big.table("cast_info").unwrap().nrows() > small.table("cast_info").unwrap().nrows());
+        assert!(
+            big.table("cast_info").unwrap().nrows() > small.table("cast_info").unwrap().nrows()
+        );
     }
 
     #[test]
@@ -529,7 +593,10 @@ mod tests {
             let col = ml.column_by_name(colname).unwrap();
             for i in 0..ml.nrows() {
                 let v = col.key_at(i).unwrap();
-                assert!((1..=n_title).contains(&v), "{colname} value {v} out of range");
+                assert!(
+                    (1..=n_title).contains(&v),
+                    "{colname} value {v} out of range"
+                );
             }
         }
     }
@@ -540,6 +607,9 @@ mod tests {
         let ci = cat.table("cast_info").unwrap();
         let pr = ci.column_by_name("person_role_id").unwrap();
         let frac = pr.nulls().null_count() as f64 / ci.nrows() as f64;
-        assert!(frac > 0.25 && frac < 0.55, "person_role_id null fraction {frac:.2}");
+        assert!(
+            frac > 0.25 && frac < 0.55,
+            "person_role_id null fraction {frac:.2}"
+        );
     }
 }

@@ -25,6 +25,4 @@ pub mod workload;
 pub use dist::{CorrelatedInt, ZipfKeys};
 pub use imdb_db::{imdb_catalog, ImdbConfig};
 pub use stats_db::{stats_catalog, stats_catalog_split_by_date, StatsConfig};
-pub use workload::{
-    imdb_job_workload, stats_ceb_workload, training_workload, WorkloadConfig,
-};
+pub use workload::{imdb_job_workload, stats_ceb_workload, training_workload, WorkloadConfig};

@@ -27,14 +27,22 @@ pub struct StatsConfig {
 
 impl Default for StatsConfig {
     fn default() -> Self {
-        StatsConfig { scale: 1.0, seed: 42, user_skew: 0.8, post_skew: 1.0 }
+        StatsConfig {
+            scale: 1.0,
+            seed: 42,
+            user_skew: 0.8,
+            post_skew: 1.0,
+        }
     }
 }
 
 impl StatsConfig {
     /// A small configuration for unit tests (≈ 5k rows).
     pub fn tiny() -> Self {
-        StatsConfig { scale: 0.1, ..Default::default() }
+        StatsConfig {
+            scale: 0.1,
+            ..Default::default()
+        }
     }
 
     fn n(&self, base: usize) -> usize {
@@ -78,12 +86,24 @@ pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
             ColumnDef::new("upvotes", DataType::Int),
             ColumnDef::new("downvotes", DataType::Int),
         ]);
-        let rep_gen = CorrelatedInt { base: 1.0, slope: 40.0, noise: 60.0, min: 1, max: 100_000 };
+        let rep_gen = CorrelatedInt {
+            base: 1.0,
+            slope: 40.0,
+            noise: 60.0,
+            min: 1,
+            max: 100_000,
+        };
         let rows: Vec<Vec<Value>> = (1..=n_users as i64)
             .map(|id| {
                 let rep = rep_gen.sample(&mut rng, id);
-                let up = CorrelatedInt { base: 0.0, slope: 0.0, noise: 0.0, min: 0, max: 50_000 }
-                    .sample(&mut rng, id)
+                let up = CorrelatedInt {
+                    base: 0.0,
+                    slope: 0.0,
+                    noise: 0.0,
+                    min: 0,
+                    max: 50_000,
+                }
+                .sample(&mut rng, id)
                     + rep / 10
                     + rng.gen_range(0..20);
                 vec![
@@ -114,7 +134,13 @@ pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
             ColumnDef::new("favorite_count", DataType::Int),
             ColumnDef::new("post_type", DataType::Int),
         ]);
-        let score_gen = CorrelatedInt { base: -2.0, slope: 0.8, noise: 6.0, min: -20, max: 120 };
+        let score_gen = CorrelatedInt {
+            base: -2.0,
+            slope: 0.8,
+            noise: 6.0,
+            min: -20,
+            max: 120,
+        };
         let rows: Vec<Vec<Value>> = (1..=n_posts as i64)
             .map(|id| {
                 let owner = if rng.gen_bool(0.03) {
@@ -153,7 +179,13 @@ pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
             ColumnDef::new("score", DataType::Int),
             ColumnDef::new("creation_date", DataType::Int),
         ]);
-        let score_gen = CorrelatedInt { base: 0.0, slope: 0.15, noise: 2.0, min: 0, max: 60 };
+        let score_gen = CorrelatedInt {
+            base: 0.0,
+            slope: 0.15,
+            noise: 2.0,
+            min: 0,
+            max: 60,
+        };
         let rows: Vec<Vec<Value>> = (1..=n_comments as i64)
             .map(|id| {
                 let post = post_keys.sample(&mut rng);
@@ -316,7 +348,8 @@ fn declare_relations(cat: &mut Catalog) {
         ("postHistory", "user_id"),
     ];
     for (t, c) in user_fks {
-        cat.relate("users", "id", t, c).expect("schema declares join keys");
+        cat.relate("users", "id", t, c)
+            .expect("schema declares join keys");
     }
     let post_fks = [
         ("comments", "post_id"),
@@ -327,7 +360,8 @@ fn declare_relations(cat: &mut Catalog) {
         ("tags", "excerpt_post_id"),
     ];
     for (t, c) in post_fks {
-        cat.relate("posts", "id", t, c).expect("schema declares join keys");
+        cat.relate("posts", "id", t, c)
+            .expect("schema declares join keys");
     }
 }
 
@@ -385,7 +419,11 @@ mod tests {
         let cat = stats_catalog(&StatsConfig::tiny());
         assert_eq!(cat.num_tables(), 8);
         assert_eq!(cat.join_keys().len(), 13, "13 join keys as in Table 2");
-        assert_eq!(cat.equivalent_key_groups().len(), 2, "2 key groups as in Table 2");
+        assert_eq!(
+            cat.equivalent_key_groups().len(),
+            2,
+            "2 key groups as in Table 2"
+        );
         assert_eq!(cat.relations().len(), 11);
     }
 
@@ -460,7 +498,10 @@ mod tests {
         let votes = cat.table("votes").unwrap();
         let uid = votes.column_by_name("user_id").unwrap();
         let nulls = uid.nulls().null_count();
-        assert!(nulls > votes.nrows() / 5, "votes.user_id should be ~40% null");
+        assert!(
+            nulls > votes.nrows() / 5,
+            "votes.user_id should be ~40% null"
+        );
     }
 
     #[test]
@@ -485,8 +526,14 @@ mod tests {
 
     #[test]
     fn scale_factor_scales_rows() {
-        let small = stats_catalog(&StatsConfig { scale: 0.05, ..Default::default() });
-        let large = stats_catalog(&StatsConfig { scale: 0.2, ..Default::default() });
+        let small = stats_catalog(&StatsConfig {
+            scale: 0.05,
+            ..Default::default()
+        });
+        let large = stats_catalog(&StatsConfig {
+            scale: 0.2,
+            ..Default::default()
+        });
         assert!(large.total_rows() > 3 * small.total_rows());
     }
 }

@@ -17,8 +17,16 @@ pub const COMMON_WORDS: &[&str] = &[
 
 /// Rare words (low selectivity patterns).
 pub const RARE_WORDS: &[&str] = &[
-    "zephyr", "quixotic", "obsidian", "labyrinth", "ephemeral", "vermilion", "sonder",
-    "petrichor", "halcyon", "aurora",
+    "zephyr",
+    "quixotic",
+    "obsidian",
+    "labyrinth",
+    "ephemeral",
+    "vermilion",
+    "sonder",
+    "petrichor",
+    "halcyon",
+    "aurora",
 ];
 
 /// First names for person-name columns.
@@ -35,13 +43,27 @@ pub const SURNAMES: &[&str] = &[
 ];
 
 /// Country codes used by `company_name.country_code` (bracketed like IMDB).
-pub const COUNTRY_CODES: &[&str] =
-    &["[us]", "[gb]", "[de]", "[fr]", "[jp]", "[in]", "[it]", "[ca]", "[es]", "[se]"];
+pub const COUNTRY_CODES: &[&str] = &[
+    "[us]", "[gb]", "[de]", "[fr]", "[jp]", "[in]", "[it]", "[ca]", "[es]", "[se]",
+];
 
 /// Movie-info genre-ish tokens.
 pub const INFO_TOKENS: &[&str] = &[
-    "drama", "comedy", "thriller", "documentary", "horror", "action", "romance", "sci-fi",
-    "animation", "crime", "fantasy", "western", "musical", "war", "biography",
+    "drama",
+    "comedy",
+    "thriller",
+    "documentary",
+    "horror",
+    "action",
+    "romance",
+    "sci-fi",
+    "animation",
+    "crime",
+    "fantasy",
+    "western",
+    "musical",
+    "war",
+    "biography",
 ];
 
 /// Generates a movie-title-like string of 2–4 words; ~10% of titles embed a
@@ -71,8 +93,13 @@ pub fn person_name(rng: &mut StdRng) -> String {
 /// Generates a company-name-like string.
 pub fn company_name(rng: &mut StdRng) -> String {
     let w = COMMON_WORDS[rng.gen_range(0..COMMON_WORDS.len())];
-    let suffix = ["films", "pictures", "studios", "productions", "entertainment"]
-        [rng.gen_range(0..5)];
+    let suffix = [
+        "films",
+        "pictures",
+        "studios",
+        "productions",
+        "entertainment",
+    ][rng.gen_range(0..5)];
     format!("{w} {suffix}")
 }
 

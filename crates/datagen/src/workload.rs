@@ -126,7 +126,11 @@ fn generate(catalog: &Catalog, cfg: &WorkloadConfig) -> Vec<Query> {
     let mut templates = Vec::with_capacity(cfg.num_templates);
     // A fixed share of cyclic templates when requested (paper: IMDB-JOB
     // contains cyclic joins).
-    let num_cyclic = if cfg.allow_cyclic { (cfg.num_templates / 8).max(2) } else { 0 };
+    let num_cyclic = if cfg.allow_cyclic {
+        (cfg.num_templates / 8).max(2)
+    } else {
+        0
+    };
     for i in 0..cfg.num_templates {
         let t = if i < num_cyclic {
             cyclic_template(catalog, &mut rng)
@@ -189,10 +193,10 @@ fn tree_template(catalog: &Catalog, rng: &mut StdRng, cfg: &WorkloadConfig) -> T
             }
             // Occasionally densify with an extra edge between included
             // tables (creates multi-predicate joins but not new aliases).
-            (true, true) if rng.gen_bool(0.1) && !joins.contains(&join) => {
-                if r.left.table != r.right.table {
-                    joins.push(join);
-                }
+            (true, true)
+                if rng.gen_bool(0.1) && !joins.contains(&join) && r.left.table != r.right.table =>
+            {
+                joins.push(join);
             }
             _ => {}
         }
@@ -213,12 +217,18 @@ fn cyclic_template(catalog: &Catalog, rng: &mut StdRng) -> Option<Template> {
         TableRef::new("t2", "title"),
     ];
     let mut joins = vec![
-        (("t1".to_string(), "id".to_string()), ("ml".to_string(), "movie_id".to_string())),
+        (
+            ("t1".to_string(), "id".to_string()),
+            ("ml".to_string(), "movie_id".to_string()),
+        ),
         (
             ("t2".to_string(), "id".to_string()),
             ("ml".to_string(), "linked_movie_id".to_string()),
         ),
-        (("t1".to_string(), "kind_id".to_string()), ("t2".to_string(), "kind_id".to_string())),
+        (
+            ("t1".to_string(), "kind_id".to_string()),
+            ("t2".to_string(), "kind_id".to_string()),
+        ),
     ];
     // Optionally hang one more fact table off t1.
     if rng.gen_bool(0.5) {
@@ -331,7 +341,10 @@ fn gen_predicate(
     match def.dtype {
         DataType::Int => {
             let profile = profiles.get(&(table.name().to_string(), name.clone()));
-            if let Some(ColumnProfile { distinct_small: Some(domain) }) = profile {
+            if let Some(ColumnProfile {
+                distinct_small: Some(domain),
+            }) = profile
+            {
                 // Categorical: equality, IN, or a small disjunction.
                 match rng.gen_range(0..3) {
                     0 => {
@@ -378,11 +391,17 @@ fn gen_predicate(
                 // LIKE on a word drawn from a real value (or a vocabulary
                 // word so some patterns are highly selective).
                 let word = if rng.gen_bool(0.8) {
-                    s.split([' ', ',', '-']).find(|w| w.len() >= 3).unwrap_or(s).to_string()
+                    s.split([' ', ',', '-'])
+                        .find(|w| w.len() >= 3)
+                        .unwrap_or(s)
+                        .to_string()
                 } else {
                     text::RARE_WORDS[rng.gen_range(0..text::RARE_WORDS.len())].to_string()
                 };
-                Some(FilterExpr::pred(Predicate::like(&name, &format!("%{word}%"))))
+                Some(FilterExpr::pred(Predicate::like(
+                    &name,
+                    &format!("%{word}%"),
+                )))
             } else {
                 Some(FilterExpr::pred(Predicate::eq(&name, s)))
             }
@@ -401,7 +420,11 @@ mod tests {
     #[test]
     fn stats_workload_shape() {
         let cat = stats_catalog(&StatsConfig::tiny());
-        let cfg = WorkloadConfig { num_queries: 30, num_templates: 10, ..WorkloadConfig::tiny(1) };
+        let cfg = WorkloadConfig {
+            num_queries: 30,
+            num_templates: 10,
+            ..WorkloadConfig::tiny(1)
+        };
         let qs = stats_ceb_workload(&cat, &cfg);
         assert_eq!(qs.len(), 30);
         for q in &qs {
@@ -409,7 +432,9 @@ mod tests {
             assert!(q.is_connected());
         }
         // Some queries must actually carry filters.
-        assert!(qs.iter().any(|q| q.filters().iter().any(|f| !f.is_trivial())));
+        assert!(qs
+            .iter()
+            .any(|q| q.filters().iter().any(|f| !f.is_trivial())));
     }
 
     #[test]
@@ -446,7 +471,10 @@ mod tests {
         let qs = imdb_job_workload(&cat, &cfg);
         assert_eq!(qs.len(), 40);
         // Cyclic: more join edges than a tree needs.
-        let cyclic = qs.iter().filter(|q| q.joins().len() >= q.num_tables()).count();
+        let cyclic = qs
+            .iter()
+            .filter(|q| q.joins().len() >= q.num_tables())
+            .count();
         assert!(cyclic > 0, "expected cyclic templates");
         // Self-joins: a table appearing under two aliases.
         let selfjoin = qs
@@ -460,7 +488,9 @@ mod tests {
         assert!(selfjoin > 0, "expected self-join templates");
         let has_like = qs.iter().any(|q| {
             q.filters().iter().any(|f| {
-                f.predicates().iter().any(|p| matches!(p, Predicate::Like { .. }))
+                f.predicates()
+                    .iter()
+                    .any(|p| matches!(p, Predicate::Like { .. }))
             })
         });
         assert!(has_like, "expected LIKE predicates");
@@ -503,8 +533,15 @@ mod tests {
             seed: 3,
         };
         let qs = stats_ceb_workload(&cat, &cfg);
-        let max_subs = qs.iter().map(|q| connected_subplans(q, 2).len()).max().unwrap();
-        assert!(max_subs >= 6, "expected multi-table sub-plans, got {max_subs}");
+        let max_subs = qs
+            .iter()
+            .map(|q| connected_subplans(q, 2).len())
+            .max()
+            .unwrap();
+        assert!(
+            max_subs >= 6,
+            "expected multi-table sub-plans, got {max_subs}"
+        );
     }
 
     #[test]

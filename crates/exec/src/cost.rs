@@ -91,7 +91,11 @@ pub fn plan_cost(
             }
         }
     }
-    let mut acc = PlanCostBreakdown { total: 0.0, c_out: 0.0, base: 0.0 };
+    let mut acc = PlanCostBreakdown {
+        total: 0.0,
+        c_out: 0.0,
+        base: 0.0,
+    };
     walk(plan, card_of, model, &mut acc);
     acc
 }
@@ -110,7 +114,10 @@ mod tests {
     }
 
     fn join(l: PlanNode, r: PlanNode) -> PlanNode {
-        PlanNode::Join { left: Box::new(l), right: Box::new(r) }
+        PlanNode::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     #[test]
@@ -159,7 +166,12 @@ mod tests {
         let good = join(join(scan(0), scan(2)), scan(1));
         let cb = plan_cost(&bad, &mut |x| table[&x], &m);
         let cg = plan_cost(&good, &mut |x| table[&x], &m);
-        assert!(cb.total > 10.0 * cg.total, "bad {} vs good {}", cb.total, cg.total);
+        assert!(
+            cb.total > 10.0 * cg.total,
+            "bad {} vs good {}",
+            cb.total,
+            cg.total
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ impl TrueCardEngine {
         let mut alias_rels = Vec::with_capacity(n);
         let mut alias_filtered = Vec::with_capacity(n);
         for (i, tref) in query.tables().iter().enumerate() {
-            let table = catalog.table(&tref.table).expect("query validated against catalog");
+            let table = catalog
+                .table(&tref.table)
+                .expect("query validated against catalog");
             let sel = filtered_selection(table, query.filter(i));
             alias_filtered.push(sel.len() as u64);
 
@@ -81,7 +83,13 @@ impl TrueCardEngine {
             }
             alias_rels.push(rel);
         }
-        TrueCardEngine { graph, alias_rels, alias_filtered, num_aliases: n, cache: HashMap::new() }
+        TrueCardEngine {
+            graph,
+            alias_rels,
+            alias_filtered,
+            num_aliases: n,
+            cache: HashMap::new(),
+        }
     }
 
     /// Filtered base-table cardinality of alias `i` (counts rows with NULL
@@ -92,7 +100,11 @@ impl TrueCardEngine {
 
     /// Exact cardinality of the sub-plan over the aliases in `mask`.
     pub fn cardinality(&mut self, mask: SubplanMask) -> f64 {
-        assert!(mask != 0 && mask < (1u64 << self.num_aliases).max(1) || mask.count_ones() <= self.num_aliases as u32);
+        assert!(
+            mask != 0 && (self.num_aliases >= 64 || mask >> self.num_aliases == 0),
+            "sub-plan mask {mask:#b} out of range for {} aliases",
+            self.num_aliases
+        );
         if mask.count_ones() == 1 {
             return self.alias_filtered[mask.trailing_zeros() as usize] as f64;
         }
@@ -126,8 +138,9 @@ impl TrueCardEngine {
     fn compute(&mut self, mask: SubplanMask) -> f64 {
         // Greedy smallest-first join order; adjacency-driven to avoid cross
         // products when the mask is connected.
-        let members: Vec<usize> =
-            (0..self.num_aliases).filter(|&i| mask & (1u64 << i) != 0).collect();
+        let members: Vec<usize> = (0..self.num_aliases)
+            .filter(|&i| mask & (1u64 << i) != 0)
+            .collect();
         let start = *members
             .iter()
             .min_by_key(|&&i| self.alias_rels[i].num_groups())
@@ -135,8 +148,12 @@ impl TrueCardEngine {
         let mut joined_mask = 1u64 << start;
         let mut acc = self.alias_rels[start].clone();
         let needed = self.needed_vars(joined_mask, mask);
-        let keep: Vec<usize> =
-            acc.vars().iter().copied().filter(|v| needed.contains(v)).collect();
+        let keep: Vec<usize> = acc
+            .vars()
+            .iter()
+            .copied()
+            .filter(|v| needed.contains(v))
+            .collect();
         acc = acc.project(&keep);
 
         while joined_mask != mask {
@@ -160,8 +177,12 @@ impl TrueCardEngine {
                 return 0.0;
             }
             let needed = self.needed_vars(joined_mask, mask);
-            let keep: Vec<usize> =
-                acc.vars().iter().copied().filter(|v| needed.contains(v)).collect();
+            let keep: Vec<usize> = acc
+                .vars()
+                .iter()
+                .copied()
+                .filter(|v| needed.contains(v))
+                .collect();
             acc = acc.project(&keep);
         }
         acc.cardinality()
@@ -197,20 +218,24 @@ mod tests {
             .tables()
             .iter()
             .enumerate()
-            .map(|(i, t)| {
-                filtered_selection(catalog.table(&t.table).unwrap(), query.filter(i))
-            })
+            .map(|(i, t)| filtered_selection(catalog.table(&t.table).unwrap(), query.filter(i)))
             .collect();
-        let tables: Vec<&Table> =
-            query.tables().iter().map(|t| catalog.table(&t.table).unwrap()).collect();
+        let tables: Vec<&Table> = query
+            .tables()
+            .iter()
+            .map(|t| catalog.table(&t.table).unwrap())
+            .collect();
         let mut count = 0f64;
         let mut idx = vec![0usize; sels.len()];
         'outer: loop {
-            let rows: Vec<usize> =
-                idx.iter().zip(&sels).map(|(&i, s)| s[i] as usize).collect();
+            let rows: Vec<usize> = idx.iter().zip(&sels).map(|(&i, s)| s[i] as usize).collect();
             let ok = query.joins().iter().all(|j| {
-                let l = tables[j.left.alias].column(j.left.column).key_at(rows[j.left.alias]);
-                let r = tables[j.right.alias].column(j.right.column).key_at(rows[j.right.alias]);
+                let l = tables[j.left.alias]
+                    .column(j.left.column)
+                    .key_at(rows[j.left.alias]);
+                let r = tables[j.right.alias]
+                    .column(j.right.column)
+                    .key_at(rows[j.right.alias]);
                 matches!((l, r), (Some(a), Some(b)) if a == b)
             });
             if ok {
@@ -235,7 +260,10 @@ mod tests {
         let mut cat = Catalog::new();
         let a = Table::from_rows(
             "a",
-            TableSchema::new(vec![ColumnDef::key("id"), ColumnDef::new("x", DataType::Int)]),
+            TableSchema::new(vec![
+                ColumnDef::key("id"),
+                ColumnDef::new("x", DataType::Int),
+            ]),
             &[
                 vec![Value::Int(1), Value::Int(10)],
                 vec![Value::Int(1), Value::Int(20)],
@@ -263,7 +291,10 @@ mod tests {
         .unwrap();
         let c = Table::from_rows(
             "c",
-            TableSchema::new(vec![ColumnDef::key("id"), ColumnDef::new("z", DataType::Int)]),
+            TableSchema::new(vec![
+                ColumnDef::key("id"),
+                ColumnDef::new("z", DataType::Int),
+            ]),
             &[
                 vec![Value::Int(7), Value::Int(100)],
                 vec![Value::Int(7), Value::Int(200)],
@@ -401,13 +432,18 @@ mod tests {
                 Table::from_rows(name, schema, &rows).unwrap()
             };
             cat.add_table(mk("a", vec!["id"], &mut rng)).unwrap();
-            cat.add_table(mk("b", vec!["a_id", "c_id"], &mut rng)).unwrap();
+            cat.add_table(mk("b", vec!["a_id", "c_id"], &mut rng))
+                .unwrap();
             cat.add_table(mk("c", vec!["id"], &mut rng)).unwrap();
             cat.relate("a", "id", "b", "a_id").unwrap();
             cat.relate("b", "c_id", "c", "id").unwrap();
             let q = Query::new(
                 &cat,
-                vec![TableRef::new("a", "a"), TableRef::new("b", "b"), TableRef::new("c", "c")],
+                vec![
+                    TableRef::new("a", "a"),
+                    TableRef::new("b", "b"),
+                    TableRef::new("c", "c"),
+                ],
                 &[
                     (("a".into(), "id".into()), ("b".into(), "a_id".into())),
                     (("b".into(), "c_id".into()), ("c".into(), "id".into())),

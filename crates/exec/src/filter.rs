@@ -5,6 +5,4 @@
 //! depending on the executor. The executor re-exports it under its
 //! historical path.
 
-pub use fj_query::compile::{
-    compile_filter, filtered_count, filtered_selection, CompiledFilter,
-};
+pub use fj_query::compile::{compile_filter, filtered_count, filtered_selection, CompiledFilter};

@@ -35,7 +35,10 @@ pub fn optimize(
 ) -> OptimizedPlan {
     let n = query.num_tables();
     if n == 1 {
-        return OptimizedPlan { root: PlanNode::Scan { alias: 0 }, est_cost: card_of(1).max(0.0) };
+        return OptimizedPlan {
+            root: PlanNode::Scan { alias: 0 },
+            est_cost: card_of(1).max(0.0),
+        };
     }
     let adj = adjacency(query);
     if n <= DP_MAX_ALIASES {
@@ -104,7 +107,14 @@ fn dp_optimize(
     for i in 0..n {
         let m = 1u64 << i;
         let c = card_of(m).max(0.0);
-        table.insert(m, DpEntry { cost: c, split: 0, card: c });
+        table.insert(
+            m,
+            DpEntry {
+                cost: c,
+                split: 0,
+                card: c,
+            },
+        );
     }
     // Enumerate masks in increasing numeric order: every proper submask of m
     // is < m, so dependencies are ready.
@@ -132,7 +142,7 @@ fn dp_optimize(
                             + model.build_weight * build
                             + model.probe_weight * probe
                             + model.output_weight * out_card;
-                        if best.map_or(true, |(bc, _)| cost < bc) {
+                        if best.is_none_or(|(bc, _)| cost < bc) {
                             best = Some((cost, s));
                         }
                     }
@@ -141,7 +151,14 @@ fn dp_optimize(
             s = (s - 1) & mask;
         }
         if let Some((cost, split)) = best {
-            table.insert(mask, DpEntry { cost, split, card: out_card });
+            table.insert(
+                mask,
+                DpEntry {
+                    cost,
+                    split,
+                    card: out_card,
+                },
+            );
         }
     }
     let root = rebuild(full, &table);
@@ -150,13 +167,20 @@ fn dp_optimize(
 }
 
 fn rebuild(mask: u64, table: &HashMap<u64, DpEntry>) -> PlanNode {
-    let entry = table.get(&mask).expect("connected mask must have a DP entry");
+    let entry = table
+        .get(&mask)
+        .expect("connected mask must have a DP entry");
     if entry.split == 0 {
-        PlanNode::Scan { alias: mask.trailing_zeros() as usize }
+        PlanNode::Scan {
+            alias: mask.trailing_zeros() as usize,
+        }
     } else {
         let l = rebuild(entry.split, table);
         let r = rebuild(mask & !entry.split, table);
-        PlanNode::Join { left: Box::new(l), right: Box::new(r) }
+        PlanNode::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 }
 
@@ -183,7 +207,7 @@ fn greedy_optimize(
                     continue;
                 }
                 let out = card_of(frags[i].0 | frags[j].0).max(0.0);
-                if best.map_or(true, |(_, _, b)| out < b) {
+                if best.is_none_or(|(_, _, b)| out < b) {
                     best = Some((i, j, out));
                 }
             }
@@ -203,13 +227,19 @@ fn greedy_optimize(
             + model.output_weight * out;
         frags.push((
             mi | mj,
-            PlanNode::Join { left: Box::new(pi), right: Box::new(pj) },
+            PlanNode::Join {
+                left: Box::new(pi),
+                right: Box::new(pj),
+            },
             out,
             cost,
         ));
     }
     let (_, root, _, cost) = frags.pop().expect("one fragment remains");
-    OptimizedPlan { root, est_cost: cost }
+    OptimizedPlan {
+        root,
+        est_cost: cost,
+    }
 }
 
 #[cfg(test)]
@@ -236,11 +266,15 @@ mod tests {
     }
 
     fn chain(cat: &Catalog, n: usize) -> Query {
-        let tables: Vec<TableRef> =
-            (0..n).map(|i| TableRef::new(&format!("t{i}"), &format!("t{i}"))).collect();
+        let tables: Vec<TableRef> = (0..n)
+            .map(|i| TableRef::new(&format!("t{i}"), &format!("t{i}")))
+            .collect();
         let joins: Vec<((String, String), (String, String))> = (1..n)
             .map(|i| {
-                ((format!("t{}", i - 1), "id".into()), (format!("t{i}"), "fk".into()))
+                (
+                    (format!("t{}", i - 1), "id".into()),
+                    (format!("t{i}"), "fk".into()),
+                )
             })
             .collect();
         Query::new(cat, tables, &joins, vec![FilterExpr::True; n]).unwrap()
@@ -260,7 +294,12 @@ mod tests {
         cards.insert(0b111, 2000.0);
         let plan = optimize(&q, &mut |m| cards[&m], &CostModel::default());
         // The first join must be {t1, t2}.
-        assert_eq!(plan.root.internal_masks()[0], 0b110, "plan {}", plan.root.display(&q));
+        assert_eq!(
+            plan.root.internal_masks()[0],
+            0b110,
+            "plan {}",
+            plan.root.display(&q)
+        );
     }
 
     #[test]
@@ -289,10 +328,16 @@ mod tests {
         // On a star query with adversarial cardinalities, exact DP must be
         // at least as good as greedy when both use the same cost model.
         let cat = catalog(5);
-        let tables: Vec<TableRef> =
-            (0..5).map(|i| TableRef::new(&format!("t{i}"), &format!("t{i}"))).collect();
+        let tables: Vec<TableRef> = (0..5)
+            .map(|i| TableRef::new(&format!("t{i}"), &format!("t{i}")))
+            .collect();
         let joins: Vec<((String, String), (String, String))> = (1..5)
-            .map(|i| (("t0".to_string(), "id".into()), (format!("t{i}"), "fk".into())))
+            .map(|i| {
+                (
+                    ("t0".to_string(), "id".into()),
+                    (format!("t{i}"), "fk".into()),
+                )
+            })
             .collect();
         let q = Query::new(&cat, tables, &joins, vec![FilterExpr::True; 5]).unwrap();
         let card = |m: u64| -> f64 {
@@ -326,7 +371,11 @@ mod tests {
         let n = 16; // beyond DP_MAX_ALIASES
         let cat = catalog(n);
         let q = chain(&cat, n);
-        let plan = optimize(&q, &mut |m| m.count_ones() as f64 * 10.0, &CostModel::default());
+        let plan = optimize(
+            &q,
+            &mut |m| m.count_ones() as f64 * 10.0,
+            &CostModel::default(),
+        );
         assert_eq!(plan.root.mask(), (1u64 << n) - 1);
         assert_eq!(plan.root.num_leaves(), n);
     }
@@ -359,9 +408,7 @@ mod tests {
             &mut |m| if m == 0b0011 { 1.0 } else { truth[&m] },
             &model,
         );
-        let cost = |p: &PlanNode| {
-            crate::cost::plan_cost(p, &mut |m| truth[&m], &model).total
-        };
+        let cost = |p: &PlanNode| crate::cost::plan_cost(p, &mut |m| truth[&m], &model).total;
         assert!(cost(&plan_true.root) <= cost(&plan_bad.root));
     }
 }

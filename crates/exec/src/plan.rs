@@ -83,7 +83,10 @@ mod tests {
     }
 
     fn join(l: PlanNode, r: PlanNode) -> PlanNode {
-        PlanNode::Join { left: Box::new(l), right: Box::new(r) }
+        PlanNode::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     #[test]

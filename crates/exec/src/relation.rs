@@ -28,8 +28,14 @@ pub struct GroupedRel {
 impl GroupedRel {
     /// Creates a relation over `vars` (must be sorted, deduplicated).
     pub fn new(vars: Vec<usize>) -> Self {
-        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted unique");
-        GroupedRel { vars, groups: HashMap::new() }
+        debug_assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "vars must be sorted unique"
+        );
+        GroupedRel {
+            vars,
+            groups: HashMap::new(),
+        }
     }
 
     /// The variable ids of this relation.
@@ -63,8 +69,12 @@ impl GroupedRel {
     /// union of both sides'.
     pub fn join(&self, other: &GroupedRel) -> GroupedRel {
         // Determine shared and result variable layouts.
-        let shared: Vec<usize> =
-            self.vars.iter().copied().filter(|v| other.vars.contains(v)).collect();
+        let shared: Vec<usize> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| other.vars.contains(v))
+            .collect();
         let mut out_vars: Vec<usize> = self.vars.clone();
         for &v in &other.vars {
             if !out_vars.contains(&v) {
@@ -110,9 +120,15 @@ impl GroupedRel {
                 }
                 sk.push(k[p]);
             }
-            let Some(matches) = index.get(&sk) else { continue };
+            let Some(matches) = index.get(&sk) else {
+                continue;
+            };
             for &(bk, bc) in matches {
-                let (lk, rk) = if build_is_left { (bk, k.as_ref()) } else { (k.as_ref(), bk) };
+                let (lk, rk) = if build_is_left {
+                    (bk, k.as_ref())
+                } else {
+                    (k.as_ref(), bk)
+                };
                 let key: Box<[i64]> = out_vars_ref
                     .iter()
                     .map(|&v| {
@@ -136,8 +152,10 @@ impl GroupedRel {
         if keep == self.vars.as_slice() {
             return self.clone();
         }
-        let positions: Vec<usize> =
-            keep.iter().map(|&v| self.vars.iter().position(|&x| x == v).expect("var")).collect();
+        let positions: Vec<usize> = keep
+            .iter()
+            .map(|&v| self.vars.iter().position(|&x| x == v).expect("var"))
+            .collect();
         let mut out = GroupedRel::new(keep.to_vec());
         for (k, &c) in &self.groups {
             let key: Box<[i64]> = positions.iter().map(|&p| k[p]).collect();
@@ -205,19 +223,20 @@ mod tests {
         assert_eq!(j.vars(), &[0, 1, 2]);
         assert_eq!(j.cardinality(), 2.0 * 5.0 + 2.0 * 1.0);
         // Check a specific output key: (v0=10, v1=100, v2=7) → 10.
-        let found: Vec<(Vec<i64>, f64)> =
-            j.iter().map(|(k, c)| (k.to_vec(), c)).collect();
+        let found: Vec<(Vec<i64>, f64)> = j.iter().map(|(k, c)| (k.to_vec(), c)).collect();
         assert!(found.contains(&(vec![10, 100, 7], 10.0)));
     }
 
     #[test]
     fn project_sums_counts() {
-        let l = rel(&[0, 1], &[(&[1, 10], 2.0), (&[1, 11], 3.0), (&[2, 10], 4.0)]);
+        let l = rel(
+            &[0, 1],
+            &[(&[1, 10], 2.0), (&[1, 11], 3.0), (&[2, 10], 4.0)],
+        );
         let p = l.project(&[0]);
         assert_eq!(p.vars(), &[0]);
         assert_eq!(p.cardinality(), 9.0);
-        let m: std::collections::HashMap<i64, f64> =
-            p.iter().map(|(k, c)| (k[0], c)).collect();
+        let m: std::collections::HashMap<i64, f64> = p.iter().map(|(k, c)| (k[0], c)).collect();
         assert_eq!(m[&1], 5.0);
         assert_eq!(m[&2], 4.0);
     }

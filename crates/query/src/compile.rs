@@ -6,9 +6,9 @@
 //! pattern match per row), and literals are coerced to the column type.
 //! Evaluation is then a tight per-row loop over typed vectors.
 
+use crate::expr::FilterExpr;
 use crate::like::like_match;
 use crate::predicate::{CmpOp, Predicate};
-use crate::expr::FilterExpr;
 use fj_storage::{Column, DataType, Table, Value};
 use std::collections::HashSet;
 
@@ -50,7 +50,9 @@ enum CompiledNode {
 /// Compiles `expr` for `table`. Panics on unknown columns — queries are
 /// validated at bind time, so reaching here with a bad column is a bug.
 pub fn compile_filter(table: &Table, expr: &FilterExpr) -> CompiledFilter {
-    CompiledFilter { root: compile_node(table, expr) }
+    CompiledFilter {
+        root: compile_node(table, expr),
+    }
 }
 
 fn compile_node(table: &Table, expr: &FilterExpr) -> CompiledNode {
@@ -81,8 +83,16 @@ fn compile_pred(table: &Table, p: &Predicate) -> CompiledPred {
     let dtype = column.dtype();
     match p {
         Predicate::Cmp { op, value, .. } => match (dtype, value) {
-            (DataType::Int, Value::Int(v)) => CompiledPred::IntCmp { col, op: *op, v: *v },
-            (DataType::Int, Value::Float(v)) => CompiledPred::IntCmpF { col, op: *op, v: *v },
+            (DataType::Int, Value::Int(v)) => CompiledPred::IntCmp {
+                col,
+                op: *op,
+                v: *v,
+            },
+            (DataType::Int, Value::Float(v)) => CompiledPred::IntCmpF {
+                col,
+                op: *op,
+                v: *v,
+            },
             (DataType::Float, v) => match v.as_float() {
                 Some(f) => CompiledPred::FloatCmp { col, op: *op, v: f },
                 None => CompiledPred::Never,
@@ -99,7 +109,11 @@ fn compile_pred(table: &Table, p: &Predicate) -> CompiledPred {
         },
         Predicate::Between { lo, hi, .. } => match dtype {
             DataType::Int => match (lo, hi) {
-                (Value::Int(a), Value::Int(b)) => CompiledPred::IntBetween { col, lo: *a, hi: *b },
+                (Value::Int(a), Value::Int(b)) => CompiledPred::IntBetween {
+                    col,
+                    lo: *a,
+                    hi: *b,
+                },
                 _ => match (lo.as_float(), hi.as_float()) {
                     (Some(a), Some(b)) => {
                         // Integer column, float bounds: tighten to ints.
@@ -133,8 +147,7 @@ fn compile_pred(table: &Table, p: &Predicate) -> CompiledPred {
                 CompiledPred::IntIn { col, set }
             }
             DataType::Str => {
-                let wanted: HashSet<&str> =
-                    values.iter().filter_map(Value::as_str).collect();
+                let wanted: HashSet<&str> = values.iter().filter_map(Value::as_str).collect();
                 CompiledPred::StrCodes {
                     col,
                     codes: str_codes(column, |d| wanted.contains(d)),
@@ -142,7 +155,9 @@ fn compile_pred(table: &Table, p: &Predicate) -> CompiledPred {
             }
             DataType::Float => CompiledPred::Never,
         },
-        Predicate::Like { pattern, negated, .. } => match dtype {
+        Predicate::Like {
+            pattern, negated, ..
+        } => match dtype {
             DataType::Str => {
                 let (pat, neg) = (pattern.clone(), *negated);
                 CompiledPred::StrCodes {
@@ -152,7 +167,10 @@ fn compile_pred(table: &Table, p: &Predicate) -> CompiledPred {
             }
             _ => CompiledPred::Never,
         },
-        Predicate::IsNull { negated, .. } => CompiledPred::IsNull { col, negated: *negated },
+        Predicate::IsNull { negated, .. } => CompiledPred::IsNull {
+            col,
+            negated: *negated,
+        },
     }
 }
 
@@ -191,7 +209,9 @@ fn eval_pred(p: &CompiledPred, table: &Table, idx: usize) -> bool {
         CompiledPred::FloatCmp { col, op, v } => {
             let c = table.column(*col);
             !c.is_null(idx)
-                && c.floats()[idx].partial_cmp(v).is_some_and(|ord| op.eval(ord))
+                && c.floats()[idx]
+                    .partial_cmp(v)
+                    .is_some_and(|ord| op.eval(ord))
         }
         CompiledPred::IntBetween { col, lo, hi } => {
             let c = table.column(*col);
@@ -256,11 +276,27 @@ mod tests {
             ColumnDef::new("s", DataType::Str),
         ]);
         let rows = vec![
-            vec![Value::Int(1), Value::Float(0.5), Value::Str("apple pie".into())],
-            vec![Value::Int(5), Value::Float(2.5), Value::Str("banana".into())],
-            vec![Value::Null, Value::Float(-1.0), Value::Str("apple tart".into())],
+            vec![
+                Value::Int(1),
+                Value::Float(0.5),
+                Value::Str("apple pie".into()),
+            ],
+            vec![
+                Value::Int(5),
+                Value::Float(2.5),
+                Value::Str("banana".into()),
+            ],
+            vec![
+                Value::Null,
+                Value::Float(-1.0),
+                Value::Str("apple tart".into()),
+            ],
             vec![Value::Int(10), Value::Null, Value::Null],
-            vec![Value::Int(5), Value::Float(9.0), Value::Str("cherry".into())],
+            vec![
+                Value::Int(5),
+                Value::Float(9.0),
+                Value::Str("cherry".into()),
+            ],
         ];
         Table::from_rows("t", schema, &rows).unwrap()
     }
@@ -268,21 +304,30 @@ mod tests {
     /// Cross-check against the reference row-at-a-time evaluator in fj-query.
     fn reference(table: &Table, expr: &FilterExpr) -> Vec<u32> {
         (0..table.nrows())
-            .filter(|&i| {
-                expr.eval(&|col: &str| table.column_by_name(col).unwrap().get(i))
-            })
+            .filter(|&i| expr.eval(&|col: &str| table.column_by_name(col).unwrap().get(i)))
             .map(|i| i as u32)
             .collect()
     }
 
     fn check(expr: FilterExpr) {
         let t = table();
-        assert_eq!(filtered_selection(&t, &expr), reference(&t, &expr), "expr {expr}");
+        assert_eq!(
+            filtered_selection(&t, &expr),
+            reference(&t, &expr),
+            "expr {expr}"
+        );
     }
 
     #[test]
     fn int_comparisons_match_reference() {
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             check(FilterExpr::pred(Predicate::cmp("a", op, 5)));
         }
     }
@@ -311,8 +356,14 @@ mod tests {
 
     #[test]
     fn null_tests_and_boolean_composition() {
-        check(FilterExpr::pred(Predicate::IsNull { column: "a".into(), negated: false }));
-        check(FilterExpr::pred(Predicate::IsNull { column: "s".into(), negated: true }));
+        check(FilterExpr::pred(Predicate::IsNull {
+            column: "a".into(),
+            negated: false,
+        }));
+        check(FilterExpr::pred(Predicate::IsNull {
+            column: "s".into(),
+            negated: true,
+        }));
         check(FilterExpr::and(vec![
             FilterExpr::pred(Predicate::cmp("a", CmpOp::Ge, 1)),
             FilterExpr::or(vec![
@@ -320,7 +371,9 @@ mod tests {
                 FilterExpr::pred(Predicate::cmp("f", CmpOp::Gt, 5)),
             ]),
         ]));
-        check(FilterExpr::Not(Box::new(FilterExpr::pred(Predicate::eq("a", 5)))));
+        check(FilterExpr::Not(Box::new(FilterExpr::pred(Predicate::eq(
+            "a", 5,
+        )))));
     }
 
     #[test]
@@ -335,7 +388,10 @@ mod tests {
     fn filtered_count_matches_selection_len() {
         let t = table();
         let e = FilterExpr::pred(Predicate::cmp("a", CmpOp::Ge, 1));
-        assert_eq!(filtered_count(&t, &e), filtered_selection(&t, &e).len() as u64);
+        assert_eq!(
+            filtered_count(&t, &e),
+            filtered_selection(&t, &e).len() as u64
+        );
     }
 
     #[test]

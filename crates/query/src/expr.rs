@@ -203,7 +203,10 @@ mod tests {
     use std::collections::HashMap;
 
     fn row(pairs: &[(&str, Value)]) -> HashMap<String, Value> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     fn getter(m: &HashMap<String, Value>) -> impl Fn(&str) -> Value + '_ {
@@ -246,7 +249,10 @@ mod tests {
 
     #[test]
     fn or_with_true_collapses() {
-        let e = FilterExpr::or(vec![FilterExpr::True, FilterExpr::pred(Predicate::eq("a", 1))]);
+        let e = FilterExpr::or(vec![
+            FilterExpr::True,
+            FilterExpr::pred(Predicate::eq("a", 1)),
+        ]);
         assert_eq!(e, FilterExpr::True);
         // Empty Or matches nothing.
         let empty = FilterExpr::Or(vec![]);

@@ -55,7 +55,10 @@ impl QueryGraph {
             for &m in &members {
                 key_to_var[m] = vid;
             }
-            vars.push(KeyVar { id: vid, members: members.into_iter().map(|m| keys[m]).collect() });
+            vars.push(KeyVar {
+                id: vid,
+                members: members.into_iter().map(|m| keys[m]).collect(),
+            });
         }
 
         let n = query.num_tables();
@@ -84,7 +87,11 @@ impl QueryGraph {
             adj.sort_unstable();
         }
 
-        QueryGraph { vars, alias_keys, adjacency }
+        QueryGraph {
+            vars,
+            alias_keys,
+            adjacency,
+        }
     }
 
     /// Equivalent key group variables.
@@ -149,7 +156,8 @@ mod tests {
             let cols: Vec<ColumnDef> = keys.iter().map(|k| ColumnDef::key(k)).collect();
             let schema = TableSchema::new(cols);
             let row: Vec<Value> = (0..schema.len()).map(|i| Value::Int(i as i64)).collect();
-            cat.add_table(Table::from_rows(name, schema, &[row]).unwrap()).unwrap();
+            cat.add_table(Table::from_rows(name, schema, &[row]).unwrap())
+                .unwrap();
         }
         cat
     }
@@ -213,7 +221,11 @@ mod tests {
         // a.id = b.a_id and b.c_id = c.id: two variables.
         let q = Query::new(
             &cat,
-            vec![TableRef::new("a", "a"), TableRef::new("b", "b"), TableRef::new("c", "c")],
+            vec![
+                TableRef::new("a", "a"),
+                TableRef::new("b", "b"),
+                TableRef::new("c", "c"),
+            ],
             &[j("a", "id", "b", "a_id"), j("b", "c_id", "c", "id")],
             vec![FilterExpr::True; 3],
         )
@@ -229,7 +241,11 @@ mod tests {
         // a.id = b.a_id and a.id = c.a_id2: one variable with 3 members.
         let q = Query::new(
             &cat,
-            vec![TableRef::new("a", "a"), TableRef::new("b", "b"), TableRef::new("c", "c")],
+            vec![
+                TableRef::new("a", "a"),
+                TableRef::new("b", "b"),
+                TableRef::new("c", "c"),
+            ],
             &[j("a", "id", "b", "a_id"), j("a", "id", "c", "a_id2")],
             vec![FilterExpr::True; 3],
         )

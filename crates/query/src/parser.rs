@@ -158,7 +158,11 @@ fn lex(sql: &str) -> Result<Vec<Tok>, ParseError> {
             out.push(Tok::Str(s));
             continue;
         }
-        let two = if i + 1 < b.len() { Some((b[i], b[i + 1])) } else { None };
+        let two = if i + 1 < b.len() {
+            Some((b[i], b[i + 1]))
+        } else {
+            None
+        };
         let sym: &'static str = match (c, two) {
             ('<', Some(('<', '>'))) => {
                 i += 2;
@@ -229,8 +233,16 @@ fn lex(sql: &str) -> Result<Vec<Tok>, ParseError> {
 /// Unbound boolean AST used during parsing (columns carry alias names).
 #[derive(Debug, Clone)]
 enum Ast {
-    JoinAtom { la: String, lc: String, ra: String, rc: String },
-    Filter { alias: String, expr: FilterExpr },
+    JoinAtom {
+        la: String,
+        lc: String,
+        ra: String,
+        rc: String,
+    },
+    Filter {
+        alias: String,
+        expr: FilterExpr,
+    },
     And(Vec<Ast>),
     Or(Vec<Ast>),
     Not(Box<Ast>),
@@ -257,14 +269,20 @@ impl Parser {
     fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
         match self.next() {
             Tok::Sym(t) if t == s => Ok(()),
-            other => Err(ParseError::Unexpected { got: other.describe(), expected: s.into() }),
+            other => Err(ParseError::Unexpected {
+                got: other.describe(),
+                expected: s.into(),
+            }),
         }
     }
 
     fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.next() {
             Tok::Ident(t) if t.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(ParseError::Unexpected { got: other.describe(), expected: kw.into() }),
+            other => Err(ParseError::Unexpected {
+                got: other.describe(),
+                expected: kw.into(),
+            }),
         }
     }
 
@@ -275,9 +293,10 @@ impl Parser {
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Tok::Ident(s) => Ok(s),
-            other => {
-                Err(ParseError::Unexpected { got: other.describe(), expected: "identifier".into() })
-            }
+            other => Err(ParseError::Unexpected {
+                got: other.describe(),
+                expected: "identifier".into(),
+            }),
         }
     }
 
@@ -307,9 +326,10 @@ impl Parser {
                 }),
             },
             Tok::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
-            other => {
-                Err(ParseError::Unexpected { got: other.describe(), expected: "literal".into() })
-            }
+            other => Err(ParseError::Unexpected {
+                got: other.describe(),
+                expected: "literal".into(),
+            }),
         }
     }
 
@@ -320,7 +340,11 @@ impl Parser {
             self.next();
             parts.push(self.and_expr()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("nonempty") } else { Ast::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("nonempty")
+        } else {
+            Ast::Or(parts)
+        })
     }
 
     // and_expr := not_expr (AND not_expr)*
@@ -336,7 +360,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("nonempty") } else { Ast::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("nonempty")
+        } else {
+            Ast::And(parts)
+        })
     }
 
     fn not_expr(&mut self) -> Result<Ast, ParseError> {
@@ -367,7 +395,12 @@ impl Parser {
                     let save = self.pos;
                     if let Ok((ra, rc)) = self.colref() {
                         if op == "=" {
-                            return Ok(Ast::JoinAtom { la: alias, lc: col, ra, rc });
+                            return Ok(Ast::JoinAtom {
+                                la: alias,
+                                lc: col,
+                                ra,
+                                rc,
+                            });
                         }
                         // Non-equi column comparison unsupported.
                         return Err(ParseError::Unexpected {
@@ -389,7 +422,11 @@ impl Parser {
                 };
                 Ok(Ast::Filter {
                     alias,
-                    expr: FilterExpr::pred(Predicate::Cmp { column: col, op: cmp, value: v }),
+                    expr: FilterExpr::pred(Predicate::Cmp {
+                        column: col,
+                        op: cmp,
+                        value: v,
+                    }),
                 })
             }
             Tok::Ident(kw) if kw.eq_ignore_ascii_case("between") => {
@@ -399,7 +436,11 @@ impl Parser {
                 let hi = self.literal()?;
                 Ok(Ast::Filter {
                     alias,
-                    expr: FilterExpr::pred(Predicate::Between { column: col, lo, hi }),
+                    expr: FilterExpr::pred(Predicate::Between {
+                        column: col,
+                        lo,
+                        hi,
+                    }),
                 })
             }
             Tok::Ident(kw) if kw.eq_ignore_ascii_case("in") => {
@@ -413,7 +454,10 @@ impl Parser {
                 self.expect_sym(")")?;
                 Ok(Ast::Filter {
                     alias,
-                    expr: FilterExpr::pred(Predicate::InList { column: col, values }),
+                    expr: FilterExpr::pred(Predicate::InList {
+                        column: col,
+                        values,
+                    }),
                 })
             }
             Tok::Ident(kw) if kw.eq_ignore_ascii_case("like") => {
@@ -468,7 +512,10 @@ impl Parser {
                 self.expect_kw("null")?;
                 Ok(Ast::Filter {
                     alias,
-                    expr: FilterExpr::pred(Predicate::IsNull { column: col, negated }),
+                    expr: FilterExpr::pred(Predicate::IsNull {
+                        column: col,
+                        negated,
+                    }),
                 })
             }
             other => Err(ParseError::Unexpected {
@@ -608,9 +655,7 @@ pub fn parse_query(catalog: &Catalog, sql: &str) -> Result<Query, ParseError> {
     }
     let filters: Vec<FilterExpr> = tables
         .iter()
-        .map(|t| {
-            FilterExpr::and(filter_map.get(&t.alias).cloned().unwrap_or_default())
-        })
+        .map(|t| FilterExpr::and(filter_map.get(&t.alias).cloned().unwrap_or_default()))
         .collect();
     Ok(Query::new(catalog, tables, &joins, filters)?)
 }
@@ -629,7 +674,11 @@ mod tests {
                 vec!["id", "owner_id"],
                 vec![("score", DataType::Int), ("title", DataType::Str)],
             ),
-            ("comments", vec!["post_id", "user_id"], vec![("score", DataType::Int)]),
+            (
+                "comments",
+                vec!["post_id", "user_id"],
+                vec![("score", DataType::Int)],
+            ),
         ] {
             let mut cols: Vec<ColumnDef> = keys.iter().map(|k| ColumnDef::key(k)).collect();
             cols.extend(attrs.iter().map(|(n, t)| ColumnDef::new(n, *t)));
@@ -643,7 +692,8 @@ mod tests {
                     DataType::Str => Value::Str("x".into()),
                 })
                 .collect();
-            cat.add_table(Table::from_rows(name, schema, &[row]).unwrap()).unwrap();
+            cat.add_table(Table::from_rows(name, schema, &[row]).unwrap())
+                .unwrap();
         }
         cat
     }
@@ -717,9 +767,14 @@ mod tests {
         let preds = q.filter(0).predicates();
         assert!(preds.iter().any(|p| matches!(
             p,
-            Predicate::Cmp { value: Value::Int(-10), .. }
+            Predicate::Cmp {
+                value: Value::Int(-10),
+                ..
+            }
         )));
-        assert!(preds.iter().any(|p| matches!(p, Predicate::Like { negated: true, .. })));
+        assert!(preds
+            .iter()
+            .any(|p| matches!(p, Predicate::Like { negated: true, .. })));
     }
 
     #[test]

@@ -120,11 +120,18 @@ impl Predicate {
                 None => false,
             },
             Predicate::Between { lo, hi, .. } => {
-                matches!(v.sql_cmp(lo), Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal))
-                    && matches!(v.sql_cmp(hi), Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal))
+                matches!(
+                    v.sql_cmp(lo),
+                    Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                ) && matches!(
+                    v.sql_cmp(hi),
+                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                )
             }
             Predicate::InList { values, .. } => values.iter().any(|x| v.sql_eq(x)),
-            Predicate::Like { pattern, negated, .. } => match v.as_str() {
+            Predicate::Like {
+                pattern, negated, ..
+            } => match v.as_str() {
                 Some(s) => crate::like::like_match(pattern, s) != *negated,
                 None => false,
             },
@@ -134,27 +141,46 @@ impl Predicate {
 
     /// Convenience constructor: `col = value`.
     pub fn eq(column: &str, value: impl Into<Value>) -> Self {
-        Predicate::Cmp { column: column.into(), op: CmpOp::Eq, value: value.into() }
+        Predicate::Cmp {
+            column: column.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
     }
 
     /// Convenience constructor: `col <op> value`.
     pub fn cmp(column: &str, op: CmpOp, value: impl Into<Value>) -> Self {
-        Predicate::Cmp { column: column.into(), op, value: value.into() }
+        Predicate::Cmp {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
     }
 
     /// Convenience constructor: `col BETWEEN lo AND hi`.
     pub fn between(column: &str, lo: impl Into<Value>, hi: impl Into<Value>) -> Self {
-        Predicate::Between { column: column.into(), lo: lo.into(), hi: hi.into() }
+        Predicate::Between {
+            column: column.into(),
+            lo: lo.into(),
+            hi: hi.into(),
+        }
     }
 
     /// Convenience constructor: `col LIKE pattern`.
     pub fn like(column: &str, pattern: &str) -> Self {
-        Predicate::Like { column: column.into(), pattern: pattern.into(), negated: false }
+        Predicate::Like {
+            column: column.into(),
+            pattern: pattern.into(),
+            negated: false,
+        }
     }
 
     /// Convenience constructor: `col IN (values…)`.
     pub fn in_list(column: &str, values: Vec<Value>) -> Self {
-        Predicate::InList { column: column.into(), values }
+        Predicate::InList {
+            column: column.into(),
+            values,
+        }
     }
 }
 
@@ -175,7 +201,11 @@ impl fmt::Display for Predicate {
                 }
                 write!(f, ")")
             }
-            Predicate::Like { column, pattern, negated } => {
+            Predicate::Like {
+                column,
+                pattern,
+                negated,
+            } => {
                 let not = if *negated { "NOT " } else { "" };
                 write!(f, "{column} {not}LIKE '{}'", pattern.replace('\'', "''"))
             }
@@ -234,17 +264,27 @@ mod tests {
         assert!(p.eval(&Value::Str("banana".into())));
         assert!(!p.eval(&Value::Str("pear".into())));
         assert!(!p.eval(&Value::Int(5)), "LIKE on non-string is false");
-        let n = Predicate::Like { column: "c".into(), pattern: "%an%".into(), negated: true };
+        let n = Predicate::Like {
+            column: "c".into(),
+            pattern: "%an%".into(),
+            negated: true,
+        };
         assert!(!n.eval(&Value::Str("banana".into())));
         assert!(n.eval(&Value::Str("pear".into())));
     }
 
     #[test]
     fn is_null_tests() {
-        let p = Predicate::IsNull { column: "c".into(), negated: false };
+        let p = Predicate::IsNull {
+            column: "c".into(),
+            negated: false,
+        };
         assert!(p.eval(&Value::Null));
         assert!(!p.eval(&Value::Int(0)));
-        let n = Predicate::IsNull { column: "c".into(), negated: true };
+        let n = Predicate::IsNull {
+            column: "c".into(),
+            negated: true,
+        };
         assert!(!n.eval(&Value::Null));
         assert!(n.eval(&Value::Int(0)));
     }
@@ -252,14 +292,21 @@ mod tests {
     #[test]
     fn display_is_sql() {
         assert_eq!(Predicate::eq("a", 5).to_string(), "a = 5");
-        assert_eq!(Predicate::between("a", 1, 2).to_string(), "a BETWEEN 1 AND 2");
+        assert_eq!(
+            Predicate::between("a", 1, 2).to_string(),
+            "a BETWEEN 1 AND 2"
+        );
         assert_eq!(
             Predicate::in_list("a", vec![Value::Int(1), Value::Int(2)]).to_string(),
             "a IN (1, 2)"
         );
         assert_eq!(Predicate::like("a", "%x%").to_string(), "a LIKE '%x%'");
         assert_eq!(
-            Predicate::IsNull { column: "a".into(), negated: true }.to_string(),
+            Predicate::IsNull {
+                column: "a".into(),
+                negated: true
+            }
+            .to_string(),
             "a IS NOT NULL"
         );
     }

@@ -20,7 +20,10 @@ pub struct TableRef {
 impl TableRef {
     /// Creates a table reference.
     pub fn new(alias: &str, table: &str) -> Self {
-        TableRef { alias: alias.to_string(), table: table.to_string() }
+        TableRef {
+            alias: alias.to_string(),
+            table: table.to_string(),
+        }
     }
 }
 
@@ -76,7 +79,10 @@ impl fmt::Display for QueryError {
                 write!(f, "column {alias}.{column} cannot be used as a join key")
             }
             QueryError::SelfReferentialJoin(a) => {
-                write!(f, "join condition relates alias {a} to itself; use two aliases")
+                write!(
+                    f,
+                    "join condition relates alias {a} to itself; use two aliases"
+                )
             }
             QueryError::Disconnected => write!(f, "join graph is not connected"),
             QueryError::TooManyAliases(n) => write!(f, "{n} aliases exceed the supported 64"),
@@ -115,13 +121,19 @@ impl Query {
         if tables.len() > 64 {
             return Err(QueryError::TooManyAliases(tables.len()));
         }
-        assert_eq!(tables.len(), filters.len(), "one filter per table reference");
+        assert_eq!(
+            tables.len(),
+            filters.len(),
+            "one filter per table reference"
+        );
         // Unique aliases.
         for (i, t) in tables.iter().enumerate() {
             if tables[..i].iter().any(|u| u.alias == t.alias) {
                 return Err(QueryError::DuplicateAlias(t.alias.clone()));
             }
-            catalog.table(&t.table).map_err(|_| QueryError::UnknownTable(t.table.clone()))?;
+            catalog
+                .table(&t.table)
+                .map_err(|_| QueryError::UnknownTable(t.table.clone()))?;
         }
         let alias_idx = |a: &str| -> Result<usize, QueryError> {
             tables
@@ -132,17 +144,23 @@ impl Query {
         let resolve = |a: &str, c: &str| -> Result<ColRef, QueryError> {
             let ai = alias_idx(a)?;
             let table = catalog.table(&tables[ai].table).expect("validated above");
-            let ci = table.schema().index_of(c).ok_or_else(|| QueryError::UnknownColumn {
-                alias: a.to_string(),
-                column: c.to_string(),
-            })?;
+            let ci = table
+                .schema()
+                .index_of(c)
+                .ok_or_else(|| QueryError::UnknownColumn {
+                    alias: a.to_string(),
+                    column: c.to_string(),
+                })?;
             if table.schema().column(ci).dtype == DataType::Float {
                 return Err(QueryError::BadJoinColumn {
                     alias: a.to_string(),
                     column: c.to_string(),
                 });
             }
-            Ok(ColRef { alias: ai, column: ci })
+            Ok(ColRef {
+                alias: ai,
+                column: ci,
+            })
         };
         let mut joins = Vec::with_capacity(joins_by_name.len());
         for ((la, lc), (ra, rc)) in joins_by_name {
@@ -165,7 +183,11 @@ impl Query {
                 }
             }
         }
-        let q = Query { tables, joins, filters };
+        let q = Query {
+            tables,
+            joins,
+            filters,
+        };
         if q.tables.len() > 1 && !q.is_connected() {
             return Err(QueryError::Disconnected);
         }
@@ -235,24 +257,39 @@ impl Query {
     /// Alias indices are *re-numbered* to be dense in the sub-query; the
     /// returned mapping gives, for each sub-query alias, the original index.
     pub fn project(&self, mask: u64) -> (Query, Vec<usize>) {
-        let keep: Vec<usize> =
-            (0..self.tables.len()).filter(|&i| mask & (1u64 << i) != 0).collect();
-        let remap: std::collections::HashMap<usize, usize> =
-            keep.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let keep: Vec<usize> = (0..self.tables.len())
+            .filter(|&i| mask & (1u64 << i) != 0)
+            .collect();
+        let remap: std::collections::HashMap<usize, usize> = keep
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
         let tables = keep.iter().map(|&i| self.tables[i].clone()).collect();
         let filters = keep.iter().map(|&i| self.filters[i].clone()).collect();
         let joins = self
             .joins
             .iter()
-            .filter(|j| {
-                remap.contains_key(&j.left.alias) && remap.contains_key(&j.right.alias)
-            })
+            .filter(|j| remap.contains_key(&j.left.alias) && remap.contains_key(&j.right.alias))
             .map(|j| JoinPredicate {
-                left: ColRef { alias: remap[&j.left.alias], column: j.left.column },
-                right: ColRef { alias: remap[&j.right.alias], column: j.right.column },
+                left: ColRef {
+                    alias: remap[&j.left.alias],
+                    column: j.left.column,
+                },
+                right: ColRef {
+                    alias: remap[&j.right.alias],
+                    column: j.right.column,
+                },
             })
             .collect();
-        (Query { tables, joins, filters }, keep)
+        (
+            Query {
+                tables,
+                joins,
+                filters,
+            },
+            keep,
+        )
     }
 
     /// Renders the query as `SELECT COUNT(*) …` SQL text.
@@ -294,7 +331,11 @@ impl Query {
         if conds.is_empty() {
             format!("SELECT COUNT(*) FROM {};", from.join(", "))
         } else {
-            format!("SELECT COUNT(*) FROM {} WHERE {};", from.join(", "), conds.join(" AND "))
+            format!(
+                "SELECT COUNT(*) FROM {} WHERE {};",
+                from.join(", "),
+                conds.join(" AND ")
+            )
         }
     }
 }
@@ -307,20 +348,26 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
-        for (name, keys) in [("a", vec!["id", "id2"]), ("b", vec!["a_id", "c_id"]), ("c", vec!["id"])]
-        {
+        for (name, keys) in [
+            ("a", vec!["id", "id2"]),
+            ("b", vec!["a_id", "c_id"]),
+            ("c", vec!["id"]),
+        ] {
             let mut cols: Vec<ColumnDef> = keys.iter().map(|k| ColumnDef::key(k)).collect();
             cols.push(ColumnDef::new("v", DataType::Int));
             cols.push(ColumnDef::new("f", DataType::Float));
             let schema = TableSchema::new(cols);
             let row: Vec<Value> = (0..schema.len())
-                .map(|i| if schema.column(i).dtype == DataType::Float {
-                    Value::Float(0.0)
-                } else {
-                    Value::Int(i as i64)
+                .map(|i| {
+                    if schema.column(i).dtype == DataType::Float {
+                        Value::Float(0.0)
+                    } else {
+                        Value::Int(i as i64)
+                    }
                 })
                 .collect();
-            cat.add_table(Table::from_rows(name, schema, &[row]).unwrap()).unwrap();
+            cat.add_table(Table::from_rows(name, schema, &[row]).unwrap())
+                .unwrap();
         }
         cat
     }
@@ -375,7 +422,11 @@ mod tests {
         let cat = catalog();
         let err = Query::new(
             &cat,
-            vec![TableRef::new("a", "a"), TableRef::new("b", "b"), TableRef::new("c", "c")],
+            vec![
+                TableRef::new("a", "a"),
+                TableRef::new("b", "b"),
+                TableRef::new("c", "c"),
+            ],
             &[j("a", "id", "b", "a_id")],
             vec![FilterExpr::True, FilterExpr::True, FilterExpr::True],
         )
@@ -438,7 +489,11 @@ mod tests {
         // a–b, b–c, c–a: a cycle (paper supports cyclic join templates).
         let q = Query::new(
             &cat,
-            vec![TableRef::new("a", "a"), TableRef::new("b", "b"), TableRef::new("c", "c")],
+            vec![
+                TableRef::new("a", "a"),
+                TableRef::new("b", "b"),
+                TableRef::new("c", "c"),
+            ],
             &[
                 j("a", "id", "b", "a_id"),
                 j("b", "c_id", "c", "id"),
@@ -455,7 +510,11 @@ mod tests {
         let cat = catalog();
         let q = Query::new(
             &cat,
-            vec![TableRef::new("a", "a"), TableRef::new("b", "b"), TableRef::new("c", "c")],
+            vec![
+                TableRef::new("a", "a"),
+                TableRef::new("b", "b"),
+                TableRef::new("c", "c"),
+            ],
             &[j("a", "id", "b", "a_id"), j("b", "c_id", "c", "id")],
             vec![FilterExpr::True, FilterExpr::True, FilterExpr::True],
         )

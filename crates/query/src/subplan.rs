@@ -80,8 +80,12 @@ mod tests {
         for i in 0..n {
             let schema = TableSchema::new(vec![ColumnDef::key("id"), ColumnDef::key("fk")]);
             cat.add_table(
-                Table::from_rows(&format!("t{i}"), schema, &[vec![Value::Int(0), Value::Int(0)]])
-                    .unwrap(),
+                Table::from_rows(
+                    &format!("t{i}"),
+                    schema,
+                    &[vec![Value::Int(0), Value::Int(0)]],
+                )
+                .unwrap(),
             )
             .unwrap();
         }
@@ -89,8 +93,9 @@ mod tests {
     }
 
     fn chain_query(cat: &Catalog, n: usize) -> Query {
-        let tables: Vec<TableRef> =
-            (0..n).map(|i| TableRef::new(&format!("t{i}"), &format!("t{i}"))).collect();
+        let tables: Vec<TableRef> = (0..n)
+            .map(|i| TableRef::new(&format!("t{i}"), &format!("t{i}")))
+            .collect();
         let joins: Vec<((String, String), (String, String))> = (1..n)
             .map(|i| {
                 (
@@ -103,11 +108,15 @@ mod tests {
     }
 
     fn star_query(cat: &Catalog, n: usize) -> Query {
-        let tables: Vec<TableRef> =
-            (0..n).map(|i| TableRef::new(&format!("t{i}"), &format!("t{i}"))).collect();
+        let tables: Vec<TableRef> = (0..n)
+            .map(|i| TableRef::new(&format!("t{i}"), &format!("t{i}")))
+            .collect();
         let joins: Vec<((String, String), (String, String))> = (1..n)
             .map(|i| {
-                (("t0".to_string(), "id".to_string()), (format!("t{i}"), "fk".to_string()))
+                (
+                    ("t0".to_string(), "id".to_string()),
+                    (format!("t{i}"), "fk".to_string()),
+                )
             })
             .collect();
         Query::new(cat, tables, &joins, vec![FilterExpr::True; n]).unwrap()
@@ -187,7 +196,11 @@ mod tests {
         }
         let q = Query::new(
             &cat,
-            vec![TableRef::new("x", "x"), TableRef::new("y", "y"), TableRef::new("z", "z")],
+            vec![
+                TableRef::new("x", "x"),
+                TableRef::new("y", "y"),
+                TableRef::new("z", "z"),
+            ],
             &[
                 (("x".into(), "id".into()), ("y".into(), "fk".into())),
                 (("y".into(), "id".into()), ("z".into(), "fk".into())),

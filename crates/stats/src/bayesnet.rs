@@ -67,7 +67,9 @@ pub struct BayesNetEstimator {
 impl BayesNetEstimator {
     /// Builds the network over the modeled columns of `table`.
     pub fn build(table: &Table, bins: &TableBins, cfg: BnConfig) -> Self {
-        let disc = Discretizer { max_codes: cfg.max_codes };
+        let disc = Discretizer {
+            max_codes: cfg.max_codes,
+        };
         let mut cols = Vec::new();
         let mut src_cols = Vec::new();
         for (ci, def) in table.schema().columns().iter().enumerate() {
@@ -114,8 +116,7 @@ impl BayesNetEstimator {
         }
 
         // Count marginals and child-parent joints over all rows.
-        let mut marginal: Vec<Vec<f64>> =
-            domains.iter().map(|&k| vec![0.0; k]).collect();
+        let mut marginal: Vec<Vec<f64>> = domains.iter().map(|&k| vec![0.0; k]).collect();
         let mut joint: Vec<Option<Vec<f64>>> = parent
             .iter()
             .enumerate()
@@ -131,8 +132,11 @@ impl BayesNetEstimator {
             }
         }
 
-        let col_index =
-            cols.iter().enumerate().map(|(i, c)| (c.name.clone(), i)).collect();
+        let col_index = cols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), i))
+            .collect();
         let mut bn = BayesNetEstimator {
             cols,
             col_index,
@@ -189,15 +193,15 @@ impl BayesNetEstimator {
         let kp = self.k(self.parent[i].expect("cpt only for non-roots"));
         let kc = self.k(i);
         let j = self.joint[i].as_ref().expect("non-root has joint counts");
-        let parent_total =
-            self.joint_parent_total[i].as_ref().expect("cached totals for non-roots")[p];
+        let parent_total = self.joint_parent_total[i]
+            .as_ref()
+            .expect("cached totals for non-roots")[p];
         (j[c * kp + p] + self.cfg.alpha) / (parent_total + self.cfg.alpha * kc as f64)
     }
 
     /// Smoothed root marginal `P(node_i = c)`.
     fn root_prob(&self, i: usize, c: usize) -> f64 {
-        (self.marginal[i][c] + self.cfg.alpha)
-            / (self.nrows + self.cfg.alpha * self.k(i) as f64)
+        (self.marginal[i][c] + self.cfg.alpha) / (self.nrows + self.cfg.alpha * self.k(i) as f64)
     }
 
     /// Converts a filter into per-node evidence weights plus a fallback
@@ -213,9 +217,7 @@ impl BayesNetEstimator {
                             let w = self.cols[i].clause_weights(&clause);
                             ev[i] = Some(match ev[i].take() {
                                 None => w,
-                                Some(old) => {
-                                    old.iter().zip(&w).map(|(a, b)| a * b).collect()
-                                }
+                                Some(old) => old.iter().zip(&w).map(|(a, b)| a * b).collect(),
                             });
                         }
                         None => fallback *= self.cfg.fallback_selectivity,
@@ -233,11 +235,9 @@ impl BayesNetEstimator {
                                 if let Some(w) = w {
                                     *slot = Some(match slot.take() {
                                         None => w,
-                                        Some(old) => old
-                                            .iter()
-                                            .zip(&w)
-                                            .map(|(a, b)| a * b)
-                                            .collect(),
+                                        Some(old) => {
+                                            old.iter().zip(&w).map(|(a, b)| a * b).collect()
+                                        }
                                     });
                                 }
                             }
@@ -292,8 +292,9 @@ impl BayesNetEstimator {
         let mut comp_of: Vec<usize> = vec![0; m];
         for &i in &self.topo {
             if self.parent[i].is_none() {
-                let p: f64 =
-                    (0..self.k(i)).map(|c| self.root_prob(i, c) * lambda[i][c]).sum();
+                let p: f64 = (0..self.k(i))
+                    .map(|c| self.root_prob(i, c) * lambda[i][c])
+                    .sum();
                 comp_of[i] = comp_p.len();
                 comp_p.push(p);
             } else {
@@ -360,7 +361,10 @@ impl BaseTableEstimator for BayesNetEstimator {
     }
 
     fn key_distribution(&self, key_col: &str, filter: &FilterExpr) -> Vec<f64> {
-        self.profile(filter, &[key_col]).key_dists.pop().expect("one key requested")
+        self.profile(filter, &[key_col])
+            .key_dists
+            .pop()
+            .expect("one key requested")
     }
 
     fn key_bins(&self, key_col: &str) -> usize {
@@ -401,8 +405,9 @@ impl BaseTableEstimator for BayesNetEstimator {
             .map(|c| table.schema().index_of(&c.name).expect("schema unchanged"))
             .collect();
         for r in first_new_row..n {
-            let codes: Vec<usize> =
-                (0..m).map(|i| self.cols[i].encode_row(table.column(src[i]), r)).collect();
+            let codes: Vec<usize> = (0..m)
+                .map(|i| self.cols[i].encode_row(table.column(src[i]), r))
+                .collect();
             for i in 0..m {
                 self.marginal[i][codes[i]] += 1.0;
                 if let (Some(p), Some(j)) = (self.parent[i], self.joint[i].as_mut()) {
@@ -507,10 +512,7 @@ mod tests {
         let d = bn.key_distribution("id", &f);
         let total: f64 = d.iter().sum();
         let in_04 = d[0] + d[4];
-        assert!(
-            in_04 / total > 0.9,
-            "correlation not captured: {d:?}"
-        );
+        assert!(in_04 / total > 0.9, "correlation not captured: {d:?}");
     }
 
     #[test]
@@ -522,7 +524,7 @@ mod tests {
         // Ground truth per bin.
         let id = t.column_by_name("id").unwrap().ints();
         let attr = t.column_by_name("attr").unwrap().ints();
-        let mut truth = vec![0.0; 4];
+        let mut truth = [0.0; 4];
         for i in 0..t.nrows() {
             if attr[i] == 1 {
                 truth[(id[i] % 4) as usize] += 1.0;
@@ -544,7 +546,10 @@ mod tests {
         let bn = BayesNetEstimator::build(&t, &bins_mod(8), BnConfig::default());
         for f in [
             FilterExpr::pred(Predicate::cmp("attr", CmpOp::Ge, 2)),
-            FilterExpr::pred(Predicate::in_list("attr", vec![Value::Int(0), Value::Int(3)])),
+            FilterExpr::pred(Predicate::in_list(
+                "attr",
+                vec![Value::Int(0), Value::Int(3)],
+            )),
             FilterExpr::and(vec![
                 FilterExpr::pred(Predicate::cmp("attr", CmpOp::Ge, 1)),
                 FilterExpr::pred(Predicate::cmp("noise", CmpOp::Lt, 500)),
@@ -567,7 +572,10 @@ mod tests {
         ]);
         let est = bn.estimate_filter(&f);
         let exact = exact_count(&t, &f);
-        assert!((est - exact).abs() / exact < 0.1, "est {est} vs exact {exact}");
+        assert!(
+            (est - exact).abs() / exact < 0.1,
+            "est {est} vs exact {exact}"
+        );
     }
 
     #[test]
@@ -617,7 +625,11 @@ mod tests {
         ]);
         let rows: Vec<Vec<Value>> = (0..100)
             .map(|i| {
-                let id = if i % 5 == 0 { Value::Null } else { Value::Int(i % 10) };
+                let id = if i % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 10)
+                };
                 vec![id, Value::Int(i % 2)]
             })
             .collect();

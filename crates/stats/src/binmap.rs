@@ -20,13 +20,19 @@ impl KeyBinMap {
     /// Creates a map with `k` bins from explicit assignments.
     pub fn new(k: usize, map: HashMap<i64, u32>) -> Self {
         assert!(k > 0, "at least one bin required");
-        debug_assert!(map.values().all(|&b| (b as usize) < k), "bin index out of range");
+        debug_assert!(
+            map.values().all(|&b| (b as usize) < k),
+            "bin index out of range"
+        );
         KeyBinMap { k, map }
     }
 
     /// Single-bin map (the k=1 ablation of paper Figure 9).
     pub fn single_bin() -> Self {
-        KeyBinMap { k: 1, map: HashMap::new() }
+        KeyBinMap {
+            k: 1,
+            map: HashMap::new(),
+        }
     }
 
     /// Number of bins.
@@ -61,11 +67,18 @@ impl KeyBinMap {
     pub fn heap_bytes(&self) -> usize {
         self.map.len() * (8 + 4 + 8) // key + value + bucket overhead
     }
+
+    /// Iterates over the explicit (value, bin) assignments (persistence).
+    pub fn entries(&self) -> impl Iterator<Item = (i64, u32)> + '_ {
+        self.map.iter().map(|(&v, &b)| (v, b))
+    }
 }
 
 #[inline]
 fn fxhash(v: i64) -> u64 {
-    (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+    (v as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(17)
 }
 
 /// The bin maps for every join-key column of one table.

@@ -61,7 +61,11 @@ pub fn chow_liu_tree(columns: &[Vec<u32>], domains: &[usize]) -> Vec<Option<usiz
         }
     }
     // Maximum spanning tree (Kruskal): sort by MI descending.
-    edges.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("MI is finite").then(a.1.cmp(&b.1)));
+    edges.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("MI is finite")
+            .then(a.1.cmp(&b.1))
+    });
     let mut uf = fj_storage::UnionFind::new(m);
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m];
     for (_, i, j) in edges {
@@ -133,7 +137,10 @@ mod tests {
         let n = 10_000;
         // x0 random; x1 = f(x0); x2 = f(x1); x3 independent.
         let x0: Vec<u32> = (0..n).map(|_| rng.gen_range(0..6)).collect();
-        let x1: Vec<u32> = x0.iter().map(|&v| (v * 2 + rng.gen_range(0..2)) % 6).collect();
+        let x1: Vec<u32> = x0
+            .iter()
+            .map(|&v| (v * 2 + rng.gen_range(0..2)) % 6)
+            .collect();
         let x2: Vec<u32> = x1.iter().map(|&v| (v + rng.gen_range(0..2)) % 6).collect();
         let x3: Vec<u32> = (0..n).map(|_| rng.gen_range(0..6)).collect();
         let cols = vec![x0, x1, x2, x3];
@@ -149,14 +156,18 @@ mod tests {
             }
             path
         };
-        assert!(path_to_root(2).contains(&1), "x2 should attach through x1: {parent:?}");
+        assert!(
+            path_to_root(2).contains(&1),
+            "x2 should attach through x1: {parent:?}"
+        );
     }
 
     #[test]
     fn tree_has_no_cycles() {
         let mut rng = StdRng::seed_from_u64(4);
-        let cols: Vec<Vec<u32>> =
-            (0..6).map(|_| (0..2000).map(|_| rng.gen_range(0..4)).collect()).collect();
+        let cols: Vec<Vec<u32>> = (0..6)
+            .map(|_| (0..2000).map(|_| rng.gen_range(0..4)).collect())
+            .collect();
         let parent = chow_liu_tree(&cols, &[4; 6]);
         assert_eq!(parent.len(), 6);
         // Following parents always terminates (acyclic).

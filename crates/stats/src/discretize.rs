@@ -28,12 +28,25 @@ enum Encoding {
     IntCategorical { values: Vec<i64> },
     /// Equi-depth integer buckets: `uppers[i]` is the inclusive upper bound
     /// of bucket `i`; `mins`/`maxs`/`ndv` describe the bucket contents.
-    IntBuckets { uppers: Vec<i64>, mins: Vec<i64>, maxs: Vec<i64>, ndv: Vec<u32> },
+    IntBuckets {
+        uppers: Vec<i64>,
+        mins: Vec<i64>,
+        maxs: Vec<i64>,
+        ndv: Vec<u32>,
+    },
     /// One code per dictionary string.
-    StrSmall { dict: Vec<String>, intern: HashMap<String, u32> },
+    StrSmall {
+        dict: Vec<String>,
+        intern: HashMap<String, u32>,
+    },
     /// Hashed string buckets: code = hash(string) % n; `dict`/`dict_rows`
     /// retained to evaluate pattern clauses as per-bucket row fractions.
-    StrHashed { n: usize, dict: Vec<String>, dict_rows: Vec<u32>, bucket_rows: Vec<f64> },
+    StrHashed {
+        n: usize,
+        dict: Vec<String>,
+        dict_rows: Vec<u32>,
+        bucket_rows: Vec<f64>,
+    },
 }
 
 /// A discretized column: codes `0..n_codes()`, NULL mapped to the last code.
@@ -128,15 +141,23 @@ impl Discretizer {
         DiscreteColumn {
             name: name.to_string(),
             non_null_codes: uppers.len(),
-            encoding: Encoding::IntBuckets { uppers, mins, maxs, ndv },
+            encoding: Encoding::IntBuckets {
+                uppers,
+                mins,
+                maxs,
+                ndv,
+            },
         }
     }
 
     fn build_str(&self, name: &str, col: &Column) -> DiscreteColumn {
         let dict = col.dict().to_vec();
         if dict.len() <= self.max_codes {
-            let intern =
-                dict.iter().enumerate().map(|(i, s)| (s.clone(), i as u32)).collect();
+            let intern = dict
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.clone(), i as u32))
+                .collect();
             return DiscreteColumn {
                 name: name.to_string(),
                 non_null_codes: dict.len().max(1),
@@ -157,7 +178,12 @@ impl Discretizer {
         DiscreteColumn {
             name: name.to_string(),
             non_null_codes: n,
-            encoding: Encoding::StrHashed { n, dict, dict_rows, bucket_rows },
+            encoding: Encoding::StrHashed {
+                n,
+                dict,
+                dict_rows,
+                bucket_rows,
+            },
         }
     }
 }
@@ -264,8 +290,11 @@ impl DiscreteColumn {
                 // bin granularity; treat as non-selective (weight 1) except
                 // for NULL tests, which the code structure does capture.
                 for (c, slot) in w.iter_mut().enumerate() {
-                    let v =
-                        if c == self.null_code() { Value::Null } else { Value::Int(c as i64) };
+                    let v = if c == self.null_code() {
+                        Value::Null
+                    } else {
+                        Value::Int(c as i64)
+                    };
                     *slot = match only_null_tests(clause) {
                         Some(expr) => eval01(&expr, &v),
                         None => {
@@ -284,7 +313,9 @@ impl DiscreteColumn {
                 }
                 w[self.null_code()] = eval01(clause, &Value::Null);
             }
-            Encoding::IntBuckets { mins, maxs, ndv, .. } => {
+            Encoding::IntBuckets {
+                mins, maxs, ndv, ..
+            } => {
                 for i in 0..self.non_null_codes {
                     w[i] = bucket_coverage(clause, mins[i], maxs[i], ndv[i]);
                 }
@@ -296,7 +327,12 @@ impl DiscreteColumn {
                 }
                 w[self.null_code()] = eval01(clause, &Value::Null);
             }
-            Encoding::StrHashed { n, dict, dict_rows, bucket_rows } => {
+            Encoding::StrHashed {
+                n,
+                dict,
+                dict_rows,
+                bucket_rows,
+            } => {
                 let mut matched = vec![0f64; *n];
                 for (code, s) in dict.iter().enumerate() {
                     if eval01(clause, &Value::Str(s.clone())) > 0.5 {
@@ -304,7 +340,11 @@ impl DiscreteColumn {
                     }
                 }
                 for i in 0..*n {
-                    w[i] = if bucket_rows[i] > 0.0 { matched[i] / bucket_rows[i] } else { 0.0 };
+                    w[i] = if bucket_rows[i] > 0.0 {
+                        matched[i] / bucket_rows[i]
+                    } else {
+                        0.0
+                    };
                 }
                 w[self.null_code()] = eval01(clause, &Value::Null);
             }
@@ -328,8 +368,10 @@ impl DiscreteColumn {
 
 /// Extracts the clause if it consists only of NULL tests (else `None`).
 fn only_null_tests(clause: &FilterExpr) -> Option<FilterExpr> {
-    let all_null =
-        clause.predicates().iter().all(|p| matches!(p, Predicate::IsNull { .. }));
+    let all_null = clause
+        .predicates()
+        .iter()
+        .all(|p| matches!(p, Predicate::IsNull { .. }));
     all_null.then(|| clause.clone())
 }
 
@@ -349,9 +391,10 @@ fn bucket_coverage(clause: &FilterExpr, min: i64, max: i64, ndv: u32) -> f64 {
     match clause {
         FilterExpr::True => 1.0,
         FilterExpr::Pred(p) => pred_coverage(p, min, max, ndv),
-        FilterExpr::And(parts) => {
-            parts.iter().map(|c| bucket_coverage(c, min, max, ndv)).product()
-        }
+        FilterExpr::And(parts) => parts
+            .iter()
+            .map(|c| bucket_coverage(c, min, max, ndv))
+            .product(),
         FilterExpr::Or(parts) => {
             1.0 - parts
                 .iter()
@@ -367,7 +410,9 @@ fn pred_coverage(p: &Predicate, min: i64, max: i64, ndv: u32) -> f64 {
     let clampf = |x: f64| x.clamp(0.0, 1.0);
     match p {
         Predicate::Cmp { op, value, .. } => {
-            let Some(v) = value.as_float() else { return 0.0 };
+            let Some(v) = value.as_float() else {
+                return 0.0;
+            };
             let (lo, hi) = (min as f64, max as f64);
             match op {
                 fj_query::CmpOp::Eq => {
@@ -391,7 +436,9 @@ fn pred_coverage(p: &Predicate, min: i64, max: i64, ndv: u32) -> f64 {
             }
         }
         Predicate::Between { lo, hi, .. } => {
-            let (Some(a), Some(b)) = (lo.as_float(), hi.as_float()) else { return 0.0 };
+            let (Some(a), Some(b)) = (lo.as_float(), hi.as_float()) else {
+                return 0.0;
+            };
             let inter = (b.min(max as f64) - a.max(min as f64) + 1.0).max(0.0);
             clampf(inter / width)
         }
@@ -461,7 +508,7 @@ mod tests {
 
     #[test]
     fn bucketized_int_coverage() {
-        let values: Vec<Option<i64>> = (0..1000).map(|i| Some(i)).collect();
+        let values: Vec<Option<i64>> = (0..1000).map(Some).collect();
         let t = int_table(&values);
         let d = Discretizer { max_codes: 10 }.build(&t, 0, None).unwrap();
         assert_eq!(d.n_codes(), 11);
@@ -507,8 +554,9 @@ mod tests {
     #[test]
     fn string_hashed_buckets_fractional() {
         let schema = TableSchema::new(vec![ColumnDef::new("s", DataType::Str)]);
-        let rows: Vec<Vec<Value>> =
-            (0..500).map(|i| vec![Value::Str(format!("title {i} the"))]).collect();
+        let rows: Vec<Vec<Value>> = (0..500)
+            .map(|i| vec![Value::Str(format!("title {i} the"))])
+            .collect();
         let t = Table::from_rows("t", schema, &rows).unwrap();
         let d = Discretizer { max_codes: 16 }.build(&t, 0, None).unwrap();
         assert_eq!(d.n_codes(), 17);

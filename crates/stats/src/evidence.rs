@@ -78,7 +78,11 @@ mod tests {
         let clauses = split_per_column(&f).unwrap();
         assert_eq!(clauses.len(), 2);
         assert_eq!(clauses[0].0, "a");
-        assert_eq!(clauses[0].1.num_predicates(), 2, "same-column clauses merged");
+        assert_eq!(
+            clauses[0].1.num_predicates(),
+            2,
+            "same-column clauses merged"
+        );
         assert_eq!(clauses[1].0, "b");
     }
 

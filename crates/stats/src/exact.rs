@@ -21,7 +21,10 @@ pub struct ExactEstimator {
 impl ExactEstimator {
     /// Snapshots `table` for exact scanning.
     pub fn build(table: &Table, bins: &TableBins) -> Self {
-        ExactEstimator { table: table.clone(), bins: bins.clone() }
+        ExactEstimator {
+            table: table.clone(),
+            bins: bins.clone(),
+        }
     }
 }
 
@@ -35,7 +38,10 @@ impl BaseTableEstimator for ExactEstimator {
     }
 
     fn key_distribution(&self, key_col: &str, filter: &FilterExpr) -> Vec<f64> {
-        self.profile(filter, &[key_col]).key_dists.pop().expect("one key requested")
+        self.profile(filter, &[key_col])
+            .key_dists
+            .pop()
+            .expect("one key requested")
     }
 
     fn key_bins(&self, key_col: &str) -> usize {
@@ -53,8 +59,10 @@ impl BaseTableEstimator for ExactEstimator {
                     .and_then(|ci| self.bins.get(k).map(|m| (ci, m)))
             })
             .collect();
-        let mut dists: Vec<Vec<f64>> =
-            key_cols.iter().map(|k| vec![0.0; self.key_bins(k)]).collect();
+        let mut dists: Vec<Vec<f64>> = key_cols
+            .iter()
+            .map(|k| vec![0.0; self.key_bins(k)])
+            .collect();
         let mut rows = 0f64;
         for r in 0..self.table.nrows() {
             if !compiled.eval(&self.table, r) {
@@ -69,7 +77,10 @@ impl BaseTableEstimator for ExactEstimator {
                 }
             }
         }
-        TableProfile { rows, key_dists: dists }
+        TableProfile {
+            rows,
+            key_dists: dists,
+        }
     }
 
     fn insert(&mut self, table: &Table, _first_new_row: usize) {
@@ -99,7 +110,11 @@ mod tests {
         ]);
         let rows: Vec<Vec<Value>> = (0..200i64)
             .map(|i| {
-                let id = if i % 7 == 6 { Value::Null } else { Value::Int(i % 20) };
+                let id = if i % 7 == 6 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 20)
+                };
                 vec![id, Value::Int(i)]
             })
             .collect();
@@ -136,7 +151,8 @@ mod tests {
     fn insert_resnapshots() {
         let mut t = table();
         let mut e = ExactEstimator::build(&t, &bins());
-        t.append_rows(&[vec![Value::Int(1), Value::Int(999)]]).unwrap();
+        t.append_rows(&[vec![Value::Int(1), Value::Int(999)]])
+            .unwrap();
         e.insert(&t, 200);
         assert_eq!(e.estimate_filter(&FilterExpr::True), 201.0);
     }

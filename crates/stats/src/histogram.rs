@@ -69,10 +69,12 @@ impl ColumnHistogram {
             }
         }
         let ndv = counts.len() as f64;
-        let minmax = counts.keys().fold(None, |acc: Option<(i64, i64)>, &v| match acc {
-            None => Some((v, v)),
-            Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
-        });
+        let minmax = counts
+            .keys()
+            .fold(None, |acc: Option<(i64, i64)>, &v| match acc {
+                None => Some((v, v)),
+                Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+            });
         let mut by_freq: Vec<(i64, u64)> = counts.iter().map(|(&v, &c)| (v, c)).collect();
         by_freq.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let mcv: Vec<(i64, f64)> = by_freq
@@ -82,8 +84,11 @@ impl ColumnHistogram {
             .collect();
         let mcv_set: std::collections::HashSet<i64> = mcv.iter().map(|&(v, _)| v).collect();
         // Histogram over remaining values (value-weighted equi-depth).
-        let mut rest: Vec<(i64, u64)> =
-            by_freq.iter().filter(|(v, _)| !mcv_set.contains(v)).copied().collect();
+        let mut rest: Vec<(i64, u64)> = by_freq
+            .iter()
+            .filter(|(v, _)| !mcv_set.contains(v))
+            .copied()
+            .collect();
         rest.sort_unstable_by_key(|&(v, _)| v);
         let rest_rows: u64 = rest.iter().map(|&(_, c)| c).sum();
         let mut uppers = Vec::new();
@@ -169,9 +174,7 @@ impl ColumnHistogram {
         match clause {
             FilterExpr::True => 1.0,
             FilterExpr::Pred(p) => self.pred_selectivity(p).clamp(0.0, 1.0),
-            FilterExpr::And(parts) => {
-                parts.iter().map(|c| self.selectivity(c)).product()
-            }
+            FilterExpr::And(parts) => parts.iter().map(|c| self.selectivity(c)).product(),
             FilterExpr::Or(parts) => {
                 let miss: f64 = parts.iter().map(|c| 1.0 - self.selectivity(c)).product();
                 1.0 - miss
@@ -201,15 +204,19 @@ impl ColumnHistogram {
             Predicate::InList { values, .. } => {
                 let sum: f64 = values
                     .iter()
-                    .map(|v| self.pred_selectivity(&Predicate::Cmp {
-                        column: String::new(),
-                        op: CmpOp::Eq,
-                        value: v.clone(),
-                    }))
+                    .map(|v| {
+                        self.pred_selectivity(&Predicate::Cmp {
+                            column: String::new(),
+                            op: CmpOp::Eq,
+                            value: v.clone(),
+                        })
+                    })
                     .sum();
                 sum.min(1.0)
             }
-            Predicate::Like { pattern, negated, .. } => {
+            Predicate::Like {
+                pattern, negated, ..
+            } => {
                 let hit: f64 = self
                     .mcv_str
                     .iter()
@@ -229,7 +236,9 @@ impl ColumnHistogram {
     }
 
     fn numeric_cmp(&self, op: CmpOp, value: &Value) -> f64 {
-        let Some(v) = value.as_float() else { return 0.0 };
+        let Some(v) = value.as_float() else {
+            return 0.0;
+        };
         match op {
             CmpOp::Eq => self.eq_selectivity(value),
             CmpOp::Neq => (1.0 - self.null_frac - self.eq_selectivity(value)).max(0.0),
@@ -246,9 +255,7 @@ impl ColumnHistogram {
                     let frac = self.bucket_frac[i];
                     let (blo, bhi) = (prev as f64, u as f64);
                     let cover = match op {
-                        CmpOp::Lt | CmpOp::Le => {
-                            ((v - blo) / (bhi - blo + 1.0)).clamp(0.0, 1.0)
-                        }
+                        CmpOp::Lt | CmpOp::Le => ((v - blo) / (bhi - blo + 1.0)).clamp(0.0, 1.0),
                         _ => ((bhi - v) / (bhi - blo + 1.0)).clamp(0.0, 1.0),
                     };
                     sel += frac * cover;
@@ -302,7 +309,11 @@ impl ColumnHistogram {
     /// Approximate heap footprint in bytes.
     pub fn heap_bytes(&self) -> usize {
         self.mcv.len() * 16
-            + self.mcv_str.iter().map(|(s, _)| s.len() + 24).sum::<usize>()
+            + self
+                .mcv_str
+                .iter()
+                .map(|(s, _)| s.len() + 24)
+                .sum::<usize>()
             + self.uppers.len() * 16
     }
 }
@@ -318,16 +329,17 @@ mod tests {
             .iter()
             .map(|v| vec![v.map(Value::Int).unwrap_or(Value::Null)])
             .collect();
-        Table::from_rows("t", schema, &rows).unwrap().column(0).clone()
+        Table::from_rows("t", schema, &rows)
+            .unwrap()
+            .column(0)
+            .clone()
     }
 
     fn exact_sel(values: &[Option<i64>], clause: &FilterExpr) -> f64 {
         let n = values.len() as f64;
         let hits = values
             .iter()
-            .filter(|v| {
-                clause.eval(&|_| v.map(Value::Int).unwrap_or(Value::Null))
-            })
+            .filter(|v| clause.eval(&|_| v.map(Value::Int).unwrap_or(Value::Null)))
             .count();
         hits as f64 / n
     }
@@ -335,7 +347,7 @@ mod tests {
     #[test]
     fn equality_on_mcv_is_exact() {
         let mut values: Vec<Option<i64>> = vec![Some(7); 500];
-        values.extend((0..500).map(|i| Some(i)));
+        values.extend((0..500).map(Some));
         let h = ColumnHistogram::build(&int_col(&values));
         let clause = FilterExpr::pred(Predicate::eq("x", 7));
         let est = h.selectivity(&clause);
@@ -360,11 +372,15 @@ mod tests {
 
     #[test]
     fn null_fraction_and_is_null() {
-        let values: Vec<Option<i64>> =
-            (0..100).map(|i| if i % 4 == 0 { None } else { Some(i) }).collect();
+        let values: Vec<Option<i64>> = (0..100)
+            .map(|i| if i % 4 == 0 { None } else { Some(i) })
+            .collect();
         let h = ColumnHistogram::build(&int_col(&values));
         assert!((h.null_frac() - 0.25).abs() < 1e-9);
-        let isnull = FilterExpr::pred(Predicate::IsNull { column: "x".into(), negated: false });
+        let isnull = FilterExpr::pred(Predicate::IsNull {
+            column: "x".into(),
+            negated: false,
+        });
         assert!((h.selectivity(&isnull) - 0.25).abs() < 1e-9);
     }
 
@@ -420,5 +436,104 @@ mod tests {
         let values: Vec<Option<i64>> = (0..300).map(|i| Some(i % 10)).collect();
         let h = ColumnHistogram::build(&int_col(&values));
         assert_eq!(h.ndv(), 10.0);
+    }
+
+    #[test]
+    fn selectivity_monotone_under_widening_ranges() {
+        // Skewed data with NULLs: as a range predicate widens, the estimate
+        // must never decrease (and the mirror-image predicate never
+        // increases).
+        let values: Vec<Option<i64>> = (0..1500)
+            .map(|i| {
+                if i % 11 == 0 {
+                    None
+                } else if i % 3 == 0 {
+                    Some(42) // heavy hitter lands in the MCV list
+                } else {
+                    Some(i % 400)
+                }
+            })
+            .collect();
+        let h = ColumnHistogram::build(&int_col(&values));
+        let mut prev_lt = 0.0f64;
+        let mut prev_gt = 1.0f64;
+        for cut in (0..=440).step_by(20) {
+            let lt = h.selectivity(&FilterExpr::pred(Predicate::cmp("x", CmpOp::Lt, cut)));
+            let gt = h.selectivity(&FilterExpr::pred(Predicate::cmp("x", CmpOp::Gt, cut)));
+            assert!(
+                lt >= prev_lt - 1e-9,
+                "x < {cut}: widening dropped the estimate {prev_lt} → {lt}"
+            );
+            assert!(
+                gt <= prev_gt + 1e-9,
+                "x > {cut}: narrowing raised the estimate {prev_gt} → {gt}"
+            );
+            prev_lt = lt;
+            prev_gt = gt;
+        }
+        // BETWEEN widening around a fixed center is monotone too.
+        let mut prev = 0.0f64;
+        for half in (0..=200).step_by(25) {
+            let s = h.selectivity(&FilterExpr::pred(Predicate::between(
+                "x",
+                200 - half,
+                200 + half,
+            )));
+            assert!((0.0..=1.0).contains(&s), "between ±{half} → {s}");
+            assert!(s >= prev - 1e-9, "between widened ±{half}: {prev} → {s}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn selectivity_bounded_on_adversarial_columns() {
+        // Constant, near-empty, all-NULL, and two-point columns: every
+        // predicate shape stays within [0, 1].
+        let columns: Vec<Vec<Option<i64>>> = vec![
+            vec![Some(5); 64], // constant
+            vec![Some(1)],     // single row
+            vec![None; 32],    // all NULL
+            (0..64)
+                .map(|i| {
+                    Some(if i % 2 == 0 {
+                        i64::MIN / 2
+                    } else {
+                        i64::MAX / 2
+                    })
+                })
+                .collect(),
+        ];
+        for values in &columns {
+            let h = ColumnHistogram::build(&int_col(values));
+            let clauses = [
+                FilterExpr::pred(Predicate::eq("x", 5)),
+                FilterExpr::pred(Predicate::eq("x", 123456)),
+                FilterExpr::pred(Predicate::cmp("x", CmpOp::Lt, 0)),
+                FilterExpr::pred(Predicate::cmp("x", CmpOp::Ge, 5)),
+                FilterExpr::pred(Predicate::cmp("x", CmpOp::Neq, 5)),
+                FilterExpr::pred(Predicate::between("x", -10, 10)),
+                FilterExpr::pred(Predicate::IsNull {
+                    column: "x".into(),
+                    negated: true,
+                }),
+                FilterExpr::Not(Box::new(FilterExpr::pred(Predicate::eq("x", 5)))),
+                FilterExpr::and(vec![
+                    FilterExpr::pred(Predicate::cmp("x", CmpOp::Ge, 0)),
+                    FilterExpr::pred(Predicate::cmp("x", CmpOp::Le, 100)),
+                ]),
+                FilterExpr::or(vec![
+                    FilterExpr::pred(Predicate::eq("x", 1)),
+                    FilterExpr::pred(Predicate::eq("x", 5)),
+                ]),
+            ];
+            for c in &clauses {
+                let s = h.selectivity(c);
+                assert!(
+                    (0.0..=1.0).contains(&s),
+                    "{c} on {} rows → {s}",
+                    values.len()
+                );
+            }
+        }
     }
 }

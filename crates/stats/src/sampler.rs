@@ -69,7 +69,9 @@ impl SamplingEstimator {
     fn rebin(&mut self) {
         self.key_bins_per_row.clear();
         for (col_name, map) in self.bins.iter() {
-            let Some(ci) = self.sample.schema().index_of(col_name) else { continue };
+            let Some(ci) = self.sample.schema().index_of(col_name) else {
+                continue;
+            };
             let col = self.sample.column(ci);
             let per_row: Vec<Option<u32>> = (0..self.sample.nrows())
                 .map(|r| col.key_at(r).map(|v| map.bin_of(v) as u32))
@@ -110,7 +112,10 @@ impl BaseTableEstimator for SamplingEstimator {
     }
 
     fn key_distribution(&self, key_col: &str, filter: &FilterExpr) -> Vec<f64> {
-        self.profile(filter, &[key_col]).key_dists.pop().expect("one key requested")
+        self.profile(filter, &[key_col])
+            .key_dists
+            .pop()
+            .expect("one key requested")
     }
 
     fn key_bins(&self, key_col: &str) -> usize {
@@ -119,10 +124,14 @@ impl BaseTableEstimator for SamplingEstimator {
 
     fn profile(&self, filter: &FilterExpr, key_cols: &[&str]) -> TableProfile {
         let compiled = compile_filter(&self.sample, filter);
-        let mut dists: Vec<Vec<f64>> =
-            key_cols.iter().map(|k| vec![0.0; self.key_bins(k)]).collect();
-        let bin_rows: Vec<Option<&Vec<Option<u32>>>> =
-            key_cols.iter().map(|k| self.key_bins_per_row.get(*k)).collect();
+        let mut dists: Vec<Vec<f64>> = key_cols
+            .iter()
+            .map(|k| vec![0.0; self.key_bins(k)])
+            .collect();
+        let bin_rows: Vec<Option<&Vec<Option<u32>>>> = key_cols
+            .iter()
+            .map(|k| self.key_bins_per_row.get(*k))
+            .collect();
         let mut hits = 0u64;
         for i in 0..self.sample.nrows() {
             if !compiled.eval(&self.sample, i) {
@@ -143,7 +152,10 @@ impl BaseTableEstimator for SamplingEstimator {
                 *x *= s;
             }
         }
-        TableProfile { rows: hits as f64 * s, key_dists: dists }
+        TableProfile {
+            rows: hits as f64 * s,
+            key_dists: dists,
+        }
     }
 
     fn insert(&mut self, table: &Table, first_new_row: usize) {
@@ -159,7 +171,9 @@ impl BaseTableEstimator for SamplingEstimator {
             pos += stride;
         }
         if !new_rows.is_empty() {
-            self.sample.append_rows(&new_rows).expect("schema-compatible rows");
+            self.sample
+                .append_rows(&new_rows)
+                .expect("schema-compatible rows");
         }
         self.base_rows = n as f64;
         self.rebin();
@@ -167,7 +181,11 @@ impl BaseTableEstimator for SamplingEstimator {
 
     fn model_bytes(&self) -> usize {
         self.sample.heap_bytes()
-            + self.key_bins_per_row.values().map(|v| v.len() * 5).sum::<usize>()
+            + self
+                .key_bins_per_row
+                .values()
+                .map(|v| v.len() * 5)
+                .sum::<usize>()
     }
 }
 
@@ -185,7 +203,11 @@ mod tests {
         ]);
         let rows: Vec<Vec<Value>> = (0..n as i64)
             .map(|i| {
-                let id = if i % 10 == 9 { Value::Null } else { Value::Int(i % 50) };
+                let id = if i % 10 == 9 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 50)
+                };
                 vec![id, Value::Int(i % 100)]
             })
             .collect();
@@ -253,7 +275,11 @@ mod tests {
             .map(|i| {
                 vec![
                     Value::Int(i % 10),
-                    Value::Str(if i % 2 == 0 { "even x".into() } else { "odd y".into() }),
+                    Value::Str(if i % 2 == 0 {
+                        "even x".into()
+                    } else {
+                        "odd y".into()
+                    }),
                 ]
             })
             .collect();
@@ -273,8 +299,9 @@ mod tests {
         let mut est = SamplingEstimator::build(&t, &bins_for(5), 0.5, 3);
         let before = est.estimate_filter(&FilterExpr::True);
         assert!((before - 1000.0).abs() < 3.0);
-        let new_rows: Vec<Vec<Value>> =
-            (0..500).map(|i| vec![Value::Int(i % 50), Value::Int(5)]).collect();
+        let new_rows: Vec<Vec<Value>> = (0..500)
+            .map(|i| vec![Value::Int(i % 50), Value::Int(5)])
+            .collect();
         t.append_rows(&new_rows).unwrap();
         est.insert(&t, 1000);
         let after = est.estimate_filter(&FilterExpr::True);

@@ -41,7 +41,10 @@ pub trait BaseTableEstimator: Send + Sync {
     fn profile(&self, filter: &FilterExpr, key_cols: &[&str]) -> TableProfile {
         TableProfile {
             rows: self.estimate_filter(filter),
-            key_dists: key_cols.iter().map(|k| self.key_distribution(k, filter)).collect(),
+            key_dists: key_cols
+                .iter()
+                .map(|k| self.key_distribution(k, filter))
+                .collect(),
         }
     }
 

@@ -22,7 +22,11 @@ impl NullBitmap {
 
     /// Creates a bitmap of `len` rows, all valid (non-null).
     pub fn all_valid(len: usize) -> Self {
-        NullBitmap { words: Vec::new(), len, null_count: 0 }
+        NullBitmap {
+            words: Vec::new(),
+            len,
+            null_count: 0,
+        }
     }
 
     /// Number of rows tracked.
@@ -65,7 +69,11 @@ impl NullBitmap {
     /// only allocates up to the last NULL).
     #[inline]
     pub fn is_null(&self, idx: usize) -> bool {
-        debug_assert!(idx < self.len, "bitmap index {idx} out of range {}", self.len);
+        debug_assert!(
+            idx < self.len,
+            "bitmap index {idx} out of range {}",
+            self.len
+        );
         let word = idx / 64;
         match self.words.get(word) {
             Some(w) => (w >> (idx % 64)) & 1 == 1,

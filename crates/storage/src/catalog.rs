@@ -25,7 +25,10 @@ pub struct KeyRef {
 impl KeyRef {
     /// Constructs a key reference.
     pub fn new(table: &str, column: &str) -> Self {
-        KeyRef { table: table.to_string(), column: column.to_string() }
+        KeyRef {
+            table: table.to_string(),
+            column: column.to_string(),
+        }
     }
 }
 
@@ -91,9 +94,13 @@ impl Catalog {
     pub fn add_relation(&mut self, rel: JoinRelation) -> Result<()> {
         for kr in [&rel.left, &rel.right] {
             let t = self.table(&kr.table)?;
-            let idx = t.schema().index_of(&kr.column).ok_or_else(|| {
-                StorageError::UnknownColumn { table: kr.table.clone(), column: kr.column.clone() }
-            })?;
+            let idx =
+                t.schema()
+                    .index_of(&kr.column)
+                    .ok_or_else(|| StorageError::UnknownColumn {
+                        table: kr.table.clone(),
+                        column: kr.column.clone(),
+                    })?;
             if !t.schema().column(idx).join_key {
                 return Err(StorageError::NotAJoinKey {
                     table: kr.table.clone(),
@@ -112,12 +119,16 @@ impl Catalog {
 
     /// Table by name.
     pub fn table(&self, name: &str) -> Result<&Table> {
-        self.tables.get(name).ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
     /// Mutable table by name.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
-        self.tables.get_mut(name).ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
     /// All tables in name order.

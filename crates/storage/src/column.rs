@@ -19,7 +19,11 @@ pub enum Column {
     /// Floating-point data.
     Float { values: Vec<f64>, nulls: NullBitmap },
     /// Dictionary-encoded strings.
-    Str { codes: Vec<u32>, dict: Vec<String>, nulls: NullBitmap },
+    Str {
+        codes: Vec<u32>,
+        dict: Vec<String>,
+        nulls: NullBitmap,
+    },
 }
 
 impl Column {
@@ -242,9 +246,19 @@ impl ColumnBuilder {
     /// Finalizes the builder into an immutable [`Column`].
     pub fn finish(self) -> Column {
         match self.dtype {
-            DataType::Int => Column::Int { values: self.ints, nulls: self.nulls },
-            DataType::Float => Column::Float { values: self.floats, nulls: self.nulls },
-            DataType::Str => Column::Str { codes: self.codes, dict: self.dict, nulls: self.nulls },
+            DataType::Int => Column::Int {
+                values: self.ints,
+                nulls: self.nulls,
+            },
+            DataType::Float => Column::Float {
+                values: self.floats,
+                nulls: self.nulls,
+            },
+            DataType::Str => Column::Str {
+                codes: self.codes,
+                dict: self.dict,
+                nulls: self.nulls,
+            },
         }
     }
 }

@@ -14,7 +14,11 @@ pub enum StorageError {
     /// A column name was not found in a table schema.
     UnknownColumn { table: String, column: String },
     /// A value's type did not match the column's declared [`crate::DataType`].
-    TypeMismatch { column: String, expected: &'static str, got: &'static str },
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        got: &'static str,
+    },
     /// Row had the wrong number of fields for the schema.
     ArityMismatch { expected: usize, got: usize },
     /// A join relation referenced a column that is not declared as a join key.
@@ -30,11 +34,21 @@ impl fmt::Display for StorageError {
             StorageError::UnknownColumn { table, column } => {
                 write!(f, "unknown column {table}.{column}")
             }
-            StorageError::TypeMismatch { column, expected, got } => {
-                write!(f, "type mismatch on column {column}: expected {expected}, got {got}")
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch on column {column}: expected {expected}, got {got}"
+                )
             }
             StorageError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: expected {expected} fields, got {got}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} fields, got {got}"
+                )
             }
             StorageError::NotAJoinKey { table, column } => {
                 write!(f, "{table}.{column} is not declared as a join key")
@@ -52,11 +66,21 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = StorageError::UnknownColumn { table: "posts".into(), column: "zzz".into() };
+        let e = StorageError::UnknownColumn {
+            table: "posts".into(),
+            column: "zzz".into(),
+        };
         assert_eq!(e.to_string(), "unknown column posts.zzz");
-        let e = StorageError::TypeMismatch { column: "id".into(), expected: "Int", got: "Str" };
+        let e = StorageError::TypeMismatch {
+            column: "id".into(),
+            expected: "Int",
+            got: "Str",
+        };
         assert!(e.to_string().contains("expected Int"));
-        let e = StorageError::ArityMismatch { expected: 3, got: 2 };
+        let e = StorageError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("3"));
     }
 

@@ -39,12 +39,20 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// A plain (non-join-key) column.
     pub fn new(name: &str, dtype: DataType) -> Self {
-        ColumnDef { name: name.to_string(), dtype, join_key: false }
+        ColumnDef {
+            name: name.to_string(),
+            dtype,
+            join_key: false,
+        }
     }
 
     /// An integer join-key column.
     pub fn key(name: &str) -> Self {
-        ColumnDef { name: name.to_string(), dtype: DataType::Int, join_key: true }
+        ColumnDef {
+            name: name.to_string(),
+            dtype: DataType::Int,
+            join_key: true,
+        }
     }
 }
 

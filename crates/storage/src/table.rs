@@ -23,14 +23,22 @@ impl Table {
             .iter()
             .map(|c| ColumnBuilder::new(c.dtype).finish())
             .collect();
-        Table { name: name.to_string(), schema, columns, nrows: 0 }
+        Table {
+            name: name.to_string(),
+            schema,
+            columns,
+            nrows: 0,
+        }
     }
 
     /// Creates a table from pre-built columns. All columns must have equal
     /// length and match the schema's types.
     pub fn from_columns(name: &str, schema: TableSchema, columns: Vec<Column>) -> Result<Self> {
         if columns.len() != schema.len() {
-            return Err(StorageError::ArityMismatch { expected: schema.len(), got: columns.len() });
+            return Err(StorageError::ArityMismatch {
+                expected: schema.len(),
+                got: columns.len(),
+            });
         }
         let nrows = columns.first().map_or(0, Column::len);
         for (def, col) in schema.columns().iter().zip(&columns) {
@@ -42,10 +50,18 @@ impl Table {
                 });
             }
             if col.len() != nrows {
-                return Err(StorageError::ArityMismatch { expected: nrows, got: col.len() });
+                return Err(StorageError::ArityMismatch {
+                    expected: nrows,
+                    got: col.len(),
+                });
             }
         }
-        Ok(Table { name: name.to_string(), schema, columns, nrows })
+        Ok(Table {
+            name: name.to_string(),
+            schema,
+            columns,
+            nrows,
+        })
     }
 
     /// Bulk-loads rows of [`Value`]s (used by the data generators and tests).
@@ -57,7 +73,10 @@ impl Table {
             .collect();
         for row in rows {
             if row.len() != schema.len() {
-                return Err(StorageError::ArityMismatch { expected: schema.len(), got: row.len() });
+                return Err(StorageError::ArityMismatch {
+                    expected: schema.len(),
+                    got: row.len(),
+                });
             }
             for (b, (v, def)) in builders.iter_mut().zip(row.iter().zip(schema.columns())) {
                 b.push(v).map_err(|got| StorageError::TypeMismatch {
@@ -68,7 +87,12 @@ impl Table {
             }
         }
         let columns = builders.into_iter().map(ColumnBuilder::finish).collect();
-        Ok(Table { name: name.to_string(), schema, columns, nrows: rows.len() })
+        Ok(Table {
+            name: name.to_string(),
+            schema,
+            columns,
+            nrows: rows.len(),
+        })
     }
 
     /// Table name.
@@ -93,10 +117,13 @@ impl Table {
 
     /// Column by name.
     pub fn column_by_name(&self, name: &str) -> Result<&Column> {
-        let idx = self.schema.index_of(name).ok_or_else(|| StorageError::UnknownColumn {
-            table: self.name.clone(),
-            column: name.to_string(),
-        })?;
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })?;
         Ok(&self.columns[idx])
     }
 
@@ -130,7 +157,8 @@ impl Table {
             for (b, c) in builders.iter_mut().zip(&self.columns) {
                 // Re-pushing existing values preserves dictionary stability
                 // for the prefix because interning happens in first-seen order.
-                b.push(&c.get(i)).expect("existing value must be type-correct");
+                b.push(&c.get(i))
+                    .expect("existing value must be type-correct");
             }
         }
         for row in rows {
@@ -140,7 +168,10 @@ impl Table {
                     got: row.len(),
                 });
             }
-            for (b, (v, def)) in builders.iter_mut().zip(row.iter().zip(self.schema.columns())) {
+            for (b, (v, def)) in builders
+                .iter_mut()
+                .zip(row.iter().zip(self.schema.columns()))
+            {
                 b.push(v).map_err(|got| StorageError::TypeMismatch {
                     column: def.name.clone(),
                     expected: def.dtype.name(),
@@ -164,7 +195,8 @@ impl Table {
             .collect();
         for &i in sel {
             for (b, c) in builders.iter_mut().zip(&self.columns) {
-                b.push(&c.get(i)).expect("existing value must be type-correct");
+                b.push(&c.get(i))
+                    .expect("existing value must be type-correct");
             }
         }
         Table {
@@ -215,12 +247,22 @@ mod tests {
     fn arity_mismatch_rejected() {
         let bad = vec![vec![Value::Int(1)]];
         let err = Table::from_rows("t", schema(), &bad).unwrap_err();
-        assert_eq!(err, StorageError::ArityMismatch { expected: 3, got: 1 });
+        assert_eq!(
+            err,
+            StorageError::ArityMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
     }
 
     #[test]
     fn type_mismatch_names_column() {
-        let bad = vec![vec![Value::Int(1), Value::Str("x".into()), Value::Str("a".into())]];
+        let bad = vec![vec![
+            Value::Int(1),
+            Value::Str("x".into()),
+            Value::Str("a".into()),
+        ]];
         match Table::from_rows("t", schema(), &bad).unwrap_err() {
             StorageError::TypeMismatch { column, .. } => assert_eq!(column, "score"),
             other => panic!("unexpected {other:?}"),
@@ -230,7 +272,8 @@ mod tests {
     #[test]
     fn append_rows_extends_and_preserves() {
         let mut t = Table::from_rows("t", schema(), &rows()).unwrap();
-        t.append_rows(&[vec![Value::Int(4), Value::Int(7), Value::Str("c".into())]]).unwrap();
+        t.append_rows(&[vec![Value::Int(4), Value::Int(7), Value::Str("c".into())]])
+            .unwrap();
         assert_eq!(t.nrows(), 4);
         assert_eq!(t.column(0).ints(), &[1, 2, 3, 4]);
         assert_eq!(t.row(1)[1], Value::Null);

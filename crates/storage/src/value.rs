@@ -138,8 +138,14 @@ mod tests {
     #[test]
     fn numeric_widening() {
         assert!(Value::Int(2).sql_eq(&Value::Float(2.0)));
-        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(1.5)), Some(Ordering::Less));
-        assert_eq!(Value::Float(3.0).sql_cmp(&Value::Int(2)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]

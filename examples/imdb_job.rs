@@ -11,8 +11,15 @@ use fj_datagen::{imdb_catalog, ImdbConfig};
 use fj_exec::TrueCardEngine;
 use fj_query::parse_query;
 
+#[path = "util/scale.rs"]
+mod util;
+use util::fj_scale;
+
 fn main() {
-    let catalog = imdb_catalog(&ImdbConfig { scale: 0.3, ..Default::default() });
+    let catalog = imdb_catalog(&ImdbConfig {
+        scale: fj_scale(),
+        ..Default::default()
+    });
     println!(
         "IMDB-like catalog: {} tables, {} rows, {} key groups",
         catalog.num_tables(),
@@ -51,10 +58,7 @@ fn main() {
          AND (n.gender = 'f' OR n.gender = 'm') AND t.production_year >= 2000;",
     ];
 
-    println!(
-        "{:>10} {:>12} {:>8}  query",
-        "bound", "true", "ratio"
-    );
+    println!("{:>10} {:>12} {:>8}  query", "bound", "true", "ratio");
     for sql in queries {
         let q = parse_query(&catalog, sql).expect("valid SQL");
         let bound = model.estimate(&q);

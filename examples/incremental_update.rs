@@ -11,8 +11,15 @@ use fj_datagen::{stats_catalog_split_by_date, StatsConfig};
 use fj_exec::TrueCardEngine;
 use fj_query::parse_query;
 
+#[path = "util/scale.rs"]
+mod util;
+use util::fj_scale;
+
 fn main() {
-    let cfg = StatsConfig { scale: 0.3, ..Default::default() };
+    let cfg = StatsConfig {
+        scale: fj_scale(),
+        ..Default::default()
+    };
     // Split at the midpoint of the 10-year date domain, as the paper splits
     // STATS at 2014.
     let (mut catalog, inserts) = stats_catalog_split_by_date(&cfg, 1825);
@@ -44,7 +51,11 @@ fn main() {
     let t0 = std::time::Instant::now();
     for (tname, rows) in &inserts {
         let first = catalog.table(tname).expect("table exists").nrows();
-        catalog.table_mut(tname).expect("table exists").append_rows(rows).expect("valid rows");
+        catalog
+            .table_mut(tname)
+            .expect("table exists")
+            .append_rows(rows)
+            .expect("valid rows");
         let table = catalog.table(tname).expect("table exists").clone();
         model.insert(&table, first);
     }
@@ -60,6 +71,10 @@ fn main() {
     );
     println!(
         "bound still dominates truth: {}",
-        if after_est >= after_truth { "yes" } else { "no (estimation error)" }
+        if after_est >= after_truth {
+            "yes"
+        } else {
+            "no (estimation error)"
+        }
     );
 }

@@ -10,9 +10,16 @@ use fj_datagen::{stats_catalog, StatsConfig};
 use fj_exec::TrueCardEngine;
 use fj_query::parse_query;
 
+#[path = "util/scale.rs"]
+mod util;
+use util::fj_scale;
+
 fn main() {
     // 1. A database: 8 Stack-Exchange-like tables with skewed FKs.
-    let catalog = stats_catalog(&StatsConfig { scale: 0.3, ..Default::default() });
+    let catalog = stats_catalog(&StatsConfig {
+        scale: fj_scale(),
+        ..Default::default()
+    });
     println!(
         "catalog: {} tables, {} rows, {} equivalent key groups",
         catalog.num_tables(),
@@ -28,7 +35,12 @@ fn main() {
         "trained in {:.3}s — model size {} KB, {} bins/group",
         report.train_seconds,
         report.model_bytes / 1024,
-        report.bins_per_group.iter().map(|k| k.to_string()).collect::<Vec<_>>().join("/"),
+        report
+            .bins_per_group
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
     );
 
     // 3. Estimate a join query written as SQL.
@@ -45,7 +57,10 @@ fn main() {
     println!("\nquery: {sql}");
     println!("factorjoin bound : {bound:.0}  (estimated in {est_micros}µs)");
     println!("true cardinality : {truth:.0}");
-    println!("ratio            : {:.2}x (≥ 1 means a valid upper bound)", bound / truth.max(1.0));
+    println!(
+        "ratio            : {:.2}x (≥ 1 means a valid upper bound)",
+        bound / truth.max(1.0)
+    );
 
     // 5. Sub-plan estimates for a query optimizer, in one progressive pass.
     let subs = model.estimate_subplans(&query, 1);

@@ -12,11 +12,25 @@ use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig}
 use fj_exec::{optimize, plan_cost, CostModel, TrueCardEngine};
 use std::collections::HashMap;
 
+#[path = "util/scale.rs"]
+mod util;
+use util::fj_scale;
+
 fn main() {
-    let catalog = stats_catalog(&StatsConfig { scale: 0.3, ..Default::default() });
+    let catalog = stats_catalog(&StatsConfig {
+        scale: fj_scale(),
+        ..Default::default()
+    });
+    let num_queries = std::env::var("FJ_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
     let queries = stats_ceb_workload(
         &catalog,
-        &WorkloadConfig { num_queries: 25, ..WorkloadConfig::stats_ceb() },
+        &WorkloadConfig {
+            num_queries,
+            ..WorkloadConfig::stats_ceb()
+        },
     );
     let cost_model = CostModel::default();
 
@@ -29,7 +43,10 @@ fn main() {
         Box::new(TrueCard::new(&catalog)),
     ];
 
-    println!("{:>12} {:>14} {:>14} {:>10}", "method", "plan cost", "planning", "Σ q-err p50");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "method", "plan cost", "planning", "Σ q-err p50"
+    );
     for m in &mut methods {
         let mut total_cost = 0.0;
         let mut planning = std::time::Duration::ZERO;
@@ -42,7 +59,11 @@ fn main() {
             let plan = optimize(q, &mut |mask| est[&mask], &cost_model);
             // Cost the chosen plan with true cardinalities.
             let mut engine = TrueCardEngine::new(&catalog, q);
-            let cost = plan_cost(&plan.root, &mut |mask| engine.cardinality(mask), &cost_model);
+            let cost = plan_cost(
+                &plan.root,
+                &mut |mask| engine.cardinality(mask),
+                &cost_model,
+            );
             total_cost += cost.total;
             for &(mask, e) in &subs {
                 let t = engine.cardinality(mask);

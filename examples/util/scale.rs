@@ -1,0 +1,11 @@
+//! Shared example helper (not an example itself — `examples/util/` has no
+//! `main.rs`, so cargo does not treat it as a target).
+
+/// Data scale for the synthetic database (`FJ_SCALE` env var overrides the
+/// default so smoke tests can run each example at tiny scale).
+pub fn fj_scale() -> f64 {
+    std::env::var("FJ_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3)
+}

@@ -1,1 +1,7 @@
-pub use factorjoin; pub use fj_baselines; pub use fj_datagen; pub use fj_exec; pub use fj_query; pub use fj_stats; pub use fj_storage;
+pub use factorjoin;
+pub use fj_baselines;
+pub use fj_datagen;
+pub use fj_exec;
+pub use fj_query;
+pub use fj_stats;
+pub use fj_storage;

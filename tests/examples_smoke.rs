@@ -1,0 +1,69 @@
+//! Smoke tests: every example runs end-to-end at tiny scale.
+//!
+//! `cargo test` compiles example targets before running tests, so each
+//! example binary sits next to this test executable under
+//! `target/<profile>/examples/`. Running them as subprocesses (with
+//! `FJ_SCALE` / `FJ_QUERIES` shrinking the synthetic data) means an
+//! example that stops compiling, panics, or exits non-zero fails the
+//! suite instead of rotting silently.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Locates `target/<profile>/examples/<name>` relative to the test binary
+/// (`target/<profile>/deps/examples_smoke-<hash>`).
+fn example_path(name: &str) -> PathBuf {
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // <hash>d test binary
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    path.push("examples");
+    path.push(name);
+    path
+}
+
+fn run_example(name: &str) {
+    let exe = example_path(name);
+    assert!(
+        exe.is_file(),
+        "example binary {} not found — did the example target get renamed?",
+        exe.display()
+    );
+    let output = Command::new(&exe)
+        .env("FJ_SCALE", "0.02")
+        .env("FJ_QUERIES", "2")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", exe.display()));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example {name} produced no output — it should report what it did"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn stats_ceb_runs() {
+    run_example("stats_ceb");
+}
+
+#[test]
+fn imdb_job_runs() {
+    run_example("imdb_job");
+}
+
+#[test]
+fn incremental_update_runs() {
+    run_example("incremental_update");
+}

@@ -21,7 +21,10 @@ fn model_for(cat: &fj_storage::Catalog) -> FactorJoinModel {
 
 #[test]
 fn like_predicates_flow_through_the_whole_stack() {
-    let cat = imdb_catalog(&ImdbConfig { scale: 0.08, ..Default::default() });
+    let cat = imdb_catalog(&ImdbConfig {
+        scale: 0.08,
+        ..Default::default()
+    });
     let model = model_for(&cat);
     let q = parse_query(
         &cat,
@@ -38,7 +41,10 @@ fn like_predicates_flow_through_the_whole_stack() {
 
 #[test]
 fn cyclic_template_with_self_join_estimates() {
-    let cat = imdb_catalog(&ImdbConfig { scale: 0.08, ..Default::default() });
+    let cat = imdb_catalog(&ImdbConfig {
+        scale: 0.08,
+        ..Default::default()
+    });
     let model = model_for(&cat);
     // Cycle: t1–ml–t2 plus t1–t2 via kind_id; t1/t2 are the same table.
     let q = parse_query(
@@ -69,7 +75,10 @@ fn cyclic_template_with_self_join_estimates() {
 
 #[test]
 fn generated_job_workload_estimates_end_to_end() {
-    let cat = imdb_catalog(&ImdbConfig { scale: 0.08, ..Default::default() });
+    let cat = imdb_catalog(&ImdbConfig {
+        scale: 0.08,
+        ..Default::default()
+    });
     let model = model_for(&cat);
     let wl = imdb_job_workload(
         &cat,
@@ -97,7 +106,10 @@ fn generated_job_workload_estimates_end_to_end() {
 fn dimension_joins_estimate_close_to_truth() {
     // Key-group joins through tiny dimension tables (kind_type etc.) are a
     // stress test for binning: domains of size ≤ 113.
-    let cat = imdb_catalog(&ImdbConfig { scale: 0.08, ..Default::default() });
+    let cat = imdb_catalog(&ImdbConfig {
+        scale: 0.08,
+        ..Default::default()
+    });
     let model = model_for(&cat);
     let q = parse_query(
         &cat,

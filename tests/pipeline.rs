@@ -11,13 +11,20 @@ use fj_stats::BnConfig;
 use std::collections::HashMap;
 
 fn catalog() -> fj_storage::Catalog {
-    stats_catalog(&StatsConfig { scale: 0.08, ..Default::default() })
+    stats_catalog(&StatsConfig {
+        scale: 0.08,
+        ..Default::default()
+    })
 }
 
 fn workload(cat: &fj_storage::Catalog, n: usize, seed: u64) -> Vec<fj_query::Query> {
     stats_ceb_workload(
         cat,
-        &WorkloadConfig { num_queries: n, num_templates: 8, ..WorkloadConfig::tiny(seed) },
+        &WorkloadConfig {
+            num_queries: n,
+            num_templates: 8,
+            ..WorkloadConfig::tiny(seed)
+        },
     )
 }
 
@@ -51,7 +58,10 @@ fn factorjoin_plans_beat_postgres_and_approach_optimal() {
     let cost_opt = total_plan_cost(&cat, &queries, &mut oracle);
 
     // The oracle is optimal by construction.
-    assert!(cost_opt <= cost_fj * 1.0001, "optimal {cost_opt} vs factorjoin {cost_fj}");
+    assert!(
+        cost_opt <= cost_fj * 1.0001,
+        "optimal {cost_opt} vs factorjoin {cost_fj}"
+    );
     assert!(cost_opt <= cost_pg * 1.0001);
     // The paper's headline: FactorJoin plans land near optimal and at
     // least match the Postgres baseline.
@@ -136,15 +146,24 @@ fn persistence_roundtrip_through_disk() {
 #[test]
 fn update_then_estimate_stays_consistent() {
     use fj_datagen::stats_catalog_split_by_date;
-    let cfg = StatsConfig { scale: 0.08, ..Default::default() };
+    let cfg = StatsConfig {
+        scale: 0.08,
+        ..Default::default()
+    };
     let (mut base, inserts) = stats_catalog_split_by_date(&cfg, 1825);
     let mut model = FactorJoinModel::train(
         &base,
-        FactorJoinConfig { estimator: BaseEstimatorKind::TrueScan, ..Default::default() },
+        FactorJoinConfig {
+            estimator: BaseEstimatorKind::TrueScan,
+            ..Default::default()
+        },
     );
     for (tname, rows) in &inserts {
         let first = base.table(tname).expect("table").nrows();
-        base.table_mut(tname).expect("table").append_rows(rows).expect("rows");
+        base.table_mut(tname)
+            .expect("table")
+            .append_rows(rows)
+            .expect("rows");
         let t = base.table(tname).expect("table").clone();
         model.insert(&t, first);
     }
@@ -177,11 +196,17 @@ fn workload_aware_budget_allocates_more_bins_to_hot_groups() {
     let model = FactorJoinModel::train(
         &cat,
         FactorJoinConfig {
-            bin_budget: BinBudget::Workload { total: 100, weights },
+            bin_budget: BinBudget::Workload {
+                total: 100,
+                weights,
+            },
             ..Default::default()
         },
     );
     let bins = &model.report().bins_per_group;
     assert_eq!(bins.len(), 2);
-    assert!(bins[0] > bins[1] * 3, "hot group should get most bins: {bins:?}");
+    assert!(
+        bins[0] > bins[1] * 3,
+        "hot group should get most bins: {bins:?}"
+    );
 }

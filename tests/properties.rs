@@ -13,13 +13,18 @@ use std::collections::HashMap;
 fn two_table_catalog(a_ids: &[Option<i64>], b_ids: &[Option<i64>]) -> Catalog {
     let mut cat = Catalog::new();
     let mk = |name: &str, key: &str, ids: &[Option<i64>]| {
-        let schema =
-            TableSchema::new(vec![ColumnDef::key(key), ColumnDef::new("v", DataType::Int)]);
+        let schema = TableSchema::new(vec![
+            ColumnDef::key(key),
+            ColumnDef::new("v", DataType::Int),
+        ]);
         let rows: Vec<Vec<Value>> = ids
             .iter()
             .enumerate()
             .map(|(i, id)| {
-                vec![id.map(Value::Int).unwrap_or(Value::Null), Value::Int(i as i64 % 10)]
+                vec![
+                    id.map(Value::Int).unwrap_or(Value::Null),
+                    Value::Int(i as i64 % 10),
+                ]
             })
             .collect();
         Table::from_rows(name, schema, &rows).expect("valid rows")
@@ -31,7 +36,10 @@ fn two_table_catalog(a_ids: &[Option<i64>], b_ids: &[Option<i64>]) -> Catalog {
 }
 
 fn opt_ids() -> impl Strategy<Value = Vec<Option<i64>>> {
-    prop::collection::vec(prop_oneof![3 => (0i64..8).prop_map(Some), 1 => Just(None)], 1..40)
+    prop::collection::vec(
+        prop_oneof![3 => (0i64..8).prop_map(Some), 1 => Just(None)],
+        1..40,
+    )
 }
 
 proptest! {

@@ -1,0 +1,491 @@
+//! Vendored minimal property-testing harness with a `proptest`-like API.
+//!
+//! The registry is unreachable, so this crate implements the subset the
+//! workspace's property tests use: the [`Strategy`] trait with `prop_map`
+//! and `boxed`, range / tuple / [`Just`] / weighted-union strategies,
+//! `collection::vec` and `collection::hash_map`, and the `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!` macros. Unlike real
+//! proptest there is **no shrinking** — a failing case panics with the
+//! generated inputs so it can be reproduced by hand — and generation is
+//! deterministic per test (seeded from the test name), so failures are
+//! stable across runs.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+// ------------------------------------------------------------------- rng
+
+/// Deterministic generator (SplitMix64) driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds deterministically from a test name.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `span` (> 0).
+    #[inline]
+    fn below(&mut self, span: u64) -> u64 {
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+// -------------------------------------------------------------- strategy
+
+/// Generates values of an output type from a [`TestRng`].
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted union of same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T: Debug> Union<T> {
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().any(|(w, _)| *w > 0), "all weights zero");
+        Union { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Collection strategies (`prop::collection::…`).
+pub mod collection {
+    use super::*;
+
+    /// Vec of `elem` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    /// HashMap with keys/values from the given strategies and a size drawn
+    /// from `size` (best-effort under key collisions).
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    ) -> HashMapStrategy<K, V>
+    where
+        K::Value: Eq + Hash,
+    {
+        HashMapStrategy { keys, values, size }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
+    where
+        K::Value: Eq + Hash,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashMap<K::Value, V::Value> {
+            let target = self.size.clone().generate(rng);
+            let mut map = HashMap::with_capacity(target);
+            // Bounded retries: key collisions may make the map smaller
+            // than `target` when the key domain is tight.
+            for _ in 0..target.saturating_mul(10) {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+// ---------------------------------------------------------------- runner
+
+/// Per-test configuration (`cases` is the number of generated inputs).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_shrink_iters: u32,
+    pub fork: bool,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            fork: false,
+        }
+    }
+}
+
+/// Failure raised by `prop_assert!` family macros.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Everything the `proptest!` tests need in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+
+    /// Namespace mirror so `prop::collection::vec` works like upstream.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assert_eq failed: {:?} != {:?}", l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assert_eq failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assert_ne failed: both {:?}",
+                l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( $cfg:expr;
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest '{}' failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), case, config.cases, e, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3i64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let u = (1usize..=4).generate(&mut rng);
+            assert!((1..=4).contains(&u));
+        }
+    }
+
+    #[test]
+    fn map_and_just() {
+        let mut rng = TestRng::from_name("map");
+        let s = (0i64..5).prop_map(Some);
+        for _ in 0..50 {
+            assert!(s.generate(&mut rng).is_some());
+        }
+        assert_eq!(Just(7i32).generate(&mut rng), 7);
+    }
+
+    #[test]
+    fn oneof_weights_bias_selection() {
+        let mut rng = TestRng::from_name("oneof");
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let hits = (0..1000).filter(|_| s.generate(&mut rng)).count();
+        assert!(hits > 800, "weighted arm picked {hits}/1000");
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut rng = TestRng::from_name("coll");
+        for _ in 0..100 {
+            let v = prop::collection::vec(0i64..10, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let m: HashMap<i64, u64> =
+                prop::collection::hash_map(0i64..1000, 1u64..9, 3..5).generate(&mut rng);
+            assert!(!m.is_empty() && m.len() < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0i64..100, v in prop::collection::vec(0u32..5, 1..4)) {
+            prop_assert!(x < 100, "x was {}", x);
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs")]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 1, ..ProptestConfig::default() })]
+            #[allow(unused)]
+            fn inner(x in 5i64..6) {
+                prop_assert!(x != 5);
+            }
+        }
+        inner();
+    }
+}

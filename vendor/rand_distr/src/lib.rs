@@ -1,0 +1,125 @@
+//! Vendored shim for the subset of `rand_distr` 0.4 used by this workspace:
+//! the [`Distribution`] trait and the [`Zipf`] distribution.
+//!
+//! `Zipf` samples ranks `1..=n` with probability proportional to
+//! `1 / rank^s` by inverting a precomputed CDF (O(n) memory at
+//! construction, O(log n) per sample). The real crate uses a rejection
+//! sampler with O(1) memory; for the domain sizes in this repo (≤ a few
+//! million) the table is fine and exactly matches the target distribution.
+
+use rand::RngCore;
+use std::marker::PhantomData;
+
+/// Types that can sample values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(rank) ∝ 1 / rank^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf<F> {
+    /// Cumulative (unnormalized) weights; `cdf[i]` covers ranks `1..=i+1`.
+    cdf: Vec<f64>,
+    _marker: PhantomData<F>,
+}
+
+impl Zipf<f64> {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s ≥ 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError("n must be positive"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ParamError("s must be finite and non-negative"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-s);
+            cdf.push(acc);
+        }
+        Ok(Zipf {
+            cdf,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let total = *self.cdf.last().expect("non-empty by construction");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let target = u * total;
+        // First index whose cumulative weight exceeds the target.
+        let idx = self.cdf.partition_point(|&c| c <= target);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_ok());
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = z.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v), "rank {v} out of range");
+        }
+    }
+
+    #[test]
+    fn skew_orders_frequencies() {
+        let z = Zipf::new(50, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = [0usize; 50];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize - 1] += 1;
+        }
+        assert!(counts[0] > counts[9] && counts[9] > counts[49]);
+        // Rank 1 should get roughly 1/H(50) ≈ 22% of the mass.
+        assert!(counts[0] > 15_000, "rank-1 count {}", counts[0]);
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let z = Zipf::new(10, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng) as usize - 1] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < min * 2, "uniform expected: {counts:?}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Vendored shim for `serde`: exposes the `Serialize` / `Deserialize`
+//! derive macros (no-ops, see `vendor/serde_derive`) so annotated types
+//! compile unchanged. Actual persistence in this workspace goes through
+//! `serde_json::Value` by hand.
+
+pub use serde_derive::{Deserialize, Serialize};

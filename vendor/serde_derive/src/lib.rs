@@ -1,0 +1,20 @@
+//! Vendored no-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The registry is unreachable from the build environment, so real serde
+//! cannot be used. The workspace keeps its `#[derive(Serialize,
+//! Deserialize)]` annotations (they document intent and make swapping the
+//! real crate back in trivial), but serialization itself is hand-rolled
+//! against `serde_json::Value` (see `factorjoin-core/src/persist.rs`).
+//! These derives therefore expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
