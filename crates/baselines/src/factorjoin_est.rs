@@ -1,19 +1,27 @@
 //! [`CardEst`] adapter for the FactorJoin model itself.
 
 use crate::traits::CardEst;
-use factorjoin::FactorJoinModel;
+use factorjoin::{EstimationScratch, FactorJoinModel};
 use fj_query::{Query, SubplanMask};
 
 /// FactorJoin behind the common baseline interface, using progressive
 /// sub-plan estimation (paper §5.2) for the planning path.
+///
+/// The adapter owns an [`EstimationScratch`] alongside the model, so a
+/// workload run reuses all estimation buffers across queries (the
+/// scratch-reuse contract of `SubplanEstimator`, without the borrow).
 pub struct FactorJoinEst {
     model: FactorJoinModel,
+    scratch: EstimationScratch,
 }
 
 impl FactorJoinEst {
     /// Wraps a trained model.
     pub fn new(model: FactorJoinModel) -> Self {
-        FactorJoinEst { model }
+        FactorJoinEst {
+            model,
+            scratch: EstimationScratch::default(),
+        }
     }
 
     /// Access to the wrapped model.
@@ -37,7 +45,8 @@ impl CardEst for FactorJoinEst {
     }
 
     fn estimate_subplans(&mut self, query: &Query, min_size: u32) -> Vec<(SubplanMask, f64)> {
-        self.model.estimate_subplans(query, min_size)
+        self.model
+            .estimate_subplans_with(&mut self.scratch, query, min_size)
     }
 
     fn model_bytes(&self) -> usize {

@@ -9,7 +9,7 @@
 //! enormous, exactly the trade-off Tables 3/4 show for PessEst.
 
 use crate::traits::CardEst;
-use factorjoin::Factor;
+use factorjoin::{keep_for_mask, Factor, JoinScratch};
 use fj_query::{compile_filter, Query, QueryGraph};
 use fj_storage::Catalog;
 use std::collections::HashMap;
@@ -96,8 +96,9 @@ impl CardEst for PessEst {
         }
         // Fold with the same bound-preserving join FactorJoin uses; the
         // difference is the statistics are exact and filter-conditioned.
+        let mut scratch = JoinScratch::default();
         let mut joined = 1u64 << 0;
-        let mut acc = factors[0].clone();
+        let mut acc = std::mem::replace(&mut factors[0], Factor::scalar(0.0));
         while joined.count_ones() < n as u32 {
             let next = (0..n)
                 .filter(|&i| joined & (1 << i) == 0)
@@ -107,14 +108,8 @@ impl CardEst for PessEst {
                 })
                 .expect("aliases remain");
             joined |= 1 << next;
-            let joined_copy = joined;
-            let keep = |v: usize| {
-                graph.vars()[v]
-                    .members
-                    .iter()
-                    .any(|cr| joined_copy & (1 << cr.alias) == 0)
-            };
-            acc = acc.join(&factors[next], &keep);
+            let keep = keep_for_mask(&graph, joined);
+            acc = acc.join_with(&factors[next], &keep, &mut scratch);
             if acc.rows == 0.0 {
                 return 0.0;
             }

@@ -2,7 +2,9 @@
 //! the planning-latency columns of Tables 3/4).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use factorjoin::{BaseEstimatorKind, BinBudget, FactorJoinConfig, FactorJoinModel};
+use factorjoin::{
+    BaseEstimatorKind, BinBudget, Factor, FactorJoinConfig, FactorJoinModel, JoinScratch, KeepVars,
+};
 use fj_baselines::{CardEst, FactorJoinEst, PessEst, PostgresLike, UBlock};
 use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
 use fj_stats::BnConfig;
@@ -24,6 +26,9 @@ fn bench_env() -> (fj_storage::Catalog, Vec<fj_query::Query>) {
 }
 
 /// Figure 9C: FactorJoin sub-plan estimation latency vs. number of bins.
+/// Estimation runs through a long-lived `SubplanEstimator` session, as a
+/// serving optimizer would hold one — the path the flat arena-backed
+/// factors optimize.
 fn fig9_latency_vs_bins(c: &mut Criterion) {
     let (cat, wl) = bench_env();
     let mut group = c.benchmark_group("fig9_latency_per_query");
@@ -37,15 +42,58 @@ fn fig9_latency_vs_bins(c: &mut Criterion) {
                 ..Default::default()
             },
         );
+        let mut session = model.subplan_estimator();
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
                 let mut n = 0usize;
                 for q in &wl {
-                    n += model.estimate_subplans(q, 1).len();
+                    n += session.estimate_subplans(q, 1).len();
                 }
                 std::hint::black_box(n)
             })
         });
+    }
+    group.finish();
+}
+
+/// Synthetic factor with `vars` variables of `bins` bins each; shifted per
+/// side so joins see shared and residual variables.
+fn synth_factor(vars: usize, bins: usize, shift: usize) -> Factor {
+    let entries = (0..vars)
+        .map(|v| {
+            let var = v + shift;
+            let dist: Vec<f64> = (0..bins).map(|i| ((i * 7 + var * 3) % 23) as f64).collect();
+            let mfv: Vec<f64> = (0..bins).map(|i| (1 + (i + var) % 5) as f64).collect();
+            (var, dist, mfv)
+        })
+        .collect();
+    Factor::base(1000.0, entries)
+}
+
+/// `Factor::join` micro-benchmark over bin count × variable count — the
+/// innermost loop of sub-plan estimation, isolated from profiling. Each
+/// pair shares `vars` variables and carries one residual variable per
+/// side; the scratch is reused as on the model's hot path.
+fn factor_join_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factor_join");
+    group.sample_size(30);
+    for vars in [1usize, 2, 4] {
+        for bins in [10usize, 100, 1000] {
+            let a = synth_factor(vars + 1, bins, 0); // vars shared + 1 residual (id vars..)
+            let b = synth_factor(vars + 1, bins, 1); // shares 1..=vars with a
+            let keep = KeepVars::all();
+            let mut scratch = JoinScratch::default();
+            group.bench_with_input(
+                BenchmarkId::new(format!("vars{vars}"), bins),
+                &bins,
+                |bch, _| {
+                    bch.iter(|| {
+                        let j = a.join_with(&b, &keep, &mut scratch);
+                        std::hint::black_box(j.rows)
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -136,6 +184,7 @@ fn training_time(c: &mut Criterion) {
 criterion_group!(
     benches,
     fig9_latency_vs_bins,
+    factor_join_micro,
     planning_latency,
     training_time
 );

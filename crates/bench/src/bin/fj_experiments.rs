@@ -11,18 +11,109 @@ use fj_bench::experiments::{
     end_to_end, fig6, fig7, fig9, per_query, table1, table2, table5, table6, table7, table8,
     ExpConfig,
 };
-use fj_bench::BenchKind;
+use fj_bench::{perfbase, BenchKind};
+use std::path::Path;
 
 const KNOWN_IDS: &[&str] = &[
     "all", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig6",
     "fig7", "fig8", "fig9", "fig10", "fig11",
 ];
 
+/// `bench-estimation` subcommand: measure the sub-plan estimation hot path
+/// at the pinned scale and write/check `BENCH_estimation.json`.
+///
+/// ```text
+/// fj-experiments bench-estimation --write BENCH_estimation.json --label flat-factor
+/// fj-experiments bench-estimation --check BENCH_estimation.json [--threshold 1.5]
+/// ```
+fn bench_estimation(args: &[String]) -> ! {
+    let mut write: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut label = "unlabelled".to_string();
+    let mut threshold = perfbase::DEFAULT_THRESHOLD;
+    let mut passes = 30usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("error: {name} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--write" => write = Some(val("--write")),
+            "--check" => check = Some(val("--check")),
+            "--label" => label = val("--label"),
+            "--threshold" => {
+                threshold = val("--threshold").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --threshold needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--passes" => {
+                passes = val("--passes").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --passes needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("error: unknown bench-estimation flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale = std::env::var("FJ_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(perfbase::PINNED_SCALE);
+    match (write, check) {
+        (Some(path), None) => {
+            let sample = perfbase::measure(&label, scale, passes);
+            println!("measured {}", perfbase::format_sample(&sample));
+            perfbase::append_sample(Path::new(&path), &sample).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("recorded as new baseline in {path}");
+            std::process::exit(0);
+        }
+        (None, Some(path)) => {
+            let report = perfbase::check_against(Path::new(&path), threshold, passes)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: cannot check against {path}: {e}");
+                    std::process::exit(1);
+                });
+            println!("baseline {}", perfbase::format_sample(&report.baseline));
+            println!("fresh    {}", perfbase::format_sample(&report.fresh));
+            println!(
+                "planning latency {:.2}× baseline (threshold {threshold}×)",
+                report.slowdown
+            );
+            if report.ok {
+                println!("OK: within threshold");
+                std::process::exit(0);
+            }
+            eprintln!("FAIL: planning-latency regression exceeds {threshold}× baseline");
+            std::process::exit(1);
+        }
+        _ => {
+            eprintln!("usage: fj-experiments bench-estimation (--write <json> [--label <l>] | --check <json> [--threshold <f>]) [--passes <n>]");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench-estimation") {
+        bench_estimation(&args[1..]);
+    }
     let cfg = ExpConfig::from_env();
     if args.is_empty() {
         eprintln!("usage: fj-experiments [{}] …", KNOWN_IDS.join("|"));
+        eprintln!("       fj-experiments bench-estimation (--write <json> | --check <json>)");
         eprintln!("env: FJ_SCALE=<f64> (default 0.5), FJ_QUERIES=<n> (default full workload)");
         std::process::exit(2);
     }

@@ -14,6 +14,7 @@
 pub mod env;
 pub mod experiments;
 pub mod harness;
+pub mod perfbase;
 pub mod report;
 
 pub use env::{BenchEnv, BenchKind};

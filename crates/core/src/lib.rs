@@ -49,7 +49,10 @@ pub mod model;
 pub mod persist;
 
 pub use binning::{build_group_bins, BinBudget, BinningStrategy};
-pub use factor::Factor;
+pub use factor::{Factor, FactorArena, FactorId, JoinScratch, KeepVars, MAX_VARS};
 pub use keystats::KeyStats;
-pub use model::{BaseEstimatorKind, FactorJoinConfig, FactorJoinModel, TrainingReport};
+pub use model::{
+    keep_for_mask, BaseEstimatorKind, EstimationScratch, FactorJoinConfig, FactorJoinModel,
+    SubplanEstimator, TrainingReport,
+};
 pub use persist::{load_model, save_model};

@@ -1,12 +1,12 @@
 //! The FactorJoin model: offline training and online estimation.
 
 use crate::binning::{build_group_bins, BinBudget, BinningStrategy, KeyFreq};
-use crate::factor::Factor;
+use crate::factor::{Factor, FactorArena, FactorId, JoinScratch, KeepVars};
 use crate::keystats::KeyStats;
-use fj_query::{connected_subplans, Query, QueryGraph, SubplanMask};
+use fj_query::{connected_subplans_into, Query, QueryGraph, SubplanMask};
 use fj_stats::{
     BaseTableEstimator, BayesNetEstimator, BnConfig, ExactEstimator, KeyBinMap, SamplingEstimator,
-    TableBins,
+    TableBins, TableProfile,
 };
 use fj_storage::{Catalog, KeyRef, Table, TableSchema};
 use std::collections::HashMap;
@@ -65,6 +65,72 @@ pub struct TrainingReport {
     pub bins_per_group: Vec<usize>,
 }
 
+/// Reusable buffers for progressive sub-plan estimation.
+///
+/// Owning one of these across queries (see [`SubplanEstimator`]) makes
+/// [`FactorJoinModel::estimate_subplans_with`] allocation-free per
+/// sub-plan: joined factors live in a [`FactorArena`], joins run through a
+/// [`JoinScratch`], base-table profiles refill a reused [`TableProfile`],
+/// and the per-mask cache index keeps its table. Every buffer growth is
+/// counted, so tests can assert the steady state allocates nothing.
+#[derive(Debug, Default)]
+pub struct EstimationScratch {
+    join: JoinScratch,
+    arena: FactorArena,
+    mask_index: HashMap<SubplanMask, FactorId>,
+    masks: Vec<SubplanMask>,
+    base_ids: Vec<Option<FactorId>>,
+    profile: TableProfile,
+    key_order: Vec<(usize, usize)>,
+    ones: Vec<f64>,
+    grow_events: u64,
+}
+
+impl EstimationScratch {
+    /// Total buffer-growth events since construction, across all internal
+    /// buffers. Stays constant once the scratch has warmed up on the
+    /// largest query shape — the "zero per-sub-plan heap allocation"
+    /// contract of the hot path.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events + self.join.grow_events() + self.arena.grow_events()
+    }
+
+    fn note_mask_index_growth(&mut self) {
+        if self.mask_index.len() == self.mask_index.capacity() {
+            self.grow_events += 1;
+        }
+    }
+}
+
+/// An estimation session: a trained model plus owned scratch buffers.
+///
+/// The model itself is immutable (and shareable) after training; all
+/// mutable online state lives here. Create one per worker/thread and feed
+/// it queries — after the first few queries the session stops allocating.
+pub struct SubplanEstimator<'m> {
+    model: &'m FactorJoinModel,
+    scratch: EstimationScratch,
+}
+
+impl SubplanEstimator<'_> {
+    /// Progressive sub-plan estimation through the session scratch (paper
+    /// §5.2); see [`FactorJoinModel::estimate_subplans`].
+    pub fn estimate_subplans(&mut self, query: &Query, min_size: u32) -> Vec<(SubplanMask, f64)> {
+        self.model
+            .estimate_subplans_with(&mut self.scratch, query, min_size)
+    }
+
+    /// Buffer-growth events so far (see [`EstimationScratch::grow_events`]).
+    pub fn grow_events(&self) -> u64 {
+        self.scratch.grow_events()
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &FactorJoinModel {
+        self.model
+    }
+}
+
 /// A trained FactorJoin model.
 pub struct FactorJoinModel {
     config: FactorJoinConfig,
@@ -104,19 +170,24 @@ impl FactorJoinModel {
             }
         }
 
-        // Bin each group and compute per-key stats.
+        // Bin each group and compute per-key stats. Each key's frequency
+        // map moves into its `KeyStats` (groups partition the keys), so
+        // training never clones the potentially large per-key maps.
         let mut group_of = HashMap::new();
         let mut group_bins = Vec::with_capacity(num_groups);
         let mut key_stats = HashMap::new();
         let mut bins_per_group = Vec::with_capacity(num_groups);
         for g in &groups {
             let k = config.bin_budget.bins_for(g.id, num_groups);
-            let member_freqs: Vec<&KeyFreq> = g.keys.iter().map(|kr| &freqs[kr]).collect();
-            let bins = build_group_bins(&member_freqs, k, config.strategy);
+            let bins = {
+                let member_freqs: Vec<&KeyFreq> = g.keys.iter().map(|kr| &freqs[kr]).collect();
+                build_group_bins(&member_freqs, k, config.strategy)
+            };
             bins_per_group.push(bins.k());
             for kr in &g.keys {
                 group_of.insert(kr.clone(), g.id);
-                key_stats.insert(kr.clone(), KeyStats::from_freq(freqs[kr].clone(), &bins));
+                let freq = freqs.remove(kr).expect("each key belongs to one group");
+                key_stats.insert(kr.clone(), KeyStats::from_freq(freq, &bins));
             }
             group_bins.push(bins);
         }
@@ -263,54 +334,88 @@ impl FactorJoinModel {
         est + bins + stats
     }
 
-    /// Builds the base factor of alias `i` of `query`, profiling its filter
-    /// once for all adjacent variables.
-    fn base_factor(&self, query: &Query, graph: &QueryGraph, alias: usize) -> Factor {
+    /// Opens an estimation session over this model (owned scratch buffers;
+    /// see [`SubplanEstimator`]).
+    pub fn subplan_estimator(&self) -> SubplanEstimator<'_> {
+        SubplanEstimator {
+            model: self,
+            scratch: EstimationScratch::default(),
+        }
+    }
+
+    /// Builds the base factor of alias `alias` into `scratch.join`'s output
+    /// buffers, profiling its filter once for all adjacent variables.
+    /// Returns the alias's estimated (filtered) row count.
+    fn build_base_factor(
+        &self,
+        query: &Query,
+        graph: &QueryGraph,
+        alias: usize,
+        scratch: &mut EstimationScratch,
+    ) -> f64 {
         let tref = &query.tables()[alias];
         let schema = &self.schemas[&tref.table];
         let est = &self.estimators[&tref.table];
 
         // Distinct key columns of this alias, with their variables.
         let keys = graph.alias_keys(alias);
-        let col_names: Vec<String> = keys
+        let name_refs: Vec<&str> = keys
             .iter()
-            .map(|&(c, _)| schema.column(c).name.clone())
+            .map(|&(c, _)| schema.column(c).name.as_str())
             .collect();
-        let name_refs: Vec<&str> = col_names.iter().map(String::as_str).collect();
-        let profile = est.profile(query.filter(alias), &name_refs);
+        let EstimationScratch {
+            join,
+            profile,
+            key_order,
+            ones,
+            ..
+        } = scratch;
+        est.profile_into(query.filter(alias), &name_refs, profile);
 
-        // Group per var: a var may have several member columns within this
-        // alias (e.g. movie_id and linked_movie_id equated); combine with
-        // elementwise min — a valid upper bound for "all members equal".
-        let mut per_var: HashMap<usize, (Vec<f64>, Vec<f64>)> = HashMap::new();
-        for (idx, &(_, var)) in keys.iter().enumerate() {
-            let dist = profile.key_dists[idx].clone();
-            let kr = KeyRef::new(&tref.table, &col_names[idx]);
-            let mfv = match self.key_stats.get(&kr) {
-                Some(s) => s.bin_mfv.clone(),
-                None => vec![1.0; dist.len()],
-            };
-            match per_var.entry(var) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert((dist, mfv));
-                }
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    let (d0, m0) = e.get_mut();
-                    let k = d0.len().min(dist.len());
-                    d0.truncate(k);
-                    m0.truncate(k);
-                    for i in 0..k {
-                        d0[i] = d0[i].min(dist[i]);
-                        m0[i] = m0[i].min(mfv[i]);
+        // Group keys per var: a var may have several member columns within
+        // this alias (e.g. movie_id and linked_movie_id equated); combine
+        // with elementwise min — a valid upper bound for "all members
+        // equal". Key distributions are consumed straight out of the
+        // profile buffer; MFV counts straight out of the trained KeyStats.
+        key_order.clear();
+        key_order.extend(keys.iter().enumerate().map(|(idx, &(_, var))| (var, idx)));
+        key_order.sort_unstable();
+        join.begin();
+        let mut prev_var = usize::MAX;
+        for &(var, idx) in key_order.iter() {
+            let dist: &[f64] = &profile.key_dists[idx];
+            let kr = KeyRef::new(&tref.table, name_refs[idx]);
+            let mfv: &[f64] = match self.key_stats.get(&kr) {
+                Some(s) => &s.bin_mfv,
+                None => {
+                    if ones.len() < dist.len() {
+                        ones.resize(dist.len(), 1.0);
                     }
+                    &ones[..dist.len()]
                 }
+            };
+            if var == prev_var {
+                join.min_combine_last(dist, mfv);
+            } else {
+                join.push_var(var, dist, mfv);
+                prev_var = var;
             }
         }
-        let entries = per_var
-            .into_iter()
-            .map(|(v, (d, m))| (v, d, m))
-            .collect::<Vec<_>>();
-        Factor::base(profile.rows, entries)
+        join.finish();
+        profile.rows.max(0.0)
+    }
+
+    /// Builds the base factor of alias `i` as an owned [`Factor`] (cold
+    /// paths: direct estimation, tests).
+    fn base_factor(
+        &self,
+        query: &Query,
+        graph: &QueryGraph,
+        alias: usize,
+        scratch: &mut EstimationScratch,
+    ) -> Factor {
+        let rows = self.build_base_factor(query, graph, alias, scratch);
+        Factor::from_scratch(rows, &scratch.join)
     }
 
     /// Estimates the probabilistic cardinality bound of `query` (paper
@@ -325,7 +430,10 @@ impl FactorJoinModel {
         if n == 1 {
             return self.estimators[&query.tables()[0].table].estimate_filter(query.filter(0));
         }
-        let factors: Vec<Factor> = (0..n).map(|i| self.base_factor(query, &graph, i)).collect();
+        let mut scratch = EstimationScratch::default();
+        let mut factors: Vec<Factor> = (0..n)
+            .map(|i| self.base_factor(query, &graph, i, &mut scratch))
+            .collect();
 
         // Fold smallest-first along adjacency, eliminating variables whose
         // member aliases are all joined.
@@ -339,7 +447,7 @@ impl FactorJoinModel {
             })
             .expect("non-empty query");
         joined |= 1 << order_start;
-        let mut acc = factors[order_start].clone();
+        let mut acc = std::mem::replace(&mut factors[order_start], Factor::scalar(0.0));
         while joined.count_ones() < n as u32 {
             let next = (0..n)
                 .filter(|&i| joined & (1 << i) == 0)
@@ -349,14 +457,8 @@ impl FactorJoinModel {
                 })
                 .expect("remaining alias exists");
             joined |= 1 << next;
-            let joined_copy = joined;
-            let keep = |v: usize| {
-                graph.vars()[v]
-                    .members
-                    .iter()
-                    .any(|cr| joined_copy & (1 << cr.alias) == 0)
-            };
-            acc = acc.join(&factors[next], &keep);
+            let keep = keep_for_mask(&graph, joined);
+            acc = acc.join_with(&factors[next], &keep, &mut scratch.join);
             if acc.rows == 0.0 {
                 return 0.0;
             }
@@ -368,35 +470,73 @@ impl FactorJoinModel {
     /// least `min_size` aliases (paper §5.2): each sub-plan is one factor
     /// join away from a cached smaller sub-plan, so the whole set costs
     /// little more than the final query alone.
+    ///
+    /// Allocates fresh scratch per call; hold a [`SubplanEstimator`] (or
+    /// call [`Self::estimate_subplans_with`]) to reuse buffers across
+    /// queries on hot paths.
     pub fn estimate_subplans(&self, query: &Query, min_size: u32) -> Vec<(SubplanMask, f64)> {
+        let mut scratch = EstimationScratch::default();
+        self.estimate_subplans_with(&mut scratch, query, min_size)
+    }
+
+    /// [`Self::estimate_subplans`] through caller-owned scratch buffers.
+    ///
+    /// After the base factors of a query are built, the per-sub-plan work —
+    /// split lookup, keep-set construction, factor join, cache insert — is
+    /// free of heap allocation on a warm scratch (asserted by the
+    /// scratch-reuse tests via [`EstimationScratch::grow_events`]).
+    pub fn estimate_subplans_with(
+        &self,
+        scratch: &mut EstimationScratch,
+        query: &Query,
+        min_size: u32,
+    ) -> Vec<(SubplanMask, f64)> {
         let n = query.num_tables();
         let graph = QueryGraph::analyze(query);
-        let masks = connected_subplans(query, 1);
-        let mut cache: HashMap<SubplanMask, Factor> = HashMap::with_capacity(masks.len());
-        let mut out = Vec::with_capacity(masks.len());
+        scratch.arena.clear();
+        scratch.mask_index.clear();
+        {
+            let cap = scratch.masks.capacity();
+            connected_subplans_into(query, 1, &mut scratch.masks);
+            if scratch.masks.capacity() != cap {
+                scratch.grow_events += 1;
+            }
+        }
+        if scratch.base_ids.capacity() < n {
+            scratch.grow_events += 1;
+        }
+        scratch.base_ids.clear();
+        scratch.base_ids.resize(n, None);
+        let mut out = Vec::with_capacity(scratch.masks.len());
 
-        // Base factors, including exact single-table row estimates.
-        let mut base: Vec<Option<Factor>> = vec![None; n];
-        for &mask in &masks {
+        for mi in 0..scratch.masks.len() {
+            let mask = scratch.masks[mi];
             if mask.count_ones() == 1 {
+                // Base factors, including exact single-table row estimates.
                 let i = mask.trailing_zeros() as usize;
-                let f = self.base_factor(query, &graph, i);
-                out.push((mask, f.rows));
-                base[i] = Some(f.clone());
-                cache.insert(mask, f);
+                let rows = self.build_base_factor(query, &graph, i, scratch);
+                let id = scratch.arena.push_scratch(rows, &scratch.join);
+                scratch.base_ids[i] = Some(id);
+                scratch.note_mask_index_growth();
+                scratch.mask_index.insert(mask, id);
+                out.push((mask, rows));
             } else {
                 // Split off one alias whose removal keeps the rest cached.
-                let (rest, alias) = split_mask(mask, &cache);
-                let keep = |v: usize| {
-                    graph.vars()[v]
-                        .members
-                        .iter()
-                        .any(|cr| mask & (1 << cr.alias) == 0)
-                };
-                let joined =
-                    cache[&rest].join(base[alias].as_ref().expect("singletons come first"), &keep);
-                out.push((mask, joined.rows));
-                cache.insert(mask, joined);
+                let (rest, alias) = split_mask(mask, &scratch.mask_index);
+                let keep = keep_for_mask(&graph, mask);
+                let EstimationScratch {
+                    join,
+                    arena,
+                    mask_index,
+                    base_ids,
+                    ..
+                } = scratch;
+                let rest_id = mask_index[&rest];
+                let base_id = base_ids[alias].expect("singletons come first");
+                let (id, rows) = arena.join(rest_id, base_id, &keep, join);
+                scratch.note_mask_index_growth();
+                scratch.mask_index.insert(mask, id);
+                out.push((mask, rows));
             }
         }
         out.retain(|(m, _)| m.count_ones() >= min_size);
@@ -438,8 +578,22 @@ impl FactorJoinModel {
     }
 }
 
+/// The variables that must survive a join producing `mask`: those with a
+/// member alias outside the mask (some not-yet-joined alias still
+/// references them). Shared by the model's fold and by baselines that
+/// reuse the bound-preserving join (e.g. PessEst).
+pub fn keep_for_mask(graph: &QueryGraph, mask: SubplanMask) -> KeepVars {
+    let mut kv = KeepVars::none();
+    for var in graph.vars() {
+        if var.members.iter().any(|cr| mask & (1 << cr.alias) == 0) {
+            kv.insert(var.id);
+        }
+    }
+    kv
+}
+
 /// Finds `(rest, alias)` with `mask = rest | bit(alias)` and `rest` cached.
-fn split_mask(mask: SubplanMask, cache: &HashMap<SubplanMask, Factor>) -> (SubplanMask, usize) {
+fn split_mask(mask: SubplanMask, cache: &HashMap<SubplanMask, FactorId>) -> (SubplanMask, usize) {
     let mut rest = mask;
     while rest != 0 {
         let bit = rest & rest.wrapping_neg();
@@ -470,6 +624,7 @@ fn build_estimator(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::factor::reference::RefFactor;
     use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
     use fj_exec::TrueCardEngine;
     use fj_query::parse_query;
@@ -701,15 +856,137 @@ mod tests {
         let cat = tiny_catalog();
         let model = FactorJoinModel::train(&cat, FactorJoinConfig::default());
         let wl = stats_ceb_workload(&cat, &WorkloadConfig::tiny(9));
+        let mut session = model.subplan_estimator();
         let start = Instant::now();
         let mut count = 0usize;
         for q in &wl {
-            count += model.estimate_subplans(q, 1).len();
+            count += session.estimate_subplans(q, 1).len();
         }
         let per_sec = count as f64 / start.elapsed().as_secs_f64();
         assert!(
             per_sec > 200.0,
             "only {per_sec:.0} sub-plans/s (debug build)"
         );
+    }
+
+    // ------------------------------------- flat/lazy path invariants
+
+    /// Reference (BTreeMap, eager-rescale) progressive estimation: same
+    /// split/cache/keep logic as `estimate_subplans_with`, but every join
+    /// goes through the original implementation.
+    fn ref_estimate_subplans(
+        model: &FactorJoinModel,
+        q: &Query,
+        min_size: u32,
+    ) -> Vec<(SubplanMask, f64)> {
+        fn ref_of(f: &Factor) -> RefFactor {
+            let entries = f
+                .vars()
+                .into_iter()
+                .map(|v| (v, f.dist(v).unwrap(), f.mfv(v).unwrap()))
+                .collect();
+            RefFactor::base(f.rows, entries)
+        }
+        let n = q.num_tables();
+        let graph = QueryGraph::analyze(q);
+        let masks = fj_query::connected_subplans(q, 1);
+        let mut scratch = EstimationScratch::default();
+        let mut cache: HashMap<SubplanMask, RefFactor> = HashMap::new();
+        let mut base: Vec<Option<RefFactor>> = vec![None; n];
+        let mut out = Vec::new();
+        for &mask in &masks {
+            if mask.count_ones() == 1 {
+                let i = mask.trailing_zeros() as usize;
+                let f = model.base_factor(q, &graph, i, &mut scratch);
+                let rf = ref_of(&f);
+                out.push((mask, rf.rows));
+                base[i] = Some(rf.clone());
+                cache.insert(mask, rf);
+            } else {
+                let (rest, alias) = {
+                    let mut rest = mask;
+                    loop {
+                        assert!(rest != 0, "cached predecessor exists");
+                        let bit = rest & rest.wrapping_neg();
+                        let candidate = mask & !bit;
+                        if cache.contains_key(&candidate) {
+                            break (candidate, bit.trailing_zeros() as usize);
+                        }
+                        rest &= rest - 1;
+                    }
+                };
+                let keep = keep_for_mask(&graph, mask);
+                let j = cache[&rest].join(base[alias].as_ref().unwrap(), &keep);
+                out.push((mask, j.rows));
+                cache.insert(mask, j);
+            }
+        }
+        out.retain(|(m, _)| m.count_ones() >= min_size);
+        out
+    }
+
+    /// Lazy scaling and arena caching never change the progressive
+    /// estimates: every sub-plan of a generated STATS-CEB workload gets the
+    /// same bound (≤ 1e-9 relative) as the eager reference implementation.
+    #[test]
+    fn flat_subplan_estimates_match_reference_on_workload() {
+        let cat = tiny_catalog();
+        let model = FactorJoinModel::train(&cat, truescan_config(25));
+        let wl = stats_ceb_workload(&cat, &WorkloadConfig::tiny(7));
+        let mut session = model.subplan_estimator();
+        for q in &wl {
+            let flat = session.estimate_subplans(q, 1);
+            let reference = ref_estimate_subplans(&model, q, 1);
+            assert_eq!(flat.len(), reference.len());
+            for ((m1, e1), (m2, e2)) in flat.iter().zip(&reference) {
+                assert_eq!(m1, m2, "mask order");
+                let tol = 1e-9 * e1.abs().max(e2.abs()).max(1.0);
+                assert!(
+                    (e1 - e2).abs() <= tol,
+                    "mask {m1:b}: flat {e1} vs reference {e2}"
+                );
+            }
+        }
+    }
+
+    /// The scratch-reuse contract: once warmed on a workload, re-running
+    /// the same workload performs zero buffer growths — i.e. the per-mask
+    /// join path allocates nothing.
+    #[test]
+    fn warm_session_does_not_allocate() {
+        let cat = tiny_catalog();
+        let model = FactorJoinModel::train(&cat, truescan_config(30));
+        let wl = stats_ceb_workload(&cat, &WorkloadConfig::tiny(4));
+        let mut session = model.subplan_estimator();
+        for q in &wl {
+            session.estimate_subplans(q, 1);
+        }
+        let warm = session.grow_events();
+        for _ in 0..3 {
+            for q in &wl {
+                session.estimate_subplans(q, 1);
+            }
+        }
+        assert_eq!(
+            session.grow_events(),
+            warm,
+            "estimation buffers grew on a warm session"
+        );
+    }
+
+    /// The reusable-session path returns exactly what the allocate-per-call
+    /// path returns.
+    #[test]
+    fn session_matches_one_shot_estimates() {
+        let cat = tiny_catalog();
+        let model = FactorJoinModel::train(&cat, truescan_config(20));
+        let wl = stats_ceb_workload(&cat, &WorkloadConfig::tiny(2));
+        let mut session = model.subplan_estimator();
+        for q in &wl {
+            assert_eq!(
+                session.estimate_subplans(q, 2),
+                model.estimate_subplans(q, 2)
+            );
+        }
     }
 }

@@ -30,4 +30,4 @@ pub use like::like_match;
 pub use parser::{parse_query, ParseError};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{ColRef, JoinPredicate, Query, QueryError, TableRef};
-pub use subplan::{connected_subplans, SubplanMask};
+pub use subplan::{connected_subplans, connected_subplans_into, SubplanMask};

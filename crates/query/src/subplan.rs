@@ -19,25 +19,36 @@ pub type SubplanMask = u64;
 /// itself); queries in the benchmarks have ≤ 17 aliases and tree-ish shapes,
 /// matching the paper's 1–10⁴ sub-plans per query.
 pub fn connected_subplans(query: &Query, min_size: u32) -> Vec<SubplanMask> {
+    let mut out = Vec::new();
+    connected_subplans_into(query, min_size, &mut out);
+    out
+}
+
+/// [`connected_subplans`] into a caller-owned buffer (cleared first), so
+/// per-query enumeration on hot estimation paths reuses its allocation.
+///
+/// The adjacency scratch is a fixed 64-entry stack array (queries are
+/// validated to at most 64 aliases), so the only heap the enumeration can
+/// touch is `out` itself.
+pub fn connected_subplans_into(query: &Query, min_size: u32, out: &mut Vec<SubplanMask>) {
     let n = query.num_tables();
     assert!(n <= 64, "query validated to at most 64 aliases");
-    let mut adj: Vec<u64> = vec![0; n];
+    let mut adj = [0u64; 64];
     for j in query.joins() {
         adj[j.left.alias] |= 1u64 << j.right.alias;
         adj[j.right.alias] |= 1u64 << j.left.alias;
     }
-    let mut out: Vec<SubplanMask> = Vec::new();
+    out.clear();
     // Standard "EnumerateCsg" (Moerkotte & Neumann): seeds descend so each
     // connected set is produced exactly once.
     for seed in (0..n).rev() {
         let seed_mask = 1u64 << seed;
         // Exclude all aliases with index < seed from expansion.
         let forbidden = seed_mask - 1;
-        emit_and_expand(seed_mask, forbidden, &adj, &mut out);
+        emit_and_expand(seed_mask, forbidden, &adj[..n], out);
     }
     out.retain(|m| m.count_ones() >= min_size);
     out.sort_by_key(|m| (m.count_ones(), *m));
-    out
 }
 
 fn neighborhood(set: u64, adj: &[u64]) -> u64 {

@@ -18,6 +18,7 @@ use crate::traits::{BaseTableEstimator, TableProfile};
 use fj_query::FilterExpr;
 use fj_storage::Table;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Bayesian-network build configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +46,28 @@ impl Default for BnConfig {
     }
 }
 
+/// Reusable belief-propagation buffers. Sizes track the network shape, so
+/// after the first query on a table no per-propagation allocation remains.
+#[derive(Debug, Default)]
+struct PropScratch {
+    /// Upward messages `λ` per node (filled only where evidence exists).
+    lambda: Vec<Vec<f64>>,
+    /// Message to parent per node (filled only where evidence exists).
+    msg: Vec<Vec<f64>>,
+    /// Beliefs per node (filled only for requested targets + ancestors).
+    belief: Vec<Vec<f64>>,
+    /// π of the parent with the child's message divided out.
+    pi_ex: Vec<f64>,
+    /// Whether node i's subtree carries evidence.
+    has_ev: Vec<bool>,
+    /// Whether node i's belief is needed (target or ancestor of one).
+    need_belief: Vec<bool>,
+    /// Connected-component id per node.
+    comp_of: Vec<usize>,
+    /// Evidence probability per component.
+    comp_p: Vec<f64>,
+}
+
 /// A Bayesian-network estimator bound to one table.
 pub struct BayesNetEstimator {
     cols: Vec<DiscreteColumn>,
@@ -58,10 +81,20 @@ pub struct BayesNetEstimator {
     /// For non-root node i: per-parent-code column sums of `joint[i]`
     /// (cached CPT normalizers — recomputing them per cell is O(k³)).
     joint_parent_total: Vec<Option<Vec<f64>>>,
+    /// For non-root node i: the smoothed CPT `P(c | p)` flattened as
+    /// `[c * k_parent + p]` — precomputed at build/insert time so belief
+    /// propagation multiplies instead of re-deriving each cell.
+    cpt_flat: Vec<Vec<f64>>,
+    /// For root node i: the smoothed marginal `P(c)`.
+    root_dist: Vec<Vec<f64>>,
     /// Topological order, parents before children.
     topo: Vec<usize>,
     nrows: f64,
     cfg: BnConfig,
+    /// Propagation buffers, reused across queries. Concurrent queries on
+    /// the same table fall back to fresh local buffers (`try_lock`), so
+    /// the estimator stays `Sync` without serializing readers.
+    scratch: Mutex<PropScratch>,
 }
 
 impl BayesNetEstimator {
@@ -145,11 +178,15 @@ impl BayesNetEstimator {
             marginal,
             joint,
             joint_parent_total: Vec::new(),
+            cpt_flat: Vec::new(),
+            root_dist: Vec::new(),
             topo,
             nrows: n as f64,
             cfg,
+            scratch: Mutex::new(PropScratch::default()),
         };
         bn.recompute_parent_totals();
+        bn.recompute_cpts();
         bn
     }
 
@@ -170,6 +207,30 @@ impl BayesNetEstimator {
                     }
                     totals
                 })
+            })
+            .collect();
+    }
+
+    /// Refreshes the precomputed smoothed CPTs / root marginals from the
+    /// current counts (after build and after each `insert` batch).
+    fn recompute_cpts(&mut self) {
+        let m = self.cols.len();
+        self.cpt_flat = (0..m)
+            .map(|i| match self.parent[i] {
+                None => Vec::new(),
+                Some(_) => {
+                    let kp = self.k(self.parent[i].expect("non-root"));
+                    let kc = self.k(i);
+                    (0..kc * kp)
+                        .map(|idx| self.cpt(i, idx / kp, idx % kp))
+                        .collect()
+                }
+            })
+            .collect();
+        self.root_dist = (0..m)
+            .map(|i| match self.parent[i] {
+                Some(_) => Vec::new(),
+                None => (0..self.k(i)).map(|c| self.root_prob(i, c)).collect(),
             })
             .collect();
     }
@@ -253,99 +314,209 @@ impl BayesNetEstimator {
         (ev, fallback)
     }
 
-    /// Two-pass belief propagation. Returns `(p_evidence, beliefs)` where
-    /// `beliefs[i][c] = P(node_i = c, evidence)` (unnormalized by nrows).
-    fn propagate(&self, ev: &[Option<Vec<f64>>]) -> (f64, Vec<Vec<f64>>) {
-        let m = self.cols.len();
-        let w = |i: usize, c: usize| ev[i].as_ref().map_or(1.0, |v| v[c]);
+    /// Runs `f` with the shared propagation scratch, falling back to fresh
+    /// local buffers when another thread holds it (keeps `profile` lock-free
+    /// for concurrent readers of one table model).
+    fn with_scratch<R>(&self, f: impl FnOnce(&Self, &mut PropScratch) -> R) -> R {
+        match self.scratch.try_lock() {
+            Ok(mut guard) => f(self, &mut guard),
+            Err(_) => f(self, &mut PropScratch::default()),
+        }
+    }
 
-        // Upward: lambda[i][c] = w_i(c) · Π_{child k} msg_k(c);
-        // msg_i(p) = Σ_c P(c|p) λ_i(c).
-        let mut lambda: Vec<Vec<f64>> = (0..m).map(|i| vec![0.0; self.k(i)]).collect();
-        let mut msg_to_parent: Vec<Vec<f64>> = vec![Vec::new(); m];
+    /// Two-pass belief propagation with evidence-subtree pruning and a
+    /// targeted downward pass.
+    ///
+    /// Writes `belief[t][c] = P(node_t = c, evidence)` into `scratch` for
+    /// every `t ∈ targets` and returns the evidence probability. Work is
+    /// proportional to the evidence-carrying subtrees (upward) and the
+    /// root→target paths (downward): a subtree without evidence sends the
+    /// exactly-unit message (the CPT is normalized), so its O(k²) message
+    /// computation is skipped entirely, and beliefs of nodes nobody asked
+    /// about are never formed. Buffers live in `scratch`, so a warm call
+    /// allocates nothing.
+    fn propagate_targets(
+        &self,
+        ev: &[Option<Vec<f64>>],
+        targets: &[usize],
+        scratch: &mut PropScratch,
+    ) -> f64 {
+        let m = self.cols.len();
+        let s = scratch;
+        s.lambda.resize_with(m, Vec::new);
+        s.msg.resize_with(m, Vec::new);
+        s.belief.resize_with(m, Vec::new);
+        s.has_ev.clear();
+        s.has_ev.resize(m, false);
+        s.need_belief.clear();
+        s.need_belief.resize(m, false);
+        s.comp_of.clear();
+        s.comp_of.resize(m, 0);
+        s.comp_p.clear();
+
+        // Which subtrees carry evidence (children precede parents in
+        // reverse topological order).
         for &i in self.topo.iter().rev() {
-            for c in 0..self.k(i) {
-                let mut l = w(i, c);
-                for &ch in &self.children[i] {
-                    l *= msg_to_parent[ch][c];
+            let mut h = ev[i].is_some();
+            for &ch in &self.children[i] {
+                h |= s.has_ev[ch];
+            }
+            s.has_ev[i] = h;
+        }
+        // Whose beliefs we need: targets and all their ancestors.
+        for &t in targets {
+            let mut i = t;
+            loop {
+                if s.need_belief[i] {
+                    break;
                 }
-                lambda[i][c] = l;
+                s.need_belief[i] = true;
+                match self.parent[i] {
+                    Some(p) => i = p,
+                    None => break,
+                }
+            }
+        }
+
+        // Upward: λ_i(c) = w_i(c) · Π_{child} msg_child(c);
+        // msg_i(p) = Σ_c P(c|p) λ_i(c). Evidence-free subtrees send the
+        // unit message and are skipped.
+        for &i in self.topo.iter().rev() {
+            if !s.has_ev[i] {
+                continue;
+            }
+            let k = self.k(i);
+            {
+                let lambda_i = &mut s.lambda[i];
+                lambda_i.clear();
+                match ev[i].as_ref() {
+                    Some(w) => lambda_i.extend_from_slice(w),
+                    None => lambda_i.resize(k, 1.0),
+                }
+            }
+            for &ch in &self.children[i] {
+                if !s.has_ev[ch] {
+                    continue;
+                }
+                // `lambda` and `msg` are disjoint buffers.
+                let msg = std::mem::take(&mut s.msg[ch]);
+                for (l, &mv) in s.lambda[i].iter_mut().zip(&msg) {
+                    *l *= mv;
+                }
+                s.msg[ch] = msg;
             }
             if let Some(p) = self.parent[i] {
                 let kp = self.k(p);
-                let mut msg = vec![0.0; kp];
-                for (pc, slot) in msg.iter_mut().enumerate() {
-                    let mut s = 0.0;
-                    for c in 0..self.k(i) {
-                        if lambda[i][c] > 0.0 {
-                            s += self.cpt(i, c, pc) * lambda[i][c];
-                        }
+                let cpt = &self.cpt_flat[i];
+                let msg = &mut s.msg[i];
+                msg.clear();
+                msg.resize(kp, 0.0);
+                for (c, &l) in s.lambda[i].iter().enumerate() {
+                    if l <= 0.0 {
+                        continue;
                     }
-                    *slot = s;
+                    let row = &cpt[c * kp..(c + 1) * kp];
+                    for (slot, &p_cp) in msg.iter_mut().zip(row) {
+                        *slot += p_cp * l;
+                    }
                 }
-                msg_to_parent[i] = msg;
             }
         }
 
-        // Per-component evidence probability (forest ⇒ product).
-        let mut comp_p: Vec<f64> = Vec::new();
-        let mut comp_of: Vec<usize> = vec![0; m];
-        for &i in &self.topo {
-            if self.parent[i].is_none() {
-                let p: f64 = (0..self.k(i))
-                    .map(|c| self.root_prob(i, c) * lambda[i][c])
-                    .sum();
-                comp_of[i] = comp_p.len();
-                comp_p.push(p);
-            } else {
-                comp_of[i] = comp_of[self.parent[i].expect("non-root")];
-            }
-        }
-        let p_evidence: f64 = comp_p.iter().product();
-
-        // Downward: belief_i(c) = π_i(c) · λ_i(c), where for the root
-        // π = prior and for children π comes from the parent's belief with
-        // this child's message divided out.
-        let mut belief: Vec<Vec<f64>> = (0..m).map(|i| vec![0.0; self.k(i)]).collect();
+        // Per-component evidence probability (forest ⇒ product); a
+        // component without evidence contributes exactly 1.
         for &i in &self.topo {
             match self.parent[i] {
                 None => {
-                    for c in 0..self.k(i) {
-                        belief[i][c] = self.root_prob(i, c) * lambda[i][c];
+                    let p = if s.has_ev[i] {
+                        self.root_dist[i]
+                            .iter()
+                            .zip(&s.lambda[i])
+                            .map(|(&r, &l)| r * l)
+                            .sum()
+                    } else {
+                        1.0
+                    };
+                    s.comp_of[i] = s.comp_p.len();
+                    s.comp_p.push(p);
+                }
+                Some(p) => s.comp_of[i] = s.comp_of[p],
+            }
+        }
+        let p_evidence: f64 = s.comp_p.iter().product();
+
+        // Downward, only along root→target paths: belief_i(c) = π_i(c) ·
+        // λ_i(c), where for the root π = prior and for children π comes
+        // from the parent's belief with this child's message divided out.
+        for &i in &self.topo {
+            if !s.need_belief[i] {
+                continue;
+            }
+            let k = self.k(i);
+            match self.parent[i] {
+                None => {
+                    let belief_i = &mut s.belief[i];
+                    belief_i.clear();
+                    belief_i.extend_from_slice(&self.root_dist[i]);
+                    if s.has_ev[i] {
+                        for (b, &l) in belief_i.iter_mut().zip(&s.lambda[i]) {
+                            *b *= l;
+                        }
                     }
                 }
                 Some(p) => {
                     let kp = self.k(p);
-                    // π_parent excluding child i.
-                    let mut pi_ex = vec![0.0; kp];
-                    for (pc, slot) in pi_ex.iter_mut().enumerate() {
-                        let msg = msg_to_parent[i][pc];
-                        *slot = if msg > 0.0 { belief[p][pc] / msg } else { 0.0 };
+                    // π_parent excluding child i (unit message ⇒ π = belief).
+                    s.pi_ex.clear();
+                    if s.has_ev[i] {
+                        for (pc, &b) in s.belief[p].iter().enumerate() {
+                            let mv = s.msg[i][pc];
+                            s.pi_ex.push(if mv > 0.0 { b / mv } else { 0.0 });
+                        }
+                    } else {
+                        s.pi_ex.extend_from_slice(&s.belief[p]);
                     }
-                    for c in 0..self.k(i) {
-                        let mut s = 0.0;
-                        for (pc, &pe) in pi_ex.iter().enumerate() {
+                    let cpt = &self.cpt_flat[i];
+                    let belief_i = &mut s.belief[i];
+                    belief_i.clear();
+                    belief_i.resize(k, 0.0);
+                    for (c, slot) in belief_i.iter_mut().enumerate() {
+                        let mut acc = 0.0;
+                        let row = &cpt[c * kp..(c + 1) * kp];
+                        for (&pe, &p_cp) in s.pi_ex.iter().zip(row) {
                             if pe > 0.0 {
-                                s += self.cpt(i, c, pc) * pe;
+                                acc += p_cp * pe;
                             }
                         }
-                        belief[i][c] = s * lambda[i][c];
+                        *slot = acc;
+                    }
+                    if s.has_ev[i] {
+                        for (b, &l) in s.belief[i].iter_mut().zip(&s.lambda[i]) {
+                            *b *= l;
+                        }
                     }
                 }
             }
         }
-        // Scale each component's beliefs by the other components' evidence
-        // probability so that belief sums equal the global p_evidence.
-        if comp_p.len() > 1 {
+        // Scale each computed belief by the other components' evidence
+        // probability so belief sums equal the global p_evidence. Iterate
+        // the need_belief marks (not `targets`) so a duplicated target is
+        // scaled exactly once.
+        if s.comp_p.len() > 1 {
             for i in 0..m {
-                let own = comp_p[comp_of[i]];
+                if !s.need_belief[i] {
+                    continue;
+                }
+                let own = s.comp_p[s.comp_of[i]];
                 let others = if own > 0.0 { p_evidence / own } else { 0.0 };
-                for b in &mut belief[i] {
-                    *b *= others;
+                if others != 1.0 {
+                    for b in &mut s.belief[i] {
+                        *b *= others;
+                    }
                 }
             }
         }
-        (p_evidence, belief)
+        p_evidence
     }
 }
 
@@ -356,15 +527,14 @@ impl BaseTableEstimator for BayesNetEstimator {
 
     fn estimate_filter(&self, filter: &FilterExpr) -> f64 {
         let (ev, fallback) = self.evidence(filter);
-        let (p, _) = self.propagate(&ev);
+        let p = self.with_scratch(|bn, scratch| bn.propagate_targets(&ev, &[], scratch));
         p * fallback * self.nrows
     }
 
     fn key_distribution(&self, key_col: &str, filter: &FilterExpr) -> Vec<f64> {
-        self.profile(filter, &[key_col])
-            .key_dists
-            .pop()
-            .expect("one key requested")
+        let mut out = TableProfile::default();
+        self.profile_into(filter, &[key_col], &mut out);
+        out.key_dists.pop().expect("one key requested")
     }
 
     fn key_bins(&self, key_col: &str) -> usize {
@@ -375,23 +545,55 @@ impl BaseTableEstimator for BayesNetEstimator {
     }
 
     fn profile(&self, filter: &FilterExpr, key_cols: &[&str]) -> TableProfile {
+        let mut out = TableProfile::default();
+        self.profile_into(filter, key_cols, &mut out);
+        out
+    }
+
+    fn profile_into(&self, filter: &FilterExpr, key_cols: &[&str], out: &mut TableProfile) {
         let (ev, fallback) = self.evidence(filter);
-        let (p, beliefs) = self.propagate(&ev);
-        let rows = p * fallback * self.nrows;
-        let key_dists = key_cols
-            .iter()
-            .map(|kc| match self.col_index.get(*kc) {
-                Some(&i) => {
-                    let nk = self.k(i) - 1; // drop NULL code
-                    beliefs[i][..nk]
-                        .iter()
-                        .map(|&b| b * fallback * self.nrows)
-                        .collect()
+        // Belief targets: the requested keys the network models (≤ a few
+        // per alias — a stack array avoids allocating per profile; the
+        // spill path covers pathological key counts).
+        let mut targets_buf = [0usize; 16];
+        let mut spill: Vec<usize> = Vec::new();
+        let mut nt = 0usize;
+        for kc in key_cols {
+            if let Some(&i) = self.col_index.get(*kc) {
+                if nt < targets_buf.len() {
+                    targets_buf[nt] = i;
+                    nt += 1;
+                } else {
+                    if spill.is_empty() {
+                        spill.extend_from_slice(&targets_buf);
+                    }
+                    spill.push(i);
                 }
-                None => vec![rows],
-            })
-            .collect();
-        TableProfile { rows, key_dists }
+            }
+        }
+        let targets: &[usize] = if spill.is_empty() {
+            &targets_buf[..nt]
+        } else {
+            &spill
+        };
+        out.reset(key_cols.len());
+        self.with_scratch(|bn, scratch| {
+            let p = bn.propagate_targets(&ev, targets, scratch);
+            out.rows = p * fallback * bn.nrows;
+            for (d, kc) in out.key_dists.iter_mut().zip(key_cols) {
+                match bn.col_index.get(*kc) {
+                    Some(&i) => {
+                        let nk = bn.k(i) - 1; // drop NULL code
+                        d.extend(
+                            scratch.belief[i][..nk]
+                                .iter()
+                                .map(|&b| b * fallback * bn.nrows),
+                        );
+                    }
+                    None => d.push(out.rows),
+                }
+            }
+        });
     }
 
     fn insert(&mut self, table: &Table, first_new_row: usize) {
@@ -420,6 +622,9 @@ impl BaseTableEstimator for BayesNetEstimator {
             }
         }
         self.nrows += (n - first_new_row) as f64;
+        // Counts changed → refresh the precomputed CPTs / root marginals
+        // once per batch (they are derived state).
+        self.recompute_cpts();
     }
 
     fn model_bytes(&self) -> usize {
@@ -642,6 +847,20 @@ mod tests {
         // 20 NULL ids excluded: distribution sums to ≈ 80.
         let sum: f64 = d.iter().sum();
         assert!((sum - 80.0).abs() < 3.0, "sum {sum}");
+    }
+
+    #[test]
+    fn duplicate_key_columns_profile_identically() {
+        // Requesting the same key twice must return two identical
+        // distributions, each equal to the single-request one (guards the
+        // belief-scaling pass against double-applying per-target factors).
+        let t = correlated_table(3000);
+        let bn = BayesNetEstimator::build(&t, &bins_mod(8), BnConfig::default());
+        let f = FilterExpr::pred(Predicate::eq("attr", 1));
+        let p1 = bn.profile(&f, &["id"]);
+        let p2 = bn.profile(&f, &["id", "id"]);
+        assert_eq!(p2.key_dists[0], p1.key_dists[0]);
+        assert_eq!(p2.key_dists[1], p1.key_dists[0]);
     }
 
     #[test]

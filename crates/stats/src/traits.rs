@@ -6,13 +6,29 @@ use fj_storage::Table;
 /// Everything FactorJoin needs from a table for one query: the estimated
 /// filtered row count and the conditional binned distribution of each
 /// requested join key (paper Eq. 1: `P(key = v | Q(A)) · |Q(A)|`).
-#[derive(Debug, Clone)]
+///
+/// Profiles are reusable output buffers: [`BaseTableEstimator::profile_into`]
+/// refills an existing profile in place so the sub-plan estimation hot path
+/// does not allocate fresh distributions per query.
+#[derive(Debug, Clone, Default)]
 pub struct TableProfile {
     /// Estimated `|Q(A)|` — rows satisfying the filter.
     pub rows: f64,
     /// For each requested key column: estimated rows per bin (unnormalized
     /// distribution over the key's binned domain, NULL keys excluded).
     pub key_dists: Vec<Vec<f64>>,
+}
+
+impl TableProfile {
+    /// Prepares the profile to receive `n` key distributions, reusing the
+    /// existing vector capacities.
+    pub fn reset(&mut self, n: usize) {
+        self.rows = 0.0;
+        self.key_dists.resize_with(n, Vec::new);
+        for d in &mut self.key_dists {
+            d.clear();
+        }
+    }
 }
 
 /// A single-table cardinality estimator bound to one table.
@@ -46,6 +62,14 @@ pub trait BaseTableEstimator: Send + Sync {
                 .map(|k| self.key_distribution(k, filter))
                 .collect(),
         }
+    }
+
+    /// [`Self::profile`] into a caller-owned buffer, reusing its
+    /// allocations where possible. The default replaces the buffer with a
+    /// fresh [`Self::profile`]; allocation-conscious implementations
+    /// override this to refill `out` in place.
+    fn profile_into(&self, filter: &FilterExpr, key_cols: &[&str], out: &mut TableProfile) {
+        *out = self.profile(filter, key_cols);
     }
 
     /// Incorporates rows `first_new_row..` of the (already updated) table —

@@ -102,7 +102,7 @@ proptest! {
         );
         let fa = Factor::base(dl, vec![(0, vec![dl], vec![ml])]);
         let fb = Factor::base(dr, vec![(0, vec![dr], vec![mr])]);
-        let bound = fa.join(&fb, &|_| false).rows;
+        let bound = fa.join(&fb, &factorjoin::KeepVars::none()).rows;
         prop_assert!(bound >= truth - 1e-6, "bound {} < truth {}", bound, truth);
     }
 
