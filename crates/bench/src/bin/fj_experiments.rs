@@ -11,7 +11,7 @@ use fj_bench::experiments::{
     end_to_end, fig6, fig7, fig9, per_query, table1, table2, table5, table6, table7, table8,
     ExpConfig,
 };
-use fj_bench::{perfbase, BenchKind};
+use fj_bench::{perfbase, throughput, BenchKind};
 use std::path::Path;
 
 const KNOWN_IDS: &[&str] = &[
@@ -19,19 +19,37 @@ const KNOWN_IDS: &[&str] = &[
     "fig7", "fig8", "fig9", "fig10", "fig11",
 ];
 
-/// `bench-estimation` subcommand: measure the sub-plan estimation hot path
-/// at the pinned scale and write/check `BENCH_estimation.json`.
-///
-/// ```text
-/// fj-experiments bench-estimation --write BENCH_estimation.json --label flat-factor
-/// fj-experiments bench-estimation --check BENCH_estimation.json [--threshold 1.5]
-/// ```
-fn bench_estimation(args: &[String]) -> ! {
+/// The shared shape of a `bench-*` baseline subcommand: a measurement
+/// module with `measure`/`append_sample`/`format_sample`/`check_against`
+/// plus the strings that differ between subcommands.
+struct BaselineOps<S, R> {
+    /// Subcommand name (for usage/error messages).
+    sub: &'static str,
+    /// Name of the per-subcommand repetition flag (`--passes`, `--repeats`).
+    count_flag: &'static str,
+    /// Default repetitions.
+    default_count: usize,
+    /// Default regression threshold.
+    default_threshold: f64,
+    /// What a failed check means, for the FAIL line.
+    fail_what: &'static str,
+    measure: fn(&str, f64, usize) -> S,
+    append: fn(&Path, &S) -> std::io::Result<()>,
+    format: fn(&S) -> String,
+    check: fn(&Path, f64, usize) -> std::io::Result<R>,
+    /// Prints the comparison verdict line(s); returns whether it passed.
+    report_check: fn(&R, f64) -> bool,
+}
+
+/// Parses `--write/--check/--label/--threshold/<count_flag>` and runs the
+/// write-or-check flow. Both baseline subcommands are this function with
+/// different [`BaselineOps`].
+fn run_baseline_subcommand<S, R>(ops: BaselineOps<S, R>, args: &[String]) -> ! {
     let mut write: Option<String> = None;
     let mut check: Option<String> = None;
     let mut label = "unlabelled".to_string();
-    let mut threshold = perfbase::DEFAULT_THRESHOLD;
-    let mut passes = 30usize;
+    let mut threshold = ops.default_threshold;
+    let mut count = ops.default_count;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -52,14 +70,14 @@ fn bench_estimation(args: &[String]) -> ! {
                     std::process::exit(2);
                 })
             }
-            "--passes" => {
-                passes = val("--passes").parse().unwrap_or_else(|_| {
-                    eprintln!("error: --passes needs an integer");
+            flag if flag == ops.count_flag => {
+                count = val(ops.count_flag).parse().unwrap_or_else(|_| {
+                    eprintln!("error: {} needs an integer", ops.count_flag);
                     std::process::exit(2);
                 })
             }
             other => {
-                eprintln!("error: unknown bench-estimation flag {other:?}");
+                eprintln!("error: unknown {} flag {other:?}", ops.sub);
                 std::process::exit(2);
             }
         }
@@ -70,9 +88,9 @@ fn bench_estimation(args: &[String]) -> ! {
         .unwrap_or(perfbase::PINNED_SCALE);
     match (write, check) {
         (Some(path), None) => {
-            let sample = perfbase::measure(&label, scale, passes);
-            println!("measured {}", perfbase::format_sample(&sample));
-            perfbase::append_sample(Path::new(&path), &sample).unwrap_or_else(|e| {
+            let sample = (ops.measure)(&label, scale, count);
+            println!("measured {}", (ops.format)(&sample));
+            (ops.append)(Path::new(&path), &sample).unwrap_or_else(|e| {
                 eprintln!("error: cannot write {path}: {e}");
                 std::process::exit(1);
             });
@@ -80,29 +98,99 @@ fn bench_estimation(args: &[String]) -> ! {
             std::process::exit(0);
         }
         (None, Some(path)) => {
-            let report = perfbase::check_against(Path::new(&path), threshold, passes)
-                .unwrap_or_else(|e| {
-                    eprintln!("error: cannot check against {path}: {e}");
-                    std::process::exit(1);
-                });
-            println!("baseline {}", perfbase::format_sample(&report.baseline));
-            println!("fresh    {}", perfbase::format_sample(&report.fresh));
-            println!(
-                "planning latency {:.2}× baseline (threshold {threshold}×)",
-                report.slowdown
-            );
-            if report.ok {
+            let report = (ops.check)(Path::new(&path), threshold, count).unwrap_or_else(|e| {
+                eprintln!("error: cannot check against {path}: {e}");
+                std::process::exit(1);
+            });
+            if (ops.report_check)(&report, threshold) {
                 println!("OK: within threshold");
                 std::process::exit(0);
             }
-            eprintln!("FAIL: planning-latency regression exceeds {threshold}× baseline");
+            eprintln!(
+                "FAIL: {} regression exceeds {threshold}× baseline",
+                ops.fail_what
+            );
             std::process::exit(1);
         }
         _ => {
-            eprintln!("usage: fj-experiments bench-estimation (--write <json> [--label <l>] | --check <json> [--threshold <f>]) [--passes <n>]");
+            eprintln!(
+                "usage: fj-experiments {} (--write <json> [--label <l>] | \
+                 --check <json> [--threshold <f>]) [{} <n>]",
+                ops.sub, ops.count_flag
+            );
             std::process::exit(2);
         }
     }
+}
+
+/// `bench-estimation` subcommand: measure the sub-plan estimation hot path
+/// at the pinned scale and write/check `BENCH_estimation.json`.
+///
+/// ```text
+/// fj-experiments bench-estimation --write BENCH_estimation.json --label flat-factor
+/// fj-experiments bench-estimation --check BENCH_estimation.json [--threshold 1.5]
+/// ```
+fn bench_estimation(args: &[String]) -> ! {
+    run_baseline_subcommand(
+        BaselineOps {
+            sub: "bench-estimation",
+            count_flag: "--passes",
+            default_count: 30,
+            default_threshold: perfbase::DEFAULT_THRESHOLD,
+            fail_what: "planning-latency",
+            measure: perfbase::measure,
+            append: perfbase::append_sample,
+            format: perfbase::format_sample,
+            check: perfbase::check_against,
+            report_check: |report, threshold| {
+                println!("baseline {}", perfbase::format_sample(&report.baseline));
+                println!("fresh    {}", perfbase::format_sample(&report.fresh));
+                println!(
+                    "planning latency {:.2}× baseline (threshold {threshold}×)",
+                    report.slowdown
+                );
+                report.ok
+            },
+        },
+        args,
+    )
+}
+
+/// `bench-throughput` subcommand: sweep the `fj-service` worker pool over
+/// 1/2/4/8 workers on the pinned STATS-CEB environment and write/check
+/// `BENCH_throughput.json`.
+///
+/// ```text
+/// fj-experiments bench-throughput --write BENCH_throughput.json --label service-v1
+/// fj-experiments bench-throughput --check BENCH_throughput.json [--threshold 1.5] [--repeats 200]
+/// ```
+fn bench_throughput(args: &[String]) -> ! {
+    run_baseline_subcommand(
+        BaselineOps {
+            sub: "bench-throughput",
+            count_flag: "--repeats",
+            default_count: 400,
+            default_threshold: throughput::DEFAULT_THRESHOLD,
+            fail_what: "serving-throughput",
+            measure: throughput::measure,
+            append: throughput::append_sample,
+            format: throughput::format_sample,
+            check: throughput::check_against,
+            report_check: |report, threshold| {
+                println!("baseline {}", throughput::format_sample(&report.baseline));
+                println!("fresh    {}", throughput::format_sample(&report.fresh));
+                println!(
+                    "throughput at {} workers: {:.2}× baseline, calibration-normalized \
+                     (fail under {:.2}×)",
+                    report.workers,
+                    report.speedup,
+                    1.0 / threshold
+                );
+                report.ok
+            },
+        },
+        args,
+    )
 }
 
 fn main() {
@@ -110,10 +198,14 @@ fn main() {
     if args.first().map(String::as_str) == Some("bench-estimation") {
         bench_estimation(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("bench-throughput") {
+        bench_throughput(&args[1..]);
+    }
     let cfg = ExpConfig::from_env();
     if args.is_empty() {
         eprintln!("usage: fj-experiments [{}] …", KNOWN_IDS.join("|"));
         eprintln!("       fj-experiments bench-estimation (--write <json> | --check <json>)");
+        eprintln!("       fj-experiments bench-throughput (--write <json> | --check <json>)");
         eprintln!("env: FJ_SCALE=<f64> (default 0.5), FJ_QUERIES=<n> (default full workload)");
         std::process::exit(2);
     }

@@ -16,6 +16,7 @@ pub mod experiments;
 pub mod harness;
 pub mod perfbase;
 pub mod report;
+pub mod throughput;
 
 pub use env::{BenchEnv, BenchKind};
 pub use harness::{run_end_to_end, EndToEnd, MethodResult};

@@ -61,6 +61,10 @@ pub struct EstimationSample {
     pub planning_s_per_query: f64,
     /// Model training time in seconds.
     pub train_seconds: f64,
+    /// Deployable model size in bytes. Tracked alongside latency so the
+    /// history shows accuracy/speed work is not being bought with model
+    /// bloat (paper Figure 6 reports both). 0 for pre-metric samples.
+    pub model_bytes: usize,
 }
 
 /// Fixed CPU-bound calibration kernel (integer xorshift mix): measures how
@@ -147,6 +151,7 @@ pub fn measure(label: &str, scale: f64, passes: usize) -> EstimationSample {
         subplans_per_second: subplans as f64 / pass_seconds,
         planning_s_per_query: pass_seconds / wl.len() as f64,
         train_seconds: model.report().train_seconds,
+        model_bytes: model.report().model_bytes,
     }
 }
 
@@ -179,6 +184,7 @@ fn sample_to_json(s: &EstimationSample) -> Value {
             Value::from(s.planning_s_per_query),
         ),
         ("train_seconds".to_string(), Value::from(s.train_seconds)),
+        ("model_bytes".to_string(), Value::from(s.model_bytes)),
     ])
 }
 
@@ -200,6 +206,8 @@ fn sample_from_json(v: &Value) -> std::io::Result<EstimationSample> {
         subplans_per_second: f("subplans_per_second")?,
         planning_s_per_query: f("planning_s_per_query")?,
         train_seconds: f("train_seconds")?,
+        // Samples recorded before the model-size metric read as 0.
+        model_bytes: v["model_bytes"].as_f64().unwrap_or(0.0) as usize,
     })
 }
 
@@ -290,13 +298,14 @@ pub fn check_against(path: &Path, threshold: f64, passes: usize) -> std::io::Res
 pub fn format_sample(s: &EstimationSample) -> String {
     format!(
         "{}: {:.3} ms/pass (best {:.3}), {:.0} sub-plans/s, {:.3} ms planning/query, \
-         train {:.2}s (scale {}, k={}, {} queries, {} sub-plans)",
+         train {:.2}s, model {} (scale {}, k={}, {} queries, {} sub-plans)",
         s.label,
         s.pass_seconds * 1e3,
         s.best_pass_seconds * 1e3,
         s.subplans_per_second,
         s.planning_s_per_query * 1e3,
         s.train_seconds,
+        crate::report::fmt_bytes(s.model_bytes),
         s.scale,
         s.bins,
         s.queries,
@@ -322,11 +331,13 @@ mod tests {
             subplans_per_second: 120_000.0,
             planning_s_per_query: 0.000_625,
             train_seconds: 1.5,
+            model_bytes: 123_456,
         };
         let v = sample_to_json(&s);
         let back = sample_from_json(&v).unwrap();
         assert_eq!(back.label, s.label);
         assert_eq!(back.subplans, s.subplans);
+        assert_eq!(back.model_bytes, 123_456);
         assert!((back.pass_seconds - s.pass_seconds).abs() < 1e-12);
         assert!((back.best_pass_seconds - s.best_pass_seconds).abs() < 1e-12);
         assert!((back.calibration_seconds - s.calibration_seconds).abs() < 1e-12);

@@ -1,0 +1,473 @@
+//! Concurrent-serving throughput tracking (`BENCH_throughput.json`).
+//!
+//! The ROADMAP's north star is serving many optimizer sessions from one
+//! trained model. This module measures the `fj-service` worker pool on the
+//! STATS-CEB environment across a worker-count sweep, records the sweep in
+//! a checked-in JSON history (the same write/check machinery as
+//! `perfbase`), and lets CI gate throughput regressions. Comparisons are
+//! calibration-normalized (see [`crate::perfbase::calibration_seconds`]) so
+//! a baseline recorded on one machine gates *code* regressions on a
+//! differently-fast CI runner.
+//!
+//! Scaling across workers is physical: the recorded sample carries the
+//! measuring machine's core count, and the 1→4-worker scaling ratio is
+//! only meaningful where ≥ 4 cores exist (a 1-core container measures the
+//! queue/worker overhead at flat scaling, which is still worth tracking).
+
+use crate::perfbase::{calibration_seconds, PINNED_BINS, PINNED_SCALE};
+use factorjoin::{BaseEstimatorKind, BinBudget, FactorJoinConfig, FactorJoinModel};
+use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
+use fj_query::Query;
+use fj_service::EstimatorService;
+use fj_stats::BnConfig;
+use serde_json::Value;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Worker counts the sweep measures.
+pub const WORKER_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+/// Regression threshold: fail when calibration-normalized throughput drops
+/// below `baseline / threshold`.
+pub const DEFAULT_THRESHOLD: f64 = 1.5;
+
+/// One worker-count point of a sweep.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Worker threads serving the pool.
+    pub workers: usize,
+    /// Requests served in the timed window.
+    pub requests: usize,
+    /// Sub-plan estimates produced across those requests.
+    pub subplans: usize,
+    /// Timed-window wall-clock seconds (submit of the first batch to the
+    /// last response).
+    pub seconds: f64,
+    /// Aggregate requests per second.
+    pub requests_per_second: f64,
+    /// Aggregate sub-plan estimates per second — the headline number.
+    pub subplans_per_second: f64,
+    /// Median request latency (queue wait + estimation), microseconds.
+    pub p50_latency_us: f64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_latency_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Deepest the request queue got during the window.
+    pub queue_high_water: usize,
+}
+
+/// One recorded sweep.
+#[derive(Debug, Clone)]
+pub struct ThroughputSample {
+    /// Free-form label (commit summary, experiment name, …).
+    pub label: String,
+    /// Data scale measured at.
+    pub scale: f64,
+    /// Bins per key group.
+    pub bins: usize,
+    /// CPU cores available on the measuring machine (bounds real scaling).
+    pub cores: usize,
+    /// Calibration-kernel best time on the measuring machine.
+    pub calibration_seconds: f64,
+    /// Workload passes per sweep point.
+    pub repeats: usize,
+    /// The sweep, in [`WORKER_SWEEP`] order.
+    pub points: Vec<ThroughputPoint>,
+}
+
+impl ThroughputSample {
+    /// The sweep point measured at `workers`, if present.
+    pub fn point(&self, workers: usize) -> Option<&ThroughputPoint> {
+        self.points.iter().find(|p| p.workers == workers)
+    }
+
+    /// Throughput ratio going `from` → `to` workers (>1 = scaled up).
+    pub fn scaling(&self, from: usize, to: usize) -> Option<f64> {
+        Some(self.point(to)?.subplans_per_second / self.point(from)?.subplans_per_second)
+    }
+
+    /// The best point of the sweep by aggregate throughput.
+    pub fn best(&self) -> &ThroughputPoint {
+        self.points
+            .iter()
+            .max_by(|a, b| {
+                a.subplans_per_second
+                    .partial_cmp(&b.subplans_per_second)
+                    .expect("finite throughput")
+            })
+            .expect("non-empty sweep")
+    }
+}
+
+/// Measures one worker-count point: `repeats` passes of the workload
+/// through a fresh service, after one warm-up pass.
+fn measure_point(
+    model: &Arc<FactorJoinModel>,
+    workload: &[Query],
+    workers: usize,
+    repeats: usize,
+) -> ThroughputPoint {
+    let service = EstimatorService::serve("stats", Arc::clone(model), workers);
+    // Warm-up: every worker scratch sees the workload at least once.
+    for _ in 0..workers.max(2) {
+        let responses = service.submit_batch(workload).wait_all();
+        assert!(responses.iter().all(Result::is_ok), "warm-up served");
+    }
+    service.reset_stats();
+
+    let expected_subplans: usize = {
+        let mut session = model.subplan_estimator();
+        workload
+            .iter()
+            .map(|q| session.estimate_subplans(q, 1).len())
+            .sum()
+    };
+    let t0 = Instant::now();
+    // Keep many batches in flight: submission blocks on queue capacity,
+    // waiting happens after everything has been submitted.
+    let tickets: Vec<_> = (0..repeats)
+        .map(|_| service.submit_batch(workload))
+        .collect();
+    let mut requests = 0usize;
+    let mut subplans = 0usize;
+    for ticket in tickets {
+        for resp in ticket.wait_all() {
+            let resp = resp.expect("served");
+            requests += 1;
+            subplans += resp.estimates.len();
+        }
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(subplans, expected_subplans * repeats, "no sub-plan lost");
+    let snap = service.stats();
+    service.shutdown();
+    ThroughputPoint {
+        workers,
+        requests,
+        subplans,
+        seconds,
+        requests_per_second: requests as f64 / seconds,
+        subplans_per_second: subplans as f64 / seconds,
+        p50_latency_us: snap.p50_latency.as_secs_f64() * 1e6,
+        p95_latency_us: snap.p95_latency.as_secs_f64() * 1e6,
+        p99_latency_us: snap.p99_latency.as_secs_f64() * 1e6,
+        queue_high_water: snap.queue_high_water,
+    }
+}
+
+/// Runs the full worker sweep at `scale` with `repeats` workload passes
+/// per point. The workload matches the `perfbase` estimation baseline
+/// (8 STATS-CEB-like queries, BayesNet base estimator, k = 100) so the
+/// single-worker point and the single-threaded latency history describe
+/// the same code path.
+pub fn measure(label: &str, scale: f64, repeats: usize) -> ThroughputSample {
+    let cat = stats_catalog(&StatsConfig {
+        scale,
+        ..Default::default()
+    });
+    let wl = stats_ceb_workload(
+        &cat,
+        &WorkloadConfig {
+            num_queries: 8,
+            num_templates: 4,
+            ..WorkloadConfig::tiny(5)
+        },
+    );
+    let model = Arc::new(FactorJoinModel::train(
+        &cat,
+        FactorJoinConfig {
+            bin_budget: BinBudget::Uniform(PINNED_BINS),
+            estimator: BaseEstimatorKind::BayesNet(BnConfig::default()),
+            ..Default::default()
+        },
+    ));
+    let repeats = repeats.max(1);
+    let points = WORKER_SWEEP
+        .iter()
+        .map(|&w| measure_point(&model, &wl, w, repeats))
+        .collect();
+    ThroughputSample {
+        label: label.to_string(),
+        scale,
+        bins: PINNED_BINS,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        calibration_seconds: calibration_seconds(),
+        repeats,
+        points,
+    }
+}
+
+// ------------------------------------------------------- JSON conversion
+// Hand-rolled against `serde_json::Value` like perfbase (the vendored
+// serde derives are no-ops; see vendor/README.md).
+
+fn point_to_json(p: &ThroughputPoint) -> Value {
+    Value::object([
+        ("workers".to_string(), Value::from(p.workers)),
+        ("requests".to_string(), Value::from(p.requests)),
+        ("subplans".to_string(), Value::from(p.subplans)),
+        ("seconds".to_string(), Value::from(p.seconds)),
+        (
+            "requests_per_second".to_string(),
+            Value::from(p.requests_per_second),
+        ),
+        (
+            "subplans_per_second".to_string(),
+            Value::from(p.subplans_per_second),
+        ),
+        ("p50_latency_us".to_string(), Value::from(p.p50_latency_us)),
+        ("p95_latency_us".to_string(), Value::from(p.p95_latency_us)),
+        ("p99_latency_us".to_string(), Value::from(p.p99_latency_us)),
+        (
+            "queue_high_water".to_string(),
+            Value::from(p.queue_high_water),
+        ),
+    ])
+}
+
+fn err(m: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string())
+}
+
+fn point_from_json(v: &Value) -> std::io::Result<ThroughputPoint> {
+    let f = |k: &str| v[k].as_f64().ok_or_else(|| err(k));
+    Ok(ThroughputPoint {
+        workers: f("workers")? as usize,
+        requests: f("requests")? as usize,
+        subplans: f("subplans")? as usize,
+        seconds: f("seconds")?,
+        requests_per_second: f("requests_per_second")?,
+        subplans_per_second: f("subplans_per_second")?,
+        p50_latency_us: f("p50_latency_us")?,
+        p95_latency_us: f("p95_latency_us")?,
+        p99_latency_us: f("p99_latency_us")?,
+        queue_high_water: f("queue_high_water")? as usize,
+    })
+}
+
+fn sample_to_json(s: &ThroughputSample) -> Value {
+    Value::object([
+        ("label".to_string(), Value::from(s.label.clone())),
+        ("scale".to_string(), Value::from(s.scale)),
+        ("bins".to_string(), Value::from(s.bins)),
+        ("cores".to_string(), Value::from(s.cores)),
+        (
+            "calibration_seconds".to_string(),
+            Value::from(s.calibration_seconds),
+        ),
+        ("repeats".to_string(), Value::from(s.repeats)),
+        (
+            "points".to_string(),
+            Value::Array(s.points.iter().map(point_to_json).collect()),
+        ),
+    ])
+}
+
+fn sample_from_json(v: &Value) -> std::io::Result<ThroughputSample> {
+    let f = |k: &str| v[k].as_f64().ok_or_else(|| err(k));
+    Ok(ThroughputSample {
+        label: v["label"].as_str().ok_or_else(|| err("label"))?.to_string(),
+        scale: f("scale")?,
+        bins: f("bins")? as usize,
+        cores: f("cores")? as usize,
+        calibration_seconds: f("calibration_seconds")?,
+        repeats: f("repeats")? as usize,
+        points: v["points"]
+            .as_array()
+            .ok_or_else(|| err("points"))?
+            .iter()
+            .map(point_from_json)
+            .collect::<std::io::Result<_>>()?,
+    })
+}
+
+/// Reads the history recorded in a `BENCH_throughput.json` file.
+pub fn read_history(path: &Path) -> std::io::Result<Vec<ThroughputSample>> {
+    let text = std::fs::read_to_string(path)?;
+    let v: Value = serde_json::from_str(&text)?;
+    v["history"]
+        .as_array()
+        .ok_or_else(|| err("missing history array"))?
+        .iter()
+        .map(sample_from_json)
+        .collect()
+}
+
+/// Appends `sample` to the history in `path` (creating the file if
+/// absent), making it the new baseline CI checks against.
+pub fn append_sample(path: &Path, sample: &ThroughputSample) -> std::io::Result<()> {
+    let mut history = if path.exists() {
+        read_history(path)?
+    } else {
+        Vec::new()
+    };
+    history.push(sample.clone());
+    let doc = Value::object([
+        ("version".to_string(), Value::from(1u32)),
+        (
+            "pinned".to_string(),
+            Value::object([
+                ("scale".to_string(), Value::from(PINNED_SCALE)),
+                ("bins".to_string(), Value::from(PINNED_BINS)),
+                (
+                    "worker_sweep".to_string(),
+                    Value::Array(WORKER_SWEEP.iter().map(|&w| Value::from(w)).collect()),
+                ),
+            ]),
+        ),
+        (
+            "history".to_string(),
+            Value::Array(history.iter().map(sample_to_json).collect()),
+        ),
+    ]);
+    let text = format!("{doc}\n");
+    std::fs::write(path, text.as_bytes())
+}
+
+/// Outcome of checking a fresh sweep against the stored baseline.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Stored baseline (last history entry).
+    pub baseline: ThroughputSample,
+    /// Fresh measurement.
+    pub fresh: ThroughputSample,
+    /// Worker count the comparison used (best common sweep point).
+    pub workers: usize,
+    /// Calibration-normalized throughput ratio `fresh / baseline`
+    /// (>1 = faster than the baseline).
+    pub speedup: f64,
+    /// Whether throughput stayed above `baseline / threshold`.
+    pub ok: bool,
+}
+
+/// Measures a fresh sweep and compares aggregate throughput at the
+/// baseline's best worker count against the stored sample.
+///
+/// Both sides are normalized by the calibration kernel (sub-plans per
+/// calibration unit rather than per wall-clock second), so a baseline
+/// recorded on one machine gates code regressions on a differently-fast
+/// CI runner. The *scaling ratio* is deliberately not gated: CI runners
+/// have few cores and would flake on it.
+pub fn check_against(path: &Path, threshold: f64, repeats: usize) -> std::io::Result<CheckReport> {
+    let history = read_history(path)?;
+    let baseline = history
+        .last()
+        .cloned()
+        .ok_or_else(|| err("empty baseline history"))?;
+    let fresh = measure("ci-check", baseline.scale, repeats);
+    let workers = baseline.best().workers;
+    let base_point = baseline
+        .point(workers)
+        .ok_or_else(|| err("baseline point"))?;
+    let fresh_point = fresh.point(workers).ok_or_else(|| err("fresh point"))?;
+    // Normalize: multiply throughput by the calibration time (seconds per
+    // fixed kernel) → sub-plans per kernel unit, machine-speed independent.
+    let base_norm = base_point.subplans_per_second * baseline.calibration_seconds.max(1e-12);
+    let fresh_norm = fresh_point.subplans_per_second * fresh.calibration_seconds.max(1e-12);
+    let speedup = fresh_norm / base_norm.max(1e-12);
+    Ok(CheckReport {
+        ok: speedup >= 1.0 / threshold,
+        baseline,
+        fresh,
+        workers,
+        speedup,
+    })
+}
+
+/// Renders one sample for terminal output.
+pub fn format_sample(s: &ThroughputSample) -> String {
+    let mut out = format!(
+        "{}: scale {}, k={}, {} cores, {} repeats",
+        s.label, s.scale, s.bins, s.cores, s.repeats
+    );
+    for p in &s.points {
+        out.push_str(&format!(
+            "\n  {} worker{}: {:>9.0} sub-plans/s ({:.0} req/s, p50 {:.0}µs, p95 {:.0}µs, \
+             p99 {:.0}µs, queue high-water {})",
+            p.workers,
+            if p.workers == 1 { " " } else { "s" },
+            p.subplans_per_second,
+            p.requests_per_second,
+            p.p50_latency_us,
+            p.p95_latency_us,
+            p.p99_latency_us,
+            p.queue_high_water,
+        ));
+    }
+    if let Some(ratio) = s.scaling(1, 4) {
+        out.push_str(&format!("\n  1 → 4 worker scaling: {ratio:.2}×"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_json_roundtrip() {
+        let s = ThroughputSample {
+            label: "t".into(),
+            scale: 0.1,
+            bins: 100,
+            cores: 8,
+            calibration_seconds: 0.01,
+            repeats: 100,
+            points: vec![
+                ThroughputPoint {
+                    workers: 1,
+                    requests: 800,
+                    subplans: 3000,
+                    seconds: 0.5,
+                    requests_per_second: 1600.0,
+                    subplans_per_second: 6000.0,
+                    p50_latency_us: 50.0,
+                    p95_latency_us: 120.0,
+                    p99_latency_us: 300.0,
+                    queue_high_water: 64,
+                },
+                ThroughputPoint {
+                    workers: 4,
+                    requests: 800,
+                    subplans: 3000,
+                    seconds: 0.13,
+                    requests_per_second: 6154.0,
+                    subplans_per_second: 23077.0,
+                    p50_latency_us: 45.0,
+                    p95_latency_us: 100.0,
+                    p99_latency_us: 250.0,
+                    queue_high_water: 64,
+                },
+            ],
+        };
+        let back = sample_from_json(&sample_to_json(&s)).unwrap();
+        assert_eq!(back.label, s.label);
+        assert_eq!(back.cores, 8);
+        assert_eq!(back.points.len(), 2);
+        assert_eq!(back.points[1].workers, 4);
+        assert!((back.points[1].subplans_per_second - 23077.0).abs() < 1e-9);
+        assert!((back.scaling(1, 4).unwrap() - 23077.0 / 6000.0).abs() < 1e-9);
+        assert_eq!(back.best().workers, 4);
+    }
+
+    #[test]
+    fn history_roundtrip_and_check() {
+        let dir = std::env::temp_dir().join("fj_throughput_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        std::fs::remove_file(&path).ok();
+        // Tiny real measurement keeps the flow honest end-to-end.
+        let s = measure("seed", 0.02, 2);
+        assert_eq!(s.points.len(), WORKER_SWEEP.len());
+        assert!(s.points.iter().all(|p| p.subplans_per_second > 0.0));
+        append_sample(&path, &s).unwrap();
+        let history = read_history(&path).unwrap();
+        assert_eq!(history.len(), 1);
+        // Same-machine re-measurement passes a generous threshold.
+        let report = check_against(&path, 25.0, 2).unwrap();
+        assert!(report.ok, "speedup {:.3} unexpectedly low", report.speedup);
+        std::fs::remove_file(&path).ok();
+    }
+}

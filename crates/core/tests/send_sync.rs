@@ -1,0 +1,51 @@
+//! Compile-time thread-safety contract of the serving path.
+//!
+//! `fj-service` shares one trained model across worker threads behind an
+//! `Arc`, which requires `FactorJoinModel` (and everything reachable from
+//! it) to be `Send + Sync`. These assertions fail to *compile* if a
+//! non-thread-safe field (an `Rc`, a `RefCell`, a non-`Send` trait object)
+//! sneaks into the model, instead of failing at the first concurrent use.
+//! `BaseTableEstimator` carries `Send + Sync` as supertraits for the same
+//! reason: the model stores estimators as boxed trait objects.
+
+use factorjoin::{
+    EstimationScratch, FactorJoinConfig, FactorJoinModel, KeyStats, SubplanEstimator,
+    TrainingReport,
+};
+use fj_stats::{
+    BaseTableEstimator, BayesNetEstimator, ExactEstimator, KeyBinMap, SamplingEstimator, TableBins,
+};
+use fj_storage::{Catalog, Table};
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_send<T: Send>() {}
+
+#[test]
+fn model_and_shared_state_are_send_sync() {
+    // The model and everything the registry/service shares by Arc.
+    assert_send_sync::<FactorJoinModel>();
+    assert_send_sync::<FactorJoinConfig>();
+    assert_send_sync::<TrainingReport>();
+    assert_send_sync::<Catalog>();
+    assert_send_sync::<Table>();
+    // Trained statistics the model is assembled from.
+    assert_send_sync::<KeyStats>();
+    assert_send_sync::<KeyBinMap>();
+    assert_send_sync::<TableBins>();
+    // Single-table estimators, concrete and boxed (the supertrait bounds
+    // are what make the trait-object field thread-safe).
+    assert_send_sync::<BayesNetEstimator>();
+    assert_send_sync::<SamplingEstimator>();
+    assert_send_sync::<ExactEstimator>();
+    assert_send_sync::<Box<dyn BaseTableEstimator>>();
+}
+
+#[test]
+fn per_worker_session_state_is_send() {
+    // Sessions move into worker threads (one per worker, never shared).
+    assert_send::<EstimationScratch>();
+    assert_send::<SubplanEstimator<'static>>();
+    // A session borrowing a shared model can also be handed between
+    // threads as a unit.
+    assert_send_sync::<SubplanEstimator<'static>>();
+}

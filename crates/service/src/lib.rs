@@ -1,0 +1,59 @@
+//! # fj-service — concurrent batched cardinality-estimation serving
+//!
+//! FactorJoin's operational split — heavy offline training, cheap online
+//! reads — only pays off when one trained model can answer many optimizer
+//! sessions at once. This crate turns the read-only
+//! [`factorjoin::FactorJoinModel`] into a multi-threaded service:
+//!
+//! ```text
+//!            train (offline)            swap_model (atomic)
+//!  Catalog ────────────────▶ FactorJoinModel ──▶ ModelRegistry
+//!                                                     │ Arc<Model> + epoch
+//!              submit / submit_batch                  ▼
+//!  clients ───────────────▶ BoundedQueue ───▶ worker pool (N threads,
+//!              Ticket ◀─────── replies ◀──── one EstimationScratch each)
+//! ```
+//!
+//! * [`EstimatorService`] owns the worker pool. Each worker holds one
+//!   long-lived [`factorjoin::EstimationScratch`], so serving inherits the
+//!   core's zero-allocation-per-sub-plan hot path.
+//! * Requests flow through a **bounded** MPMC queue ([`queue::BoundedQueue`]):
+//!   submission blocks once the queue is full, which is the service's
+//!   backpressure. Batched submission enqueues under one lock and shares
+//!   one reply channel.
+//! * [`ModelRegistry`] maps dataset names to `Arc`-shared immutable
+//!   models. [`ModelRegistry::swap_model`] atomically publishes a
+//!   retrained model without pausing readers; responses carry the serving
+//!   model's epoch so clients can tell which model answered.
+//! * [`StatsSnapshot`] reports throughput, p50/p95/p99 latency, and the
+//!   queue-depth high-water mark.
+//!
+//! Everything is built on `std` threads and channels — no async runtime.
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use fj_service::EstimatorService;
+//! use std::sync::Arc;
+//! # fn get_model() -> factorjoin::FactorJoinModel { unimplemented!() }
+//! # fn get_queries() -> Vec<fj_query::Query> { unimplemented!() }
+//! let model = Arc::new(get_model());
+//! let service = EstimatorService::serve("stats", model, 4);
+//! let responses = service.submit_batch(&get_queries()).wait_all();
+//! for r in responses.iter().flatten() {
+//!     println!("epoch {}: {} sub-plans", r.model_epoch, r.estimates.len());
+//! }
+//! println!("{}", service.stats());
+//! ```
+
+pub mod queue;
+pub mod registry;
+pub mod request;
+pub mod service;
+pub mod stats;
+mod worker;
+
+pub use registry::{ModelHandle, ModelRegistry};
+pub use request::{BatchTicket, EstimateRequest, EstimateResponse, ServiceError, Ticket};
+pub use service::{EstimatorService, ServiceConfig};
+pub use stats::StatsSnapshot;

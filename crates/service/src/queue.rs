@@ -1,0 +1,276 @@
+//! A bounded multi-producer/multi-consumer queue on std primitives.
+//!
+//! The build environment has no async runtime (and the registry is
+//! unreachable, so none can be added); the service therefore runs on
+//! `std::thread` with this hand-rolled `Mutex` + `Condvar` queue. Pushing
+//! into a full queue blocks the producer — bounded capacity is the service's
+//! backpressure: a client cannot outrun the worker pool by more than
+//! `capacity` requests. The queue also tracks its depth high-water mark,
+//! which the service reports as a load signal.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Error returned when pushing into a closed queue; carries the rejected
+/// items back to the caller.
+#[derive(Debug)]
+pub struct Closed<T>(pub Vec<T>);
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    high_water: usize,
+}
+
+/// Bounded blocking MPMC queue (see module docs).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                high_water: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocks until there is room, then enqueues `item`. Fails only when
+    /// the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), Closed<T>> {
+        self.push_many(vec![item])
+    }
+
+    /// Enqueues a batch under a single lock acquisition (the batched-submit
+    /// fast path), blocking for room as needed. Items already enqueued when
+    /// the queue closes mid-batch stay enqueued; the remainder comes back
+    /// in the error.
+    pub fn push_many(&self, items: Vec<T>) -> Result<(), Closed<T>> {
+        let mut pending = items.into_iter();
+        let mut next = pending.next();
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.closed {
+                return Err(Closed(next.into_iter().chain(pending).collect()));
+            }
+            while next.is_some() && state.items.len() < self.capacity {
+                state.items.push_back(next.take().expect("checked above"));
+                next = pending.next();
+            }
+            state.high_water = state.high_water.max(state.items.len());
+            if next.is_none() {
+                // Everything enqueued — never wait for room we don't need
+                // (even when the last item exactly filled the queue).
+                drop(state);
+                self.not_empty.notify_all();
+                return Ok(());
+            }
+            self.not_empty.notify_all();
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Blocks for the next item. Returns `None` once the queue is closed
+    /// *and* drained — consumers see every item pushed before `close`.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: further pushes fail, pops drain what remains.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deepest the queue has been since construction or the last
+    /// [`Self::reset_high_water`] (the service reports this as a
+    /// saturation signal: a high-water mark at capacity means producers
+    /// were blocked on backpressure).
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("queue lock").high_water
+    }
+
+    /// Restarts the high-water tracking window at the current depth (the
+    /// service resets it together with its other stats, so a saturated
+    /// warm-up cannot masquerade as backpressure in the measured window).
+    pub fn reset_high_water(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.high_water = state.items.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push_many(vec![2, 3]).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.high_water(), 3);
+    }
+
+    #[test]
+    fn high_water_resets_to_current_depth() {
+        let q = BoundedQueue::new(4);
+        q.push_many(vec![1, 2, 3]).unwrap();
+        q.pop();
+        q.pop();
+        assert_eq!(q.high_water(), 3);
+        q.reset_high_water();
+        assert_eq!(q.high_water(), 1, "window restarts at the current depth");
+        q.push(4).unwrap();
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn exactly_filling_push_returns_without_waiting() {
+        // Regression: a batch whose last item lands the queue exactly at
+        // capacity must return, not wait for room it does not need.
+        let q = BoundedQueue::new(2);
+        q.push_many(vec![1, 2]).unwrap();
+        assert_eq!(q.len(), 2);
+        let q1 = BoundedQueue::new(1);
+        q1.push(7).unwrap();
+        assert_eq!(q1.pop(), Some(7));
+    }
+
+    #[test]
+    fn close_drains_then_none() {
+        let q = BoundedQueue::new(4);
+        q.push_many(vec![1, 2]).unwrap();
+        q.close();
+        assert!(matches!(q.push(3), Err(Closed(items)) if items == vec![3]));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed queue stays closed");
+    }
+
+    #[test]
+    fn bounded_push_blocks_until_pop() {
+        let q = Arc::new(BoundedQueue::new(2));
+        q.push_many(vec![1, 2]).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(3).is_ok())
+        };
+        // The producer is blocked on a full queue; popping frees a slot.
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn oversized_batch_streams_through() {
+        let q = Arc::new(BoundedQueue::new(3));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        q.push_many((0..100).collect()).unwrap();
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut sum = 0u64;
+                    let mut count = 0u64;
+                    while let Some(v) = q.pop() {
+                        sum += v;
+                        count += 1;
+                    }
+                    (sum, count)
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..250u64 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let (mut sum, mut count) = (0, 0);
+        for c in consumers {
+            let (s, n) = c.join().unwrap();
+            sum += s;
+            count += n;
+        }
+        assert_eq!(count, 1000);
+        let expected: u64 = (0..4)
+            .flat_map(|p| (0..250).map(move |i| p * 1000 + i))
+            .sum();
+        assert_eq!(sum, expected);
+    }
+}

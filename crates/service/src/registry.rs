@@ -1,0 +1,247 @@
+//! The model registry: named, hot-swappable, `Arc`-shared trained models.
+//!
+//! FactorJoin's split between heavy offline training and cheap online
+//! reads means one trained [`FactorJoinModel`] can serve an optimizer
+//! fleet. The registry holds one immutable model per dataset behind an
+//! `Arc`; readers clone the `Arc` (a refcount bump) and never block each
+//! other. Publishing a retrained model ([`ModelRegistry::swap_model`]) is
+//! atomic with respect to readers: a request is served either entirely by
+//! the old model or entirely by the new one — epochs on the handle let
+//! clients tell which.
+
+use factorjoin::FactorJoinModel;
+use fj_storage::Catalog;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A resolved model: the shared model plus the epoch it was published at.
+#[derive(Clone)]
+pub struct ModelHandle {
+    /// The trained model (immutable after training; shared by refcount).
+    pub model: Arc<FactorJoinModel>,
+    /// Monotonically increasing publication epoch, unique across datasets.
+    pub epoch: u64,
+}
+
+struct Entry {
+    model: Arc<FactorJoinModel>,
+    catalog: Option<Arc<Catalog>>,
+    epoch: u64,
+}
+
+/// Named model store with atomic hot-swap (see module docs).
+#[derive(Default)]
+pub struct ModelRegistry {
+    entries: RwLock<HashMap<String, Entry>>,
+    next_epoch: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh_epoch(&self) -> u64 {
+        self.next_epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Publishes `model` under `dataset`, replacing any previous model.
+    /// Returns the publication epoch.
+    pub fn publish(&self, dataset: &str, model: Arc<FactorJoinModel>) -> u64 {
+        self.publish_entry(dataset, model, None)
+    }
+
+    /// [`Self::publish`] keeping the training catalog alongside the model,
+    /// for offline paths that retrain or incrementally update (the model
+    /// itself never needs the catalog to serve estimates).
+    pub fn publish_with_catalog(
+        &self,
+        dataset: &str,
+        model: Arc<FactorJoinModel>,
+        catalog: Arc<Catalog>,
+    ) -> u64 {
+        self.publish_entry(dataset, model, Some(catalog))
+    }
+
+    fn publish_entry(
+        &self,
+        dataset: &str,
+        model: Arc<FactorJoinModel>,
+        catalog: Option<Arc<Catalog>>,
+    ) -> u64 {
+        let mut entries = self.entries.write().expect("registry lock");
+        // Allocate the epoch under the write lock so install order matches
+        // epoch order: concurrent publishers cannot install a lower epoch
+        // after a higher one.
+        let epoch = self.fresh_epoch();
+        let slot = entries.entry(dataset.to_string());
+        match slot {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let prev_catalog = e.get().catalog.clone();
+                e.insert(Entry {
+                    model,
+                    catalog: catalog.or(prev_catalog),
+                    epoch,
+                });
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Entry {
+                    model,
+                    catalog,
+                    epoch,
+                });
+            }
+        }
+        epoch
+    }
+
+    /// Atomically replaces the model of an existing dataset — the hot-swap
+    /// path for offline retraining (see `examples/incremental_update.rs`
+    /// for producing the retrained model). Returns the replaced model, or
+    /// `None` (publishing nothing) if the dataset is unknown; readers in
+    /// flight keep the old `Arc` alive until they finish.
+    pub fn swap_model(
+        &self,
+        dataset: &str,
+        model: Arc<FactorJoinModel>,
+    ) -> Option<Arc<FactorJoinModel>> {
+        let mut entries = self.entries.write().expect("registry lock");
+        let entry = entries.get_mut(dataset)?;
+        // Under the write lock, like publish_entry: install order must
+        // match epoch order or clients comparing epochs would mistake a
+        // superseded model for the newest one.
+        entry.epoch = self.fresh_epoch();
+        Some(std::mem::replace(&mut entry.model, model))
+    }
+
+    /// Resolves `dataset` to its current model and epoch.
+    pub fn get(&self, dataset: &str) -> Option<ModelHandle> {
+        let entries = self.entries.read().expect("registry lock");
+        entries.get(dataset).map(|e| ModelHandle {
+            model: Arc::clone(&e.model),
+            epoch: e.epoch,
+        })
+    }
+
+    /// The catalog published alongside `dataset`, if any.
+    pub fn catalog(&self, dataset: &str) -> Option<Arc<Catalog>> {
+        let entries = self.entries.read().expect("registry lock");
+        entries.get(dataset).and_then(|e| e.catalog.clone())
+    }
+
+    /// Registered dataset names, sorted.
+    pub fn datasets(&self) -> Vec<String> {
+        let entries = self.entries.read().expect("registry lock");
+        let mut names: Vec<String> = entries.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("registry lock").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use factorjoin::{BaseEstimatorKind, BinBudget, FactorJoinConfig, FactorJoinModel};
+    use fj_datagen::{stats_catalog, StatsConfig};
+
+    fn tiny_model(k: usize) -> (Arc<FactorJoinModel>, Catalog) {
+        let cat = stats_catalog(&StatsConfig {
+            scale: 0.02,
+            ..Default::default()
+        });
+        let model = FactorJoinModel::train(
+            &cat,
+            FactorJoinConfig {
+                bin_budget: BinBudget::Uniform(k),
+                estimator: BaseEstimatorKind::TrueScan,
+                ..Default::default()
+            },
+        );
+        (Arc::new(model), cat)
+    }
+
+    #[test]
+    fn publish_get_swap_epochs() {
+        let (m1, cat) = tiny_model(5);
+        let (m2, _) = tiny_model(10);
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        assert!(reg.get("stats").is_none());
+
+        let e1 = reg.publish_with_catalog("stats", Arc::clone(&m1), Arc::new(cat));
+        let h1 = reg.get("stats").unwrap();
+        assert_eq!(h1.epoch, e1);
+        assert!(Arc::ptr_eq(&h1.model, &m1));
+        assert!(reg.catalog("stats").is_some());
+
+        let old = reg.swap_model("stats", Arc::clone(&m2)).unwrap();
+        assert!(Arc::ptr_eq(&old, &m1));
+        let h2 = reg.get("stats").unwrap();
+        assert!(h2.epoch > e1, "swap advances the epoch");
+        assert!(Arc::ptr_eq(&h2.model, &m2));
+        // Swap keeps the catalog of the original publication.
+        assert!(reg.catalog("stats").is_some());
+
+        assert!(reg.swap_model("unknown", m2).is_none());
+        assert_eq!(reg.datasets(), vec!["stats".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_swaps_install_in_epoch_order() {
+        // Regression: epochs are allocated under the registry write lock,
+        // so the last-installed model must carry the highest epoch handed
+        // out — racing publishers can never leave a stale model looking
+        // newer than the winner.
+        let (m, _) = tiny_model(5);
+        let reg = Arc::new(ModelRegistry::new());
+        reg.publish("stats", Arc::clone(&m));
+        let swappers: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    (0..50)
+                        .map(|_| {
+                            reg.swap_model("stats", Arc::clone(&m)).expect("registered");
+                            reg.get("stats").expect("registered").epoch
+                        })
+                        .max()
+                        .expect("swapped at least once")
+                })
+            })
+            .collect();
+        let max_seen = swappers
+            .into_iter()
+            .map(|h| h.join().expect("swapper"))
+            .max()
+            .expect("non-empty");
+        assert_eq!(
+            reg.get("stats").expect("registered").epoch,
+            max_seen,
+            "final model must carry the highest installed epoch"
+        );
+    }
+
+    #[test]
+    fn epochs_unique_across_datasets() {
+        let (m, _) = tiny_model(5);
+        let reg = ModelRegistry::new();
+        let e1 = reg.publish("a", Arc::clone(&m));
+        let e2 = reg.publish("b", Arc::clone(&m));
+        let e3 = reg.publish("a", m); // re-publish replaces
+        assert!(e1 < e2 && e2 < e3);
+        assert_eq!(reg.len(), 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Request/response types and completion tickets.
+
+use fj_query::{Query, SubplanMask};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// One estimation request: a query plus how it should be served.
+#[derive(Debug, Clone)]
+pub struct EstimateRequest {
+    /// Registry dataset to serve from; `None` uses the service default.
+    pub dataset: Option<String>,
+    /// The join query to estimate.
+    pub query: Query,
+    /// Minimum sub-plan size to report (1 = include single tables), as in
+    /// [`factorjoin::FactorJoinModel::estimate_subplans`].
+    pub min_size: u32,
+}
+
+impl EstimateRequest {
+    /// A request for every connected sub-plan of `query` on the service's
+    /// default dataset.
+    pub fn new(query: Query) -> Self {
+        EstimateRequest {
+            dataset: None,
+            query,
+            min_size: 1,
+        }
+    }
+
+    /// Targets a specific registry dataset.
+    pub fn on_dataset(mut self, dataset: &str) -> Self {
+        self.dataset = Some(dataset.to_string());
+        self
+    }
+
+    /// Restricts the response to sub-plans with at least `min_size` aliases.
+    pub fn with_min_size(mut self, min_size: u32) -> Self {
+        self.min_size = min_size;
+        self
+    }
+}
+
+/// A served estimation result.
+#[derive(Debug, Clone)]
+pub struct EstimateResponse {
+    /// Every connected sub-plan's probabilistic cardinality bound, in the
+    /// same deterministic order `estimate_subplans` produces.
+    pub estimates: Vec<(SubplanMask, f64)>,
+    /// Dataset the request was served from.
+    pub dataset: String,
+    /// Epoch of the model that served the request (see
+    /// [`crate::ModelRegistry`]); lets clients detect hot-swaps.
+    pub model_epoch: u64,
+    /// Id of the worker thread that served the request.
+    pub worker: usize,
+    /// Time the request spent queued before a worker picked it up.
+    pub queue_wait: Duration,
+    /// Time the worker spent estimating.
+    pub estimate_time: Duration,
+}
+
+impl EstimateResponse {
+    /// End-to-end latency: queue wait plus estimation time.
+    pub fn latency(&self) -> Duration {
+        self.queue_wait + self.estimate_time
+    }
+}
+
+/// Why a request could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request named a dataset the registry does not hold.
+    UnknownDataset(String),
+    /// The service shut down before the request was served.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
+            ServiceError::Shutdown => write!(f, "service shut down before serving the request"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+pub(crate) type Reply = (usize, Result<EstimateResponse, ServiceError>);
+
+/// Completion handle for a single submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) rx: mpsc::Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Result<EstimateResponse, ServiceError> {
+        match self.rx.recv() {
+            Ok((_, result)) => result,
+            Err(_) => Err(ServiceError::Shutdown),
+        }
+    }
+}
+
+/// Completion handle for a submitted batch. All requests of the batch share
+/// one reply channel, so a large batch costs one channel, not N.
+#[derive(Debug)]
+pub struct BatchTicket {
+    pub(crate) rx: mpsc::Receiver<Reply>,
+    pub(crate) expected: usize,
+}
+
+impl BatchTicket {
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.expected
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.expected == 0
+    }
+
+    /// Blocks until every response of the batch has arrived; results are
+    /// returned in submission order regardless of completion order. A
+    /// request lost to shutdown reports [`ServiceError::Shutdown`] in its
+    /// slot.
+    pub fn wait_all(self) -> Vec<Result<EstimateResponse, ServiceError>> {
+        let mut out: Vec<Result<EstimateResponse, ServiceError>> = (0..self.expected)
+            .map(|_| Err(ServiceError::Shutdown))
+            .collect();
+        let mut received = 0usize;
+        while received < self.expected {
+            match self.rx.recv() {
+                Ok((index, result)) => {
+                    out[index] = result;
+                    received += 1;
+                }
+                Err(_) => break, // all workers gone; remaining slots stay Shutdown
+            }
+        }
+        out
+    }
+}

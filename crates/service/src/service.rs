@@ -1,0 +1,272 @@
+//! The estimator service: a worker pool over a bounded request queue.
+
+use crate::queue::BoundedQueue;
+use crate::registry::ModelRegistry;
+use crate::request::{BatchTicket, EstimateRequest, Reply, Ticket};
+use crate::stats::{StatsInner, StatsSnapshot};
+use crate::worker::{spawn_workers, Job};
+use factorjoin::FactorJoinModel;
+use fj_query::Query;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads, each holding a long-lived estimation scratch.
+    pub workers: usize,
+    /// Bounded request-queue capacity — the backpressure limit: submits
+    /// block once this many requests are in flight but unclaimed.
+    pub queue_capacity: usize,
+    /// Dataset served when a request does not name one.
+    pub default_dataset: String,
+}
+
+impl ServiceConfig {
+    /// A config serving `default_dataset` with `workers` threads and a
+    /// 1024-deep queue.
+    pub fn new(default_dataset: &str, workers: usize) -> Self {
+        ServiceConfig {
+            workers,
+            queue_capacity: 1024,
+            default_dataset: default_dataset.to_string(),
+        }
+    }
+
+    /// Overrides the queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+}
+
+/// A running, concurrent cardinality-estimation service (see crate docs).
+///
+/// Dropping the service shuts it down: the queue closes, workers drain
+/// every already-submitted request (their tickets still resolve), then the
+/// worker threads are joined.
+pub struct EstimatorService {
+    queue: Arc<BoundedQueue<Job>>,
+    registry: Arc<ModelRegistry>,
+    stats: Arc<StatsInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EstimatorService {
+    /// Starts the worker pool against an existing (shareable) registry.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServiceConfig) -> Self {
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let stats = Arc::new(StatsInner::new());
+        let workers = spawn_workers(
+            config.workers,
+            config.default_dataset,
+            Arc::clone(&queue),
+            Arc::clone(&registry),
+            Arc::clone(&stats),
+        );
+        EstimatorService {
+            queue,
+            registry,
+            stats,
+            workers,
+        }
+    }
+
+    /// Convenience: a fresh registry holding one model, served by
+    /// `workers` threads.
+    pub fn serve(dataset: &str, model: Arc<FactorJoinModel>, workers: usize) -> Self {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(dataset, model);
+        Self::start(registry, ServiceConfig::new(dataset, workers))
+    }
+
+    /// Submits one query against the default dataset (every connected
+    /// sub-plan). Blocks only when the queue is at capacity.
+    pub fn submit(&self, query: Query) -> Ticket {
+        self.submit_request(EstimateRequest::new(query))
+    }
+
+    /// Submits one request.
+    pub fn submit_request(&self, request: EstimateRequest) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            index: 0,
+            request,
+            submitted: Instant::now(),
+            reply: tx,
+        };
+        // A closed queue drops the job (and its reply sender) here, which
+        // surfaces to the caller as ServiceError::Shutdown on wait().
+        let _ = self.queue.push(job);
+        Ticket { rx }
+    }
+
+    /// Submits a batch of queries against the default dataset. The whole
+    /// batch shares one reply channel and is enqueued under one queue lock
+    /// acquisition, so batched submission stays cheap at high request
+    /// rates.
+    pub fn submit_batch(&self, queries: &[Query]) -> BatchTicket {
+        self.submit_requests(queries.iter().cloned().map(EstimateRequest::new).collect())
+    }
+
+    /// [`Self::submit_batch`] with per-request control.
+    pub fn submit_requests(&self, requests: Vec<EstimateRequest>) -> BatchTicket {
+        let (tx, rx) = mpsc::channel::<Reply>();
+        let expected = requests.len();
+        let submitted = Instant::now();
+        let jobs: Vec<Job> = requests
+            .into_iter()
+            .enumerate()
+            .map(|(index, request)| Job {
+                index,
+                request,
+                submitted,
+                reply: tx.clone(),
+            })
+            .collect();
+        let _ = self.queue.push_many(jobs);
+        BatchTicket { rx, expected }
+    }
+
+    /// The shared registry (publish/swap models through this).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Service statistics since start (or the last [`Self::reset_stats`]).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats
+            .snapshot(self.queue.len(), self.queue.high_water())
+    }
+
+    /// Clears counters/latencies, restarts the measurement window, and
+    /// resets the queue high-water mark (between benchmark warm-up and the
+    /// timed run).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+        self.queue.reset_high_water();
+    }
+
+    /// Shuts down: rejects new submits, serves everything already queued,
+    /// joins the workers. (`Drop` does the same; this form is explicit.)
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for EstimatorService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ServiceError;
+    use factorjoin::{BaseEstimatorKind, BinBudget, FactorJoinConfig};
+    use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
+
+    fn tiny_setup() -> (Arc<FactorJoinModel>, Vec<Query>) {
+        let cat = stats_catalog(&StatsConfig {
+            scale: 0.02,
+            ..Default::default()
+        });
+        let model = FactorJoinModel::train(
+            &cat,
+            FactorJoinConfig {
+                bin_budget: BinBudget::Uniform(10),
+                estimator: BaseEstimatorKind::TrueScan,
+                ..Default::default()
+            },
+        );
+        let wl = stats_ceb_workload(&cat, &WorkloadConfig::tiny(3));
+        (Arc::new(model), wl)
+    }
+
+    #[test]
+    fn serves_single_and_batch() {
+        let (model, wl) = tiny_setup();
+        let expected: Vec<_> = wl.iter().map(|q| model.estimate_subplans(q, 1)).collect();
+        let service = EstimatorService::serve("stats", Arc::clone(&model), 2);
+
+        let got = service.submit(wl[0].clone()).wait().unwrap();
+        assert_eq!(got.estimates, expected[0]);
+        assert_eq!(got.dataset, "stats");
+        assert!(got.worker < 2);
+
+        let batch = service.submit_batch(&wl).wait_all();
+        assert_eq!(batch.len(), wl.len());
+        for (resp, exp) in batch.iter().zip(&expected) {
+            assert_eq!(resp.as_ref().unwrap().estimates, *exp);
+        }
+        let snap = service.stats();
+        assert_eq!(snap.requests as usize, wl.len() + 1);
+        assert!(snap.subplans > 0);
+        assert_eq!(snap.errors, 0);
+    }
+
+    #[test]
+    fn unknown_dataset_errors() {
+        let (model, wl) = tiny_setup();
+        let service = EstimatorService::serve("stats", model, 1);
+        let err = service
+            .submit_request(EstimateRequest::new(wl[0].clone()).on_dataset("nope"))
+            .wait()
+            .unwrap_err();
+        assert_eq!(err, ServiceError::UnknownDataset("nope".into()));
+        assert_eq!(service.stats().errors, 1);
+    }
+
+    #[test]
+    fn min_size_filters_subplans() {
+        let (model, wl) = tiny_setup();
+        let service = EstimatorService::serve("stats", Arc::clone(&model), 1);
+        let resp = service
+            .submit_request(EstimateRequest::new(wl[0].clone()).with_min_size(2))
+            .wait()
+            .unwrap();
+        assert_eq!(resp.estimates, model.estimate_subplans(&wl[0], 2));
+        assert!(resp.estimates.iter().all(|(m, _)| m.count_ones() >= 2));
+    }
+
+    #[test]
+    fn shutdown_serves_queued_then_rejects() {
+        let (model, wl) = tiny_setup();
+        let service = EstimatorService::serve("stats", Arc::clone(&model), 1);
+        let ticket = service.submit(wl[0].clone());
+        service.shutdown();
+        // Submitted before shutdown → still served.
+        assert!(ticket.wait().is_ok());
+        // (The service is consumed by shutdown; nothing further to submit.)
+    }
+
+    #[test]
+    fn ticket_after_drop_reports_shutdown() {
+        let (model, wl) = tiny_setup();
+        let expected = model.estimate_subplans(&wl[0], 1);
+        let ticket;
+        {
+            let service = EstimatorService::serve("stats", Arc::clone(&model), 1);
+            ticket = service.submit(wl[0].clone());
+            // Drop closes the queue but drains queued work first.
+        }
+        match ticket.wait() {
+            Ok(resp) => assert_eq!(resp.estimates, expected),
+            Err(e) => panic!("queued request should have been drained: {e}"),
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Service-level statistics: throughput, latency percentiles, saturation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shared counters the workers update as they serve (internal; read
+/// through [`crate::EstimatorService::stats`]).
+pub(crate) struct StatsInner {
+    requests: AtomicU64,
+    subplans: AtomicU64,
+    errors: AtomicU64,
+    /// Completed-request latencies (queue wait + estimation) in
+    /// microseconds. Bench runs at ~10⁵ requests keep this at a few MB;
+    /// `reset` reclaims it between measurement windows.
+    latencies_us: Mutex<Vec<u64>>,
+    window_start: Mutex<Instant>,
+}
+
+impl StatsInner {
+    pub(crate) fn new() -> Self {
+        StatsInner {
+            requests: AtomicU64::new(0),
+            subplans: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+            window_start: Mutex::new(Instant::now()),
+        }
+    }
+
+    pub(crate) fn record_success(&self, subplans: usize, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.subplans.fetch_add(subplans as u64, Ordering::Relaxed);
+        self.latencies_us
+            .lock()
+            .expect("stats lock")
+            .push(latency.as_micros() as u64);
+    }
+
+    pub(crate) fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Clears all counters and restarts the measurement window (used
+    /// between benchmark warm-up and the timed run).
+    pub(crate) fn reset(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.subplans.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+        self.latencies_us.lock().expect("stats lock").clear();
+        *self.window_start.lock().expect("stats lock") = Instant::now();
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize, queue_high_water: usize) -> StatsSnapshot {
+        let mut lat = self.latencies_us.lock().expect("stats lock").clone();
+        lat.sort_unstable();
+        let pct = |p: f64| -> Duration {
+            if lat.is_empty() {
+                return Duration::ZERO;
+            }
+            let pos = (p / 100.0) * (lat.len() - 1) as f64;
+            let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+            let us = if lo == hi {
+                lat[lo] as f64
+            } else {
+                lat[lo] as f64 + (lat[hi] as f64 - lat[lo] as f64) * (pos - lo as f64)
+            };
+            Duration::from_nanos((us * 1e3) as u64)
+        };
+        let elapsed = self.window_start.lock().expect("stats lock").elapsed();
+        let requests = self.requests.load(Ordering::Relaxed);
+        let subplans = self.subplans.load(Ordering::Relaxed);
+        let secs = elapsed.as_secs_f64().max(1e-12);
+        StatsSnapshot {
+            requests,
+            subplans,
+            errors: self.errors.load(Ordering::Relaxed),
+            requests_per_second: requests as f64 / secs,
+            subplans_per_second: subplans as f64 / secs,
+            p50_latency: pct(50.0),
+            p95_latency: pct(95.0),
+            p99_latency: pct(99.0),
+            queue_depth,
+            queue_high_water,
+            window: elapsed,
+        }
+    }
+}
+
+/// A point-in-time view of service health since the last reset.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Requests served successfully.
+    pub requests: u64,
+    /// Sub-plan estimates produced across those requests.
+    pub subplans: u64,
+    /// Requests that failed (unknown dataset).
+    pub errors: u64,
+    /// Aggregate served requests per second over the window.
+    pub requests_per_second: f64,
+    /// Aggregate sub-plan estimates per second over the window — the
+    /// throughput number the paper's serving story cares about.
+    pub subplans_per_second: f64,
+    /// Median end-to-end request latency (queue wait + estimation).
+    pub p50_latency: Duration,
+    /// 95th-percentile latency.
+    pub p95_latency: Duration,
+    /// 99th-percentile latency.
+    pub p99_latency: Duration,
+    /// Requests queued right now.
+    pub queue_depth: usize,
+    /// Deepest the request queue has been (capacity hit = producers were
+    /// backpressured).
+    pub queue_high_water: usize,
+    /// Length of the measurement window.
+    pub window: Duration,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} req ({} sub-plans, {} errors) in {:.2}s — {:.0} req/s, {:.0} sub-plans/s; \
+             latency p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs; queue depth {} (high-water {})",
+            self.requests,
+            self.subplans,
+            self.errors,
+            self.window.as_secs_f64(),
+            self.requests_per_second,
+            self.subplans_per_second,
+            self.p50_latency.as_secs_f64() * 1e6,
+            self.p95_latency.as_secs_f64() * 1e6,
+            self.p99_latency.as_secs_f64() * 1e6,
+            self.queue_depth,
+            self.queue_high_water,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_ordered_and_reset_clears() {
+        let s = StatsInner::new();
+        for us in [100u64, 200, 300, 400, 1000] {
+            s.record_success(3, Duration::from_micros(us));
+        }
+        s.record_error();
+        let snap = s.snapshot(2, 7);
+        assert_eq!(snap.requests, 5);
+        assert_eq!(snap.subplans, 15);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.queue_high_water, 7);
+        assert!(snap.p50_latency <= snap.p95_latency);
+        assert!(snap.p95_latency <= snap.p99_latency);
+        assert_eq!(snap.p50_latency, Duration::from_micros(300));
+        assert!(snap.subplans_per_second > 0.0);
+        let text = snap.to_string();
+        assert!(text.contains("sub-plans/s"), "{text}");
+
+        s.reset();
+        let snap = s.snapshot(0, 7);
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.p99_latency, Duration::ZERO);
+    }
+}

@@ -1,0 +1,91 @@
+//! Worker threads: each owns a long-lived estimation scratch and serves
+//! requests from the shared queue.
+
+use crate::queue::BoundedQueue;
+use crate::registry::ModelRegistry;
+use crate::request::{EstimateRequest, EstimateResponse, Reply, ServiceError};
+use crate::stats::StatsInner;
+use factorjoin::EstimationScratch;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A queued unit of work: the request plus its reply route.
+pub(crate) struct Job {
+    /// Index within the submitting batch (0 for single submits).
+    pub index: usize,
+    pub request: EstimateRequest,
+    pub submitted: Instant,
+    pub reply: mpsc::Sender<Reply>,
+}
+
+/// Spawns `count` workers draining `queue` until it is closed.
+///
+/// Each worker holds one [`EstimationScratch`] for its whole life — the
+/// scratch-reuse contract of `SubplanEstimator` carried across requests
+/// *and* across hot-swapped models (the scratch holds only buffers; every
+/// request rebuilds its factors from the model it resolved, so reusing it
+/// under a different model is sound). Model resolution happens per request
+/// through the registry, which is what makes hot-swap atomic: a request is
+/// served entirely by whichever model the registry held when the worker
+/// picked it up.
+pub(crate) fn spawn_workers(
+    count: usize,
+    default_dataset: String,
+    queue: Arc<BoundedQueue<Job>>,
+    registry: Arc<ModelRegistry>,
+    stats: Arc<StatsInner>,
+) -> Vec<JoinHandle<()>> {
+    (0..count.max(1))
+        .map(|worker_id| {
+            let queue = Arc::clone(&queue);
+            let registry = Arc::clone(&registry);
+            let stats = Arc::clone(&stats);
+            let default_dataset = default_dataset.clone();
+            std::thread::Builder::new()
+                .name(format!("fj-worker-{worker_id}"))
+                .spawn(move || worker_loop(worker_id, &default_dataset, &queue, &registry, &stats))
+                .expect("spawn worker thread")
+        })
+        .collect()
+}
+
+fn worker_loop(
+    worker_id: usize,
+    default_dataset: &str,
+    queue: &BoundedQueue<Job>,
+    registry: &ModelRegistry,
+    stats: &StatsInner,
+) {
+    let mut scratch = EstimationScratch::default();
+    while let Some(job) = queue.pop() {
+        let picked_up = Instant::now();
+        let dataset = job.request.dataset.as_deref().unwrap_or(default_dataset);
+        let result = match registry.get(dataset) {
+            None => {
+                stats.record_error();
+                Err(ServiceError::UnknownDataset(dataset.to_string()))
+            }
+            Some(handle) => {
+                let estimates = handle.model.estimate_subplans_with(
+                    &mut scratch,
+                    &job.request.query,
+                    job.request.min_size,
+                );
+                let response = EstimateResponse {
+                    dataset: dataset.to_string(),
+                    model_epoch: handle.epoch,
+                    worker: worker_id,
+                    queue_wait: picked_up.duration_since(job.submitted),
+                    estimate_time: picked_up.elapsed(),
+                    estimates,
+                };
+                stats.record_success(response.estimates.len(), response.latency());
+                Ok(response)
+            }
+        };
+        // A dropped ticket just means the client stopped waiting.
+        let _ = job.reply.send((job.index, result));
+    }
+}

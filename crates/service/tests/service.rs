@@ -1,0 +1,258 @@
+//! Integration suite for the estimation service: concurrent correctness,
+//! hot-swap under load, and persist → load → serve.
+
+use factorjoin::{
+    load_model, save_model, BaseEstimatorKind, BinBudget, FactorJoinConfig, FactorJoinModel,
+};
+use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
+use fj_query::Query;
+use fj_service::{EstimatorService, ModelRegistry, ServiceConfig};
+use fj_storage::Catalog;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn tiny_catalog() -> Catalog {
+    stats_catalog(&StatsConfig {
+        scale: 0.03,
+        ..Default::default()
+    })
+}
+
+fn train(catalog: &Catalog, k: usize) -> FactorJoinModel {
+    FactorJoinModel::train(
+        catalog,
+        FactorJoinConfig {
+            bin_budget: BinBudget::Uniform(k),
+            estimator: BaseEstimatorKind::TrueScan,
+            ..Default::default()
+        },
+    )
+}
+
+fn workload(catalog: &Catalog, seed: u64) -> Vec<Query> {
+    stats_ceb_workload(catalog, &WorkloadConfig::tiny(seed))
+}
+
+/// Bit-exact expected estimates per query, computed on the calling thread
+/// through the same public entry point the workers use.
+fn expected_bits(model: &FactorJoinModel, queries: &[Query]) -> Vec<Vec<(u64, u64)>> {
+    queries
+        .iter()
+        .map(|q| {
+            model
+                .estimate_subplans(q, 1)
+                .into_iter()
+                .map(|(m, e)| (m, e.to_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+fn to_bits(estimates: &[(u64, f64)]) -> Vec<(u64, u64)> {
+    estimates.iter().map(|&(m, e)| (m, e.to_bits())).collect()
+}
+
+/// N client threads hammering the pool concurrently must get estimates
+/// that are bit-identical to the single-threaded `estimate_subplans` path
+/// — the concurrent-correctness contract of the acceptance criteria.
+#[test]
+fn concurrent_estimates_bit_identical_to_single_threaded() {
+    let catalog = tiny_catalog();
+    let model = Arc::new(train(&catalog, 25));
+    let queries = workload(&catalog, 11);
+    let expected = Arc::new(expected_bits(&model, &queries));
+    let queries = Arc::new(queries);
+
+    let service = Arc::new(EstimatorService::serve("stats", Arc::clone(&model), 4));
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            let queries = Arc::clone(&queries);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                // Interleave single submits and batches, repeated passes.
+                for pass in 0..5 {
+                    if (c + pass) % 2 == 0 {
+                        for (qi, q) in queries.iter().enumerate() {
+                            let resp = service.submit(q.clone()).wait().expect("served");
+                            assert_eq!(
+                                to_bits(&resp.estimates),
+                                expected[qi],
+                                "client {c} pass {pass} query {qi}"
+                            );
+                        }
+                    } else {
+                        let responses = service.submit_batch(&queries).wait_all();
+                        for (qi, resp) in responses.into_iter().enumerate() {
+                            let resp = resp.expect("served");
+                            assert_eq!(
+                                to_bits(&resp.estimates),
+                                expected[qi],
+                                "client {c} pass {pass} query {qi} (batch)"
+                            );
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let snap = service.stats();
+    let per_client = 5 * queries.len() as u64;
+    assert_eq!(snap.requests, 4 * per_client);
+    assert_eq!(snap.errors, 0);
+    assert!(snap.p50_latency <= snap.p99_latency);
+}
+
+/// Hot-swapping models while clients hammer the service never panics and
+/// never mixes models: every response is bit-identical to one of the two
+/// models' outputs, and the response's epoch says which one.
+#[test]
+fn hot_swap_under_load_never_mixes_models() {
+    let catalog = tiny_catalog();
+    let model_a = Arc::new(train(&catalog, 20));
+    let model_b = Arc::new(train(&catalog, 40));
+    let queries = Arc::new(workload(&catalog, 13));
+    let expected_a = Arc::new(expected_bits(&model_a, &queries));
+    let expected_b = Arc::new(expected_bits(&model_b, &queries));
+
+    let registry = Arc::new(ModelRegistry::new());
+    let epoch_a = registry.publish("stats", Arc::clone(&model_a));
+    let service = Arc::new(EstimatorService::start(
+        Arc::clone(&registry),
+        ServiceConfig::new("stats", 3),
+    ));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let swapped_epochs = {
+        // Swapper: flip between the two models while clients run.
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        let (a, b) = (Arc::clone(&model_a), Arc::clone(&model_b));
+        std::thread::spawn(move || {
+            let mut epochs = vec![];
+            let mut to_b = true;
+            while !stop.load(Ordering::Relaxed) {
+                let next = if to_b { Arc::clone(&b) } else { Arc::clone(&a) };
+                assert!(registry.swap_model("stats", next).is_some());
+                epochs.push(registry.get("stats").expect("registered").epoch);
+                to_b = !to_b;
+                std::thread::yield_now();
+            }
+            epochs
+        })
+    };
+
+    let clients: Vec<_> = (0..3)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            let queries = Arc::clone(&queries);
+            let (ea, eb) = (Arc::clone(&expected_a), Arc::clone(&expected_b));
+            std::thread::spawn(move || {
+                for pass in 0..6 {
+                    let responses = service.submit_batch(&queries).wait_all();
+                    for (qi, resp) in responses.into_iter().enumerate() {
+                        let resp = resp.expect("served during swap");
+                        let bits = to_bits(&resp.estimates);
+                        let matches_a = bits == ea[qi];
+                        let matches_b = bits == eb[qi];
+                        assert!(
+                            matches_a || matches_b,
+                            "client {c} pass {pass} query {qi}: \
+                             response matches neither model (epoch {})",
+                            resp.model_epoch
+                        );
+                        // Epoch parity identifies the model: A was published
+                        // first, then swaps alternate B, A, B, … so any
+                        // response claiming A's lineage must match A, etc.
+                        // (A and B may coincide on some query; only assert
+                        // when they differ.)
+                        if matches_a != matches_b {
+                            assert_eq!(
+                                (resp.model_epoch - epoch_a).is_multiple_of(2),
+                                matches_a,
+                                "client {c} pass {pass} query {qi}: \
+                                 epoch {} does not match the model that answered",
+                                resp.model_epoch
+                            );
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread survived hot-swapping");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let epochs = swapped_epochs.join().expect("swapper thread");
+    assert!(!epochs.is_empty(), "at least one swap happened under load");
+    assert!(epochs.windows(2).all(|w| w[0] < w[1]), "epochs increase");
+    assert_eq!(service.stats().errors, 0);
+}
+
+/// Satellite: persist → load → serve. A model loaded from disk must serve
+/// estimates bit-identical to the in-memory model it was saved from.
+#[test]
+fn persisted_model_serves_identically() {
+    let catalog = tiny_catalog();
+    let model = train(&catalog, 30);
+    let queries = workload(&catalog, 17);
+    let expected = expected_bits(&model, &queries);
+
+    let dir = std::env::temp_dir().join("fj_service_persist_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    save_model(&model, &path).expect("save");
+    let loaded = load_model(&path, &catalog).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish_with_catalog("stats", Arc::new(loaded), Arc::new(catalog));
+    let service = EstimatorService::start(Arc::clone(&registry), ServiceConfig::new("stats", 2));
+    let responses = service.submit_batch(&queries).wait_all();
+    for (qi, resp) in responses.into_iter().enumerate() {
+        let resp = resp.expect("served");
+        assert_eq!(
+            to_bits(&resp.estimates),
+            expected[qi],
+            "loaded model diverges from the saved one on query {qi}"
+        );
+    }
+    // The registry kept the catalog for offline retraining paths.
+    assert!(registry.catalog("stats").is_some());
+}
+
+/// Backpressure: a queue smaller than the batch still serves everything
+/// (producers block, workers drain), and the high-water mark shows the
+/// queue saturated.
+#[test]
+fn bounded_queue_backpressure_serves_all() {
+    let catalog = tiny_catalog();
+    let model = Arc::new(train(&catalog, 15));
+    let queries = workload(&catalog, 19);
+    let expected = expected_bits(&model, &queries);
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("stats", Arc::clone(&model));
+    let service = EstimatorService::start(
+        registry,
+        ServiceConfig::new("stats", 2).with_queue_capacity(2),
+    );
+    // 4 copies of the workload through a 2-deep queue.
+    let mut tickets = Vec::new();
+    for _ in 0..4 {
+        tickets.push(service.submit_batch(&queries));
+    }
+    for ticket in tickets {
+        for (qi, resp) in ticket.wait_all().into_iter().enumerate() {
+            assert_eq!(to_bits(&resp.expect("served").estimates), expected[qi]);
+        }
+    }
+    let snap = service.stats();
+    assert_eq!(snap.requests as usize, 4 * queries.len());
+    assert_eq!(snap.queue_high_water, 2, "queue hit its capacity");
+    assert!(snap.subplans_per_second > 0.0);
+}

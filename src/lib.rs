@@ -3,5 +3,6 @@ pub use fj_baselines;
 pub use fj_datagen;
 pub use fj_exec;
 pub use fj_query;
+pub use fj_service;
 pub use fj_stats;
 pub use fj_storage;

@@ -67,3 +67,8 @@ fn imdb_job_runs() {
 fn incremental_update_runs() {
     run_example("incremental_update");
 }
+
+#[test]
+fn concurrent_service_runs() {
+    run_example("concurrent_service");
+}
