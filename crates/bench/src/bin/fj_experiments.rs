@@ -5,13 +5,14 @@
 //! fj-experiments table3 fig9        # selected experiments
 //! FJ_SCALE=0.3 fj-experiments table4 # bigger data
 //! FJ_QUERIES=40 fj-experiments all   # cap workload size
+//! fj-experiments table3 --dataset-dir /data/stats   # real dump, not synthetic
 //! ```
 
 use fj_bench::experiments::{
     end_to_end, fig6, fig7, fig9, per_query, table1, table2, table5, table6, table7, table8,
     ExpConfig,
 };
-use fj_bench::{perfbase, throughput, BenchKind};
+use fj_bench::{perfbase, quality, throughput, BenchKind};
 use std::path::Path;
 
 const KNOWN_IDS: &[&str] = &[
@@ -193,20 +194,73 @@ fn bench_throughput(args: &[String]) -> ! {
     )
 }
 
+/// `bench-quality` subcommand: run the deterministic estimator sweep at
+/// the pinned scale and write/check `BENCH_quality.json`.
+///
+/// ```text
+/// fj-experiments bench-quality --write BENCH_quality.json --label my-change
+/// fj-experiments bench-quality --check BENCH_quality.json [--threshold 1.1] [--queries 16]
+/// ```
+fn bench_quality(args: &[String]) -> ! {
+    run_baseline_subcommand(
+        BaselineOps {
+            sub: "bench-quality",
+            count_flag: "--queries",
+            default_count: quality::PINNED_QUERIES,
+            default_threshold: quality::DEFAULT_THRESHOLD,
+            fail_what: "estimator-quality",
+            measure: quality::measure,
+            append: quality::append_sample,
+            format: quality::format_sample,
+            check: quality::check_against,
+            report_check: |report, _threshold| {
+                println!("baseline {}", quality::format_sample(&report.baseline));
+                println!("fresh    {}", quality::format_sample(&report.fresh));
+                println!("{}", quality::format_deltas(report));
+                report.ok
+            },
+        },
+        args,
+    )
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench-estimation") {
         bench_estimation(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("bench-throughput") {
         bench_throughput(&args[1..]);
     }
-    let cfg = ExpConfig::from_env();
+    if args.first().map(String::as_str) == Some("bench-quality") {
+        bench_quality(&args[1..]);
+    }
+    let mut cfg = ExpConfig::from_env();
+    // `--dataset-dir <path>` anywhere in the argument list swaps synthetic
+    // generation for the real dump loaded from <path> (see
+    // fj_datagen::loader). Note a directory holds ONE dataset, so pair it
+    // with that benchmark's experiment ids (e.g. table3, not all).
+    if let Some(at) = args.iter().position(|a| a == "--dataset-dir") {
+        if at + 1 >= args.len() {
+            eprintln!("error: --dataset-dir needs a path");
+            std::process::exit(2);
+        }
+        let dir = args.remove(at + 1);
+        args.remove(at);
+        cfg.dataset_dir = Some(Box::leak(dir.into_boxed_str()));
+    }
     if args.is_empty() {
-        eprintln!("usage: fj-experiments [{}] …", KNOWN_IDS.join("|"));
+        eprintln!(
+            "usage: fj-experiments [{}] … [--dataset-dir <dir>]",
+            KNOWN_IDS.join("|")
+        );
         eprintln!("       fj-experiments bench-estimation (--write <json> | --check <json>)");
         eprintln!("       fj-experiments bench-throughput (--write <json> | --check <json>)");
-        eprintln!("env: FJ_SCALE=<f64> (default 0.5), FJ_QUERIES=<n> (default full workload)");
+        eprintln!("       fj-experiments bench-quality    (--write <json> | --check <json>)");
+        eprintln!(
+            "env: FJ_SCALE=<f64> (default 0.5), FJ_QUERIES=<n> (default full workload), \
+             FJ_DATASET_DIR=<dir> (real dumps instead of synthetic data)"
+        );
         std::process::exit(2);
     }
     if let Some(unknown) = args.iter().find(|a| !KNOWN_IDS.contains(&a.as_str())) {

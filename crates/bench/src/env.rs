@@ -70,6 +70,32 @@ impl BenchEnv {
         }
     }
 
+    /// Builds a benchmark environment from a **real dump directory**
+    /// instead of the synthetic generator: the catalog is loaded through
+    /// [`fj_datagen::loader`] (same structs, same schemas, same join
+    /// relations as the synthetic path) and the paper-shaped workload is
+    /// generated against the loaded data, so selectivities come from the
+    /// real value distributions.
+    pub fn build_loaded(
+        kind: BenchKind,
+        dir: &std::path::Path,
+        queries_cap: Option<usize>,
+    ) -> Result<Self, fj_datagen::LoadError> {
+        let dataset = match kind {
+            BenchKind::StatsCeb => fj_datagen::DatasetKind::Stats,
+            BenchKind::ImdbJob => fj_datagen::DatasetKind::Imdb,
+        };
+        let catalog = fj_datagen::load_dataset(dir, dataset)?;
+        let mut queries = match kind {
+            BenchKind::StatsCeb => stats_ceb_workload(&catalog, &WorkloadConfig::stats_ceb()),
+            BenchKind::ImdbJob => imdb_job_workload(&catalog, &WorkloadConfig::imdb_job()),
+        };
+        if let Some(cap) = queries_cap {
+            queries.truncate(cap);
+        }
+        Ok(Self::from_parts(kind, catalog, queries))
+    }
+
     /// Builds an environment from an existing catalog and workload,
     /// computing all true cardinalities (used by the update experiment,
     /// where the catalog is the post-insert database).
@@ -121,6 +147,20 @@ mod tests {
             let full = (1u64 << q.num_tables()) - 1;
             assert!(env.truth(qi, full) >= 0.0);
             assert!(env.truth_map(qi).len() >= q.num_tables());
+        }
+    }
+
+    #[test]
+    fn loaded_env_builds_from_fixture_dump() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../datagen/tests/fixtures/stats");
+        let env = BenchEnv::build_loaded(BenchKind::StatsCeb, &dir, Some(4)).expect("fixtures");
+        assert_eq!(env.queries.len(), 4);
+        assert_eq!(env.catalog.num_tables(), 8);
+        assert_eq!(env.catalog.equivalent_key_groups().len(), 2);
+        for (qi, q) in env.queries.iter().enumerate() {
+            let full = (1u64 << q.num_tables()) - 1;
+            assert!(env.truth(qi, full) >= 0.0);
         }
     }
 

@@ -23,6 +23,10 @@ pub struct ExpConfig {
     pub queries: Option<usize>,
     /// Training queries for MSCN.
     pub mscn_train: usize,
+    /// When set, load the benchmark database from this real-dump directory
+    /// (`--dataset-dir` / `FJ_DATASET_DIR`) instead of generating synthetic
+    /// data; `scale` is ignored for the data (workloads still adapt to it).
+    pub dataset_dir: Option<&'static str>,
 }
 
 impl ExpConfig {
@@ -37,10 +41,15 @@ impl ExpConfig {
         let queries = std::env::var("FJ_QUERIES")
             .ok()
             .and_then(|s| s.parse().ok());
+        let dataset_dir = std::env::var("FJ_DATASET_DIR")
+            .ok()
+            .filter(|s| !s.is_empty())
+            .map(|s| &*Box::leak(s.into_boxed_str()));
         ExpConfig {
             scale,
             queries,
             mscn_train: 200,
+            dataset_dir,
         }
     }
 
@@ -50,7 +59,34 @@ impl ExpConfig {
             scale: 0.04,
             queries: Some(10),
             mscn_train: 40,
+            dataset_dir: None,
         }
+    }
+}
+
+/// Builds the benchmark environment an experiment runs against: synthetic
+/// data at `cfg.scale`, or — when `cfg.dataset_dir` is set — the real dump
+/// loaded from that directory (see `fj_datagen::loader`). Load failures
+/// abort the process with the loader's diagnostic; experiments are
+/// CLI-facing and cannot proceed without their data.
+pub fn bench_env(kind: BenchKind, cfg: ExpConfig) -> BenchEnv {
+    match cfg.dataset_dir {
+        None => BenchEnv::build(kind, cfg.scale, cfg.queries),
+        Some(dir) => BenchEnv::build_loaded(kind, std::path::Path::new(dir), cfg.queries)
+            .unwrap_or_else(|e| {
+                eprintln!(
+                    "error: cannot load {} dump from {dir}: {e}",
+                    kind_name(kind)
+                );
+                std::process::exit(1);
+            }),
+    }
+}
+
+fn kind_name(kind: BenchKind) -> &'static str {
+    match kind {
+        BenchKind::StatsCeb => "STATS",
+        BenchKind::ImdbJob => "IMDB",
     }
 }
 
@@ -155,8 +191,8 @@ pub fn table2(cfg: ExpConfig) {
         "Table 2 — benchmark summary (synthetic stand-ins)",
         &["statistic", "STATS-CEB", "IMDB-JOB"],
     );
-    let stats = BenchEnv::build(BenchKind::StatsCeb, cfg.scale, cfg.queries);
-    let imdb = BenchEnv::build(BenchKind::ImdbJob, cfg.scale, cfg.queries);
+    let stats = bench_env(BenchKind::StatsCeb, cfg);
+    let imdb = bench_env(BenchKind::ImdbJob, cfg);
     let row_range = |env: &BenchEnv| {
         let (mut lo, mut hi) = (usize::MAX, 0usize);
         for tab in env.catalog.tables() {
@@ -254,7 +290,7 @@ fn print_end_to_end(title: &str, results: &[MethodResult]) {
 
 /// Tables 3 / 4 (+ Figure 6 series): end-to-end on one benchmark.
 pub fn end_to_end(kind: BenchKind, cfg: ExpConfig) -> Vec<MethodResult> {
-    let env = BenchEnv::build(kind, cfg.scale, cfg.queries);
+    let env = bench_env(kind, cfg);
     let runner = EndToEnd::new(&env);
     let mut results = Vec::new();
 
@@ -321,7 +357,7 @@ pub fn fig6(cfg: ExpConfig) {
 
 /// Figure 7: distribution of relative estimation errors over sub-plans.
 pub fn fig7(cfg: ExpConfig) {
-    let env = BenchEnv::build(BenchKind::StatsCeb, cfg.scale, cfg.queries);
+    let env = bench_env(BenchKind::StatsCeb, cfg);
     let runner = EndToEnd::new(&env);
     let mut t = Table::new(
         "Figure 7 — relative error (estimate / true) percentiles, STATS-CEB sub-plans",
@@ -375,7 +411,7 @@ pub fn fig7(cfg: ExpConfig) {
 /// Figures 8/10/11: per-query improvement over Postgres, clustered by the
 /// Postgres runtime of the query.
 pub fn per_query(kind: BenchKind, cfg: ExpConfig) {
-    let env = BenchEnv::build(kind, cfg.scale, cfg.queries);
+    let env = bench_env(kind, cfg);
     let runner = EndToEnd::new(&env);
     let mut pg = PostgresLike::build(&env.catalog);
     let r_pg = runner.run(&mut pg);
@@ -449,6 +485,17 @@ pub fn per_query(kind: BenchKind, cfg: ExpConfig) {
 
 /// Table 5: incremental updates on STATS-CEB.
 pub fn table5(cfg: ExpConfig) {
+    // The update experiment needs the generator's date-split (base catalog
+    // + later inserts); it cannot run against a loaded dump. Skipping
+    // loudly beats printing synthetic numbers a `--dataset-dir` user would
+    // attribute to their real data.
+    if let Some(dir) = cfg.dataset_dir {
+        eprintln!(
+            "table5 skipped: the incremental-update experiment requires synthetic \
+             date-split generation and cannot honor --dataset-dir {dir}"
+        );
+        return;
+    }
     let stats_cfg = StatsConfig {
         scale: cfg.scale,
         ..Default::default()
@@ -523,7 +570,7 @@ pub fn table5(cfg: ExpConfig) {
 
 /// Table 6: binning strategy ablation (equal-width / equal-depth / GBSA).
 pub fn table6(cfg: ExpConfig) {
-    let env = BenchEnv::build(BenchKind::StatsCeb, cfg.scale, cfg.queries);
+    let env = bench_env(BenchKind::StatsCeb, cfg);
     let runner = EndToEnd::new(&env);
     let mut t = Table::new(
         "Table 6 — binning strategies (k = 100, BayesNet base estimator)",
@@ -571,7 +618,7 @@ pub fn table6(cfg: ExpConfig) {
 
 /// Table 7: single-table estimator ablation (BayesNet / Sampling / TrueScan).
 pub fn table7(cfg: ExpConfig) {
-    let env = BenchEnv::build(BenchKind::StatsCeb, cfg.scale, cfg.queries);
+    let env = bench_env(BenchKind::StatsCeb, cfg);
     let runner = EndToEnd::new(&env);
     let mut pg = PostgresLike::build(&env.catalog);
     let r_pg = runner.run(&mut pg);
@@ -606,7 +653,7 @@ pub fn table7(cfg: ExpConfig) {
 
 /// Table 8: JoinHist + bound / + conditional / + both.
 pub fn table8(cfg: ExpConfig) {
-    let env = BenchEnv::build(BenchKind::StatsCeb, cfg.scale, cfg.queries);
+    let env = bench_env(BenchKind::StatsCeb, cfg);
     let runner = EndToEnd::new(&env);
     let mut pg = PostgresLike::build(&env.catalog);
     let r_pg = runner.run(&mut pg);
@@ -636,7 +683,7 @@ pub fn table8(cfg: ExpConfig) {
 /// Figure 9: number-of-bins ablation — end-to-end time, bound tightness,
 /// latency per query, training time, model size for k ∈ {1,10,50,100,200}.
 pub fn fig9(cfg: ExpConfig) {
-    let env = BenchEnv::build(BenchKind::StatsCeb, cfg.scale, cfg.queries);
+    let env = bench_env(BenchKind::StatsCeb, cfg);
     let runner = EndToEnd::new(&env);
     let mut t = Table::new(
         "Figure 9 — effect of the number of bins k",

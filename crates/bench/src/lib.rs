@@ -15,6 +15,7 @@ pub mod env;
 pub mod experiments;
 pub mod harness;
 pub mod perfbase;
+pub mod quality;
 pub mod report;
 pub mod throughput;
 

@@ -1,0 +1,536 @@
+//! Estimator-quality baseline tracking (`BENCH_quality.json`).
+//!
+//! The paper's headline claim is accuracy-per-cost (Tables 3/4): FactorJoin
+//! matches or beats learned estimators on STATS-CEB / IMDB-JOB q-error
+//! while training in minutes. The latency and throughput gates
+//! ([`crate::perfbase`], [`crate::throughput`]) keep the *speed* claims
+//! honest; this module does the same for *accuracy*: it runs the estimator
+//! sweep on both benchmark workloads at the pinned scale, records
+//! per-workload p50/p95 q-error and the plan-cost-vs-TrueCard ratio in a
+//! checked-in JSON history, and lets CI fail on a quality regression past a
+//! tolerance — so an accuracy regression surfaces in review exactly like a
+//! test failure or a hot-path slowdown.
+//!
+//! Unlike the timing baselines, everything measured here is **fully
+//! deterministic**: the synthetic data, the workloads, and every recorded
+//! estimator are seeded, so a fresh measurement on any machine reproduces
+//! the baseline bit-for-bit unless the *code* changed. The default
+//! tolerance is therefore tight.
+
+use crate::env::{BenchEnv, BenchKind};
+use crate::experiments::paper_factorjoin;
+use crate::harness::EndToEnd;
+use crate::perfbase::{PINNED_BINS, PINNED_SCALE};
+use crate::report::{percentile, q_error};
+use fj_baselines::{CardEst, PostgresLike, TrueCard};
+use serde_json::Value;
+use std::path::Path;
+
+/// Regression tolerance: fail when a fresh quality metric exceeds
+/// `threshold × baseline`. Tight because the measurement is deterministic.
+pub const DEFAULT_THRESHOLD: f64 = 1.1;
+
+/// Evaluation queries per workload for the pinned measurement. Small
+/// enough for CI (true cardinalities of every sub-plan are computed by
+/// executing the joins), large enough for stable percentiles.
+pub const PINNED_QUERIES: usize = 16;
+
+/// Quality of one estimation method on one workload.
+#[derive(Debug, Clone)]
+pub struct MethodQuality {
+    /// Method display name (`postgres`, `factorjoin`).
+    pub method: String,
+    /// Median q-error over join sub-plans (≥ 2 aliases).
+    pub p50_qerror: f64,
+    /// 95th-percentile q-error over join sub-plans.
+    pub p95_qerror: f64,
+    /// Total simulated execution cost of the plans chosen under this
+    /// method's estimates, divided by the cost of TrueCard's plans (both
+    /// costed with true cardinalities). 1.0 = optimal planning.
+    pub plan_cost_ratio: f64,
+}
+
+/// One workload's quality measurements.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuality {
+    /// Workload name (`STATS-CEB`, `IMDB-JOB`).
+    pub workload: String,
+    /// Queries evaluated.
+    pub queries: usize,
+    /// Join sub-plans scored per method.
+    pub subplans: usize,
+    /// Per-method quality, in measurement order.
+    pub methods: Vec<MethodQuality>,
+}
+
+/// One recorded quality sample (both workloads).
+#[derive(Debug, Clone)]
+pub struct QualitySample {
+    /// Free-form label (commit summary, experiment name, …).
+    pub label: String,
+    /// Data scale measured at.
+    pub scale: f64,
+    /// Bins per key group (the paper's k).
+    pub bins: usize,
+    /// Per-workload measurements.
+    pub workloads: Vec<WorkloadQuality>,
+}
+
+impl QualitySample {
+    /// The named workload's measurements, if recorded.
+    pub fn workload(&self, name: &str) -> Option<&WorkloadQuality> {
+        self.workloads.iter().find(|w| w.workload == name)
+    }
+}
+
+impl WorkloadQuality {
+    /// The named method's quality, if recorded.
+    pub fn method(&self, name: &str) -> Option<&MethodQuality> {
+        self.methods.iter().find(|m| m.method == name)
+    }
+}
+
+fn measure_workload(kind: BenchKind, scale: f64, queries: usize) -> WorkloadQuality {
+    let env = BenchEnv::build(kind, scale, Some(queries));
+    let runner = EndToEnd::new(&env);
+    // TrueCard's plans (costed with truth) are the plan-cost denominator.
+    let mut oracle = TrueCard::new(&env.catalog);
+    let mut oracle_runner = EndToEnd::new(&env);
+    oracle_runner.zero_planning = true;
+    let oracle_exec = oracle_runner.run(&mut oracle).exec_s;
+
+    let mut methods = Vec::new();
+    let mut subplans = 0;
+    let mut run = |est: &mut dyn CardEst| {
+        let r = runner.run(est);
+        let qerrs: Vec<f64> = r.est_truth.iter().map(|&(e, t)| q_error(e, t)).collect();
+        subplans = qerrs.len();
+        methods.push(MethodQuality {
+            method: r.method.clone(),
+            p50_qerror: percentile(&qerrs, 50.0),
+            p95_qerror: percentile(&qerrs, 95.0),
+            plan_cost_ratio: r.exec_s / oracle_exec.max(1e-12),
+        });
+    };
+    let mut pg = PostgresLike::build(&env.catalog);
+    run(&mut pg);
+    let mut fj = paper_factorjoin(&env);
+    run(&mut fj);
+
+    WorkloadQuality {
+        workload: env.name().to_string(),
+        queries: env.queries.len(),
+        subplans,
+        methods,
+    }
+}
+
+/// Runs the pinned estimator sweep on both benchmarks: PostgresLike and
+/// paper-configured FactorJoin on STATS-CEB and IMDB-JOB, `queries`
+/// evaluation queries each, at `scale`. Deterministic for a given
+/// (scale, queries) pair.
+pub fn measure(label: &str, scale: f64, queries: usize) -> QualitySample {
+    let queries = queries.max(4);
+    QualitySample {
+        label: label.to_string(),
+        scale,
+        bins: PINNED_BINS,
+        workloads: vec![
+            measure_workload(BenchKind::StatsCeb, scale, queries),
+            measure_workload(BenchKind::ImdbJob, scale, queries),
+        ],
+    }
+}
+
+// ------------------------------------------------------- JSON conversion
+// Hand-rolled against `serde_json::Value` like perfbase/throughput (the
+// vendored serde derives are no-ops; see vendor/README.md).
+
+fn err(m: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string())
+}
+
+fn method_to_json(m: &MethodQuality) -> Value {
+    Value::object([
+        ("method".to_string(), Value::from(m.method.clone())),
+        ("p50_qerror".to_string(), Value::from(m.p50_qerror)),
+        ("p95_qerror".to_string(), Value::from(m.p95_qerror)),
+        (
+            "plan_cost_ratio".to_string(),
+            Value::from(m.plan_cost_ratio),
+        ),
+    ])
+}
+
+fn method_from_json(v: &Value) -> std::io::Result<MethodQuality> {
+    let f = |k: &str| v[k].as_f64().ok_or_else(|| err(k));
+    Ok(MethodQuality {
+        method: v["method"]
+            .as_str()
+            .ok_or_else(|| err("method"))?
+            .to_string(),
+        p50_qerror: f("p50_qerror")?,
+        p95_qerror: f("p95_qerror")?,
+        plan_cost_ratio: f("plan_cost_ratio")?,
+    })
+}
+
+fn workload_to_json(w: &WorkloadQuality) -> Value {
+    Value::object([
+        ("workload".to_string(), Value::from(w.workload.clone())),
+        ("queries".to_string(), Value::from(w.queries)),
+        ("subplans".to_string(), Value::from(w.subplans)),
+        (
+            "methods".to_string(),
+            Value::Array(w.methods.iter().map(method_to_json).collect()),
+        ),
+    ])
+}
+
+fn workload_from_json(v: &Value) -> std::io::Result<WorkloadQuality> {
+    let f = |k: &str| v[k].as_f64().ok_or_else(|| err(k));
+    Ok(WorkloadQuality {
+        workload: v["workload"]
+            .as_str()
+            .ok_or_else(|| err("workload"))?
+            .to_string(),
+        queries: f("queries")? as usize,
+        subplans: f("subplans")? as usize,
+        methods: v["methods"]
+            .as_array()
+            .ok_or_else(|| err("methods"))?
+            .iter()
+            .map(method_from_json)
+            .collect::<std::io::Result<_>>()?,
+    })
+}
+
+fn sample_to_json(s: &QualitySample) -> Value {
+    Value::object([
+        ("label".to_string(), Value::from(s.label.clone())),
+        ("scale".to_string(), Value::from(s.scale)),
+        ("bins".to_string(), Value::from(s.bins)),
+        (
+            "workloads".to_string(),
+            Value::Array(s.workloads.iter().map(workload_to_json).collect()),
+        ),
+    ])
+}
+
+fn sample_from_json(v: &Value) -> std::io::Result<QualitySample> {
+    let f = |k: &str| v[k].as_f64().ok_or_else(|| err(k));
+    Ok(QualitySample {
+        label: v["label"].as_str().ok_or_else(|| err("label"))?.to_string(),
+        scale: f("scale")?,
+        bins: f("bins")? as usize,
+        workloads: v["workloads"]
+            .as_array()
+            .ok_or_else(|| err("workloads"))?
+            .iter()
+            .map(workload_from_json)
+            .collect::<std::io::Result<_>>()?,
+    })
+}
+
+/// Reads the history recorded in a `BENCH_quality.json` file.
+pub fn read_history(path: &Path) -> std::io::Result<Vec<QualitySample>> {
+    let text = std::fs::read_to_string(path)?;
+    let v: Value = serde_json::from_str(&text)?;
+    v["history"]
+        .as_array()
+        .ok_or_else(|| err("missing history array"))?
+        .iter()
+        .map(sample_from_json)
+        .collect()
+}
+
+/// Appends `sample` to the history in `path` (creating the file if
+/// absent), making it the new baseline CI checks against.
+pub fn append_sample(path: &Path, sample: &QualitySample) -> std::io::Result<()> {
+    let mut history = if path.exists() {
+        read_history(path)?
+    } else {
+        Vec::new()
+    };
+    history.push(sample.clone());
+    let doc = Value::object([
+        ("version".to_string(), Value::from(1u32)),
+        (
+            "pinned".to_string(),
+            Value::object([
+                ("scale".to_string(), Value::from(PINNED_SCALE)),
+                ("bins".to_string(), Value::from(PINNED_BINS)),
+                ("queries".to_string(), Value::from(PINNED_QUERIES)),
+            ]),
+        ),
+        (
+            "history".to_string(),
+            Value::Array(history.iter().map(sample_to_json).collect()),
+        ),
+    ]);
+    let text = format!("{doc}\n");
+    std::fs::write(path, text.as_bytes())
+}
+
+/// One gated metric compared between baseline and fresh measurement.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Workload the metric belongs to.
+    pub workload: String,
+    /// Method the metric belongs to.
+    pub method: String,
+    /// Metric name (`p50_qerror`, `p95_qerror`, `plan_cost_ratio`).
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// `fresh / baseline` (>1 = worse).
+    pub ratio: f64,
+    /// Whether this metric stayed within the tolerance.
+    pub ok: bool,
+}
+
+/// Outcome of checking a fresh quality sample against the stored baseline.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Stored baseline (last history entry).
+    pub baseline: QualitySample,
+    /// Fresh measurement.
+    pub fresh: QualitySample,
+    /// Every gated metric comparison.
+    pub deltas: Vec<MetricDelta>,
+    /// Whether all metrics stayed within the tolerance.
+    pub ok: bool,
+}
+
+/// Compares `fresh` against `baseline` metric by metric. This is the
+/// whole gate logic, factored out of the I/O so tests can prove an
+/// injected regression fails the check. Every (workload, method) pair of
+/// the baseline must be present in the fresh sample; all three metrics
+/// are gated at `fresh ≤ threshold × baseline`.
+pub fn compare_samples(
+    baseline: &QualitySample,
+    fresh: &QualitySample,
+    threshold: f64,
+) -> CheckReport {
+    let mut deltas = Vec::new();
+    let mut ok = true;
+    for bw in &baseline.workloads {
+        let Some(fw) = fresh.workload(&bw.workload) else {
+            ok = false;
+            continue;
+        };
+        for bm in &bw.methods {
+            let Some(fm) = fw.method(&bm.method) else {
+                ok = false;
+                continue;
+            };
+            for (metric, b, f) in [
+                ("p50_qerror", bm.p50_qerror, fm.p50_qerror),
+                ("p95_qerror", bm.p95_qerror, fm.p95_qerror),
+                ("plan_cost_ratio", bm.plan_cost_ratio, fm.plan_cost_ratio),
+            ] {
+                let ratio = f / b.max(1e-12);
+                let within = ratio <= threshold;
+                ok &= within;
+                deltas.push(MetricDelta {
+                    workload: bw.workload.clone(),
+                    method: bm.method.clone(),
+                    metric,
+                    baseline: b,
+                    fresh: f,
+                    ratio,
+                    ok: within,
+                });
+            }
+        }
+    }
+    CheckReport {
+        baseline: baseline.clone(),
+        fresh: fresh.clone(),
+        deltas,
+        ok,
+    }
+}
+
+/// Measures a fresh sample at the **baseline's** scale and query count
+/// and compares every recorded quality metric, failing on any
+/// `fresh > threshold × baseline`.
+///
+/// The caller's `queries` (the `--queries` flag) is only a fallback for
+/// baselines that recorded no workloads: comparing two measurements taken
+/// over different query populations would make the tight deterministic
+/// tolerance meaningless, so the check always re-measures what the
+/// baseline actually measured.
+pub fn check_against(path: &Path, threshold: f64, queries: usize) -> std::io::Result<CheckReport> {
+    let history = read_history(path)?;
+    let baseline = history
+        .last()
+        .cloned()
+        .ok_or_else(|| err("empty baseline history"))?;
+    let queries = baseline
+        .workloads
+        .first()
+        .map(|w| w.queries)
+        .unwrap_or(queries);
+    let fresh = measure("ci-check", baseline.scale, queries);
+    Ok(compare_samples(&baseline, &fresh, threshold))
+}
+
+/// Renders one sample for terminal output.
+pub fn format_sample(s: &QualitySample) -> String {
+    let mut out = format!("{}: scale {}, k={}", s.label, s.scale, s.bins);
+    for w in &s.workloads {
+        out.push_str(&format!(
+            "\n  {} ({} queries, {} join sub-plans):",
+            w.workload, w.queries, w.subplans
+        ));
+        for m in &w.methods {
+            out.push_str(&format!(
+                "\n    {:<11} q-error p50 {:>8.2} p95 {:>10.2}  plan-cost {:>6.3}× TrueCard",
+                m.method, m.p50_qerror, m.p95_qerror, m.plan_cost_ratio
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the per-metric verdict lines of a check.
+pub fn format_deltas(report: &CheckReport) -> String {
+    report
+        .deltas
+        .iter()
+        .map(|d| {
+            format!(
+                "{} {} {} {:<15} baseline {:>10.3} fresh {:>10.3} ({:.3}×)",
+                if d.ok { "ok  " } else { "FAIL" },
+                d.workload,
+                d.method,
+                d.metric,
+                d.baseline,
+                d.fresh,
+                d.ratio
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(p50: f64, p95: f64, cost: f64) -> QualitySample {
+        QualitySample {
+            label: "t".into(),
+            scale: 0.1,
+            bins: 100,
+            workloads: vec![WorkloadQuality {
+                workload: "STATS-CEB".into(),
+                queries: 16,
+                subplans: 120,
+                methods: vec![MethodQuality {
+                    method: "factorjoin".into(),
+                    p50_qerror: p50,
+                    p95_qerror: p95,
+                    plan_cost_ratio: cost,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_samples_pass_the_gate() {
+        let s = sample(2.0, 14.0, 1.2);
+        let report = compare_samples(&s, &s.clone(), DEFAULT_THRESHOLD);
+        assert!(report.ok);
+        assert_eq!(report.deltas.len(), 3);
+        assert!(report
+            .deltas
+            .iter()
+            .all(|d| d.ok && (d.ratio - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn injected_p95_regression_fails_the_gate() {
+        let baseline = sample(2.0, 14.0, 1.2);
+        // A code change doubles tail q-error: must fail even though p50
+        // and plan cost are unchanged.
+        let fresh = sample(2.0, 28.0, 1.2);
+        let report = compare_samples(&baseline, &fresh, DEFAULT_THRESHOLD);
+        assert!(!report.ok);
+        let bad: Vec<_> = report.deltas.iter().filter(|d| !d.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "p95_qerror");
+        assert!((bad[0].ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injected_plan_cost_regression_fails_the_gate() {
+        let baseline = sample(2.0, 14.0, 1.1);
+        let fresh = sample(2.0, 14.0, 1.5);
+        let report = compare_samples(&baseline, &fresh, DEFAULT_THRESHOLD);
+        assert!(!report.ok);
+        assert!(report
+            .deltas
+            .iter()
+            .any(|d| !d.ok && d.metric == "plan_cost_ratio"));
+    }
+
+    #[test]
+    fn improvement_and_within_tolerance_pass() {
+        let baseline = sample(2.0, 14.0, 1.2);
+        let fresh = sample(1.5, 14.5, 1.15); // better p50, p95 within 1.1×
+        assert!(compare_samples(&baseline, &fresh, DEFAULT_THRESHOLD).ok);
+    }
+
+    #[test]
+    fn missing_method_fails_the_gate() {
+        let baseline = sample(2.0, 14.0, 1.2);
+        let mut fresh = sample(2.0, 14.0, 1.2);
+        fresh.workloads[0].methods.clear();
+        assert!(!compare_samples(&baseline, &fresh, DEFAULT_THRESHOLD).ok);
+    }
+
+    #[test]
+    fn sample_json_roundtrip() {
+        let s = sample(2.25, 17.5, 1.31);
+        let back = sample_from_json(&sample_to_json(&s)).unwrap();
+        assert_eq!(back.label, "t");
+        assert_eq!(back.workloads.len(), 1);
+        let m = back.workloads[0].method("factorjoin").unwrap();
+        assert!((m.p95_qerror - 17.5).abs() < 1e-12);
+        assert!((m.plan_cost_ratio - 1.31).abs() < 1e-12);
+        assert_eq!(back.workloads[0].subplans, 120);
+    }
+
+    #[test]
+    fn history_roundtrip_and_same_code_check_passes() {
+        let dir = std::env::temp_dir().join("fj_quality_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        std::fs::remove_file(&path).ok();
+        // Tiny real measurement keeps the flow honest end-to-end; the
+        // re-measurement is deterministic, so even threshold 1.0 + ε holds.
+        let s = measure("seed", 0.03, 6);
+        assert_eq!(s.workloads.len(), 2);
+        assert!(s
+            .workloads
+            .iter()
+            .all(|w| w.subplans > 0 && w.methods.len() == 2));
+        append_sample(&path, &s).unwrap();
+        // The check re-measures at the *baseline's* query count — passing a
+        // wildly different `--queries` here must not change the comparison
+        // population (a count mismatch would make the tight deterministic
+        // tolerance meaningless).
+        let report = check_against(&path, 1.000001, 9999).unwrap();
+        assert!(
+            report.ok,
+            "deterministic re-measurement drifted:\n{}",
+            format_deltas(&report)
+        );
+        assert_eq!(report.fresh.workloads[0].queries, s.workloads[0].queries);
+        std::fs::remove_file(&path).ok();
+    }
+}

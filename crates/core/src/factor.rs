@@ -22,7 +22,7 @@
 //!
 //! This is the hottest loop of online estimation (an optimizer issues
 //! hundreds of sub-plan queries per query, §5.2), so the representation is
-//! flat: per-variable metadata ([`VarMeta`]) sorted by variable id plus one
+//! flat: per-variable metadata (`VarMeta`) sorted by variable id plus one
 //! contiguous `f64` slab holding each variable's `(dist, mfv)` pair.
 //! Shared-variable discovery is a sorted merge, fan-out rescaling is a
 //! **lazy per-variable scale multiplier** applied on read (instead of the
@@ -270,7 +270,8 @@ impl Factor {
 // ------------------------------------------------------------ join kernel
 
 /// Reusable buffers for the factor join. `out_meta`/`out_slab` hold the
-/// result after [`join_views_into`]; the other vectors are internals. All
+/// result after the join kernel (`join_views_into`) runs; the other
+/// vectors are internals. All
 /// buffers keep their capacity across joins, and every growth is counted
 /// so callers can assert steady-state allocation-freedom.
 #[derive(Debug, Default)]

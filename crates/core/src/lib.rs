@@ -42,6 +42,8 @@
 //! println!("estimated cardinality ≤ {bound}");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod binning;
 pub mod factor;
 pub mod keystats;

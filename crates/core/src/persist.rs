@@ -30,7 +30,7 @@ pub struct SavedModel {
     pub version: u32,
     /// Binning strategy used at training time.
     pub strategy: String,
-    /// Estimator kind ("bayesnet", "sampling:<rate>", "truescan").
+    /// Estimator kind (`"bayesnet"`, `"sampling:<rate>"`, `"truescan"`).
     pub estimator: String,
     /// Seed for sampling estimators.
     pub seed: u64,

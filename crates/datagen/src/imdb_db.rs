@@ -12,8 +12,9 @@
 //! role, character, complete-cast-type, link-type).
 
 use crate::dist::{weighted_choice, ZipfKeys};
+use crate::schemas::{declare_imdb_relations, DatasetKind};
 use crate::text;
-use fj_storage::{Catalog, ColumnDef, DataType, Table, TableSchema, Value};
+use fj_storage::{Catalog, Table, TableSchema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,12 +56,16 @@ impl ImdbConfig {
     }
 }
 
+/// Looks up one JOB table schema from the shared definitions.
+fn schema_of(name: &str) -> TableSchema {
+    DatasetKind::Imdb
+        .table_schema(name)
+        .expect("imdb table name")
+}
+
 /// Builds a tiny dimension table `name(id, <text_col>)` with fixed size.
-fn dim_table(name: &str, text_col: &str, n: usize, rng: &mut StdRng) -> Table {
-    let schema = TableSchema::new(vec![
-        ColumnDef::key("id"),
-        ColumnDef::new(text_col, DataType::Str),
-    ]);
+fn dim_table(name: &str, n: usize, rng: &mut StdRng) -> Table {
+    let schema = schema_of(name);
     let rows: Vec<Vec<Value>> = (1..=n as i64)
         .map(|id| {
             vec![
@@ -96,27 +101,21 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
     const N_ROLE: usize = 12;
     const N_LINK: usize = 18;
     const N_CCT: usize = 4;
-    for (name, col, n) in [
-        ("kind_type", "kind", N_KIND),
-        ("company_type", "kind", N_CTYPE),
-        ("info_type", "info", N_ITYPE),
-        ("role_type", "role", N_ROLE),
-        ("link_type", "link", N_LINK),
-        ("comp_cast_type", "kind", N_CCT),
+    for (name, n) in [
+        ("kind_type", N_KIND),
+        ("company_type", N_CTYPE),
+        ("info_type", N_ITYPE),
+        ("role_type", N_ROLE),
+        ("link_type", N_LINK),
+        ("comp_cast_type", N_CCT),
     ] {
-        cat.add_table(dim_table(name, col, n, &mut rng))
+        cat.add_table(dim_table(name, n, &mut rng))
             .expect("fresh catalog");
     }
 
     // --------------------------------------------------------------- title
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::key("id"),
-            ColumnDef::key("kind_id"),
-            ColumnDef::new("title", DataType::Str),
-            ColumnDef::new("production_year", DataType::Int),
-            ColumnDef::new("episode_nr", DataType::Int),
-        ]);
+        let schema = schema_of("title");
         let rows: Vec<Vec<Value>> = (1..=n_title as i64)
             .map(|id| {
                 // Production year drifts upward with id (newer titles later),
@@ -145,11 +144,7 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
 
     // ---------------------------------------------------------------- name
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::key("id"),
-            ColumnDef::new("name", DataType::Str),
-            ColumnDef::new("gender", DataType::Str),
-        ]);
+        let schema = schema_of("name");
         let rows: Vec<Vec<Value>> = (1..=n_name as i64)
             .map(|id| {
                 let gender = match weighted_choice(&mut rng, &[5.0, 4.0, 1.0]) {
@@ -170,10 +165,7 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
 
     // ----------------------------------------------------------- char_name
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::key("id"),
-            ColumnDef::new("name", DataType::Str),
-        ]);
+        let schema = schema_of("char_name");
         let rows: Vec<Vec<Value>> = (1..=n_char as i64)
             .map(|id| vec![Value::Int(id), Value::Str(text::person_name(&mut rng))])
             .collect();
@@ -183,11 +175,7 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
 
     // -------------------------------------------------------- company_name
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::key("id"),
-            ColumnDef::new("name", DataType::Str),
-            ColumnDef::new("country_code", DataType::Str),
-        ]);
+        let schema = schema_of("company_name");
         let rows: Vec<Vec<Value>> = (1..=n_company as i64)
             .map(|id| {
                 // Country correlates with company id range (national clusters).
@@ -211,10 +199,7 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
 
     // ------------------------------------------------------------- keyword
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::key("id"),
-            ColumnDef::new("keyword", DataType::Str),
-        ]);
+        let schema = schema_of("keyword");
         let rows: Vec<Vec<Value>> = (1..=n_keyword as i64)
             .map(|id| vec![Value::Int(id), Value::Str(text::keyword(&mut rng))])
             .collect();
@@ -225,12 +210,7 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
     // ------------------------------------------------------ fact tables
     // movie_companies(id, movie_id, company_id, company_type_id)
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key("movie_id"),
-            ColumnDef::key("company_id"),
-            ColumnDef::key("company_type_id"),
-        ]);
+        let schema = schema_of("movie_companies");
         let rows: Vec<Vec<Value>> = (1..=cfg.n(8000) as i64)
             .map(|id| {
                 vec![
@@ -247,14 +227,7 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
 
     // cast_info(id, movie_id, person_id, person_role_id, role_id, nr_order)
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key("movie_id"),
-            ColumnDef::key("person_id"),
-            ColumnDef::key("person_role_id"),
-            ColumnDef::key("role_id"),
-            ColumnDef::new("nr_order", DataType::Int),
-        ]);
+        let schema = schema_of("cast_info");
         let rows: Vec<Vec<Value>> = (1..=cfg.n(20_000) as i64)
             .map(|id| {
                 let person_role = if rng.gen_bool(0.40) {
@@ -282,36 +255,30 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
     }
 
     // movie_info / movie_info_idx / person_info share a shape.
-    let info_fact =
-        |name: &str, n: usize, key_col: &str, keys: &ZipfKeys, rng: &mut StdRng| -> Table {
-            let schema = TableSchema::new(vec![
-                ColumnDef::new("id", DataType::Int),
-                ColumnDef::key(key_col),
-                ColumnDef::key("info_type_id"),
-                ColumnDef::new("info", DataType::Str),
-            ]);
-            let rows: Vec<Vec<Value>> =
-                (1..=n as i64)
-                    .map(|id| {
-                        // Info-type skew: a handful of types dominate, as in IMDB.
-                        let itype = 1
-                            + (crate::dist::mix64(rng.gen::<u64>()) % 113)
-                                .min(if rng.gen_bool(0.7) { 7 } else { 112 })
-                                as i64;
-                        vec![
-                            Value::Int(id),
-                            Value::Int(keys.sample(rng)),
-                            Value::Int(itype),
-                            Value::Str(text::info_text(rng)),
-                        ]
-                    })
-                    .collect();
-            Table::from_rows(name, schema, &rows).expect("valid rows")
-        };
+    let info_fact = |name: &str, n: usize, keys: &ZipfKeys, rng: &mut StdRng| -> Table {
+        let schema = schema_of(name);
+        let rows: Vec<Vec<Value>> = (1..=n as i64)
+            .map(|id| {
+                // Info-type skew: a handful of types dominate, as in IMDB.
+                let itype = 1
+                    + (crate::dist::mix64(rng.gen::<u64>()) % 113).min(if rng.gen_bool(0.7) {
+                        7
+                    } else {
+                        112
+                    }) as i64;
+                vec![
+                    Value::Int(id),
+                    Value::Int(keys.sample(rng)),
+                    Value::Int(itype),
+                    Value::Str(text::info_text(rng)),
+                ]
+            })
+            .collect();
+        Table::from_rows(name, schema, &rows).expect("valid rows")
+    };
     cat.add_table(info_fact(
         "movie_info",
         cfg.n(12_000),
-        "movie_id",
         &movie_keys,
         &mut rng,
     ))
@@ -319,7 +286,6 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
     cat.add_table(info_fact(
         "movie_info_idx",
         cfg.n(5000),
-        "movie_id",
         &movie_keys,
         &mut rng,
     ))
@@ -327,7 +293,6 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
     cat.add_table(info_fact(
         "person_info",
         cfg.n(6000),
-        "person_id",
         &person_keys,
         &mut rng,
     ))
@@ -335,11 +300,7 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
 
     // movie_keyword(id, movie_id, keyword_id)
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key("movie_id"),
-            ColumnDef::key("keyword_id"),
-        ]);
+        let schema = schema_of("movie_keyword");
         let rows: Vec<Vec<Value>> = (1..=cfg.n(10_000) as i64)
             .map(|id| {
                 vec![
@@ -355,11 +316,7 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
 
     // aka_name(id, person_id, name) / aka_title(id, movie_id, title)
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key("person_id"),
-            ColumnDef::new("name", DataType::Str),
-        ]);
+        let schema = schema_of("aka_name");
         let rows: Vec<Vec<Value>> = (1..=cfg.n(2500) as i64)
             .map(|id| {
                 vec![
@@ -373,11 +330,7 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
             .expect("fresh catalog");
     }
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key("movie_id"),
-            ColumnDef::new("title", DataType::Str),
-        ]);
+        let schema = schema_of("aka_title");
         let rows: Vec<Vec<Value>> = (1..=cfg.n(1500) as i64)
             .map(|id| {
                 vec![
@@ -393,12 +346,7 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
 
     // complete_cast(id, movie_id, subject_id, status_id)
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key("movie_id"),
-            ColumnDef::key("subject_id"),
-            ColumnDef::key("status_id"),
-        ]);
+        let schema = schema_of("complete_cast");
         let rows: Vec<Vec<Value>> = (1..=cfg.n(2500) as i64)
             .map(|id| {
                 vec![
@@ -415,12 +363,7 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
 
     // movie_link(id, movie_id, linked_movie_id, link_type_id) — cyclic joins.
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key("movie_id"),
-            ColumnDef::key("linked_movie_id"),
-            ColumnDef::key("link_type_id"),
-        ]);
+        let schema = schema_of("movie_link");
         let rows: Vec<Vec<Value>> = (1..=cfg.n(1500) as i64)
             .map(|id| {
                 vec![
@@ -441,55 +384,7 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
 
 /// Declares the JOB join relations (⇒ 11 equivalent key groups).
 fn declare_relations(cat: &mut Catalog) {
-    let movie_fks = [
-        ("movie_companies", "movie_id"),
-        ("cast_info", "movie_id"),
-        ("movie_info", "movie_id"),
-        ("movie_info_idx", "movie_id"),
-        ("movie_keyword", "movie_id"),
-        ("aka_title", "movie_id"),
-        ("complete_cast", "movie_id"),
-        ("movie_link", "movie_id"),
-        ("movie_link", "linked_movie_id"),
-    ];
-    for (t, c) in movie_fks {
-        cat.relate("title", "id", t, c)
-            .expect("schema declares join keys");
-    }
-    for (t, c) in [
-        ("cast_info", "person_id"),
-        ("aka_name", "person_id"),
-        ("person_info", "person_id"),
-    ] {
-        cat.relate("name", "id", t, c)
-            .expect("schema declares join keys");
-    }
-    for (t, c) in [
-        ("movie_info", "info_type_id"),
-        ("movie_info_idx", "info_type_id"),
-        ("person_info", "info_type_id"),
-    ] {
-        cat.relate("info_type", "id", t, c)
-            .expect("schema declares join keys");
-    }
-    cat.relate("kind_type", "id", "title", "kind_id")
-        .expect("join keys");
-    cat.relate("company_name", "id", "movie_companies", "company_id")
-        .expect("join keys");
-    cat.relate("company_type", "id", "movie_companies", "company_type_id")
-        .expect("join keys");
-    cat.relate("keyword", "id", "movie_keyword", "keyword_id")
-        .expect("join keys");
-    cat.relate("role_type", "id", "cast_info", "role_id")
-        .expect("join keys");
-    cat.relate("char_name", "id", "cast_info", "person_role_id")
-        .expect("join keys");
-    cat.relate("comp_cast_type", "id", "complete_cast", "subject_id")
-        .expect("join keys");
-    cat.relate("comp_cast_type", "id", "complete_cast", "status_id")
-        .expect("join keys");
-    cat.relate("link_type", "id", "movie_link", "link_type_id")
-        .expect("join keys");
+    declare_imdb_relations(cat);
 }
 
 #[cfg(test)]

@@ -18,11 +18,15 @@
 
 pub mod dist;
 pub mod imdb_db;
+pub mod loader;
+pub mod schemas;
 pub mod stats_db;
 pub mod text;
 pub mod workload;
 
 pub use dist::{CorrelatedInt, ZipfKeys};
 pub use imdb_db::{imdb_catalog, ImdbConfig};
+pub use loader::{load_dataset, load_table_csv, write_dataset, LoadError};
+pub use schemas::DatasetKind;
 pub use stats_db::{stats_catalog, stats_catalog_split_by_date, StatsConfig};
 pub use workload::{imdb_job_workload, stats_ceb_workload, training_workload, WorkloadConfig};

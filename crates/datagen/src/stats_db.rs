@@ -8,7 +8,8 @@
 //! incremental-update experiment can split by date (paper Table 5).
 
 use crate::dist::{weighted_choice, CorrelatedInt, ZipfKeys};
-use fj_storage::{Catalog, ColumnDef, DataType, Table, TableSchema, Value};
+use crate::schemas::{declare_stats_relations, DatasetKind};
+use fj_storage::{Catalog, Table, TableSchema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,6 +60,13 @@ fn date(rng: &mut StdRng) -> i64 {
     rng.gen_range(DATE_MIN..DATE_MAX)
 }
 
+/// Looks up one STATS table schema from the shared definitions.
+fn schema_of(name: &str) -> TableSchema {
+    DatasetKind::Stats
+        .table_schema(name)
+        .expect("stats table name")
+}
+
 /// Builds the STATS-like catalog: 8 tables, 13 join keys, 2 key groups.
 pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -78,14 +86,7 @@ pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
 
     // users(id, reputation, creation_date, views, upvotes, downvotes)
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::key("id"),
-            ColumnDef::new("reputation", DataType::Int),
-            ColumnDef::new("creation_date", DataType::Int),
-            ColumnDef::new("views", DataType::Int),
-            ColumnDef::new("upvotes", DataType::Int),
-            ColumnDef::new("downvotes", DataType::Int),
-        ]);
+        let schema = schema_of("users");
         let rep_gen = CorrelatedInt {
             base: 1.0,
             slope: 40.0,
@@ -123,17 +124,7 @@ pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
     // posts(id, owner_user_id, creation_date, score, view_count,
     //       answer_count, comment_count, favorite_count, post_type)
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::key("id"),
-            ColumnDef::key("owner_user_id"),
-            ColumnDef::new("creation_date", DataType::Int),
-            ColumnDef::new("score", DataType::Int),
-            ColumnDef::new("view_count", DataType::Int),
-            ColumnDef::new("answer_count", DataType::Int),
-            ColumnDef::new("comment_count", DataType::Int),
-            ColumnDef::new("favorite_count", DataType::Int),
-            ColumnDef::new("post_type", DataType::Int),
-        ]);
+        let schema = schema_of("posts");
         let score_gen = CorrelatedInt {
             base: -2.0,
             slope: 0.8,
@@ -172,13 +163,7 @@ pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
 
     // comments(id, post_id, user_id, score, creation_date)
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key("post_id"),
-            ColumnDef::key("user_id"),
-            ColumnDef::new("score", DataType::Int),
-            ColumnDef::new("creation_date", DataType::Int),
-        ]);
+        let schema = schema_of("comments");
         let score_gen = CorrelatedInt {
             base: 0.0,
             slope: 0.15,
@@ -209,12 +194,7 @@ pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
 
     // badges(id, user_id, date, class)
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key("user_id"),
-            ColumnDef::new("date", DataType::Int),
-            ColumnDef::new("class", DataType::Int),
-        ]);
+        let schema = schema_of("badges");
         let rows: Vec<Vec<Value>> = (1..=n_badges as i64)
             .map(|id| {
                 vec![
@@ -231,13 +211,7 @@ pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
 
     // votes(id, post_id, user_id, vote_type, creation_date)
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key("post_id"),
-            ColumnDef::key("user_id"),
-            ColumnDef::new("vote_type", DataType::Int),
-            ColumnDef::new("creation_date", DataType::Int),
-        ]);
+        let schema = schema_of("votes");
         let rows: Vec<Vec<Value>> = (1..=n_votes as i64)
             .map(|id| {
                 let user = if rng.gen_bool(0.40) {
@@ -263,13 +237,7 @@ pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
 
     // postHistory(id, post_id, user_id, post_history_type, creation_date)
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key("post_id"),
-            ColumnDef::key("user_id"),
-            ColumnDef::new("post_history_type", DataType::Int),
-            ColumnDef::new("creation_date", DataType::Int),
-        ]);
+        let schema = schema_of("postHistory");
         let rows: Vec<Vec<Value>> = (1..=n_history as i64)
             .map(|id| {
                 let user = if rng.gen_bool(0.08) {
@@ -292,13 +260,7 @@ pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
 
     // postLinks(id, post_id, related_post_id, link_type, creation_date)
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key("post_id"),
-            ColumnDef::key("related_post_id"),
-            ColumnDef::new("link_type", DataType::Int),
-            ColumnDef::new("creation_date", DataType::Int),
-        ]);
+        let schema = schema_of("postLinks");
         let rows: Vec<Vec<Value>> = (1..=n_links as i64)
             .map(|id| {
                 vec![
@@ -316,11 +278,7 @@ pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
 
     // tags(id, excerpt_post_id, count)
     {
-        let schema = TableSchema::new(vec![
-            ColumnDef::new("id", DataType::Int),
-            ColumnDef::key("excerpt_post_id"),
-            ColumnDef::new("count", DataType::Int),
-        ]);
+        let schema = schema_of("tags");
         let rows: Vec<Vec<Value>> = (1..=n_tags as i64)
             .map(|id| {
                 vec![
@@ -340,29 +298,7 @@ pub fn stats_catalog(cfg: &StatsConfig) -> Catalog {
 
 /// Declares the 11 FK→PK join relations (⇒ 13 join keys, 2 key groups).
 fn declare_relations(cat: &mut Catalog) {
-    let user_fks = [
-        ("posts", "owner_user_id"),
-        ("comments", "user_id"),
-        ("badges", "user_id"),
-        ("votes", "user_id"),
-        ("postHistory", "user_id"),
-    ];
-    for (t, c) in user_fks {
-        cat.relate("users", "id", t, c)
-            .expect("schema declares join keys");
-    }
-    let post_fks = [
-        ("comments", "post_id"),
-        ("votes", "post_id"),
-        ("postHistory", "post_id"),
-        ("postLinks", "post_id"),
-        ("postLinks", "related_post_id"),
-        ("tags", "excerpt_post_id"),
-    ];
-    for (t, c) in post_fks {
-        cat.relate("posts", "id", t, c)
-            .expect("schema declares join keys");
-    }
+    declare_stats_relations(cat);
 }
 
 /// Splits the STATS-like database by `creation_date` for the incremental

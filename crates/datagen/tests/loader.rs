@@ -1,0 +1,211 @@
+//! Loader integration tests: the checked-in fixture dumps load into the
+//! same structs the synthetic generators produce, the write→load round
+//! trip is lossless over whole synthetic databases, and malformed dumps
+//! fail with precise errors.
+
+use fj_datagen::loader::{load_dataset, load_table_csv, write_dataset, LoadError};
+use fj_datagen::{imdb_catalog, stats_catalog, DatasetKind, ImdbConfig, StatsConfig};
+use fj_storage::{Catalog, Value};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("fj_loader_tests").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Structural equality with a reference catalog: table names, schemas
+/// (column order, types, join-key flags), relations, and key groups.
+fn assert_same_shape(loaded: &Catalog, reference: &Catalog) {
+    assert_eq!(loaded.num_tables(), reference.num_tables());
+    for t in reference.tables() {
+        let l = loaded.table(t.name()).expect("table loaded");
+        assert_eq!(l.schema(), t.schema(), "schema of {}", t.name());
+    }
+    assert_eq!(loaded.relations(), reference.relations());
+    assert_eq!(
+        loaded.equivalent_key_groups(),
+        reference.equivalent_key_groups()
+    );
+}
+
+#[test]
+fn stats_fixtures_load_into_synthetic_shape() {
+    let cat = load_dataset(&fixture_dir("stats"), DatasetKind::Stats).expect("fixtures load");
+    let reference = stats_catalog(&StatsConfig::tiny());
+    assert_same_shape(&cat, &reference);
+    assert_eq!(cat.join_keys().len(), 13);
+    assert_eq!(cat.equivalent_key_groups().len(), 2);
+
+    // Timestamps became epoch seconds.
+    let users = cat.table("users").unwrap();
+    assert_eq!(users.nrows(), 6);
+    let created = users.column_by_name("creation_date").unwrap();
+    assert_eq!(created.ints()[0], 1_279_522_526); // 2010-07-19 06:55:26
+                                                  // `NULL` literal in an Int column.
+    let rep = users.column_by_name("reputation").unwrap();
+    assert!(rep.is_null(4));
+
+    // Unquoted empty field is NULL (posts row 3 has no owner).
+    let posts = cat.table("posts").unwrap();
+    let owner = posts.column_by_name("owner_user_id").unwrap();
+    assert!(owner.is_null(2));
+    // `PostTypeId` header bound to the `post_type` schema column.
+    let ptype = posts.column_by_name("post_type").unwrap();
+    assert_eq!(ptype.ints()[1], 2);
+
+    // `\N` null style (comments rows 2 and 8).
+    let comments = cat.table("comments").unwrap();
+    let cuser = comments.column_by_name("user_id").unwrap();
+    assert!(cuser.is_null(1) && cuser.is_null(7));
+
+    // Header reordering: votes dump puts VoteTypeId before UserId.
+    let votes = cat.table("votes").unwrap();
+    assert_eq!(votes.column_by_name("vote_type").unwrap().ints()[2], 3);
+    assert_eq!(votes.column_by_name("user_id").unwrap().ints()[2], 1);
+
+    // Extra dump columns (badges.Name, tags.TagName) are skipped.
+    let badges = cat.table("badges").unwrap();
+    assert_eq!(badges.schema().len(), 4);
+    assert_eq!(badges.column_by_name("class").unwrap().ints()[1], 1);
+    let tags = cat.table("tags").unwrap();
+    assert_eq!(tags.column_by_name("count").unwrap().ints()[1], 7);
+}
+
+#[test]
+fn imdb_fixtures_load_into_synthetic_shape() {
+    let cat = load_dataset(&fixture_dir("imdb"), DatasetKind::Imdb).expect("fixtures load");
+    let reference = imdb_catalog(&ImdbConfig::tiny());
+    assert_same_shape(&cat, &reference);
+    assert_eq!(cat.equivalent_key_groups().len(), 11);
+
+    // Quoted strings keep embedded commas and `""` escapes.
+    let title = cat.table("title").unwrap();
+    assert_eq!(
+        title.column_by_name("title").unwrap().get(0),
+        Value::Str("the dark night, returns".into())
+    );
+    assert_eq!(
+        title.column_by_name("title").unwrap().get(1),
+        Value::Str("a \"quoted\" dream".into())
+    );
+    // Unquoted empty Int field is NULL (episode_nr of non-episodes).
+    assert!(title.column_by_name("episode_nr").unwrap().is_null(0));
+    assert_eq!(title.column_by_name("episode_nr").unwrap().ints()[2], 42);
+}
+
+#[test]
+fn fixture_catalogs_support_training_workloads() {
+    // The loaded catalog is a first-class citizen: the workload generator
+    // runs on it exactly as on a synthetic one.
+    let cat = load_dataset(&fixture_dir("stats"), DatasetKind::Stats).expect("fixtures load");
+    let wl = fj_datagen::stats_ceb_workload(&cat, &fj_datagen::WorkloadConfig::tiny(3));
+    assert_eq!(wl.len(), 12);
+    assert!(wl.iter().all(|q| q.is_connected()));
+}
+
+#[test]
+fn write_load_round_trip_is_lossless_stats() {
+    let cat = stats_catalog(&StatsConfig::tiny());
+    let dir = tmp_dir("rt_stats");
+    write_dataset(&dir, &cat).unwrap();
+    let back = load_dataset(&dir, DatasetKind::Stats).expect("round trip loads");
+    assert_same_shape(&back, &cat);
+    for t in cat.tables() {
+        let l = back.table(t.name()).unwrap();
+        assert_eq!(l.nrows(), t.nrows(), "row count of {}", t.name());
+        for i in 0..t.nrows() {
+            assert_eq!(l.row(i), t.row(i), "row {i} of {}", t.name());
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn write_load_round_trip_is_lossless_imdb() {
+    let cat = imdb_catalog(&ImdbConfig {
+        scale: 0.05,
+        ..Default::default()
+    });
+    let dir = tmp_dir("rt_imdb");
+    write_dataset(&dir, &cat).unwrap();
+    let back = load_dataset(&dir, DatasetKind::Imdb).expect("round trip loads");
+    assert_same_shape(&back, &cat);
+    for t in cat.tables() {
+        let l = back.table(t.name()).unwrap();
+        assert_eq!(l.nrows(), t.nrows(), "row count of {}", t.name());
+        for i in (0..t.nrows()).step_by(7) {
+            assert_eq!(l.row(i), t.row(i), "row {i} of {}", t.name());
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_table_file_is_reported() {
+    let dir = tmp_dir("missing_table");
+    let err = load_dataset(&dir, DatasetKind::Stats).unwrap_err();
+    match err {
+        LoadError::MissingTable { table, .. } => assert_eq!(table, "users"),
+        other => panic!("expected MissingTable, got {other}"),
+    }
+}
+
+#[test]
+fn missing_schema_column_is_reported() {
+    let dir = tmp_dir("missing_col");
+    let path = dir.join("users.csv");
+    std::fs::write(&path, "Id,Reputation\n1,5\n").unwrap();
+    let schema = DatasetKind::Stats.table_schema("users").unwrap();
+    let err = load_table_csv(&path, "users", &schema).unwrap_err();
+    match err {
+        LoadError::MissingColumn { column, header, .. } => {
+            assert_eq!(column, "creation_date");
+            assert_eq!(header, vec!["Id".to_string(), "Reputation".to_string()]);
+        }
+        other => panic!("expected MissingColumn, got {other}"),
+    }
+}
+
+#[test]
+fn unparseable_field_is_reported_with_position() {
+    let dir = tmp_dir("bad_field");
+    let path = dir.join("tags.csv");
+    std::fs::write(&path, "Id,ExcerptPostId,Count\n1,2,13\n2,not-a-number,7\n").unwrap();
+    let schema = DatasetKind::Stats.table_schema("tags").unwrap();
+    let err = load_table_csv(&path, "tags", &schema).unwrap_err();
+    match err {
+        LoadError::Parse {
+            column, row, field, ..
+        } => {
+            assert_eq!(column, "excerpt_post_id");
+            assert_eq!(row, 2);
+            assert_eq!(field, "not-a-number");
+        }
+        other => panic!("expected Parse, got {other}"),
+    }
+}
+
+#[test]
+fn ragged_row_is_reported() {
+    let dir = tmp_dir("ragged");
+    let path = dir.join("tags.csv");
+    std::fs::write(&path, "Id,ExcerptPostId,Count\n1,2\n").unwrap();
+    let schema = DatasetKind::Stats.table_schema("tags").unwrap();
+    let err = load_table_csv(&path, "tags", &schema).unwrap_err();
+    match err {
+        LoadError::Ragged {
+            row, expected, got, ..
+        } => {
+            assert_eq!((row, expected, got), (1, 3, 2));
+        }
+        other => panic!("expected Ragged, got {other}"),
+    }
+}

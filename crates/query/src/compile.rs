@@ -1,6 +1,6 @@
 //! Filter compilation and evaluation against columnar tables.
 //!
-//! A [`fj_query::FilterExpr`] is compiled once per (table, filter) pair:
+//! A [`crate::FilterExpr`] is compiled once per (table, filter) pair:
 //! column names resolve to indices, string predicates pre-evaluate against
 //! the column dictionary (so `LIKE` costs one dictionary scan, not one
 //! pattern match per row), and literals are coerced to the column type.

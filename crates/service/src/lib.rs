@@ -46,6 +46,8 @@
 //! println!("{}", service.stats());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod queue;
 pub mod registry;
 pub mod request;

@@ -3,7 +3,7 @@
 //! The joint distribution of a table's attributes is approximated by a
 //! tree-structured Bayesian network: edges are weighted by pairwise mutual
 //! information and a maximum spanning tree keeps the most informative
-//! dependencies (Chow & Liu, 1968 — reference [6] of the paper). The tree
+//! dependencies (Chow & Liu, 1968 — reference 6 of the paper). The tree
 //! factorizes the `max(|JK|)`-dimensional joint into ≤2-dimensional
 //! conditionals, reducing FactorJoin's inference complexity to `O(N·k²)`.
 

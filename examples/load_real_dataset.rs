@@ -1,0 +1,85 @@
+//! Real-dump loading end to end: export a database in the real-dump CSV
+//! layout, load it back through `fj_datagen::loader`, and train a
+//! FactorJoin model from the loaded catalog.
+//!
+//! Point `FJ_DATASET_DIR` at a directory holding the actual STATS dump
+//! (`users.csv`, `posts.csv`, … with headers) to run against real data;
+//! without it the example exports a synthetic STATS-CEB-like database
+//! first, so it is self-contained.
+//!
+//! ```sh
+//! cargo run --release --example load_real_dataset
+//! FJ_DATASET_DIR=/data/stats cargo run --release --example load_real_dataset
+//! ```
+
+use factorjoin::{FactorJoinConfig, FactorJoinModel};
+use fj_datagen::loader::{load_dataset, write_dataset};
+use fj_datagen::{stats_catalog, stats_ceb_workload, DatasetKind, StatsConfig, WorkloadConfig};
+
+#[path = "util/scale.rs"]
+mod util;
+use util::fj_scale;
+
+fn main() {
+    let dir = match std::env::var("FJ_DATASET_DIR") {
+        Ok(d) if !d.is_empty() => {
+            println!("loading real dump from {d}");
+            std::path::PathBuf::from(d)
+        }
+        _ => {
+            // Self-contained mode: export a synthetic database in the dump
+            // layout, then treat it exactly like a real one.
+            let dir = std::env::temp_dir().join("fj_example_dataset");
+            let cat = stats_catalog(&StatsConfig {
+                scale: fj_scale(),
+                ..Default::default()
+            });
+            write_dataset(&dir, &cat).expect("export dataset");
+            println!(
+                "no FJ_DATASET_DIR set; exported a synthetic STATS dump ({} tables, {} rows) \
+                 to {}",
+                cat.num_tables(),
+                cat.total_rows(),
+                dir.display()
+            );
+            dir
+        }
+    };
+
+    let catalog = load_dataset(&dir, DatasetKind::Stats).unwrap_or_else(|e| {
+        eprintln!("cannot load dataset: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "loaded {} tables / {} rows, {} join keys in {} key groups",
+        catalog.num_tables(),
+        catalog.total_rows(),
+        catalog.join_keys().len(),
+        catalog.equivalent_key_groups().len()
+    );
+
+    let model = FactorJoinModel::train(&catalog, FactorJoinConfig::default());
+    println!(
+        "trained FactorJoin in {:.2}s ({} bytes)",
+        model.report().train_seconds,
+        model.model_bytes()
+    );
+
+    // Workload literals are drawn from the *loaded* data, so selectivities
+    // reflect whatever database the dump held.
+    let queries: usize = std::env::var("FJ_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let wl = stats_ceb_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: queries,
+            ..WorkloadConfig::tiny(7)
+        },
+    );
+    for q in &wl {
+        let bound = model.estimate(q);
+        println!("{}  ≤ {bound:.0}", q.to_sql(&catalog));
+    }
+}

@@ -72,3 +72,8 @@ fn incremental_update_runs() {
 fn concurrent_service_runs() {
     run_example("concurrent_service");
 }
+
+#[test]
+fn load_real_dataset_runs() {
+    run_example("load_real_dataset");
+}
