@@ -82,17 +82,10 @@ impl JoinHist {
                 .map(|kr| {
                     let t = catalog.table(&kr.table).expect("group keys exist");
                     let ci = t.schema().index_of(&kr.column).expect("group keys exist");
-                    let col = t.column(ci);
-                    let mut f = HashMap::new();
-                    for r in 0..col.len() {
-                        if let Some(v) = col.key_at(r) {
-                            *f.entry(v).or_insert(0u64) += 1;
-                        }
-                    }
-                    f
+                    factorjoin::KeyFreq::count_column(t.column(ci))
                 })
                 .collect();
-            let freq_refs: Vec<&HashMap<i64, u64>> = freqs.iter().collect();
+            let freq_refs: Vec<&factorjoin::KeyFreq> = freqs.iter().collect();
             let bins = factorjoin::build_group_bins(
                 &freq_refs,
                 cfg.bins.max(1),
@@ -106,7 +99,7 @@ impl JoinHist {
                     ndv: vec![0.0; k],
                     mfv: vec![0.0; k],
                 };
-                for (&v, &c) in f {
+                for (v, c) in f.iter() {
                     let b = bins.bin_of(v);
                     h.total[b] += c as f64;
                     h.ndv[b] += 1.0;
@@ -361,7 +354,7 @@ impl CardEst for JoinHist {
     }
 }
 
-type KeyFreqOwned = HashMap<i64, u64>;
+type KeyFreqOwned = factorjoin::KeyFreq;
 
 #[cfg(test)]
 mod tests {

@@ -8,7 +8,6 @@ use fj_datagen::{stats_catalog, StatsConfig};
 use fj_exec::TrueCardEngine;
 use fj_query::parse_query;
 use fj_stats::{BaseTableEstimator, BayesNetEstimator, BnConfig, TableBins};
-use std::collections::HashMap;
 
 fn executor_join(c: &mut Criterion) {
     let cat = stats_catalog(&StatsConfig {
@@ -34,7 +33,7 @@ fn executor_join(c: &mut Criterion) {
 
 fn binning_strategies(c: &mut Criterion) {
     // Zipf-ish frequency map of 20k values.
-    let freq: HashMap<i64, u64> = (0..20_000)
+    let freq: factorjoin::KeyFreq = (0..20_000)
         .map(|v| (v, 1 + (20_000 / (v + 1)) as u64))
         .collect();
     let mut group = c.benchmark_group("binning_20k_values");

@@ -12,7 +12,7 @@ use fj_bench::experiments::{
     end_to_end, fig6, fig7, fig9, per_query, table1, table2, table5, table6, table7, table8,
     ExpConfig,
 };
-use fj_bench::{perfbase, quality, throughput, BenchKind};
+use fj_bench::{perfbase, quality, throughput, training, BenchKind};
 use std::path::Path;
 
 const KNOWN_IDS: &[&str] = &[
@@ -32,6 +32,8 @@ struct BaselineOps<S, R> {
     default_count: usize,
     /// Default regression threshold.
     default_threshold: f64,
+    /// Pinned measurement scale (overridable via `FJ_SCALE`).
+    default_scale: f64,
     /// What a failed check means, for the FAIL line.
     fail_what: &'static str,
     measure: fn(&str, f64, usize) -> S,
@@ -86,7 +88,7 @@ fn run_baseline_subcommand<S, R>(ops: BaselineOps<S, R>, args: &[String]) -> ! {
     let scale = std::env::var("FJ_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(perfbase::PINNED_SCALE);
+        .unwrap_or(ops.default_scale);
     match (write, check) {
         (Some(path), None) => {
             let sample = (ops.measure)(&label, scale, count);
@@ -138,6 +140,7 @@ fn bench_estimation(args: &[String]) -> ! {
             count_flag: "--passes",
             default_count: 30,
             default_threshold: perfbase::DEFAULT_THRESHOLD,
+            default_scale: perfbase::PINNED_SCALE,
             fail_what: "planning-latency",
             measure: perfbase::measure,
             append: perfbase::append_sample,
@@ -172,6 +175,7 @@ fn bench_throughput(args: &[String]) -> ! {
             count_flag: "--repeats",
             default_count: 400,
             default_threshold: throughput::DEFAULT_THRESHOLD,
+            default_scale: perfbase::PINNED_SCALE,
             fail_what: "serving-throughput",
             measure: throughput::measure,
             append: throughput::append_sample,
@@ -208,6 +212,7 @@ fn bench_quality(args: &[String]) -> ! {
             count_flag: "--queries",
             default_count: quality::PINNED_QUERIES,
             default_threshold: quality::DEFAULT_THRESHOLD,
+            default_scale: perfbase::PINNED_SCALE,
             fail_what: "estimator-quality",
             measure: quality::measure,
             append: quality::append_sample,
@@ -217,6 +222,39 @@ fn bench_quality(args: &[String]) -> ! {
                 println!("baseline {}", quality::format_sample(&report.baseline));
                 println!("fresh    {}", quality::format_sample(&report.fresh));
                 println!("{}", quality::format_deltas(report));
+                report.ok
+            },
+        },
+        args,
+    )
+}
+
+/// `bench-training` subcommand: measure the offline pipeline (serial +
+/// parallel cold builds with a bit-identity probe, the ~10% insert batch
+/// through both update paths, a cold retrain) on the pinned date-split
+/// STATS environment and write/check `BENCH_training.json`.
+///
+/// ```text
+/// fj-experiments bench-training --write BENCH_training.json --label parallel-pipeline
+/// fj-experiments bench-training --check BENCH_training.json [--threshold 1.5] [--repeats 3]
+/// ```
+fn bench_training(args: &[String]) -> ! {
+    run_baseline_subcommand(
+        BaselineOps {
+            sub: "bench-training",
+            count_flag: "--repeats",
+            default_count: 3,
+            default_threshold: training::DEFAULT_THRESHOLD,
+            default_scale: training::PINNED_TRAIN_SCALE,
+            fail_what: "training-pipeline",
+            measure: training::measure,
+            append: training::append_sample,
+            format: training::format_sample,
+            check: training::check_against,
+            report_check: |report, _threshold| {
+                println!("baseline {}", training::format_sample(&report.baseline));
+                println!("fresh    {}", training::format_sample(&report.fresh));
+                println!("{}", training::format_deltas(report));
                 report.ok
             },
         },
@@ -234,6 +272,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("bench-quality") {
         bench_quality(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench-training") {
+        bench_training(&args[1..]);
     }
     let mut cfg = ExpConfig::from_env();
     // `--dataset-dir <path>` anywhere in the argument list swaps synthetic
@@ -257,6 +298,7 @@ fn main() {
         eprintln!("       fj-experiments bench-estimation (--write <json> | --check <json>)");
         eprintln!("       fj-experiments bench-throughput (--write <json> | --check <json>)");
         eprintln!("       fj-experiments bench-quality    (--write <json> | --check <json>)");
+        eprintln!("       fj-experiments bench-training   (--write <json> | --check <json>)");
         eprintln!(
             "env: FJ_SCALE=<f64> (default 0.5), FJ_QUERIES=<n> (default full workload), \
              FJ_DATASET_DIR=<dir> (real dumps instead of synthetic data)"

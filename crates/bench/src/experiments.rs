@@ -102,6 +102,7 @@ pub fn paper_factorjoin(env: &BenchEnv) -> FactorJoinEst {
         strategy: BinningStrategy::Gbsa,
         estimator,
         seed: 42,
+        threads: 0,
     };
     FactorJoinEst::new(FactorJoinModel::train(&env.catalog, cfg))
 }

@@ -20,6 +20,10 @@ pub struct MethodResult {
     pub per_query_plan: Vec<f64>,
     /// All (estimate, truth) pairs over sub-plans (for Figure 7).
     pub est_truth: Vec<(f64, f64)>,
+    /// How many `est_truth` pairs each query contributed, in query order
+    /// (0 for unsupported queries) — lets consumers slice `est_truth` back
+    /// per query, e.g. for the per-template quality breakdown.
+    pub per_query_subplans: Vec<usize>,
     /// Model size in bytes.
     pub model_bytes: usize,
     /// Training time in seconds.
@@ -68,6 +72,7 @@ impl<'a> EndToEnd<'a> {
             per_query_exec: Vec::with_capacity(self.env.queries.len()),
             per_query_plan: Vec::with_capacity(self.env.queries.len()),
             est_truth: Vec::new(),
+            per_query_subplans: Vec::with_capacity(self.env.queries.len()),
             model_bytes: est.model_bytes(),
             train_s: est.train_seconds(),
             unsupported: 0,
@@ -95,6 +100,7 @@ impl<'a> EndToEnd<'a> {
                 t0.elapsed().as_secs_f64()
             };
             let estimates: std::collections::HashMap<u64, f64> = subs.iter().copied().collect();
+            let before = result.est_truth.len();
             if est.supports(q) {
                 // Error statistics cover join sub-plans (≥ 2 aliases), as
                 // in the paper's Figure 7; single-table estimates feed the
@@ -105,6 +111,9 @@ impl<'a> EndToEnd<'a> {
                     }
                 }
             }
+            result
+                .per_query_subplans
+                .push(result.est_truth.len() - before);
             // Optimize under injected estimates; missing masks fall back to
             // a neutral constant (they should not occur).
             let plan = optimize(
@@ -170,6 +179,7 @@ mod tests {
             per_query_exec: vec![],
             per_query_plan: vec![],
             est_truth: vec![],
+            per_query_subplans: vec![],
             model_bytes: 0,
             train_s: 0.0,
             unsupported: 0,

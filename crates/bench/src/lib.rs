@@ -18,6 +18,7 @@ pub mod perfbase;
 pub mod quality;
 pub mod report;
 pub mod throughput;
+pub mod training;
 
 pub use env::{BenchEnv, BenchKind};
 pub use harness::{run_end_to_end, EndToEnd, MethodResult};

@@ -61,6 +61,11 @@ pub struct EstimationSample {
     pub planning_s_per_query: f64,
     /// Model training time in seconds.
     pub train_seconds: f64,
+    /// How the recorded model was built: `"serial"` (pre-parallel-pipeline
+    /// samples) or `"parallel:<threads>"`. Keeps the `train_seconds`
+    /// history comparable across the parallel-training change — a drop in
+    /// train time labelled `parallel:8` is scaling, not a code speedup.
+    pub train_mode: String,
     /// Deployable model size in bytes. Tracked alongside latency so the
     /// history shows accuracy/speed work is not being bought with model
     /// bloat (paper Figure 6 reports both). 0 for pre-metric samples.
@@ -116,6 +121,7 @@ pub fn measure(label: &str, scale: f64, passes: usize) -> EstimationSample {
             ..Default::default()
         },
     );
+    let train_mode = format!("parallel:{}", model.report().threads);
     // A long-lived estimation session, as a serving optimizer would hold.
     let mut session = model.subplan_estimator();
     // Warm-up: populates caches and scratch capacity.
@@ -151,6 +157,7 @@ pub fn measure(label: &str, scale: f64, passes: usize) -> EstimationSample {
         subplans_per_second: subplans as f64 / pass_seconds,
         planning_s_per_query: pass_seconds / wl.len() as f64,
         train_seconds: model.report().train_seconds,
+        train_mode,
         model_bytes: model.report().model_bytes,
     }
 }
@@ -184,6 +191,7 @@ fn sample_to_json(s: &EstimationSample) -> Value {
             Value::from(s.planning_s_per_query),
         ),
         ("train_seconds".to_string(), Value::from(s.train_seconds)),
+        ("train_mode".to_string(), Value::from(s.train_mode.clone())),
         ("model_bytes".to_string(), Value::from(s.model_bytes)),
     ])
 }
@@ -206,6 +214,8 @@ fn sample_from_json(v: &Value) -> std::io::Result<EstimationSample> {
         subplans_per_second: f("subplans_per_second")?,
         planning_s_per_query: f("planning_s_per_query")?,
         train_seconds: f("train_seconds")?,
+        // Samples recorded before the parallel pipeline were serial builds.
+        train_mode: v["train_mode"].as_str().unwrap_or("serial").to_string(),
         // Samples recorded before the model-size metric read as 0.
         model_bytes: v["model_bytes"].as_f64().unwrap_or(0.0) as usize,
     })
@@ -298,13 +308,14 @@ pub fn check_against(path: &Path, threshold: f64, passes: usize) -> std::io::Res
 pub fn format_sample(s: &EstimationSample) -> String {
     format!(
         "{}: {:.3} ms/pass (best {:.3}), {:.0} sub-plans/s, {:.3} ms planning/query, \
-         train {:.2}s, model {} (scale {}, k={}, {} queries, {} sub-plans)",
+         train {:.2}s ({}), model {} (scale {}, k={}, {} queries, {} sub-plans)",
         s.label,
         s.pass_seconds * 1e3,
         s.best_pass_seconds * 1e3,
         s.subplans_per_second,
         s.planning_s_per_query * 1e3,
         s.train_seconds,
+        s.train_mode,
         crate::report::fmt_bytes(s.model_bytes),
         s.scale,
         s.bins,
@@ -331,6 +342,7 @@ mod tests {
             subplans_per_second: 120_000.0,
             planning_s_per_query: 0.000_625,
             train_seconds: 1.5,
+            train_mode: "parallel:4".into(),
             model_bytes: 123_456,
         };
         let v = sample_to_json(&s);
@@ -338,6 +350,13 @@ mod tests {
         assert_eq!(back.label, s.label);
         assert_eq!(back.subplans, s.subplans);
         assert_eq!(back.model_bytes, 123_456);
+        assert_eq!(back.train_mode, "parallel:4");
+        // Pre-parallel samples (no train_mode field) read as serial.
+        let legacy_text = sample_to_json(&s)
+            .to_string()
+            .replace("\"parallel:4\"", "null");
+        let legacy: Value = serde_json::from_str(&legacy_text).unwrap();
+        assert_eq!(sample_from_json(&legacy).unwrap().train_mode, "serial");
         assert!((back.pass_seconds - s.pass_seconds).abs() < 1e-12);
         assert!((back.best_pass_seconds - s.best_pass_seconds).abs() < 1e-12);
         assert!((back.calibration_seconds - s.calibration_seconds).abs() < 1e-12);

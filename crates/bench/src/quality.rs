@@ -22,7 +22,8 @@ use crate::experiments::paper_factorjoin;
 use crate::harness::EndToEnd;
 use crate::perfbase::{PINNED_BINS, PINNED_SCALE};
 use crate::report::{percentile, q_error};
-use fj_baselines::{CardEst, PostgresLike, TrueCard};
+use fj_baselines::{CardEst, JoinHist, JoinHistConfig, PessEst, PostgresLike, TrueCard};
+use fj_query::Query;
 use serde_json::Value;
 use std::path::Path;
 
@@ -50,6 +51,26 @@ pub struct MethodQuality {
     pub plan_cost_ratio: f64,
 }
 
+/// Quality on one query template (join shape) of a workload.
+#[derive(Debug, Clone)]
+pub struct TemplateQuality {
+    /// Template signature: the sorted joined tables, e.g.
+    /// `comments+posts+votes`. A gate failure on a template names the
+    /// query shape that regressed instead of an aggregate.
+    pub template: String,
+    /// Queries of this shape in the workload.
+    pub queries: usize,
+    /// Per-method quality on this shape only.
+    pub methods: Vec<MethodQuality>,
+}
+
+impl TemplateQuality {
+    /// The named method's quality on this template, if recorded.
+    pub fn method(&self, name: &str) -> Option<&MethodQuality> {
+        self.methods.iter().find(|m| m.method == name)
+    }
+}
+
 /// One workload's quality measurements.
 #[derive(Debug, Clone)]
 pub struct WorkloadQuality {
@@ -61,6 +82,8 @@ pub struct WorkloadQuality {
     pub subplans: usize,
     /// Per-method quality, in measurement order.
     pub methods: Vec<MethodQuality>,
+    /// Per-template breakdown (same metrics, grouped by join shape).
+    pub templates: Vec<TemplateQuality>,
 }
 
 /// One recorded quality sample (both workloads).
@@ -88,6 +111,19 @@ impl WorkloadQuality {
     pub fn method(&self, name: &str) -> Option<&MethodQuality> {
         self.methods.iter().find(|m| m.method == name)
     }
+
+    /// The named template's breakdown, if recorded.
+    pub fn template(&self, signature: &str) -> Option<&TemplateQuality> {
+        self.templates.iter().find(|t| t.template == signature)
+    }
+}
+
+/// A query's template signature: its joined tables, sorted and joined
+/// with `+` (aliases collapse — a self-join lists its table twice).
+pub fn template_of(q: &Query) -> String {
+    let mut tables: Vec<&str> = q.tables().iter().map(|t| t.table.as_str()).collect();
+    tables.sort_unstable();
+    tables.join("+")
 }
 
 fn measure_workload(kind: BenchKind, scale: f64, queries: usize) -> WorkloadQuality {
@@ -97,7 +133,25 @@ fn measure_workload(kind: BenchKind, scale: f64, queries: usize) -> WorkloadQual
     let mut oracle = TrueCard::new(&env.catalog);
     let mut oracle_runner = EndToEnd::new(&env);
     oracle_runner.zero_planning = true;
-    let oracle_exec = oracle_runner.run(&mut oracle).exec_s;
+    let oracle_result = oracle_runner.run(&mut oracle);
+    let oracle_exec = oracle_result.exec_s;
+
+    // Group query indices by template signature, in first-seen order.
+    let signatures: Vec<String> = env.queries.iter().map(template_of).collect();
+    let mut template_order: Vec<String> = Vec::new();
+    for sig in &signatures {
+        if !template_order.contains(sig) {
+            template_order.push(sig.clone());
+        }
+    }
+    let mut templates: Vec<TemplateQuality> = template_order
+        .iter()
+        .map(|sig| TemplateQuality {
+            template: sig.clone(),
+            queries: signatures.iter().filter(|s| *s == sig).count(),
+            methods: Vec::new(),
+        })
+        .collect();
 
     let mut methods = Vec::new();
     let mut subplans = 0;
@@ -111,9 +165,51 @@ fn measure_workload(kind: BenchKind, scale: f64, queries: usize) -> WorkloadQual
             p95_qerror: percentile(&qerrs, 95.0),
             plan_cost_ratio: r.exec_s / oracle_exec.max(1e-12),
         });
+        // Per-template: slice the flat per-sub-plan q-errors back to their
+        // query via the harness's per-query counts, then group by shape.
+        let mut offsets = Vec::with_capacity(env.queries.len());
+        let mut at = 0usize;
+        for &n in &r.per_query_subplans {
+            offsets.push(at);
+            at += n;
+        }
+        for t in templates.iter_mut() {
+            let idx: Vec<usize> = (0..env.queries.len())
+                .filter(|&qi| signatures[qi] == t.template)
+                .collect();
+            let t_qerrs: Vec<f64> = idx
+                .iter()
+                .flat_map(|&qi| {
+                    qerrs[offsets[qi]..offsets[qi] + r.per_query_subplans[qi]]
+                        .iter()
+                        .copied()
+                })
+                .collect();
+            if t_qerrs.is_empty() {
+                // Every query of this shape was unsupported by the method
+                // (e.g. a baseline rejecting LIKE): no q-errors to gate.
+                continue;
+            }
+            let t_exec: f64 = idx.iter().map(|&qi| r.per_query_exec[qi]).sum();
+            let t_oracle: f64 = idx.iter().map(|&qi| oracle_result.per_query_exec[qi]).sum();
+            t.methods.push(MethodQuality {
+                method: r.method.clone(),
+                p50_qerror: percentile(&t_qerrs, 50.0),
+                p95_qerror: percentile(&t_qerrs, 95.0),
+                plan_cost_ratio: t_exec / t_oracle.max(1e-12),
+            });
+        }
     };
     let mut pg = PostgresLike::build(&env.catalog);
     run(&mut pg);
+    if kind == BenchKind::StatsCeb {
+        // JoinHist is a STATS-only baseline in the paper's Table 3 (its
+        // per-bin uniformity model has no LIKE support).
+        let mut jh = JoinHist::build(&env.catalog, JoinHistConfig::classic(PINNED_BINS));
+        run(&mut jh);
+    }
+    let mut pe = PessEst::new(&env.catalog, 512);
+    run(&mut pe);
     let mut fj = paper_factorjoin(&env);
     run(&mut fj);
 
@@ -122,13 +218,15 @@ fn measure_workload(kind: BenchKind, scale: f64, queries: usize) -> WorkloadQual
         queries: env.queries.len(),
         subplans,
         methods,
+        templates,
     }
 }
 
-/// Runs the pinned estimator sweep on both benchmarks: PostgresLike and
-/// paper-configured FactorJoin on STATS-CEB and IMDB-JOB, `queries`
-/// evaluation queries each, at `scale`. Deterministic for a given
-/// (scale, queries) pair.
+/// Runs the pinned estimator sweep on both benchmarks: PostgresLike,
+/// JoinHist (STATS only), PessEst, and paper-configured FactorJoin on
+/// STATS-CEB and IMDB-JOB, `queries` evaluation queries each, at `scale`,
+/// with a per-template breakdown of every metric. Deterministic for a
+/// given (scale, queries) pair.
 pub fn measure(label: &str, scale: f64, queries: usize) -> QualitySample {
     let queries = queries.max(4);
     QualitySample {
@@ -175,6 +273,33 @@ fn method_from_json(v: &Value) -> std::io::Result<MethodQuality> {
     })
 }
 
+fn template_to_json(t: &TemplateQuality) -> Value {
+    Value::object([
+        ("template".to_string(), Value::from(t.template.clone())),
+        ("queries".to_string(), Value::from(t.queries)),
+        (
+            "methods".to_string(),
+            Value::Array(t.methods.iter().map(method_to_json).collect()),
+        ),
+    ])
+}
+
+fn template_from_json(v: &Value) -> std::io::Result<TemplateQuality> {
+    Ok(TemplateQuality {
+        template: v["template"]
+            .as_str()
+            .ok_or_else(|| err("template"))?
+            .to_string(),
+        queries: v["queries"].as_f64().ok_or_else(|| err("queries"))? as usize,
+        methods: v["methods"]
+            .as_array()
+            .ok_or_else(|| err("methods"))?
+            .iter()
+            .map(method_from_json)
+            .collect::<std::io::Result<_>>()?,
+    })
+}
+
 fn workload_to_json(w: &WorkloadQuality) -> Value {
     Value::object([
         ("workload".to_string(), Value::from(w.workload.clone())),
@@ -183,6 +308,10 @@ fn workload_to_json(w: &WorkloadQuality) -> Value {
         (
             "methods".to_string(),
             Value::Array(w.methods.iter().map(method_to_json).collect()),
+        ),
+        (
+            "templates".to_string(),
+            Value::Array(w.templates.iter().map(template_to_json).collect()),
         ),
     ])
 }
@@ -202,6 +331,15 @@ fn workload_from_json(v: &Value) -> std::io::Result<WorkloadQuality> {
             .iter()
             .map(method_from_json)
             .collect::<std::io::Result<_>>()?,
+        // Samples recorded before the per-template breakdown read as
+        // having none (the gate then simply has no templates to compare).
+        templates: match v["templates"].as_array() {
+            None => Vec::new(),
+            Some(ts) => ts
+                .iter()
+                .map(template_from_json)
+                .collect::<std::io::Result<_>>()?,
+        },
     })
 }
 
@@ -314,16 +452,17 @@ pub fn compare_samples(
     fresh: &QualitySample,
     threshold: f64,
 ) -> CheckReport {
-    let mut deltas = Vec::new();
-    let mut ok = true;
-    for bw in &baseline.workloads {
-        let Some(fw) = fresh.workload(&bw.workload) else {
-            ok = false;
-            continue;
-        };
-        for bm in &bw.methods {
-            let Some(fm) = fw.method(&bm.method) else {
-                ok = false;
+    fn compare_methods(
+        deltas: &mut Vec<MetricDelta>,
+        ok: &mut bool,
+        threshold: f64,
+        scope: &str,
+        base: &[MethodQuality],
+        fresh_of: &dyn Fn(&str) -> Option<MethodQuality>,
+    ) {
+        for bm in base {
+            let Some(fm) = fresh_of(&bm.method) else {
+                *ok = false;
                 continue;
             };
             for (metric, b, f) in [
@@ -333,9 +472,9 @@ pub fn compare_samples(
             ] {
                 let ratio = f / b.max(1e-12);
                 let within = ratio <= threshold;
-                ok &= within;
+                *ok &= within;
                 deltas.push(MetricDelta {
-                    workload: bw.workload.clone(),
+                    workload: scope.to_string(),
                     method: bm.method.clone(),
                     metric,
                     baseline: b,
@@ -343,6 +482,36 @@ pub fn compare_samples(
                     ratio,
                     ok: within,
                 });
+            }
+        }
+    }
+    let mut deltas = Vec::new();
+    let mut ok = true;
+    for bw in &baseline.workloads {
+        let Some(fw) = fresh.workload(&bw.workload) else {
+            ok = false;
+            continue;
+        };
+        compare_methods(
+            &mut deltas,
+            &mut ok,
+            threshold,
+            &bw.workload,
+            &bw.methods,
+            &|m| fw.method(m).cloned(),
+        );
+        // Per-template gates: an aggregate within tolerance can hide one
+        // query shape regressing while another improves — each recorded
+        // shape is held to the same threshold, and a failure names it.
+        for bt in &bw.templates {
+            let scope = format!("{}[{}]", bw.workload, bt.template);
+            match fw.template(&bt.template) {
+                None => ok = false,
+                Some(ft) => {
+                    compare_methods(&mut deltas, &mut ok, threshold, &scope, &bt.methods, &|m| {
+                        ft.method(m).cloned()
+                    });
+                }
             }
         }
     }
@@ -392,6 +561,12 @@ pub fn format_sample(s: &QualitySample) -> String {
                 m.method, m.p50_qerror, m.p95_qerror, m.plan_cost_ratio
             ));
         }
+        if !w.templates.is_empty() {
+            out.push_str(&format!(
+                "\n    ({} templates recorded; worst factorjoin p95 per shape gated individually)",
+                w.templates.len()
+            ));
+        }
     }
     out
 }
@@ -436,6 +611,16 @@ mod tests {
                     p95_qerror: p95,
                     plan_cost_ratio: cost,
                 }],
+                templates: vec![TemplateQuality {
+                    template: "comments+posts".into(),
+                    queries: 4,
+                    methods: vec![MethodQuality {
+                        method: "factorjoin".into(),
+                        p50_qerror: p50,
+                        p95_qerror: p95,
+                        plan_cost_ratio: cost,
+                    }],
+                }],
             }],
         }
     }
@@ -445,7 +630,8 @@ mod tests {
         let s = sample(2.0, 14.0, 1.2);
         let report = compare_samples(&s, &s.clone(), DEFAULT_THRESHOLD);
         assert!(report.ok);
-        assert_eq!(report.deltas.len(), 3);
+        // Three metrics at workload scope + three at template scope.
+        assert_eq!(report.deltas.len(), 6);
         assert!(report
             .deltas
             .iter()
@@ -461,9 +647,15 @@ mod tests {
         let report = compare_samples(&baseline, &fresh, DEFAULT_THRESHOLD);
         assert!(!report.ok);
         let bad: Vec<_> = report.deltas.iter().filter(|d| !d.ok).collect();
-        assert_eq!(bad.len(), 1);
-        assert_eq!(bad[0].metric, "p95_qerror");
+        // The regression shows up at workload scope and on its template.
+        assert_eq!(bad.len(), 2);
+        assert!(bad.iter().all(|d| d.metric == "p95_qerror"));
         assert!((bad[0].ratio - 2.0).abs() < 1e-12);
+        assert!(
+            bad.iter()
+                .any(|d| d.workload == "STATS-CEB[comments+posts]"),
+            "the failing template must be named: {bad:?}"
+        );
     }
 
     #[test]
@@ -494,6 +686,14 @@ mod tests {
     }
 
     #[test]
+    fn missing_template_fails_the_gate() {
+        let baseline = sample(2.0, 14.0, 1.2);
+        let mut fresh = sample(2.0, 14.0, 1.2);
+        fresh.workloads[0].templates.clear();
+        assert!(!compare_samples(&baseline, &fresh, DEFAULT_THRESHOLD).ok);
+    }
+
+    #[test]
     fn sample_json_roundtrip() {
         let s = sample(2.25, 17.5, 1.31);
         let back = sample_from_json(&sample_to_json(&s)).unwrap();
@@ -503,6 +703,37 @@ mod tests {
         assert!((m.p95_qerror - 17.5).abs() < 1e-12);
         assert!((m.plan_cost_ratio - 1.31).abs() < 1e-12);
         assert_eq!(back.workloads[0].subplans, 120);
+        let t = back.workloads[0].template("comments+posts").unwrap();
+        assert_eq!(t.queries, 4);
+        assert!((t.method("factorjoin").unwrap().p50_qerror - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn template_only_regression_is_caught_and_named() {
+        // The aggregate stays flat while one query shape doubles its tail
+        // error — exactly the failure mode the per-template gate exists
+        // for. The delta names the shape.
+        let baseline = sample(2.0, 14.0, 1.2);
+        let mut fresh = sample(2.0, 14.0, 1.2);
+        fresh.workloads[0].templates[0].methods[0].p95_qerror *= 2.0;
+        let report = compare_samples(&baseline, &fresh, DEFAULT_THRESHOLD);
+        assert!(!report.ok);
+        let bad: Vec<_> = report.deltas.iter().filter(|d| !d.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "p95_qerror");
+        assert_eq!(bad[0].workload, "STATS-CEB[comments+posts]");
+    }
+
+    #[test]
+    fn baseline_without_templates_still_gates_aggregates() {
+        // Pre-breakdown history entries read as template-free; the gate
+        // degrades to the aggregate comparison instead of failing.
+        let mut baseline = sample(2.0, 14.0, 1.2);
+        baseline.workloads[0].templates.clear();
+        let fresh = sample(2.0, 14.0, 1.2);
+        let report = compare_samples(&baseline, &fresh, DEFAULT_THRESHOLD);
+        assert!(report.ok);
+        assert_eq!(report.deltas.len(), 3);
     }
 
     #[test]
@@ -515,10 +746,19 @@ mod tests {
         // re-measurement is deterministic, so even threshold 1.0 + ε holds.
         let s = measure("seed", 0.03, 6);
         assert_eq!(s.workloads.len(), 2);
-        assert!(s
-            .workloads
-            .iter()
-            .all(|w| w.subplans > 0 && w.methods.len() == 2));
+        for w in &s.workloads {
+            assert!(w.subplans > 0);
+            // STATS records 4 methods (postgres, joinhist, pessest,
+            // factorjoin); IMDB drops JoinHist (no LIKE support).
+            let expect = if w.workload == "STATS-CEB" { 4 } else { 3 };
+            assert_eq!(w.methods.len(), expect, "{}", w.workload);
+            assert!(w.method("pessest").is_some());
+            assert!(!w.templates.is_empty(), "templates recorded");
+            for t in &w.templates {
+                assert!(t.queries > 0);
+                assert!(t.method("factorjoin").is_some());
+            }
+        }
         append_sample(&path, &s).unwrap();
         // The check re-measures at the *baseline's* query count — passing a
         // wildly different `--queries` here must not change the comparison

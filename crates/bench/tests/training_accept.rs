@@ -1,0 +1,60 @@
+//! Acceptance slice for the offline-pipeline claims (ISSUE 5): the
+//! structural facts run everywhere; the scaling assertion is cores-gated
+//! like the serving-throughput one (a 1-core container cannot express
+//! build parallelism, so it asserts vacuously there and bites on real
+//! hardware — CI and developer machines).
+
+use fj_bench::training::{self, MIN_PARALLEL_SCALING, SCALING_MIN_CORES};
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// At a debug-friendly scale: the parallel build must be bit-identical to
+/// the serial one, and the ~10% insert batch must beat a cold retrain by a
+/// wide margin (the full ≥10× floor is gated at the pinned release-mode
+/// scale by `bench-training --check` in CI; debug inlining shifts the
+/// constants, so this slice asserts a conservative floor).
+#[test]
+fn incremental_update_beats_cold_retrain() {
+    let s = training::measure("accept", 2.0, 2);
+    assert!(s.bit_identical, "parallel build diverged from serial");
+    assert!(s.insert_rows > 0 && s.base_rows > 8 * s.insert_rows);
+    assert!(
+        s.update_speedup >= 3.0,
+        "apply_insert only {:.1}× faster than retrain (expected ≫ 3× even in debug)",
+        s.update_speedup
+    );
+    assert!(
+        s.swap_seconds < s.retrain_seconds,
+        "even the clone-and-swap path must beat a cold retrain"
+    );
+}
+
+/// Cores-gated scaling assertion: on ≥4-core hardware the parallel cold
+/// build must run ≥1.9× faster than the serial one. On fewer cores the
+/// build cannot scale and the test asserts nothing. `#[ignore]`d like the
+/// PR-3 throughput-scaling assertion because under `cargo test`'s
+/// parallel harness sibling tests saturate the cores and corrupt the
+/// measurement — run it alone:
+/// `cargo test --release -p fj-bench --test training_accept -- --ignored`.
+#[test]
+#[ignore = "timing-sensitive: run alone on ≥4-core hardware with --ignored"]
+fn parallel_build_scales_on_multicore_hardware() {
+    let s = training::measure("accept-scaling", 4.0, 3);
+    assert!(s.bit_identical, "parallel build diverged from serial");
+    if cores() < SCALING_MIN_CORES {
+        eprintln!(
+            "skipping scaling assertion: {} cores < {SCALING_MIN_CORES} (measured {:.2}×)",
+            cores(),
+            s.parallel_speedup
+        );
+        return;
+    }
+    assert!(
+        s.parallel_speedup >= MIN_PARALLEL_SCALING,
+        "parallel build only {:.2}× faster on {} cores (floor {MIN_PARALLEL_SCALING}×)",
+        s.parallel_speedup,
+        s.cores
+    );
+}

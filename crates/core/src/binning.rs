@@ -9,8 +9,7 @@
 use fj_stats::KeyBinMap;
 use std::collections::HashMap;
 
-/// Frequency map of one join-key column: value → occurrence count.
-pub type KeyFreq = HashMap<i64, u64>;
+pub use crate::freq::KeyFreq;
 
 /// Binning strategies evaluated in paper Table 6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +62,7 @@ pub fn build_group_bins(freqs: &[&KeyFreq], k: usize, strategy: BinningStrategy)
     // The group domain is the union of member domains.
     let mut domain: Vec<i64> = freqs
         .iter()
-        .flat_map(|f| f.keys().copied())
+        .flat_map(|f| f.iter().map(|(v, _)| v))
         .collect::<std::collections::HashSet<i64>>()
         .into_iter()
         .collect();
@@ -93,8 +92,7 @@ fn equal_width(domain: &[i64], k: usize) -> HashMap<i64, u32> {
 }
 
 fn equal_depth(domain: &[i64], freqs: &[&KeyFreq], k: usize) -> HashMap<i64, u32> {
-    let total_count =
-        |v: i64| -> u64 { freqs.iter().map(|f| f.get(&v).copied().unwrap_or(0)).sum() };
+    let total_count = |v: i64| -> u64 { freqs.iter().map(|f| f.get(v)).sum() };
     let total: u64 = domain.iter().map(|&v| total_count(v)).sum();
     let per = (total as f64 / k as f64).max(1.0);
     let mut out = HashMap::with_capacity(domain.len());
@@ -194,7 +192,7 @@ fn gbsa(domain: &[i64], freqs: &[&KeyFreq], k: usize) -> HashMap<i64, u32> {
 /// into `k` equal-population chunks (similar counts share a bin).
 fn min_variance_bins(domain: &[i64], freq: &KeyFreq, k: usize) -> Vec<Vec<i64>> {
     let mut by_count: Vec<i64> = domain.to_vec();
-    by_count.sort_by_key(|v| (freq.get(v).copied().unwrap_or(0), *v));
+    by_count.sort_by_key(|&v| (freq.get(v), v));
     let k = k.clamp(1, by_count.len());
     let per = by_count.len().div_ceil(k);
     by_count.chunks(per).map(|c| c.to_vec()).collect()
@@ -205,10 +203,7 @@ fn count_variance(bin: &[i64], freq: &KeyFreq) -> f64 {
     if bin.len() < 2 {
         return 0.0;
     }
-    let counts: Vec<f64> = bin
-        .iter()
-        .map(|v| freq.get(v).copied().unwrap_or(0) as f64)
-        .collect();
+    let counts: Vec<f64> = bin.iter().map(|&v| freq.get(v) as f64).collect();
     let n = counts.len() as f64;
     let mean = counts.iter().sum::<f64>() / n;
     counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n
@@ -222,7 +217,7 @@ fn min_variance_dichotomy(bin: &[i64], freq: &KeyFreq) -> Option<(Vec<i64>, Vec<
         return None;
     }
     let mut sorted: Vec<i64> = bin.to_vec();
-    sorted.sort_by_key(|v| (freq.get(v).copied().unwrap_or(0), *v));
+    sorted.sort_by_key(|&v| (freq.get(v), v));
     let mid = sorted.len() / 2;
     let right = sorted.split_off(mid);
     Some((sorted, right))
@@ -315,7 +310,7 @@ mod tests {
         // No bin mixes a count-1 and a count-100 value of B.
         let bins = bins_of(&map, &[1, 2, 3, 4, 5, 6, 7, 8]);
         for bin in bins.iter().filter(|bn| !bn.is_empty()) {
-            let heavy = bin.iter().filter(|&&v| b[&v] >= 100).count();
+            let heavy = bin.iter().filter(|&&v| b.get(v) >= 100).count();
             assert!(
                 heavy == 0 || heavy == bin.len(),
                 "bin {bin:?} mixes heavy and light B values"
@@ -403,7 +398,7 @@ mod tests {
         // Skewed frequency map: every domain value must land in exactly one
         // bin below k, for every strategy and a sweep of budgets.
         let f: KeyFreq = (0..97).map(|v| (v * 3, (1 + v % 13) as u64 * 7)).collect();
-        let domain: Vec<i64> = f.keys().copied().collect();
+        let domain: Vec<i64> = f.iter().map(|(v, _)| v).collect();
         for strat in [
             BinningStrategy::Gbsa,
             BinningStrategy::EqualWidth,
@@ -453,7 +448,7 @@ mod tests {
                 )
             })
             .collect();
-        let cardinality: u64 = f.values().sum();
+        let cardinality: u64 = f.iter().map(|(_, c)| c).sum();
         for strat in [
             BinningStrategy::Gbsa,
             BinningStrategy::EqualWidth,

@@ -11,6 +11,9 @@ use fj_stats::KeyBinMap;
 use fj_storage::{Column, Table};
 use serde::{Deserialize, Serialize};
 
+/// Per-bin `(total, MFV, NDV)` vectors (see [`KeyStats::bin_vectors`]).
+pub(crate) type BinVectors = (Vec<f64>, Vec<f64>, Vec<f64>);
+
 /// Offline statistics of one join-key column under a fixed bin map.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KeyStats {
@@ -27,22 +30,25 @@ pub struct KeyStats {
 impl KeyStats {
     /// Computes statistics for `column` under `bins`.
     pub fn build(column: &Column, bins: &KeyBinMap) -> Self {
-        let mut freq: KeyFreq = KeyFreq::default();
-        for r in 0..column.len() {
-            if let Some(v) = column.key_at(r) {
-                *freq.entry(v).or_default() += 1;
-            }
-        }
-        Self::from_freq(freq, bins)
+        Self::from_freq(KeyFreq::count_column(column), bins)
     }
 
     /// Computes statistics from a pre-computed frequency map.
     pub fn from_freq(freq: KeyFreq, bins: &KeyBinMap) -> Self {
+        let vectors = Self::bin_vectors(&freq, bins);
+        Self::from_vectors(vectors, freq)
+    }
+
+    /// The per-bin `(total, MFV, NDV)` vectors of `freq` under `bins` —
+    /// the borrow-only half of [`Self::from_freq`], so parallel training
+    /// can compute vectors in worker tasks and move each frequency map
+    /// into its [`KeyStats`] during serial assembly.
+    pub(crate) fn bin_vectors(freq: &KeyFreq, bins: &KeyBinMap) -> BinVectors {
         let k = bins.k();
         let mut bin_total = vec![0.0; k];
         let mut bin_mfv = vec![0.0; k];
         let mut bin_ndv = vec![0.0; k];
-        for (&v, &c) in &freq {
+        for (v, c) in freq.iter() {
             let b = bins.bin_of(v);
             bin_total[b] += c as f64;
             bin_ndv[b] += 1.0;
@@ -50,6 +56,12 @@ impl KeyStats {
                 bin_mfv[b] = c as f64;
             }
         }
+        (bin_total, bin_mfv, bin_ndv)
+    }
+
+    /// Assembles statistics from pre-computed bin vectors plus the
+    /// frequency map they were computed from.
+    pub(crate) fn from_vectors((bin_total, bin_mfv, bin_ndv): BinVectors, freq: KeyFreq) -> Self {
         KeyStats {
             bin_total,
             bin_mfv,
@@ -75,16 +87,21 @@ impl KeyStats {
         let column = table.column(ci);
         for r in first_new_row..table.nrows() {
             if let Some(v) = column.key_at(r) {
-                let b = bins.adopt(v);
-                let e = self.freq.entry(v).or_default();
-                if *e == 0 {
+                let c = self.freq.add(v, 1);
+                // Only genuinely-new values need adopting (pinning their
+                // fallback assignment); repeats resolve with a read-only
+                // lookup, keeping the per-row update cost flat.
+                let b = if c == 1 {
+                    bins.adopt(v)
+                } else {
+                    bins.bin_of(v)
+                };
+                if c == 1 {
                     self.bin_ndv[b] += 1.0;
                 }
-                *e += 1;
                 self.bin_total[b] += 1.0;
-                let c = *e as f64;
-                if c > self.bin_mfv[b] {
-                    self.bin_mfv[b] = c;
+                if c as f64 > self.bin_mfv[b] {
+                    self.bin_mfv[b] = c as f64;
                 }
             }
         }
@@ -99,7 +116,7 @@ impl KeyStats {
 
     /// Bytes including the auxiliary frequency map kept for updates.
     pub fn heap_bytes_with_freq(&self) -> usize {
-        self.heap_bytes() + self.freq.len() * 20
+        self.heap_bytes() + self.freq.heap_bytes()
     }
 }
 
@@ -172,7 +189,7 @@ mod tests {
         ])
         .unwrap();
         s.insert(&t, 0, 3, &mut bins);
-        assert_eq!(s.freq[&1], 4);
+        assert_eq!(s.freq.get(1), 4);
         let b1 = bins.bin_of(1);
         assert_eq!(s.bin_mfv[b1], 4.0);
         // 99 was adopted into some bin and counted.

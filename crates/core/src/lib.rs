@@ -46,15 +46,17 @@
 
 pub mod binning;
 pub mod factor;
+pub mod freq;
 pub mod keystats;
 pub mod model;
 pub mod persist;
 
 pub use binning::{build_group_bins, BinBudget, BinningStrategy};
 pub use factor::{Factor, FactorArena, FactorId, JoinScratch, KeepVars, MAX_VARS};
+pub use freq::KeyFreq;
 pub use keystats::KeyStats;
 pub use model::{
     keep_for_mask, BaseEstimatorKind, EstimationScratch, FactorJoinConfig, FactorJoinModel,
-    SubplanEstimator, TrainingReport,
+    ModelDelta, SubplanEstimator, TrainingReport,
 };
 pub use persist::{load_model, save_model};

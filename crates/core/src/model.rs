@@ -3,12 +3,13 @@
 use crate::binning::{build_group_bins, BinBudget, BinningStrategy, KeyFreq};
 use crate::factor::{Factor, FactorArena, FactorId, JoinScratch, KeepVars};
 use crate::keystats::KeyStats;
+use fj_par::WorkerPool;
 use fj_query::{connected_subplans_into, Query, QueryGraph, SubplanMask};
 use fj_stats::{
     BaseTableEstimator, BayesNetEstimator, BnConfig, ExactEstimator, KeyBinMap, SamplingEstimator,
     TableBins, TableProfile,
 };
-use fj_storage::{Catalog, KeyRef, Table, TableSchema};
+use fj_storage::{Catalog, Column, KeyRef, Table, TableSchema};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -39,6 +40,11 @@ pub struct FactorJoinConfig {
     pub estimator: BaseEstimatorKind,
     /// Seed for the sampling estimator.
     pub seed: u64,
+    /// Worker threads for the offline build (0 = all available cores,
+    /// 1 = fully serial). The trained model is **bit-identical** for every
+    /// thread count — parallelism only fans out independent per-key,
+    /// per-group, and per-table work (see `tests/parallel_train.rs`).
+    pub threads: usize,
 }
 
 impl Default for FactorJoinConfig {
@@ -48,6 +54,7 @@ impl Default for FactorJoinConfig {
             strategy: BinningStrategy::Gbsa,
             estimator: BaseEstimatorKind::BayesNet(BnConfig::default()),
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -63,6 +70,8 @@ pub struct TrainingReport {
     pub num_groups: usize,
     /// Bins allocated to each group.
     pub bins_per_group: Vec<usize>,
+    /// Worker threads the build fanned out to (1 = serial).
+    pub threads: usize,
 }
 
 /// Reusable buffers for progressive sub-plan estimation.
@@ -145,74 +154,81 @@ pub struct FactorJoinModel {
 
 impl FactorJoinModel {
     /// Trains the model on `catalog` (paper Figure 4, offline phase).
+    ///
+    /// The build fans out across `config.threads` workers (0 = all cores)
+    /// in three waves — per-key frequency profiling, per-group binning +
+    /// per-key statistics, per-table estimator fits — with the guarantee
+    /// that every thread count produces the **same model bit for bit**:
+    /// each task is a pure function of its slice of the catalog, and all
+    /// cross-task assembly happens serially in canonical order.
     pub fn train(catalog: &Catalog, config: FactorJoinConfig) -> Self {
         let start = Instant::now();
+        let pool = WorkerPool::new(config.threads);
         let groups = catalog.equivalent_key_groups();
         let num_groups = groups.len();
 
-        // Frequency maps of every join key.
-        let mut freqs: HashMap<KeyRef, KeyFreq> = HashMap::new();
-        for g in &groups {
-            for kr in &g.keys {
-                let table = catalog.table(&kr.table).expect("group keys exist");
-                let ci = table
-                    .schema()
-                    .index_of(&kr.column)
-                    .expect("group keys exist");
-                let col = table.column(ci);
-                let mut f = KeyFreq::default();
-                for r in 0..col.len() {
-                    if let Some(v) = col.key_at(r) {
-                        *f.entry(v).or_default() += 1;
-                    }
-                }
-                freqs.insert(kr.clone(), f);
+        // Wave 1 — frequency map of every join key, one task per key. The
+        // flat key order (groups in id order, members in group order) is
+        // the canonical order every later stage indexes by.
+        let flat_keys: Vec<&KeyRef> = groups.iter().flat_map(|g| g.keys.iter()).collect();
+        let mut group_start = Vec::with_capacity(num_groups);
+        {
+            let mut at = 0usize;
+            for g in &groups {
+                group_start.push(at);
+                at += g.keys.len();
             }
         }
+        let freqs: Vec<KeyFreq> = pool.run_indexed(flat_keys.len(), |i| {
+            let kr = flat_keys[i];
+            let table = catalog.table(&kr.table).expect("group keys exist");
+            let ci = table
+                .schema()
+                .index_of(&kr.column)
+                .expect("group keys exist");
+            profile_key_freq(table.column(ci))
+        });
 
-        // Bin each group and compute per-key stats. Each key's frequency
-        // map moves into its `KeyStats` (groups partition the keys), so
+        // Wave 2a — bin each group from its members' frequency maps, one
+        // task per group.
+        let group_bins: Vec<KeyBinMap> = pool.run_indexed(num_groups, |gi| {
+            let g = &groups[gi];
+            let k = config.bin_budget.bins_for(g.id, num_groups);
+            let member_freqs: Vec<&KeyFreq> = (0..g.keys.len())
+                .map(|j| &freqs[group_start[gi] + j])
+                .collect();
+            build_group_bins(&member_freqs, k, config.strategy)
+        });
+        let bins_per_group: Vec<usize> = group_bins.iter().map(KeyBinMap::k).collect();
+
+        // Wave 2b — per-bin statistics of every key under its group's
+        // bins, one task per key.
+        let gid_of_flat: Vec<usize> = groups
+            .iter()
+            .flat_map(|g| std::iter::repeat_n(g.id, g.keys.len()))
+            .collect();
+        let stat_vectors = pool.run_indexed(flat_keys.len(), |i| {
+            KeyStats::bin_vectors(&freqs[i], &group_bins[gid_of_flat[i]])
+        });
+
+        // Serial assembly in canonical order. Each key's frequency map
+        // moves into its `KeyStats` (groups partition the keys), so
         // training never clones the potentially large per-key maps.
         let mut group_of = HashMap::new();
-        let mut group_bins = Vec::with_capacity(num_groups);
         let mut key_stats = HashMap::new();
-        let mut bins_per_group = Vec::with_capacity(num_groups);
-        for g in &groups {
-            let k = config.bin_budget.bins_for(g.id, num_groups);
-            let bins = {
-                let member_freqs: Vec<&KeyFreq> = g.keys.iter().map(|kr| &freqs[kr]).collect();
-                build_group_bins(&member_freqs, k, config.strategy)
-            };
-            bins_per_group.push(bins.k());
-            for kr in &g.keys {
-                group_of.insert(kr.clone(), g.id);
-                let freq = freqs.remove(kr).expect("each key belongs to one group");
-                key_stats.insert(kr.clone(), KeyStats::from_freq(freq, &bins));
-            }
-            group_bins.push(bins);
+        for ((kr, freq), (gid, vectors)) in flat_keys
+            .iter()
+            .zip(freqs)
+            .zip(gid_of_flat.iter().zip(stat_vectors))
+        {
+            group_of.insert((*kr).clone(), *gid);
+            key_stats.insert((*kr).clone(), KeyStats::from_vectors(vectors, freq));
         }
 
-        // Per-table bin sets and estimators.
-        let mut table_bins: HashMap<String, TableBins> = HashMap::new();
-        for (kr, &gid) in &group_of {
-            table_bins
-                .entry(kr.table.clone())
-                .or_default()
-                .insert(&kr.column, group_bins[gid].clone());
-        }
-        let mut estimators: HashMap<String, Box<dyn BaseTableEstimator>> = HashMap::new();
-        let mut schemas = HashMap::new();
-        for table in catalog.tables() {
-            let bins = table_bins
-                .entry(table.name().to_string())
-                .or_default()
-                .clone();
-            estimators.insert(
-                table.name().to_string(),
-                build_estimator(&config.estimator, table, &bins, config.seed),
-            );
-            schemas.insert(table.name().to_string(), table.schema().clone());
-        }
+        // Per-table bin sets, then one estimator fit per table (wave 3 —
+        // the dominant cost: Chow-Liu trees and CPTs for BayesNet models).
+        let table_bins = assemble_table_bins(catalog, &group_of, &group_bins);
+        let (estimators, schemas) = build_estimators(catalog, &table_bins, &config, &pool);
 
         let mut model = FactorJoinModel {
             config,
@@ -227,6 +243,7 @@ impl FactorJoinModel {
                 model_bytes: 0,
                 num_groups,
                 bins_per_group,
+                threads: pool.threads(),
             },
         };
         model.report.model_bytes = model.model_bytes();
@@ -265,7 +282,8 @@ impl FactorJoinModel {
     }
 
     /// Reassembles a model from persisted statistics, rebuilding the
-    /// single-table estimators against `catalog`.
+    /// single-table estimators against `catalog` (in parallel, like
+    /// [`Self::train`]).
     pub(crate) fn from_parts(
         config: FactorJoinConfig,
         group_of: HashMap<KeyRef, usize>,
@@ -274,26 +292,9 @@ impl FactorJoinModel {
         catalog: &Catalog,
     ) -> Self {
         let start = Instant::now();
-        let mut table_bins: HashMap<String, TableBins> = HashMap::new();
-        for (kr, &gid) in &group_of {
-            table_bins
-                .entry(kr.table.clone())
-                .or_default()
-                .insert(&kr.column, group_bins[gid].clone());
-        }
-        let mut estimators: HashMap<String, Box<dyn BaseTableEstimator>> = HashMap::new();
-        let mut schemas = HashMap::new();
-        for table in catalog.tables() {
-            let bins = table_bins
-                .entry(table.name().to_string())
-                .or_default()
-                .clone();
-            estimators.insert(
-                table.name().to_string(),
-                build_estimator(&config.estimator, table, &bins, config.seed),
-            );
-            schemas.insert(table.name().to_string(), table.schema().clone());
-        }
+        let pool = WorkerPool::new(config.threads);
+        let table_bins = assemble_table_bins(catalog, &group_of, &group_bins);
+        let (estimators, schemas) = build_estimators(catalog, &table_bins, &config, &pool);
         let num_groups = group_bins.len();
         let bins_per_group = group_bins.iter().map(KeyBinMap::k).collect();
         let mut model = FactorJoinModel {
@@ -309,6 +310,7 @@ impl FactorJoinModel {
                 model_bytes: 0,
                 num_groups,
                 bins_per_group,
+                threads: pool.threads(),
             },
         };
         model.report.model_bytes = model.model_bytes();
@@ -547,6 +549,13 @@ impl FactorJoinModel {
     /// §4.3): bins stay fixed, per-bin statistics and the single-table
     /// estimator update incrementally.
     pub fn insert(&mut self, table: &Table, first_new_row: usize) {
+        self.insert_inner(table, first_new_row);
+        self.report.model_bytes = self.model_bytes();
+    }
+
+    /// One table's worth of [`Self::insert`] without the model-size
+    /// refresh (batched by [`Self::apply_insert`]).
+    fn insert_inner(&mut self, table: &Table, first_new_row: usize) {
         let name = table.name().to_string();
         // Update key statistics for this table's join keys.
         let keys: Vec<KeyRef> = self
@@ -569,12 +578,105 @@ impl FactorJoinModel {
         if let Some(est) = self.estimators.get_mut(&name) {
             est.insert(table, first_new_row);
         }
-        self.report.model_bytes = {
-            let est: usize = self.estimators.values().map(|e| e.model_bytes()).sum();
-            let bins: usize = self.group_bins.iter().map(KeyBinMap::heap_bytes).sum();
-            let stats: usize = self.key_stats.values().map(KeyStats::heap_bytes).sum();
-            est + bins + stats
-        };
+    }
+
+    /// Applies a staged batch of inserts in `O(|delta|)` (paper §4.3): for
+    /// every staged table, the new rows `first_new_row..` of the (already
+    /// appended-to) `catalog` are routed through the **existing** stable
+    /// bin maps — `KeyBinMap::bin_of` assigns unseen values their
+    /// deterministic fallback bin — and the per-bin totals, MFV counts,
+    /// NDVs, and the single-table estimators update in place. Bins are
+    /// never re-selected, which is exactly the paper's stale-bound trade:
+    /// updates are cheap, and the bound degrades only as far as the frozen
+    /// binning drifts from the new data distribution.
+    pub fn apply_insert(&mut self, catalog: &Catalog, delta: &ModelDelta) {
+        for (name, first_new_row) in &delta.entries {
+            let table = catalog.table(name).expect("delta names a catalog table");
+            self.insert_inner(table, *first_new_row);
+        }
+        self.report.model_bytes = self.model_bytes();
+    }
+
+    /// [`Self::apply_insert`] on a copy: clones the trained statistics,
+    /// applies the delta, and returns the updated model, leaving `self`
+    /// untouched. This is the hot-swap path — the served model stays live
+    /// behind its `Arc` while the copy absorbs the update, then
+    /// `ModelRegistry::apply_insert` (fj-service) publishes the copy
+    /// atomically.
+    pub fn updated_with(&self, catalog: &Catalog, delta: &ModelDelta) -> Self {
+        let mut updated = self.clone();
+        updated.apply_insert(catalog, delta);
+        updated
+    }
+}
+
+impl Clone for FactorJoinModel {
+    /// Deep copy; the boxed single-table estimators clone through
+    /// [`BaseTableEstimator::clone_box`].
+    fn clone(&self) -> Self {
+        FactorJoinModel {
+            config: self.config.clone(),
+            group_of: self.group_of.clone(),
+            group_bins: self.group_bins.clone(),
+            key_stats: self.key_stats.clone(),
+            table_bins: self.table_bins.clone(),
+            estimators: self
+                .estimators
+                .iter()
+                .map(|(name, est)| (name.clone(), est.clone_box()))
+                .collect(),
+            schemas: self.schemas.clone(),
+            report: self.report.clone(),
+        }
+    }
+}
+
+/// A staged batch of table inserts, applied to a model in `O(|delta|)` by
+/// [`FactorJoinModel::apply_insert`] (paper §4.3).
+///
+/// The delta records *where the new rows start*, not the rows themselves:
+/// append rows to the catalog's tables first, [`ModelDelta::record`] each
+/// table's old length, then apply against that catalog. One delta can
+/// stage inserts into many tables (the paper's STATS update replays all
+/// post-2014 tuples across the whole schema).
+#[derive(Debug, Clone, Default)]
+pub struct ModelDelta {
+    /// `(table name, first new row)` per staged table, in record order.
+    entries: Vec<(String, usize)>,
+    /// Total staged rows (for reporting; not used by apply).
+    rows: usize,
+}
+
+impl ModelDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages the rows `first_new_row..` of `table` (already appended).
+    pub fn record(&mut self, table: &Table, first_new_row: usize) {
+        self.rows += table.nrows().saturating_sub(first_new_row);
+        self.entries.push((table.name().to_string(), first_new_row));
+    }
+
+    /// Number of staged tables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total rows staged across tables.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The staged `(table, first_new_row)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.entries.iter().map(|(t, f)| (t.as_str(), *f))
     }
 }
 
@@ -621,6 +723,70 @@ fn build_estimator(
     }
 }
 
+/// Counts every non-null key of `column` into a flat frequency map — the
+/// unit of wave-1 training parallelism.
+fn profile_key_freq(column: &Column) -> KeyFreq {
+    KeyFreq::count_column(column)
+}
+
+/// Collects each table's join-key bin maps, with an (empty) entry for
+/// every catalog table so estimator construction finds its bins. Each
+/// group's map is deep-copied **once** and then `Arc`-shared across all
+/// referencing tables (and, transitively, their estimators): the shared
+/// copies are frozen snapshots — incremental inserts mutate only the
+/// model's own `group_bins`, whose adopt-pinned assignments agree with the
+/// snapshots' deterministic fallback by construction.
+fn assemble_table_bins(
+    catalog: &Catalog,
+    group_of: &HashMap<KeyRef, usize>,
+    group_bins: &[KeyBinMap],
+) -> HashMap<String, TableBins> {
+    let shared: Vec<std::sync::Arc<KeyBinMap>> = group_bins
+        .iter()
+        .map(|b| std::sync::Arc::new(b.clone()))
+        .collect();
+    let mut table_bins: HashMap<String, TableBins> = catalog
+        .tables()
+        .map(|t| (t.name().to_string(), TableBins::new()))
+        .collect();
+    for (kr, &gid) in group_of {
+        table_bins
+            .entry(kr.table.clone())
+            .or_default()
+            .insert_shared(&kr.column, std::sync::Arc::clone(&shared[gid]));
+    }
+    table_bins
+}
+
+/// Fits one single-table estimator per catalog table across the pool —
+/// wave 3 of training, and the dominant cost for learned estimators
+/// (Chow-Liu structure search + CPT counting per table).
+#[allow(clippy::type_complexity)]
+fn build_estimators(
+    catalog: &Catalog,
+    table_bins: &HashMap<String, TableBins>,
+    config: &FactorJoinConfig,
+    pool: &WorkerPool,
+) -> (
+    HashMap<String, Box<dyn BaseTableEstimator>>,
+    HashMap<String, TableSchema>,
+) {
+    let tables: Vec<&Table> = catalog.tables().collect();
+    let built: Vec<(String, Box<dyn BaseTableEstimator>)> = pool.run_indexed(tables.len(), |i| {
+        let table = tables[i];
+        let bins = &table_bins[table.name()];
+        (
+            table.name().to_string(),
+            build_estimator(&config.estimator, table, bins, config.seed),
+        )
+    });
+    let schemas = tables
+        .iter()
+        .map(|t| (t.name().to_string(), t.schema().clone()))
+        .collect();
+    (built.into_iter().collect(), schemas)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -642,6 +808,7 @@ mod tests {
             strategy: BinningStrategy::Gbsa,
             estimator: BaseEstimatorKind::TrueScan,
             seed: 1,
+            threads: 1,
         }
     }
 

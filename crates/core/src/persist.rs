@@ -95,8 +95,7 @@ fn f64s_from_json(v: &Value) -> std::io::Result<Vec<f64>> {
 }
 
 fn keystats_to_json(s: &KeyStats) -> Value {
-    let mut freq: Vec<(i64, u64)> = s.freq.iter().map(|(&v, &c)| (v, c)).collect();
-    freq.sort_unstable();
+    let freq = s.freq.sorted_entries();
     Value::object([
         ("bin_total".to_string(), f64s_to_json(&s.bin_total)),
         ("bin_mfv".to_string(), f64s_to_json(&s.bin_mfv)),
@@ -124,7 +123,7 @@ fn keystats_from_json(v: &Value) -> std::io::Result<KeyStats> {
         let count = pair[1]
             .as_u64()
             .ok_or_else(|| err("key stats: bad freq count"))?;
-        freq.insert(value, count);
+        freq.set(value, count);
     }
     Ok(KeyStats {
         bin_total: f64s_from_json(&v["bin_total"])?,
@@ -323,6 +322,7 @@ pub fn load_model(path: &Path, catalog: &Catalog) -> std::io::Result<FactorJoinM
         strategy,
         estimator,
         seed: saved.seed,
+        threads: 0,
     };
     let mut group_of = HashMap::new();
     let mut key_stats = HashMap::new();

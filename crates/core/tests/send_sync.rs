@@ -9,8 +9,8 @@
 //! reason: the model stores estimators as boxed trait objects.
 
 use factorjoin::{
-    EstimationScratch, FactorJoinConfig, FactorJoinModel, KeyStats, SubplanEstimator,
-    TrainingReport,
+    EstimationScratch, FactorJoinConfig, FactorJoinModel, KeyFreq, KeyStats, ModelDelta,
+    SubplanEstimator, TrainingReport,
 };
 use fj_stats::{
     BaseTableEstimator, BayesNetEstimator, ExactEstimator, KeyBinMap, SamplingEstimator, TableBins,
@@ -30,8 +30,14 @@ fn model_and_shared_state_are_send_sync() {
     assert_send_sync::<Table>();
     // Trained statistics the model is assembled from.
     assert_send_sync::<KeyStats>();
+    assert_send_sync::<KeyFreq>();
     assert_send_sync::<KeyBinMap>();
     assert_send_sync::<TableBins>();
+    // Incremental-update machinery: deltas cross threads (the updater
+    // clones + applies on a worker while readers keep serving), and the
+    // training pool itself is shared by reference inside scoped fan-outs.
+    assert_send_sync::<ModelDelta>();
+    assert_send_sync::<fj_par::WorkerPool>();
     // Single-table estimators, concrete and boxed (the supertrait bounds
     // are what make the trait-object field thread-safe).
     assert_send_sync::<BayesNetEstimator>();

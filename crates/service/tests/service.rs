@@ -3,8 +3,11 @@
 
 use factorjoin::{
     load_model, save_model, BaseEstimatorKind, BinBudget, FactorJoinConfig, FactorJoinModel,
+    ModelDelta,
 };
-use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
+use fj_datagen::{
+    stats_catalog, stats_catalog_split_by_date, stats_ceb_workload, StatsConfig, WorkloadConfig,
+};
 use fj_query::Query;
 use fj_service::{EstimatorService, ModelRegistry, ServiceConfig};
 use fj_storage::Catalog;
@@ -223,6 +226,102 @@ fn persisted_model_serves_identically() {
     }
     // The registry kept the catalog for offline retraining paths.
     assert!(registry.catalog("stats").is_some());
+}
+
+/// Incremental updates under load (paper §4.3 meets serving): while
+/// clients hammer the pool, `ModelRegistry::apply_insert` absorbs a
+/// staged insert batch by cloning the served model, delta-updating the
+/// copy, and hot-swapping it in. No request errors, no torn model: every
+/// response is bit-identical to either the stale or the updated model,
+/// the epoch says which, and once the swap's epoch is visible every later
+/// response comes from the updated statistics.
+#[test]
+fn apply_insert_absorbs_updates_under_load() {
+    let cfg = StatsConfig {
+        scale: 0.03,
+        ..Default::default()
+    };
+    // Train on the pre-split data, stage the post-split rows as the delta.
+    let (mut catalog, inserts) = stats_catalog_split_by_date(&cfg, 3285);
+    let stale = Arc::new(train(&catalog, 25));
+    let mut delta = ModelDelta::new();
+    for (tname, rows) in &inserts {
+        let first = catalog.table(tname).unwrap().nrows();
+        catalog.table_mut(tname).unwrap().append_rows(rows).unwrap();
+        delta.record(catalog.table(tname).unwrap(), first);
+    }
+    assert!(delta.rows() > 0, "the split staged some inserts");
+    let updated_oracle = stale.updated_with(&catalog, &delta);
+
+    let queries = Arc::new(workload(&catalog, 23));
+    let expected_stale = Arc::new(expected_bits(&stale, &queries));
+    let expected_updated = Arc::new(expected_bits(&updated_oracle, &queries));
+
+    let registry = Arc::new(ModelRegistry::new());
+    let stale_epoch = registry.publish("stats", Arc::clone(&stale));
+    let service = Arc::new(EstimatorService::start(
+        Arc::clone(&registry),
+        ServiceConfig::new("stats", 3),
+    ));
+
+    // Updater: absorb the delta mid-load, once.
+    let swap_epoch = {
+        let registry = Arc::clone(&registry);
+        let catalog = catalog.clone();
+        let delta = delta.clone();
+        std::thread::spawn(move || {
+            registry
+                .apply_insert("stats", &catalog, &delta)
+                .expect("dataset registered")
+        })
+    };
+
+    let clients: Vec<_> = (0..3)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            let queries = Arc::clone(&queries);
+            let (es, eu) = (Arc::clone(&expected_stale), Arc::clone(&expected_updated));
+            std::thread::spawn(move || {
+                for pass in 0..6 {
+                    let responses = service.submit_batch(&queries).wait_all();
+                    for (qi, resp) in responses.into_iter().enumerate() {
+                        let resp = resp.expect("served during update");
+                        let bits = to_bits(&resp.estimates);
+                        let is_stale = bits == es[qi];
+                        let is_updated = bits == eu[qi];
+                        assert!(
+                            is_stale || is_updated,
+                            "client {c} pass {pass} query {qi}: torn model \
+                             (epoch {})",
+                            resp.model_epoch
+                        );
+                        // The epoch identifies which model answered (when
+                        // the two models actually differ on the query).
+                        if is_stale != is_updated {
+                            assert_eq!(
+                                resp.model_epoch > stale_epoch,
+                                is_updated,
+                                "client {c} pass {pass} query {qi}: epoch \
+                                 {} disagrees with the answering model",
+                                resp.model_epoch
+                            );
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread survived the update");
+    }
+    let swap_epoch = swap_epoch.join().expect("updater thread");
+    assert!(swap_epoch > stale_epoch);
+    assert_eq!(service.stats().errors, 0);
+
+    // Steady state after the swap: responses come from the updated model.
+    let resp = service.submit(queries[0].clone()).wait().expect("served");
+    assert_eq!(resp.model_epoch, swap_epoch);
+    assert_eq!(to_bits(&resp.estimates), expected_updated[0]);
 }
 
 /// Backpressure: a queue smaller than the batch still serves everything

@@ -11,7 +11,7 @@
 //! graph needs.
 
 use crate::binmap::TableBins;
-use crate::chowliu::chow_liu_tree;
+use crate::chowliu::chow_liu_tree_threads;
 use crate::discretize::{DiscreteColumn, Discretizer};
 use crate::evidence::split_per_column;
 use crate::traits::{BaseTableEstimator, TableProfile};
@@ -33,6 +33,12 @@ pub struct BnConfig {
     /// express as evidence (cross-column disjunctions). A crude constant,
     /// mirroring how real systems punt on unsupported predicates.
     pub fallback_selectivity: f64,
+    /// Worker threads for the pairwise mutual-information sweep of
+    /// structure learning (1 = serial; the learned tree is identical for
+    /// every thread count). Model training already fans out one task per
+    /// *table*, so per-network parallelism stays off by default — raise it
+    /// when building a single wide-table network on its own.
+    pub threads: usize,
 }
 
 impl Default for BnConfig {
@@ -42,6 +48,7 @@ impl Default for BnConfig {
             mi_sample_rows: 20_000,
             alpha: 0.1,
             fallback_selectivity: 0.25,
+            threads: 1,
         }
     }
 }
@@ -97,6 +104,29 @@ pub struct BayesNetEstimator {
     scratch: Mutex<PropScratch>,
 }
 
+impl Clone for BayesNetEstimator {
+    /// Deep copy of the trained network. The propagation scratch is
+    /// per-instance transient state (buffers sized lazily on first query),
+    /// so the clone starts with a fresh empty one.
+    fn clone(&self) -> Self {
+        BayesNetEstimator {
+            cols: self.cols.clone(),
+            col_index: self.col_index.clone(),
+            parent: self.parent.clone(),
+            children: self.children.clone(),
+            marginal: self.marginal.clone(),
+            joint: self.joint.clone(),
+            joint_parent_total: self.joint_parent_total.clone(),
+            cpt_flat: self.cpt_flat.clone(),
+            root_dist: self.root_dist.clone(),
+            topo: self.topo.clone(),
+            nrows: self.nrows,
+            cfg: self.cfg,
+            scratch: Mutex::new(PropScratch::default()),
+        }
+    }
+}
+
 impl BayesNetEstimator {
     /// Builds the network over the modeled columns of `table`.
     pub fn build(table: &Table, bins: &TableBins, cfg: BnConfig) -> Self {
@@ -106,7 +136,7 @@ impl BayesNetEstimator {
         let mut cols = Vec::new();
         let mut src_cols = Vec::new();
         for (ci, def) in table.schema().columns().iter().enumerate() {
-            if let Some(dc) = disc.build(table, ci, bins.get(&def.name)) {
+            if let Some(dc) = disc.build(table, ci, bins.get_shared(&def.name)) {
                 cols.push(dc);
                 src_cols.push(ci);
             }
@@ -131,7 +161,7 @@ impl BayesNetEstimator {
             .map(|c| c.iter().step_by(stride).copied().collect())
             .collect();
         let domains: Vec<usize> = cols.iter().map(DiscreteColumn::n_codes).collect();
-        let parent = chow_liu_tree(&sampled, &domains);
+        let parent = chow_liu_tree_threads(&sampled, &domains, cfg.threads);
 
         let mut children: Vec<Vec<usize>> = vec![Vec::new(); m];
         for (i, p) in parent.iter().enumerate() {
@@ -596,6 +626,10 @@ impl BaseTableEstimator for BayesNetEstimator {
         });
     }
 
+    fn clone_box(&self) -> Box<dyn BaseTableEstimator> {
+        Box::new(self.clone())
+    }
+
     fn insert(&mut self, table: &Table, first_new_row: usize) {
         let n = table.nrows();
         let m = self.cols.len();
@@ -606,18 +640,41 @@ impl BaseTableEstimator for BayesNetEstimator {
             .iter()
             .map(|c| table.schema().index_of(&c.name).expect("schema unchanged"))
             .collect();
-        for r in first_new_row..n {
-            let codes: Vec<usize> = (0..m)
-                .map(|i| self.cols[i].encode_row(table.column(src[i]), r))
-                .collect();
-            for i in 0..m {
-                self.marginal[i][codes[i]] += 1.0;
-                if let (Some(p), Some(j)) = (self.parent[i], self.joint[i].as_mut()) {
-                    let kp = self.cols[p].n_codes();
-                    j[codes[i] * kp + codes[p]] += 1.0;
-                    if let Some(t) = self.joint_parent_total[i].as_mut() {
-                        t[codes[p]] += 1.0;
+        // Encode the delta column-major like the build path: one column
+        // borrow and one encoding dispatch per column, sequential reads —
+        // the per-(row, column) re-dispatch of a row-major loop costs ~2×
+        // on wide tables.
+        let delta_rows = n - first_new_row;
+        let codes: Vec<Vec<u32>> = self
+            .cols
+            .iter()
+            .zip(&src)
+            .map(|(dc, &ci)| {
+                let col = table.column(ci);
+                (first_new_row..n)
+                    .map(|r| dc.encode_row(col, r) as u32)
+                    .collect()
+            })
+            .collect();
+        for i in 0..m {
+            let ci = &codes[i];
+            let marginal = &mut self.marginal[i];
+            if let (Some(p), Some(j)) = (self.parent[i], self.joint[i].as_mut()) {
+                let kp = self.cols[p].n_codes();
+                let cp = &codes[p];
+                let totals = self.joint_parent_total[i].as_mut();
+                for r in 0..delta_rows {
+                    marginal[ci[r] as usize] += 1.0;
+                    j[ci[r] as usize * kp + cp[r] as usize] += 1.0;
+                }
+                if let Some(t) = totals {
+                    for r in 0..delta_rows {
+                        t[cp[r] as usize] += 1.0;
                     }
+                }
+            } else {
+                for r in 0..delta_rows {
+                    marginal[ci[r] as usize] += 1.0;
                 }
             }
         }

@@ -8,30 +8,56 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Mapping from join-key values to bin indices `0..k`.
+///
+/// Stored as a flat open-addressing table (two parallel slabs, linear
+/// probing, multiply-rotate hash) rather than a std `HashMap`: `bin_of`
+/// sits on every hot path in the system — per row in exact/sampled
+/// profiling, per inserted row in incremental updates — and the flat
+/// layout answers it with one mix and a short probe instead of SipHash
+/// plus bucket indirection. `u32::MAX` marks an empty slot (bin indices
+/// are always `< k`, and `k` is far below that). `factorjoin::KeyFreq` is
+/// the sibling slab for i64→count profiling (zero-count sentinel, low
+/// hash bits) — a probe/grow fix here likely applies there too.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KeyBinMap {
     k: usize,
-    map: HashMap<i64, u32>,
+    /// Slot keys; meaningful only where `bins` is not the empty sentinel.
+    keys: Vec<i64>,
+    /// Slot bin indices; `u32::MAX` = empty slot.
+    bins: Vec<u32>,
+    len: usize,
 }
+
+const EMPTY: u32 = u32::MAX;
 
 impl KeyBinMap {
     /// Creates a map with `k` bins from explicit assignments.
     pub fn new(k: usize, map: HashMap<i64, u32>) -> Self {
         assert!(k > 0, "at least one bin required");
-        debug_assert!(
-            map.values().all(|&b| (b as usize) < k),
-            "bin index out of range"
-        );
-        KeyBinMap { k, map }
+        let mut out = KeyBinMap {
+            k,
+            keys: Vec::new(),
+            bins: Vec::new(),
+            len: 0,
+        };
+        out.grow_to((map.len() * 8 / 7 + 1).next_power_of_two().max(8));
+        for (v, b) in map {
+            debug_assert!((b as usize) < k, "bin index out of range");
+            out.set(v, b);
+        }
+        out
     }
 
     /// Single-bin map (the k=1 ablation of paper Figure 9).
     pub fn single_bin() -> Self {
         KeyBinMap {
             k: 1,
-            map: HashMap::new(),
+            keys: Vec::new(),
+            bins: Vec::new(),
+            len: 0,
         }
     }
 
@@ -42,38 +68,96 @@ impl KeyBinMap {
 
     /// Number of explicitly assigned values.
     pub fn assigned(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Bin of `value`. Unseen values hash deterministically into a bin so
     /// that inserted data lands in a stable place without re-binning.
     #[inline]
     pub fn bin_of(&self, value: i64) -> usize {
-        match self.map.get(&value) {
-            Some(&b) => b as usize,
-            None => (fxhash(value) % self.k as u64) as usize,
+        if !self.keys.is_empty() {
+            let mask = self.keys.len() - 1;
+            let mut slot = (fxhash(value) >> 32) as usize & mask;
+            loop {
+                let b = self.bins[slot];
+                if b == EMPTY {
+                    break;
+                }
+                if self.keys[slot] == value {
+                    return b as usize;
+                }
+                slot = (slot + 1) & mask;
+            }
         }
+        (fxhash(value) % self.k as u64) as usize
     }
 
     /// Registers a newly-seen value into its fallback bin (used by
     /// incremental updates to make the assignment explicit).
     pub fn adopt(&mut self, value: i64) -> usize {
         let b = self.bin_of(value);
-        self.map.insert(value, b as u32);
+        self.set(value, b as u32);
         b
+    }
+
+    /// Inserts or overwrites one assignment.
+    fn set(&mut self, value: i64, bin: u32) {
+        if self.keys.is_empty() || self.len * 8 >= self.keys.len() * 7 {
+            self.grow_to((self.keys.len() * 2).max(8));
+        }
+        let mask = self.keys.len() - 1;
+        let mut slot = (fxhash(value) >> 32) as usize & mask;
+        loop {
+            if self.bins[slot] == EMPTY {
+                self.keys[slot] = value;
+                self.bins[slot] = bin;
+                self.len += 1;
+                return;
+            }
+            if self.keys[slot] == value {
+                self.bins[slot] = bin;
+                return;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn grow_to(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two());
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
+        let old_bins = std::mem::replace(&mut self.bins, vec![EMPTY; cap]);
+        let mask = cap - 1;
+        for (v, b) in old_keys.into_iter().zip(old_bins) {
+            if b == EMPTY {
+                continue;
+            }
+            let mut slot = (fxhash(v) >> 32) as usize & mask;
+            while self.bins[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            self.keys[slot] = v;
+            self.bins[slot] = b;
+        }
     }
 
     /// Approximate heap size in bytes.
     pub fn heap_bytes(&self) -> usize {
-        self.map.len() * (8 + 4 + 8) // key + value + bucket overhead
+        self.keys.len() * 8 + self.bins.len() * 4
     }
 
     /// Iterates over the explicit (value, bin) assignments (persistence).
     pub fn entries(&self) -> impl Iterator<Item = (i64, u32)> + '_ {
-        self.map.iter().map(|(&v, &b)| (v, b))
+        self.keys
+            .iter()
+            .zip(&self.bins)
+            .filter(|&(_, &b)| b != EMPTY)
+            .map(|(&v, &b)| (v, b))
     }
 }
 
+/// Multiply-rotate mix. The *fallback bin* (`hash % k`) uses the low bits
+/// and the *slot index* uses the high bits, so explicit assignments and
+/// fallback assignments stay decorrelated.
 #[inline]
 fn fxhash(v: i64) -> u64 {
     (v as u64)
@@ -82,9 +166,16 @@ fn fxhash(v: i64) -> u64 {
 }
 
 /// The bin maps for every join-key column of one table.
+///
+/// Maps are held behind `Arc`s: a key group's bin map is **frozen** once
+/// selected (incremental inserts only pin fallback assignments on the
+/// model's own mutable copy, never re-bin), so every table and every
+/// single-table estimator that references the same group shares one
+/// allocation. That makes both cold builds and the hot-swap model clone
+/// O(refcount) per map instead of O(assigned values).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TableBins {
-    per_key: HashMap<String, KeyBinMap>,
+    per_key: HashMap<String, Arc<KeyBinMap>>,
 }
 
 impl TableBins {
@@ -95,22 +186,28 @@ impl TableBins {
 
     /// Adds the bin map for `column`.
     pub fn insert(&mut self, column: &str, map: KeyBinMap) {
+        self.insert_shared(column, Arc::new(map));
+    }
+
+    /// Adds an already-shared bin map for `column` (training shares one
+    /// `Arc` per key group across all referencing tables).
+    pub fn insert_shared(&mut self, column: &str, map: Arc<KeyBinMap>) {
         self.per_key.insert(column.to_string(), map);
     }
 
     /// Bin map of `column`, if it is a binned join key.
     pub fn get(&self, column: &str) -> Option<&KeyBinMap> {
-        self.per_key.get(column)
+        self.per_key.get(column).map(Arc::as_ref)
     }
 
-    /// Mutable bin map of `column`.
-    pub fn get_mut(&mut self, column: &str) -> Option<&mut KeyBinMap> {
-        self.per_key.get_mut(column)
+    /// Shared handle to `column`'s bin map (estimators keep the `Arc`).
+    pub fn get_shared(&self, column: &str) -> Option<&Arc<KeyBinMap>> {
+        self.per_key.get(column)
     }
 
     /// Iterates over (column, map) pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &KeyBinMap)> {
-        self.per_key.iter()
+        self.per_key.iter().map(|(k, v)| (k, v.as_ref()))
     }
 
     /// Number of binned key columns.
@@ -125,7 +222,7 @@ impl TableBins {
 
     /// Approximate heap size in bytes.
     pub fn heap_bytes(&self) -> usize {
-        self.per_key.values().map(KeyBinMap::heap_bytes).sum()
+        self.per_key.values().map(|m| m.heap_bytes()).sum()
     }
 }
 

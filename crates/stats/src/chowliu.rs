@@ -47,19 +47,38 @@ pub fn mutual_information(xs: &[u32], ys: &[u32], kx: usize, ky: usize) -> f64 {
 /// (ties broken toward lower indices), so every node has a defined parent
 /// relationship.
 pub fn chow_liu_tree(columns: &[Vec<u32>], domains: &[usize]) -> Vec<Option<usize>> {
+    chow_liu_tree_threads(columns, domains, 1)
+}
+
+/// [`chow_liu_tree`] with the `O(m²)` pairwise mutual-information sweep —
+/// the structure-learning hot loop — fanned across `threads` workers
+/// (0 = all available cores, matching `fj_par::WorkerPool::new`).
+/// Edge weights are computed independently per pair and assembled in
+/// canonical `(i, j)` order, so the learned tree is identical for every
+/// thread count.
+pub fn chow_liu_tree_threads(
+    columns: &[Vec<u32>],
+    domains: &[usize],
+    threads: usize,
+) -> Vec<Option<usize>> {
     let m = columns.len();
     assert_eq!(m, domains.len());
     if m == 0 {
         return Vec::new();
     }
-    // All pairwise MI weights.
-    let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(m * (m - 1) / 2);
-    for i in 0..m {
-        for j in i + 1..m {
-            let mi = mutual_information(&columns[i], &columns[j], domains[i], domains[j]);
-            edges.push((mi, i, j));
-        }
-    }
+    // All pairwise MI weights, in canonical (i, j) order.
+    let pairs: Vec<(usize, usize)> = (0..m)
+        .flat_map(|i| (i + 1..m).map(move |j| (i, j)))
+        .collect();
+    let weights = fj_par::WorkerPool::new(threads).run_indexed(pairs.len(), |p| {
+        let (i, j) = pairs[p];
+        mutual_information(&columns[i], &columns[j], domains[i], domains[j])
+    });
+    let mut edges: Vec<(f64, usize, usize)> = pairs
+        .into_iter()
+        .zip(weights)
+        .map(|((i, j), mi)| (mi, i, j))
+        .collect();
     // Maximum spanning tree (Kruskal): sort by MI descending.
     edges.sort_by(|a, b| {
         b.0.partial_cmp(&a.0)

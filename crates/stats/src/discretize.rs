@@ -18,12 +18,14 @@ use crate::binmap::KeyBinMap;
 use fj_query::{FilterExpr, Predicate};
 use fj_storage::{Column, DataType, Table, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How a column's values map to codes.
 #[derive(Debug, Clone)]
 enum Encoding {
-    /// FactorJoin key bins.
-    KeyBins(KeyBinMap),
+    /// FactorJoin key bins (shared with the model and its other
+    /// estimators; frozen after bin selection).
+    KeyBins(Arc<KeyBinMap>),
     /// One code per distinct integer (sorted).
     IntCategorical { values: Vec<i64> },
     /// Equi-depth integer buckets: `uppers[i]` is the inclusive upper bound
@@ -77,7 +79,7 @@ impl Discretizer {
         &self,
         table: &Table,
         ci: usize,
-        key_bins: Option<&KeyBinMap>,
+        key_bins: Option<&Arc<KeyBinMap>>,
     ) -> Option<DiscreteColumn> {
         let def = table.schema().column(ci);
         let col = table.column(ci);
@@ -85,7 +87,7 @@ impl Discretizer {
             return Some(DiscreteColumn {
                 name: def.name.clone(),
                 non_null_codes: map.k(),
-                encoding: Encoding::KeyBins(map.clone()),
+                encoding: Encoding::KeyBins(Arc::clone(map)),
             });
         }
         match def.dtype {
@@ -572,7 +574,7 @@ mod tests {
     fn key_bins_pass_through() {
         let t = int_table(&[Some(10), Some(20), Some(30)]);
         let map: HashMap<i64, u32> = [(10, 0), (20, 1), (30, 1)].into_iter().collect();
-        let bins = KeyBinMap::new(2, map);
+        let bins = Arc::new(KeyBinMap::new(2, map));
         let d = Discretizer::default().build(&t, 0, Some(&bins)).unwrap();
         assert_eq!(d.n_codes(), 3);
         assert_eq!(d.encode(&Value::Int(10)), 0);

@@ -13,6 +13,7 @@ use fj_query::{compile_filter, FilterExpr};
 use fj_storage::Table;
 
 /// Exact scanning estimator holding its own snapshot of the table.
+#[derive(Clone)]
 pub struct ExactEstimator {
     table: Table,
     bins: TableBins,
@@ -81,6 +82,10 @@ impl BaseTableEstimator for ExactEstimator {
             rows,
             key_dists: dists,
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn BaseTableEstimator> {
+        Box::new(self.clone())
     }
 
     fn insert(&mut self, table: &Table, _first_new_row: usize) {

@@ -156,6 +156,90 @@ impl ColumnHistogram {
         self.total
     }
 
+    /// Incorporates rows `first_new_row..` of the (already appended-to)
+    /// column in `O(|delta|)` — the Postgres-`ANALYZE`-avoiding maintenance
+    /// path of paper §4.3 applied to the traditional per-column statistic.
+    /// Totals, the NULL fraction, min/max, and the retained MCV
+    /// frequencies update exactly; equi-depth bucket *boundaries* stay
+    /// frozen with their masses rescaled (bucket re-selection, like bin
+    /// re-selection, is a rebuild-time decision), and new MCV-missed
+    /// *integer* values spread across the frozen buckets (string columns
+    /// keep only an MCV list, as at build time). The NDV estimate keeps its
+    /// build-time value (distinguishing genuinely-new values from repeats
+    /// needs the full value set, which only a rebuild re-derives).
+    pub fn insert(&mut self, col: &Column, first_new_row: usize) {
+        let old_total = self.total;
+        let new_total = col.len() as f64;
+        if new_total <= old_total {
+            return;
+        }
+        let scale = old_total / new_total.max(1.0);
+        // Exact rescale of every stored fraction to the new denominator.
+        for (_, f) in self.mcv.iter_mut() {
+            *f *= scale;
+        }
+        for (_, f) in self.mcv_str.iter_mut() {
+            *f *= scale;
+        }
+        let mut rest_mass = 0.0;
+        for f in self.bucket_frac.iter_mut() {
+            *f *= scale;
+        }
+        let mut nulls = self.null_frac * old_total;
+        // One pass over the delta: bump MCV hits exactly, pool the rest.
+        let one = 1.0 / new_total.max(1.0);
+        for i in first_new_row..col.len() {
+            if col.is_null(i) {
+                nulls += 1.0;
+                continue;
+            }
+            match self.dtype {
+                DataType::Int => {
+                    let v = col.ints()[i];
+                    self.minmax = Some(match self.minmax {
+                        None => (v, v),
+                        Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                    });
+                    if let Some((_, f)) = self.mcv.iter_mut().find(|&&mut (m, _)| m == v) {
+                        *f += one;
+                    } else {
+                        rest_mass += one;
+                    }
+                }
+                DataType::Str => {
+                    // MCV-missed string mass has no histogram form even at
+                    // build time (strings keep only an MCV list); misses
+                    // fall back to default selectivities like stale
+                    // Postgres stats.
+                    let s = &col.dict()[col.codes()[i] as usize];
+                    if let Some((_, f)) = self.mcv_str.iter_mut().find(|(m, _)| m == s) {
+                        *f += one;
+                    }
+                }
+                DataType::Float => {}
+            }
+        }
+        // Spread MCV-missed mass across the frozen buckets proportionally.
+        // A histogram built with every value in the MCV list has no
+        // buckets; the first MCV-missed inserts then open one catch-all
+        // bucket up to the new max, so their mass is represented instead
+        // of silently dropped (mirrors Postgres keeping stale stats until
+        // the next ANALYZE, not losing rows).
+        if rest_mass > 0.0 && self.dtype == DataType::Int {
+            let bucket_total: f64 = self.bucket_frac.iter().sum();
+            if bucket_total > 0.0 {
+                for f in self.bucket_frac.iter_mut() {
+                    *f += rest_mass * (*f / bucket_total);
+                }
+            } else if let Some((_, hi)) = self.minmax {
+                self.uppers.push(hi);
+                self.bucket_frac.push(rest_mass);
+            }
+        }
+        self.total = new_total;
+        self.null_frac = nulls / new_total.max(1.0);
+    }
+
     /// Estimated number of distinct non-null values.
     pub fn ndv(&self) -> f64 {
         self.ndv
@@ -342,6 +426,66 @@ mod tests {
             .filter(|v| clause.eval(&|_| v.map(Value::Int).unwrap_or(Value::Null)))
             .count();
         hits as f64 / n
+    }
+
+    #[test]
+    fn insert_tracks_totals_nulls_minmax_and_mcv_exactly() {
+        let mut values: Vec<Option<i64>> = vec![Some(7); 200];
+        values.extend((0..100).map(Some));
+        values.push(None);
+        let mut h = ColumnHistogram::build(&int_col(&values));
+        // Append a delta: more of the heavy MCV value, a NULL, and a value
+        // beyond the old max.
+        let mut appended = values.clone();
+        appended.extend([Some(7), Some(7), None, Some(5000)].iter().copied());
+        let first_new = values.len();
+        h.insert(&int_col(&appended), first_new);
+        let rebuilt = ColumnHistogram::build(&int_col(&appended));
+        // Exactly-maintained statistics match a full rebuild.
+        assert_eq!(h.total_rows(), rebuilt.total_rows());
+        assert!((h.null_frac() - rebuilt.null_frac()).abs() < 1e-12);
+        assert_eq!(h.minmax, rebuilt.minmax);
+        // The MCV frequency of 7 is exact under both paths.
+        let freq_of_7 =
+            |hist: &ColumnHistogram| hist.mcv.iter().find(|&&(v, _)| v == 7).map(|&(_, f)| f);
+        let (a, b) = (freq_of_7(&h).unwrap(), freq_of_7(&rebuilt).unwrap());
+        assert!((a - b).abs() < 1e-12, "incremental {a} vs rebuilt {b}");
+        // Equality selectivity on the MCV stays exact after the update.
+        let clause = FilterExpr::pred(Predicate::eq("x", 7));
+        let est = h.selectivity(&clause);
+        let exact = exact_sel(&appended, &clause);
+        assert!((est - exact).abs() < 0.01, "est {est} vs exact {exact}");
+        // Probability mass stays normalized (≤ 1 with slack for rounding).
+        let mass: f64 = h.null_frac()
+            + h.mcv.iter().map(|&(_, f)| f).sum::<f64>()
+            + h.bucket_frac.iter().sum::<f64>();
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+    }
+
+    #[test]
+    fn insert_into_all_mcv_histogram_keeps_new_value_mass() {
+        // Built from ≤ NUM_MCV distinct values, the histogram has no
+        // buckets; inserted MCV-missed values must still carry their mass
+        // (a catch-all bucket opens) instead of vanishing.
+        let values: Vec<Option<i64>> = (0..10).map(Some).collect();
+        let mut h = ColumnHistogram::build(&int_col(&values));
+        assert!(h.bucket_frac.is_empty(), "all values fit the MCV list");
+        let mut appended = values.clone();
+        // 30 brand-new values: far past the MCV list, above the old max.
+        appended.extend((100..130).map(Some));
+        h.insert(&int_col(&appended), values.len());
+        let mass: f64 = h.null_frac()
+            + h.mcv.iter().map(|&(_, f)| f).sum::<f64>()
+            + h.bucket_frac.iter().sum::<f64>();
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass} lost on insert");
+        // The new values' range is selectable, not invisible.
+        let clause = FilterExpr::pred(Predicate::cmp("x", CmpOp::Gt, 50));
+        let est = h.selectivity(&clause);
+        let exact = exact_sel(&appended, &clause);
+        assert!(
+            est >= exact * 0.5,
+            "range over inserted values estimated {est} vs exact {exact}"
+        );
     }
 
     #[test]

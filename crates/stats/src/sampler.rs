@@ -14,6 +14,7 @@ use fj_storage::Table;
 use std::collections::HashMap;
 
 /// Sampling-based estimator for one table.
+#[derive(Clone)]
 pub struct SamplingEstimator {
     sample: Table,
     /// Per sampled row, per key column: the bin index (or `None` for NULL).
@@ -156,6 +157,10 @@ impl BaseTableEstimator for SamplingEstimator {
             rows: hits as f64 * s,
             key_dists: dists,
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn BaseTableEstimator> {
+        Box::new(self.clone())
     }
 
     fn insert(&mut self, table: &Table, first_new_row: usize) {

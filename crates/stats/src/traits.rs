@@ -76,6 +76,12 @@ pub trait BaseTableEstimator: Send + Sync {
     /// the incremental-update hook of paper §4.3.
     fn insert(&mut self, table: &Table, first_new_row: usize);
 
+    /// Deep copy behind a fresh box. The incremental-update hot-swap path
+    /// clones the served (immutable, `Arc`-shared) model, applies a delta
+    /// to the copy, and publishes it — which needs boxed estimators to be
+    /// copyable without knowing their concrete type.
+    fn clone_box(&self) -> Box<dyn BaseTableEstimator>;
+
     /// Approximate model size in bytes (paper Figure 6 reports model sizes).
     fn model_bytes(&self) -> usize;
 }
@@ -101,6 +107,9 @@ mod tests {
             2
         }
         fn insert(&mut self, _t: &Table, _i: usize) {}
+        fn clone_box(&self) -> Box<dyn BaseTableEstimator> {
+            Box::new(Fixed)
+        }
         fn model_bytes(&self) -> usize {
             0
         }

@@ -92,6 +92,7 @@ fn all_three_base_estimators_run_the_full_pipeline() {
                 strategy: BinningStrategy::Gbsa,
                 estimator: kind,
                 seed: 3,
+                threads: 1,
             },
         );
         for q in &queries {

@@ -5,7 +5,6 @@ use fj_query::{parse_query, CmpOp, FilterExpr, Predicate};
 use fj_stats::ColumnHistogram;
 use fj_storage::{Catalog, ColumnDef, DataType, Table, TableSchema, Value};
 use proptest::prelude::*;
-use std::collections::HashMap;
 
 // ---------------------------------------------------------------- helpers
 
@@ -73,7 +72,8 @@ proptest! {
         strat_idx in 0usize..3,
     ) {
         let strat = [BinningStrategy::Gbsa, BinningStrategy::EqualWidth, BinningStrategy::EqualDepth][strat_idx];
-        let map = build_group_bins(&[&counts], k, strat);
+        let freq: factorjoin::KeyFreq = counts.iter().map(|(&v, &c)| (v, c)).collect();
+        let map = build_group_bins(&[&freq], k, strat);
         for v in counts.keys() {
             prop_assert!(map.bin_of(*v) < map.k());
         }
@@ -200,14 +200,10 @@ proptest! {
     }
 }
 
-// -------------------------------------------------------- HashMap import
-#[allow(unused_imports)]
-use std::collections::HashMap as _HashMapUsed;
-
 #[test]
 fn proptest_config_sanity() {
     // Keep a plain test so the file shows up even with proptest filtered.
-    let counts: HashMap<i64, u64> = (0..10).map(|v| (v, 1)).collect();
+    let counts: factorjoin::KeyFreq = (0..10).map(|v| (v, 1)).collect();
     let map = build_group_bins(&[&counts], 3, BinningStrategy::Gbsa);
     assert!(map.k() <= 3);
 }
