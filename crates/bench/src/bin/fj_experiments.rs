@@ -191,6 +191,19 @@ fn bench_throughput(args: &[String]) -> ! {
                     report.speedup,
                     1.0 / threshold
                 );
+                match report.tcp {
+                    Some((workers, speedup)) => println!(
+                        "loopback-TCP throughput at {} workers: {:.2}× baseline, \
+                         calibration-normalized (fail under {:.2}×)",
+                        workers,
+                        speedup,
+                        1.0 / threshold
+                    ),
+                    None => println!(
+                        "loopback-TCP throughput: ungated (baseline predates the network tier; \
+                         re-record with --write)"
+                    ),
+                }
                 report.ok
             },
         },

@@ -18,7 +18,7 @@ use crate::perfbase::{calibration_seconds, PINNED_BINS, PINNED_SCALE};
 use factorjoin::{BaseEstimatorKind, BinBudget, FactorJoinConfig, FactorJoinModel};
 use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
 use fj_query::Query;
-use fj_service::EstimatorService;
+use fj_service::{BatchOutcome, EstimatorService, FjClient, FjServer, ServerConfig, ShardSpec};
 use fj_stats::BnConfig;
 use serde_json::Value;
 use std::path::Path;
@@ -73,8 +73,13 @@ pub struct ThroughputSample {
     pub calibration_seconds: f64,
     /// Workload passes per sweep point.
     pub repeats: usize,
-    /// The sweep, in [`WORKER_SWEEP`] order.
+    /// The in-process sweep, in [`WORKER_SWEEP`] order.
     pub points: Vec<ThroughputPoint>,
+    /// The loopback-TCP sweep through `FjServer`/`FjClient` (same model,
+    /// same workload, `workers` = shard worker threads), in
+    /// [`WORKER_SWEEP`] order. Empty in history entries recorded before
+    /// the network tier existed.
+    pub tcp_points: Vec<ThroughputPoint>,
 }
 
 impl ThroughputSample {
@@ -98,6 +103,21 @@ impl ThroughputSample {
                     .expect("finite throughput")
             })
             .expect("non-empty sweep")
+    }
+
+    /// The TCP sweep point measured at `workers`, if present.
+    pub fn tcp_point(&self, workers: usize) -> Option<&ThroughputPoint> {
+        self.tcp_points.iter().find(|p| p.workers == workers)
+    }
+
+    /// The best loopback-TCP point by aggregate throughput, if the sample
+    /// has a TCP sweep.
+    pub fn best_tcp(&self) -> Option<&ThroughputPoint> {
+        self.tcp_points.iter().max_by(|a, b| {
+            a.subplans_per_second
+                .partial_cmp(&b.subplans_per_second)
+                .expect("finite throughput")
+        })
     }
 }
 
@@ -157,6 +177,84 @@ fn measure_point(
     }
 }
 
+/// Measures one loopback-TCP point: the same workload served through
+/// `FjServer`/`FjClient` on `127.0.0.1`, with `workers` threads on the
+/// single `stats` shard. All `repeats` batches are pipelined on one
+/// connection; the queue is sized to hold the whole backlog and the
+/// client quota is lifted to `repeats`, so admission control never sheds
+/// during the measurement (its rejection paths are covered by tests, not
+/// timed here).
+fn measure_tcp_point(
+    model: &Arc<FactorJoinModel>,
+    workload: &[Query],
+    workers: usize,
+    repeats: usize,
+) -> ThroughputPoint {
+    let server = FjServer::bind(
+        "127.0.0.1:0",
+        vec![ShardSpec::new("stats", Arc::clone(model))],
+        ServerConfig::new(workers)
+            .with_queue_capacity((repeats * workload.len()).max(1))
+            .with_max_inflight(repeats.max(1)),
+    )
+    .expect("bind loopback bench server");
+    let mut client = FjClient::connect(server.local_addr()).expect("connect bench client");
+
+    let serve_batch = |client: &mut FjClient| -> usize {
+        match client.call("stats", 1, workload).expect("bench roundtrip") {
+            BatchOutcome::Served(results) => results
+                .iter()
+                .map(|r| r.as_ref().expect("query served").estimates.len())
+                .sum(),
+            BatchOutcome::Rejected { reason, message } => {
+                panic!("bench batch rejected ({reason}): {message}")
+            }
+        }
+    };
+    // Warm-up: every worker scratch sees the workload at least once.
+    let mut expected_subplans = 0usize;
+    for _ in 0..workers.max(2) {
+        expected_subplans = serve_batch(&mut client);
+    }
+    assert!(server.reset_stats("stats"), "stats shard exists");
+
+    let t0 = Instant::now();
+    let ids: Vec<u64> = (0..repeats)
+        .map(|_| client.send("stats", 1, workload).expect("bench send"))
+        .collect();
+    let mut requests = 0usize;
+    let mut subplans = 0usize;
+    for id in ids {
+        match client.recv(id).expect("bench recv") {
+            BatchOutcome::Served(results) => {
+                for result in results {
+                    requests += 1;
+                    subplans += result.expect("query served").estimates.len();
+                }
+            }
+            BatchOutcome::Rejected { reason, message } => {
+                panic!("bench batch rejected ({reason}): {message}")
+            }
+        }
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(subplans, expected_subplans * repeats, "no sub-plan lost");
+    let snap = server.stats("stats").expect("stats shard exists");
+    server.shutdown();
+    ThroughputPoint {
+        workers,
+        requests,
+        subplans,
+        seconds,
+        requests_per_second: requests as f64 / seconds,
+        subplans_per_second: subplans as f64 / seconds,
+        p50_latency_us: snap.p50_latency.as_secs_f64() * 1e6,
+        p95_latency_us: snap.p95_latency.as_secs_f64() * 1e6,
+        p99_latency_us: snap.p99_latency.as_secs_f64() * 1e6,
+        queue_high_water: snap.queue_high_water,
+    }
+}
+
 /// Runs the full worker sweep at `scale` with `repeats` workload passes
 /// per point. The workload matches the `perfbase` estimation baseline
 /// (8 STATS-CEB-like queries, BayesNet base estimator, k = 100) so the
@@ -188,6 +286,10 @@ pub fn measure(label: &str, scale: f64, repeats: usize) -> ThroughputSample {
         .iter()
         .map(|&w| measure_point(&model, &wl, w, repeats))
         .collect();
+    let tcp_points = WORKER_SWEEP
+        .iter()
+        .map(|&w| measure_tcp_point(&model, &wl, w, repeats))
+        .collect();
     ThroughputSample {
         label: label.to_string(),
         scale,
@@ -196,6 +298,7 @@ pub fn measure(label: &str, scale: f64, repeats: usize) -> ThroughputSample {
         calibration_seconds: calibration_seconds(),
         repeats,
         points,
+        tcp_points,
     }
 }
 
@@ -262,6 +365,10 @@ fn sample_to_json(s: &ThroughputSample) -> Value {
             "points".to_string(),
             Value::Array(s.points.iter().map(point_to_json).collect()),
         ),
+        (
+            "tcp_points".to_string(),
+            Value::Array(s.tcp_points.iter().map(point_to_json).collect()),
+        ),
     ])
 }
 
@@ -280,6 +387,13 @@ fn sample_from_json(v: &Value) -> std::io::Result<ThroughputSample> {
             .iter()
             .map(point_from_json)
             .collect::<std::io::Result<_>>()?,
+        // History entries recorded before the network tier have no TCP
+        // sweep; treat them as an empty (ungated) one.
+        tcp_points: v["tcp_points"]
+            .as_array()
+            .map(|points| points.iter().map(point_from_json).collect())
+            .transpose()?
+            .unwrap_or_default(),
     })
 }
 
@@ -338,7 +452,12 @@ pub struct CheckReport {
     /// Calibration-normalized throughput ratio `fresh / baseline`
     /// (>1 = faster than the baseline).
     pub speedup: f64,
-    /// Whether throughput stayed above `baseline / threshold`.
+    /// Loopback-TCP comparison `(workers, speedup)`, normalized the same
+    /// way. `None` when the baseline predates the network tier (no TCP
+    /// sweep to compare against).
+    pub tcp: Option<(usize, f64)>,
+    /// Whether throughput stayed above `baseline / threshold` — on the
+    /// in-process sweep **and**, when gated, the loopback-TCP sweep.
     pub ok: bool,
 }
 
@@ -367,12 +486,30 @@ pub fn check_against(path: &Path, threshold: f64, repeats: usize) -> std::io::Re
     let base_norm = base_point.subplans_per_second * baseline.calibration_seconds.max(1e-12);
     let fresh_norm = fresh_point.subplans_per_second * fresh.calibration_seconds.max(1e-12);
     let speedup = fresh_norm / base_norm.max(1e-12);
+    // The loopback-TCP sweep is gated the same way once the baseline has
+    // one (pre-network-tier history entries leave it ungated).
+    let tcp = match baseline.best_tcp() {
+        Some(base_best) => {
+            let tcp_workers = base_best.workers;
+            let fresh_tcp = fresh
+                .tcp_point(tcp_workers)
+                .ok_or_else(|| err("fresh tcp point"))?;
+            let base_tcp_norm =
+                base_best.subplans_per_second * baseline.calibration_seconds.max(1e-12);
+            let fresh_tcp_norm =
+                fresh_tcp.subplans_per_second * fresh.calibration_seconds.max(1e-12);
+            Some((tcp_workers, fresh_tcp_norm / base_tcp_norm.max(1e-12)))
+        }
+        None => None,
+    };
+    let tcp_ok = tcp.is_none_or(|(_, s)| s >= 1.0 / threshold);
     Ok(CheckReport {
-        ok: speedup >= 1.0 / threshold,
+        ok: speedup >= 1.0 / threshold && tcp_ok,
         baseline,
         fresh,
         workers,
         speedup,
+        tcp,
     })
 }
 
@@ -398,6 +535,26 @@ pub fn format_sample(s: &ThroughputSample) -> String {
     }
     if let Some(ratio) = s.scaling(1, 4) {
         out.push_str(&format!("\n  1 → 4 worker scaling: {ratio:.2}×"));
+    }
+    for p in &s.tcp_points {
+        out.push_str(&format!(
+            "\n  tcp {} worker{}: {:>9.0} sub-plans/s ({:.0} req/s, p50 {:.0}µs, p95 {:.0}µs, \
+             p99 {:.0}µs, queue high-water {})",
+            p.workers,
+            if p.workers == 1 { " " } else { "s" },
+            p.subplans_per_second,
+            p.requests_per_second,
+            p.p50_latency_us,
+            p.p95_latency_us,
+            p.p99_latency_us,
+            p.queue_high_water,
+        ));
+    }
+    if let (Some(best), Some(best_tcp)) = ((!s.points.is_empty()).then(|| s.best()), s.best_tcp()) {
+        out.push_str(&format!(
+            "\n  tcp / in-process best-point throughput: {:.2}×",
+            best_tcp.subplans_per_second / best.subplans_per_second
+        ));
     }
     out
 }
@@ -441,6 +598,18 @@ mod tests {
                     queue_high_water: 64,
                 },
             ],
+            tcp_points: vec![ThroughputPoint {
+                workers: 4,
+                requests: 800,
+                subplans: 3000,
+                seconds: 0.2,
+                requests_per_second: 4000.0,
+                subplans_per_second: 15000.0,
+                p50_latency_us: 60.0,
+                p95_latency_us: 150.0,
+                p99_latency_us: 400.0,
+                queue_high_water: 64,
+            }],
         };
         let back = sample_from_json(&sample_to_json(&s)).unwrap();
         assert_eq!(back.label, s.label);
@@ -450,6 +619,23 @@ mod tests {
         assert!((back.points[1].subplans_per_second - 23077.0).abs() < 1e-9);
         assert!((back.scaling(1, 4).unwrap() - 23077.0 / 6000.0).abs() < 1e-9);
         assert_eq!(back.best().workers, 4);
+        assert_eq!(back.tcp_points.len(), 1);
+        assert_eq!(back.best_tcp().unwrap().workers, 4);
+        assert!((back.tcp_point(4).unwrap().subplans_per_second - 15000.0).abs() < 1e-9);
+
+        // A pre-network-tier history entry (no tcp_points key) still
+        // parses, with an empty (ungated) TCP sweep.
+        let legacy = Value::object(
+            sample_to_json(&s)
+                .as_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| k.as_str() != "tcp_points")
+                .map(|(k, v)| (k.clone(), v.clone())),
+        );
+        let back = sample_from_json(&legacy).unwrap();
+        assert!(back.tcp_points.is_empty());
+        assert!(back.best_tcp().is_none());
     }
 
     #[test]

@@ -194,6 +194,63 @@ impl Query {
         Ok(q)
     }
 
+    /// Rebuilds a query from parts produced by [`Query::tables`],
+    /// [`Query::joins`], and [`Query::filters`] of an already-bound query —
+    /// the deserialization path for transport layers (e.g. the `fj-service`
+    /// wire protocol) moving queries between processes.
+    ///
+    /// Catalog-independent invariants are re-checked (alias count and
+    /// uniqueness, one filter per table, join endpoints in range and
+    /// relating distinct aliases, connectivity). Catalog-dependent checks
+    /// (table/column existence and types) happened when the query was first
+    /// bound with [`Query::new`] on the sending side; the receiver is
+    /// expected to serve a model trained on the same schema.
+    pub fn from_wire_parts(
+        tables: Vec<TableRef>,
+        joins: Vec<JoinPredicate>,
+        filters: Vec<FilterExpr>,
+    ) -> Result<Self, QueryError> {
+        if tables.len() > 64 {
+            return Err(QueryError::TooManyAliases(tables.len()));
+        }
+        if tables.len() != filters.len() {
+            // One filter slot per table reference is a structural invariant
+            // of the IR; a mismatched wire payload cannot name the missing
+            // column, so report the first alias lacking a slot.
+            return Err(QueryError::UnknownAlias(format!(
+                "{} filters for {} tables",
+                filters.len(),
+                tables.len()
+            )));
+        }
+        for (i, t) in tables.iter().enumerate() {
+            if tables[..i].iter().any(|u| u.alias == t.alias) {
+                return Err(QueryError::DuplicateAlias(t.alias.clone()));
+            }
+        }
+        for j in &joins {
+            for side in [j.left, j.right] {
+                if side.alias >= tables.len() {
+                    return Err(QueryError::UnknownAlias(format!("#{}", side.alias)));
+                }
+            }
+            if j.left.alias == j.right.alias {
+                return Err(QueryError::SelfReferentialJoin(
+                    tables[j.left.alias].alias.clone(),
+                ));
+            }
+        }
+        let q = Query {
+            tables,
+            joins,
+            filters,
+        };
+        if q.tables.len() > 1 && !q.is_connected() {
+            return Err(QueryError::Disconnected);
+        }
+        Ok(q)
+    }
+
     /// Table references (aliases) in FROM-clause order.
     pub fn tables(&self) -> &[TableRef] {
         &self.tables
@@ -527,6 +584,62 @@ mod tests {
         assert_eq!(sub.joins()[0].left.alias, 0);
         assert_eq!(sub.joins()[0].right.alias, 1);
         assert!(sub.is_connected());
+    }
+
+    #[test]
+    fn from_wire_parts_roundtrips_and_validates() {
+        let cat = catalog();
+        let q = Query::new(
+            &cat,
+            vec![TableRef::new("a", "a"), TableRef::new("b", "b")],
+            &[j("a", "id", "b", "a_id")],
+            vec![FilterExpr::pred(Predicate::eq("v", 1)), FilterExpr::True],
+        )
+        .unwrap();
+        // Lossless rebuild from the public accessors.
+        let back = Query::from_wire_parts(
+            q.tables().to_vec(),
+            q.joins().to_vec(),
+            q.filters().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back, q);
+
+        // Structural invariants still hold without a catalog.
+        assert_eq!(
+            Query::from_wire_parts(
+                vec![TableRef::new("x", "a"), TableRef::new("x", "b")],
+                vec![],
+                vec![FilterExpr::True, FilterExpr::True],
+            )
+            .unwrap_err(),
+            QueryError::DuplicateAlias("x".into())
+        );
+        assert!(matches!(
+            Query::from_wire_parts(
+                q.tables().to_vec(),
+                vec![JoinPredicate {
+                    left: ColRef {
+                        alias: 0,
+                        column: 0
+                    },
+                    right: ColRef {
+                        alias: 9,
+                        column: 0
+                    },
+                }],
+                q.filters().to_vec(),
+            ),
+            Err(QueryError::UnknownAlias(_))
+        ));
+        assert_eq!(
+            Query::from_wire_parts(q.tables().to_vec(), vec![], q.filters().to_vec(),).unwrap_err(),
+            QueryError::Disconnected
+        );
+        assert!(matches!(
+            Query::from_wire_parts(q.tables().to_vec(), q.joins().to_vec(), vec![]),
+            Err(QueryError::UnknownAlias(_))
+        ));
     }
 
     #[test]

@@ -25,8 +25,15 @@
 //!   models. [`ModelRegistry::swap_model`] atomically publishes a
 //!   retrained model without pausing readers; responses carry the serving
 //!   model's epoch so clients can tell which model answered.
-//! * [`StatsSnapshot`] reports throughput, p50/p95/p99 latency, and the
-//!   queue-depth high-water mark.
+//! * [`StatsSnapshot`] reports throughput, p50/p95/p99 latency (from a
+//!   bounded latency reservoir), the queue-depth high-water mark, and the
+//!   admission-control counters ([`StatsSnapshot::rejected`] quota
+//!   refusals, [`StatsSnapshot::shed`] queue-full sheds).
+//! * [`server::FjServer`] / [`server::FjClient`] put the whole thing on
+//!   the network: a length-prefixed binary TCP protocol with multiplexed
+//!   pipelined batches, per-dataset shards, epoch-tagged (hot-swap
+//!   detectable) bit-identical estimates, and admission control that
+//!   rejects explicitly instead of blocking connection threads.
 //!
 //! Everything is built on `std` threads and channels — no async runtime.
 //!
@@ -51,11 +58,16 @@
 pub mod queue;
 pub mod registry;
 pub mod request;
+pub mod server;
 pub mod service;
 pub mod stats;
 mod worker;
 
 pub use registry::{ModelHandle, ModelRegistry};
-pub use request::{BatchTicket, EstimateRequest, EstimateResponse, ServiceError, Ticket};
+pub use request::{
+    AdmissionRejected, BatchTicket, EstimateRequest, EstimateResponse, RejectReason, ServiceError,
+    Ticket,
+};
+pub use server::{BatchOutcome, FjClient, FjServer, ServerConfig, ShardSpec, WireEstimates};
 pub use service::{EstimatorService, ServiceConfig};
 pub use stats::StatsSnapshot;

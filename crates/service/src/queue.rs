@@ -16,6 +16,16 @@ use std::sync::{Condvar, Mutex};
 #[derive(Debug)]
 pub struct Closed<T>(pub Vec<T>);
 
+/// Error from [`BoundedQueue::try_push_many`]; carries the whole batch
+/// back to the caller (the non-blocking path is all-or-nothing).
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue has been closed.
+    Closed(Vec<T>),
+    /// The queue lacks room for the whole batch right now.
+    Full(Vec<T>),
+}
+
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -84,6 +94,28 @@ impl<T> BoundedQueue<T> {
             self.not_empty.notify_all();
             state = self.not_full.wait(state).expect("queue lock");
         }
+    }
+
+    /// Non-blocking, all-or-nothing batch enqueue: succeeds only when the
+    /// queue is open *and* has room for the entire batch, otherwise hands
+    /// the batch back untouched. This is the admission-control primitive —
+    /// a serving tier that must never block a network thread sheds load
+    /// through the error instead of waiting for room.
+    pub fn try_push_many(&self, items: Vec<T>) -> Result<(), TryPushError<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(TryPushError::Closed(items));
+        }
+        if self.capacity - state.items.len() < items.len() {
+            return Err(TryPushError::Full(items));
+        }
+        for item in items {
+            state.items.push_back(item);
+        }
+        state.high_water = state.high_water.max(state.items.len());
+        drop(state);
+        self.not_empty.notify_all();
+        Ok(())
     }
 
     /// Blocks for the next item. Returns `None` once the queue is closed
@@ -180,6 +212,28 @@ mod tests {
         let q1 = BoundedQueue::new(1);
         q1.push(7).unwrap();
         assert_eq!(q1.pop(), Some(7));
+    }
+
+    #[test]
+    fn try_push_many_is_all_or_nothing() {
+        let q = BoundedQueue::new(3);
+        q.try_push_many(vec![1, 2]).unwrap();
+        // Batch of 2 into 1 free slot: rejected whole, nothing enqueued.
+        match q.try_push_many(vec![3, 4]) {
+            Err(TryPushError::Full(items)) => assert_eq!(items, vec![3, 4]),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        // Exactly-filling batch fits.
+        q.try_push_many(vec![5]).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.high_water(), 3);
+        q.close();
+        match q.try_push_many(vec![6]) {
+            Err(TryPushError::Closed(items)) => assert_eq!(items, vec![6]),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
     }
 
     #[test]

@@ -134,8 +134,25 @@ impl ModelRegistry {
         catalog: &Catalog,
         delta: &ModelDelta,
     ) -> Option<u64> {
+        self.apply_insert_observed(dataset, catalog, delta, |_| {})
+    }
+
+    /// [`Self::apply_insert`] with a test seam: `observed` is called with
+    /// the epoch each retry loop iteration read, *before* the update is
+    /// computed and installed — the window in which a concurrent publisher
+    /// can win the race. Production code goes through [`Self::apply_insert`]
+    /// (a no-op observer); the race regression test uses the seam to force
+    /// a swap inside the window deterministically.
+    fn apply_insert_observed(
+        &self,
+        dataset: &str,
+        catalog: &Catalog,
+        delta: &ModelDelta,
+        mut observed: impl FnMut(u64),
+    ) -> Option<u64> {
         loop {
             let handle = self.get(dataset)?;
+            observed(handle.epoch);
             let updated = Arc::new(handle.model.updated_with(catalog, delta));
             let mut entries = self.entries.write().expect("registry lock");
             let entry = entries.get_mut(dataset)?;
@@ -288,6 +305,71 @@ mod tests {
             "apply_insert publishes a copy, never the original Arc"
         );
         assert_eq!(h.model.report().model_bytes, m.report().model_bytes);
+    }
+
+    #[test]
+    fn apply_insert_losing_the_epoch_race_retries_against_the_winner() {
+        // Regression for the optimistic-retry loop actually losing its
+        // race: a swap lands between apply_insert's `get` and its install,
+        // and the update must be redone against the winner — publishing
+        // statistics derived from the superseded model would silently
+        // undo the swap.
+        let (loser, cat) = tiny_model(5);
+        let (winner, _) = tiny_model(10);
+        assert_ne!(
+            loser.report().model_bytes,
+            winner.report().model_bytes,
+            "the two models must be distinguishable"
+        );
+        let reg = Arc::new(ModelRegistry::new());
+        reg.publish("stats", Arc::clone(&loser));
+
+        // Swapper thread: parked on a barrier until apply_insert is inside
+        // its race window, then installs the winner and rejoins.
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let swapper = {
+            let (reg, winner, barrier) =
+                (Arc::clone(&reg), Arc::clone(&winner), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                barrier.wait(); // apply_insert has read its epoch
+                assert!(reg.swap_model("stats", winner).is_some());
+                barrier.wait(); // swap installed; let apply_insert proceed
+            })
+        };
+
+        let delta = ModelDelta::new();
+        let mut observed_epochs = Vec::new();
+        let epoch = {
+            let barrier = Arc::clone(&barrier);
+            reg.apply_insert_observed("stats", &cat, &delta, |epoch| {
+                observed_epochs.push(epoch);
+                if observed_epochs.len() == 1 {
+                    // First pass: hold the window open while the swapper
+                    // wins the race.
+                    barrier.wait();
+                    barrier.wait();
+                }
+            })
+            .expect("dataset registered")
+        };
+        swapper.join().expect("swapper thread");
+
+        assert_eq!(
+            observed_epochs.len(),
+            2,
+            "the lost race forced exactly one retry"
+        );
+        assert!(
+            observed_epochs[1] > observed_epochs[0],
+            "the retry observed the winner's (newer) epoch"
+        );
+        let final_handle = reg.get("stats").expect("registered");
+        assert_eq!(final_handle.epoch, epoch);
+        assert_eq!(
+            final_handle.model.report().model_bytes,
+            winner.report().model_bytes,
+            "the published statistics derive from the winner, not the stale loser"
+        );
     }
 
     #[test]

@@ -71,8 +71,15 @@ impl EstimateResponse {
 pub enum ServiceError {
     /// The request named a dataset the registry does not hold.
     UnknownDataset(String),
-    /// The service shut down before the request was served.
+    /// The request was accepted (enqueued), but the service shut down
+    /// before a worker served it.
     Shutdown,
+    /// The request was **never accepted**: the service was already
+    /// shutting down when it was submitted, so no worker ever saw it.
+    /// Distinct from [`ServiceError::Shutdown`] so a batch that races
+    /// shutdown can tell its enqueued-then-drained slots from the
+    /// remainder that was dropped at the door.
+    SubmitAfterShutdown,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -80,13 +87,80 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
             ServiceError::Shutdown => write!(f, "service shut down before serving the request"),
+            ServiceError::SubmitAfterShutdown => {
+                write!(
+                    f,
+                    "request rejected at submit: the service is shutting down"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
 
-pub(crate) type Reply = (usize, Result<EstimateResponse, ServiceError>);
+/// Why an admission-controlled submission was refused (never blocked).
+///
+/// Shared between the in-process non-blocking path
+/// ([`crate::EstimatorService::offer_requests`]) and the network tier's
+/// reject frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The client exceeded its in-flight request quota.
+    QuotaExceeded,
+    /// The bounded queue had no room for the batch: load was shed rather
+    /// than blocking the submitter.
+    Overloaded,
+    /// The service is shutting down.
+    ShuttingDown,
+    /// The request named a dataset the server does not shard.
+    UnknownDataset,
+}
+
+impl RejectReason {
+    /// Stable human-readable name (also used in wire messages).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::QuotaExceeded => "quota exceeded",
+            RejectReason::Overloaded => "overloaded",
+            RejectReason::ShuttingDown => "shutting down",
+            RejectReason::UnknownDataset => "unknown dataset",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A refused non-blocking submission; the requests come back for retry.
+#[derive(Debug)]
+pub struct AdmissionRejected {
+    /// Why the batch was refused.
+    pub reason: RejectReason,
+    /// The refused requests, returned untouched.
+    pub requests: Vec<EstimateRequest>,
+}
+
+impl std::fmt::Display for AdmissionRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch of {} refused: {}",
+            self.requests.len(),
+            self.reason
+        )
+    }
+}
+
+impl std::error::Error for AdmissionRejected {}
+
+/// Worker reply: (multiplexing tag, index within the batch, result). The
+/// tag is 0 for plain in-process submits; the network tier uses it to
+/// route replies of interleaved requests sharing one connection channel.
+pub(crate) type Reply = (u64, usize, Result<EstimateResponse, ServiceError>);
 
 /// Completion handle for a single submitted request.
 #[derive(Debug)]
@@ -98,7 +172,7 @@ impl Ticket {
     /// Blocks until the response arrives.
     pub fn wait(self) -> Result<EstimateResponse, ServiceError> {
         match self.rx.recv() {
-            Ok((_, result)) => result,
+            Ok((_, _, result)) => result,
             Err(_) => Err(ServiceError::Shutdown),
         }
     }
@@ -110,6 +184,7 @@ impl Ticket {
 pub struct BatchTicket {
     pub(crate) rx: mpsc::Receiver<Reply>,
     pub(crate) expected: usize,
+    pub(crate) accepted: usize,
 }
 
 impl BatchTicket {
@@ -123,10 +198,20 @@ impl BatchTicket {
         self.expected == 0
     }
 
+    /// How many of the batch's requests were actually enqueued. Equal to
+    /// [`Self::len`] except when submission raced shutdown, in which case
+    /// the first `accepted` requests were enqueued (and will resolve
+    /// normally) while the remainder resolve with
+    /// [`ServiceError::SubmitAfterShutdown`].
+    pub fn accepted(&self) -> usize {
+        self.accepted
+    }
+
     /// Blocks until every response of the batch has arrived; results are
     /// returned in submission order regardless of completion order. A
     /// request lost to shutdown reports [`ServiceError::Shutdown`] in its
-    /// slot.
+    /// slot; a request that was never enqueued because submission raced
+    /// shutdown reports [`ServiceError::SubmitAfterShutdown`].
     pub fn wait_all(self) -> Vec<Result<EstimateResponse, ServiceError>> {
         let mut out: Vec<Result<EstimateResponse, ServiceError>> = (0..self.expected)
             .map(|_| Err(ServiceError::Shutdown))
@@ -134,7 +219,7 @@ impl BatchTicket {
         let mut received = 0usize;
         while received < self.expected {
             match self.rx.recv() {
-                Ok((index, result)) => {
+                Ok((_, index, result)) => {
                     out[index] = result;
                     received += 1;
                 }

@@ -1,0 +1,130 @@
+//! [`FjClient`]: a pipelining TCP client for [`super::FjServer`].
+
+use super::wire::{
+    self, read_frame, write_frame, BatchOutcome, OP_BATCH_RESULT, OP_REJECTED, PROTOCOL_VERSION,
+};
+use fj_query::Query;
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected estimation client.
+///
+/// Requests are multiplexed: [`FjClient::send`] returns immediately with a
+/// request id, any number may be pipelined, and [`FjClient::recv`] collects
+/// each response whenever it lands (out-of-order completions are stashed
+/// until asked for). [`FjClient::call`] is the one-shot convenience.
+///
+/// Served estimates are **bit-identical** to an in-process
+/// `estimate_subplans` call against the same model — `f64`s cross the wire
+/// as raw IEEE-754 bits — and each query's result carries the serving
+/// model's registry epoch, so a client that sees the epoch change between
+/// responses has detected a hot-swap mid-flight.
+pub struct FjClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    datasets: Vec<String>,
+    next_id: u64,
+    stash: HashMap<u64, BatchOutcome>,
+    frame: Vec<u8>,
+}
+
+impl FjClient {
+    /// Connects and performs the version handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<FjClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+
+        write_frame(&mut writer, &wire::encode_hello())?;
+        let mut frame = Vec::new();
+        if !read_frame(&mut reader, &mut frame)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection during the handshake",
+            ));
+        }
+        let (theirs, datasets) = wire::decode_hello_ok(&frame)?;
+        if theirs != PROTOCOL_VERSION {
+            return Err(wire::WireError::VersionMismatch { theirs }.into());
+        }
+
+        Ok(FjClient {
+            reader,
+            writer,
+            datasets,
+            next_id: 1,
+            stash: HashMap::new(),
+            frame,
+        })
+    }
+
+    /// Datasets the server announced in the handshake, sorted.
+    pub fn datasets(&self) -> &[String] {
+        &self.datasets
+    }
+
+    /// Sends one estimate batch without waiting for the response; returns
+    /// the request id to [`FjClient::recv`] on. `min_size` is the smallest
+    /// sub-plan (in aliases) to report, as in `estimate_subplans`.
+    pub fn send(&mut self, dataset: &str, min_size: u32, queries: &[Query]) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.writer,
+            &wire::encode_estimate_batch(id, dataset, min_size, queries),
+        )?;
+        Ok(id)
+    }
+
+    /// Blocks until the response for `request_id` arrives. Responses for
+    /// other pipelined requests that land first are stashed and returned
+    /// by their own `recv` calls.
+    pub fn recv(&mut self, request_id: u64) -> io::Result<BatchOutcome> {
+        if let Some(outcome) = self.stash.remove(&request_id) {
+            return Ok(outcome);
+        }
+        loop {
+            if !read_frame(&mut self.reader, &mut self.frame)? {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection with the request in flight",
+                ));
+            }
+            let (id, outcome) = match self.frame.first().copied() {
+                Some(OP_BATCH_RESULT) => {
+                    let (id, results) = wire::decode_batch_result(&self.frame)?;
+                    (id, BatchOutcome::Served(results))
+                }
+                Some(OP_REJECTED) => {
+                    let (id, reason, message) = wire::decode_rejected(&self.frame)?;
+                    (id, BatchOutcome::Rejected { reason, message })
+                }
+                Some(tag) => {
+                    return Err(wire::WireError::BadTag {
+                        what: "opcode",
+                        tag,
+                    }
+                    .into())
+                }
+                None => return Err(wire::WireError::Truncated.into()),
+            };
+            if id == request_id {
+                return Ok(outcome);
+            }
+            self.stash.insert(id, outcome);
+        }
+    }
+
+    /// [`FjClient::send`] + [`FjClient::recv`] in one call.
+    pub fn call(
+        &mut self,
+        dataset: &str,
+        min_size: u32,
+        queries: &[Query],
+    ) -> io::Result<BatchOutcome> {
+        let id = self.send(dataset, min_size, queries)?;
+        self.recv(id)
+    }
+}

@@ -1,0 +1,476 @@
+//! [`FjServer`]: the TCP serving tier over per-dataset estimator shards.
+
+use super::wire::{self, read_frame, write_frame, WireEstimates, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use crate::registry::ModelRegistry;
+use crate::request::{EstimateRequest, RejectReason, Reply};
+use crate::service::{EstimatorService, ServiceConfig};
+use crate::stats::StatsSnapshot;
+use factorjoin::FactorJoinModel;
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One dataset served by the network tier: a name plus the registry its
+/// models are published through.
+pub struct ShardSpec {
+    dataset: String,
+    registry: Arc<ModelRegistry>,
+}
+
+impl ShardSpec {
+    /// A shard serving `model` under `dataset` (a fresh single-entry
+    /// registry).
+    pub fn new(dataset: &str, model: Arc<FactorJoinModel>) -> Self {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(dataset, model);
+        ShardSpec {
+            dataset: dataset.to_string(),
+            registry,
+        }
+    }
+
+    /// A shard serving `dataset` out of an existing registry — keep a clone
+    /// of the `Arc` to hot-swap models while the server runs.
+    pub fn with_registry(dataset: &str, registry: Arc<ModelRegistry>) -> Self {
+        ShardSpec {
+            dataset: dataset.to_string(),
+            registry,
+        }
+    }
+}
+
+/// Network-tier tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads per dataset shard.
+    pub workers_per_shard: usize,
+    /// Bounded request-queue capacity per shard. A batch that does not fit
+    /// is **shed** (rejected whole, [`RejectReason::Overloaded`]) rather
+    /// than blocking the connection's reader thread.
+    pub queue_capacity: usize,
+    /// Per-connection admission quota: at most this many `EstimateBatch`
+    /// requests in flight per client. The next request past the quota is
+    /// rejected ([`RejectReason::QuotaExceeded`]), never queued or blocked.
+    pub max_inflight_per_client: usize,
+}
+
+impl ServerConfig {
+    /// Defaults: 2 workers per shard, 1024-deep queues, 64 in-flight
+    /// batches per client.
+    pub fn new(workers_per_shard: usize) -> Self {
+        ServerConfig {
+            workers_per_shard,
+            queue_capacity: 1024,
+            max_inflight_per_client: 64,
+        }
+    }
+
+    /// Overrides the per-shard queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Overrides the per-client in-flight quota.
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+        self.max_inflight_per_client = max_inflight.max(1);
+        self
+    }
+}
+
+struct Shard {
+    registry: Arc<ModelRegistry>,
+    service: EstimatorService,
+}
+
+/// Shared per-server state handed to every connection thread.
+struct ServerShared {
+    shards: HashMap<String, Shard>,
+    /// Sorted dataset names, precomputed for the hello frame.
+    datasets: Vec<String>,
+    max_inflight: usize,
+    shutting_down: AtomicBool,
+    /// Read halves of live connections, so shutdown can unblock their
+    /// reader threads.
+    conn_streams: Mutex<Vec<TcpStream>>,
+}
+
+/// A running TCP estimation server (see the crate docs' "network serving
+/// tier" section and `ARCHITECTURE.md` for the wire protocol).
+///
+/// Each [`ShardSpec`] dataset gets its own [`EstimatorService`] worker
+/// pool over its own bounded queue, so a flood against one dataset sheds
+/// load there without starving the others. Connections are one reader
+/// thread plus one reply-collector thread; responses are multiplexed by
+/// the client-chosen `request_id` and may complete out of order.
+///
+/// Dropping the server (or calling [`FjServer::shutdown`]) stops
+/// accepting, unblocks and joins every connection, then drains and joins
+/// the shard worker pools.
+pub struct FjServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl FjServer {
+    /// Binds `addr` (use `"127.0.0.1:0"` for an ephemeral loopback port)
+    /// and starts serving `shards`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        shards: Vec<ShardSpec>,
+        config: ServerConfig,
+    ) -> io::Result<FjServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+
+        let mut shard_map = HashMap::new();
+        for spec in shards {
+            let service = EstimatorService::start(
+                Arc::clone(&spec.registry),
+                ServiceConfig::new(&spec.dataset, config.workers_per_shard)
+                    .with_queue_capacity(config.queue_capacity),
+            );
+            shard_map.insert(
+                spec.dataset,
+                Shard {
+                    registry: spec.registry,
+                    service,
+                },
+            );
+        }
+        let mut datasets: Vec<String> = shard_map.keys().cloned().collect();
+        datasets.sort();
+
+        let shared = Arc::new(ServerShared {
+            shards: shard_map,
+            datasets,
+            max_inflight: config.max_inflight_per_client.max(1),
+            shutting_down: AtomicBool::new(false),
+            conn_streams: Mutex::new(Vec::new()),
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conn_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("fj-server-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared, accept_conns))
+            .expect("spawn accept thread");
+
+        Ok(FjServer {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+        })
+    }
+
+    /// The bound address (with the resolved port for `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry backing `dataset`'s shard, for server-side hot-swaps.
+    pub fn registry(&self, dataset: &str) -> Option<&Arc<ModelRegistry>> {
+        self.shared.shards.get(dataset).map(|s| &s.registry)
+    }
+
+    /// Serving statistics of `dataset`'s shard — including the
+    /// [`StatsSnapshot::rejected`] (quota) and [`StatsSnapshot::shed`]
+    /// (queue-full) admission counters.
+    pub fn stats(&self, dataset: &str) -> Option<StatsSnapshot> {
+        self.shared.shards.get(dataset).map(|s| s.service.stats())
+    }
+
+    /// Datasets served, sorted (as reported to clients in the handshake).
+    pub fn datasets(&self) -> &[String] {
+        &self.shared.datasets
+    }
+
+    /// Resets `dataset`'s shard statistics (between benchmark warm-up and
+    /// the timed window). Returns whether the dataset has a shard.
+    pub fn reset_stats(&self, dataset: &str) -> bool {
+        match self.shared.shards.get(dataset) {
+            Some(shard) => {
+                shard.service.reset_stats();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stops accepting, disconnects clients, drains queued work, and joins
+    /// every thread. (`Drop` does the same; this form is explicit.)
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop: it is blocked in accept(), so poke it with
+        // a throwaway connection. (Errors mean it is already unblocked.)
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Unblock every connection reader; their collector threads drain
+        // naturally once the shard services (still alive here) finish the
+        // in-flight jobs.
+        for stream in self
+            .shared
+            .conn_streams
+            .lock()
+            .expect("conn list")
+            .drain(..)
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<JoinHandle<()>> = self
+            .conn_threads
+            .lock()
+            .expect("conn threads")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // Shard services shut down (drain + join workers) when self.shared
+        // drops with this, the last strong reference from the server side.
+    }
+}
+
+impl Drop for FjServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return; // the shutdown poke, or a client racing it
+        }
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conn_streams.lock().expect("conn list").push(clone);
+        }
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("fj-server-conn".to_string())
+            .spawn(move || {
+                // Connection errors (bad frames, disconnects) drop just
+                // this client; the server keeps serving.
+                let _ = serve_connection(stream, &conn_shared);
+            })
+            .expect("spawn connection thread");
+        conn_threads.lock().expect("conn threads").push(handle);
+    }
+}
+
+/// A response being assembled from per-query worker replies.
+struct PendingBatch {
+    results: Vec<Option<Result<WireEstimates, String>>>,
+    remaining: usize,
+}
+
+fn serve_connection(stream: TcpStream, shared: &ServerShared) -> io::Result<()> {
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+
+    // Handshake: Hello in, HelloOk out; a version-mismatched client gets
+    // the HelloOk (so it can report *our* version) and then the door.
+    if !read_frame(&mut reader, &mut buf)? {
+        return Ok(());
+    }
+    let theirs = wire::decode_hello(&buf)?;
+    {
+        let mut w = writer.lock().expect("writer");
+        write_frame(&mut *w, &wire::encode_hello_ok(&shared.datasets))?;
+    }
+    if theirs != PROTOCOL_VERSION {
+        return Ok(());
+    }
+
+    let (tx, rx) = mpsc::channel::<Reply>();
+    let pending: Arc<Mutex<HashMap<u64, PendingBatch>>> = Arc::new(Mutex::new(HashMap::new()));
+    let inflight = Arc::new(AtomicUsize::new(0));
+
+    let collector = {
+        let pending = Arc::clone(&pending);
+        let writer = Arc::clone(&writer);
+        let inflight = Arc::clone(&inflight);
+        std::thread::Builder::new()
+            .name("fj-server-collect".to_string())
+            .spawn(move || collector_loop(rx, &pending, &writer, &inflight))
+            .expect("spawn collector thread")
+    };
+
+    let result = reader_loop(
+        &mut reader,
+        &mut buf,
+        shared,
+        &writer,
+        &pending,
+        &inflight,
+        &tx,
+    );
+    // Dropping our sender lets the collector's recv() disconnect once the
+    // shard services resolve every job still in flight for this
+    // connection — queued work is never abandoned mid-assembly.
+    drop(tx);
+    let _ = collector.join();
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reader_loop(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    shared: &ServerShared,
+    writer: &Arc<Mutex<TcpStream>>,
+    pending: &Arc<Mutex<HashMap<u64, PendingBatch>>>,
+    inflight: &AtomicUsize,
+    tx: &mpsc::Sender<Reply>,
+) -> io::Result<()> {
+    let reject = |id: u64, reason: RejectReason, message: &str| -> io::Result<()> {
+        let mut w = writer.lock().expect("writer");
+        write_frame(&mut *w, &wire::encode_rejected(id, reason, message))
+    };
+
+    while read_frame(reader, buf)? {
+        let batch = wire::decode_estimate_batch(buf)?;
+        let id = batch.request_id;
+
+        let Some(shard) = shared.shards.get(&batch.dataset) else {
+            reject(
+                id,
+                RejectReason::UnknownDataset,
+                &format!("no shard serves dataset {:?}", batch.dataset),
+            )?;
+            continue;
+        };
+
+        // Admission check 1: the per-client in-flight quota. Only this
+        // reader thread increments, so load-then-add does not race.
+        if inflight.load(Ordering::SeqCst) >= shared.max_inflight {
+            shard.service.record_admission_rejection();
+            reject(
+                id,
+                RejectReason::QuotaExceeded,
+                &format!("client quota is {} in-flight batches", shared.max_inflight),
+            )?;
+            continue;
+        }
+
+        if batch.queries.is_empty() {
+            let mut w = writer.lock().expect("writer");
+            write_frame(&mut *w, &wire::encode_batch_result(id, &[]))?;
+            continue;
+        }
+
+        // A duplicate in-flight id would cross-wire two responses; that is
+        // a client bug, and the protocol answer is to drop the connection.
+        let n = batch.queries.len();
+        {
+            let mut map = pending.lock().expect("pending");
+            if map.contains_key(&id) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("request id {id} reused while in flight"),
+                ));
+            }
+            map.insert(
+                id,
+                PendingBatch {
+                    results: (0..n).map(|_| None).collect(),
+                    remaining: n,
+                },
+            );
+        }
+
+        // Admission check 2: non-blocking, all-or-nothing enqueue. A full
+        // queue sheds the whole batch back to the client instead of
+        // wedging this thread (and with it the connection).
+        let requests: Vec<EstimateRequest> = batch
+            .queries
+            .into_iter()
+            .map(|q| EstimateRequest::new(q).with_min_size(batch.min_size))
+            .collect();
+        match shard.service.offer_tagged(requests, id, tx) {
+            Ok(()) => {
+                inflight.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(rejected) => {
+                pending.lock().expect("pending").remove(&id);
+                let message = format!(
+                    "batch of {} refused: {}",
+                    rejected.requests.len(),
+                    rejected.reason
+                );
+                reject(id, rejected.reason, &message)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn collector_loop(
+    rx: mpsc::Receiver<Reply>,
+    pending: &Mutex<HashMap<u64, PendingBatch>>,
+    writer: &Mutex<TcpStream>,
+    inflight: &AtomicUsize,
+) {
+    while let Ok((tag, index, result)) = rx.recv() {
+        let frame = {
+            let mut map = pending.lock().expect("pending");
+            let Some(entry) = map.get_mut(&tag) else {
+                continue;
+            };
+            entry.results[index] = Some(match result {
+                Ok(resp) => Ok(WireEstimates {
+                    model_epoch: resp.model_epoch,
+                    estimates: resp.estimates,
+                }),
+                Err(err) => Err(err.to_string()),
+            });
+            entry.remaining -= 1;
+            if entry.remaining > 0 {
+                continue;
+            }
+            let entry = map.remove(&tag).expect("just updated");
+            let results: Vec<Result<WireEstimates, String>> = entry
+                .results
+                .into_iter()
+                .map(|slot| slot.expect("remaining hit zero"))
+                .collect();
+            wire::encode_batch_result(tag, &results)
+        };
+        inflight.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(frame.len() <= MAX_FRAME_LEN as usize);
+        // A write failure means the client left; keep draining so shard
+        // shutdown never waits on replies nobody will read.
+        let mut w = writer.lock().expect("writer");
+        let _ = write_frame(&mut *w, &frame);
+    }
+}

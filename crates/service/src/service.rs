@@ -1,8 +1,10 @@
 //! The estimator service: a worker pool over a bounded request queue.
 
-use crate::queue::BoundedQueue;
+use crate::queue::{BoundedQueue, TryPushError};
 use crate::registry::ModelRegistry;
-use crate::request::{BatchTicket, EstimateRequest, Reply, Ticket};
+use crate::request::{
+    AdmissionRejected, BatchTicket, EstimateRequest, RejectReason, Reply, ServiceError, Ticket,
+};
 use crate::stats::{StatsInner, StatsSnapshot};
 use crate::worker::{spawn_workers, Job};
 use factorjoin::FactorJoinModel;
@@ -87,18 +89,25 @@ impl EstimatorService {
         self.submit_request(EstimateRequest::new(query))
     }
 
-    /// Submits one request.
+    /// Submits one request. If the service is already shutting down, the
+    /// returned ticket resolves with [`ServiceError::SubmitAfterShutdown`]
+    /// — the error is never silently dropped.
     pub fn submit_request(&self, request: EstimateRequest) -> Ticket {
         let (tx, rx) = mpsc::channel();
         let job = Job {
+            tag: 0,
             index: 0,
             request,
             submitted: Instant::now(),
             reply: tx,
         };
-        // A closed queue drops the job (and its reply sender) here, which
-        // surfaces to the caller as ServiceError::Shutdown on wait().
-        let _ = self.queue.push(job);
+        if let Err(crate::queue::Closed(rejected)) = self.queue.push(job) {
+            for job in rejected {
+                let _ =
+                    job.reply
+                        .send((job.tag, job.index, Err(ServiceError::SubmitAfterShutdown)));
+            }
+        }
         Ticket { rx }
     }
 
@@ -111,22 +120,122 @@ impl EstimatorService {
     }
 
     /// [`Self::submit_batch`] with per-request control.
+    ///
+    /// A batch that races shutdown can be **partially** enqueued: the
+    /// already-queued prefix is drained and resolves normally, while the
+    /// dropped remainder resolves with
+    /// [`ServiceError::SubmitAfterShutdown`]. The returned ticket's
+    /// [`BatchTicket::accepted`] reports how many requests made it in.
     pub fn submit_requests(&self, requests: Vec<EstimateRequest>) -> BatchTicket {
         let (tx, rx) = mpsc::channel::<Reply>();
         let expected = requests.len();
+        let jobs = Self::make_jobs(requests, 0, &tx);
+        let accepted = match self.queue.push_many(jobs) {
+            Ok(()) => expected,
+            Err(crate::queue::Closed(rejected)) => {
+                let accepted = expected - rejected.len();
+                for job in rejected {
+                    let _ = job.reply.send((
+                        job.tag,
+                        job.index,
+                        Err(ServiceError::SubmitAfterShutdown),
+                    ));
+                }
+                accepted
+            }
+        };
+        BatchTicket {
+            rx,
+            expected,
+            accepted,
+        }
+    }
+
+    /// Non-blocking, all-or-nothing batch submission — the admission-
+    /// control path for serving tiers that must never stall a network
+    /// thread. The batch is enqueued only when the queue is open and has
+    /// room for all of it; otherwise it comes back in
+    /// [`AdmissionRejected`] (reason [`RejectReason::Overloaded`] on a
+    /// full queue — counted as shed load in [`StatsSnapshot::shed`] — or
+    /// [`RejectReason::ShuttingDown`] on a closed one).
+    pub fn offer_requests(
+        &self,
+        requests: Vec<EstimateRequest>,
+    ) -> Result<BatchTicket, AdmissionRejected> {
+        let (tx, rx) = mpsc::channel::<Reply>();
+        let expected = requests.len();
+        self.offer_jobs(requests, 0, &tx)?;
+        Ok(BatchTicket {
+            rx,
+            expected,
+            accepted: expected,
+        })
+    }
+
+    /// [`Self::offer_requests`] routing replies to a caller-owned channel,
+    /// tagged so interleaved batches can share it (the network tier's
+    /// submission path: one reply channel per connection, tag = wire
+    /// request id).
+    pub(crate) fn offer_tagged(
+        &self,
+        requests: Vec<EstimateRequest>,
+        tag: u64,
+        reply: &mpsc::Sender<Reply>,
+    ) -> Result<(), AdmissionRejected> {
+        self.offer_jobs(requests, tag, reply)
+    }
+
+    fn make_jobs(
+        requests: Vec<EstimateRequest>,
+        tag: u64,
+        reply: &mpsc::Sender<Reply>,
+    ) -> Vec<Job> {
         let submitted = Instant::now();
-        let jobs: Vec<Job> = requests
+        requests
             .into_iter()
             .enumerate()
             .map(|(index, request)| Job {
+                tag,
                 index,
                 request,
                 submitted,
-                reply: tx.clone(),
+                reply: reply.clone(),
             })
-            .collect();
-        let _ = self.queue.push_many(jobs);
-        BatchTicket { rx, expected }
+            .collect()
+    }
+
+    fn offer_jobs(
+        &self,
+        requests: Vec<EstimateRequest>,
+        tag: u64,
+        reply: &mpsc::Sender<Reply>,
+    ) -> Result<(), AdmissionRejected> {
+        let count = requests.len();
+        let jobs = Self::make_jobs(requests, tag, reply);
+        match self.queue.try_push_many(jobs) {
+            Ok(()) => Ok(()),
+            Err(err) => {
+                let (reason, jobs) = match err {
+                    TryPushError::Full(jobs) => {
+                        self.stats.record_shed(count);
+                        (RejectReason::Overloaded, jobs)
+                    }
+                    TryPushError::Closed(jobs) => (RejectReason::ShuttingDown, jobs),
+                };
+                Err(AdmissionRejected {
+                    reason,
+                    requests: jobs.into_iter().map(|j| j.request).collect(),
+                })
+            }
+        }
+    }
+
+    /// Counts an admission-control rejection (per-client quota) in
+    /// [`StatsSnapshot::rejected`]. Called by serving tiers layered on
+    /// top — quota policy lives with the connection state they own, but
+    /// the counter belongs to the service the client was refused.
+    pub fn record_admission_rejection(&self) {
+        self.stats.record_rejected();
     }
 
     /// The shared registry (publish/swap models through this).
@@ -241,6 +350,126 @@ mod tests {
             .unwrap();
         assert_eq!(resp.estimates, model.estimate_subplans(&wl[0], 2));
         assert!(resp.estimates.iter().all(|(m, _)| m.count_ones() >= 2));
+    }
+
+    /// A worker-less service (private constructor): jobs stay queued until
+    /// the test drains them, making submit/close races deterministic.
+    fn stalled_service(queue_capacity: usize) -> EstimatorService {
+        EstimatorService {
+            queue: Arc::new(BoundedQueue::new(queue_capacity)),
+            registry: Arc::new(ModelRegistry::new()),
+            stats: Arc::new(StatsInner::new()),
+            workers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn submit_after_close_resolves_with_distinct_error() {
+        // Regression: the Closed error from the queue used to be discarded
+        // (`let _ = self.queue.push(job)`), leaving the caller with only a
+        // generic Shutdown after an arbitrary wait. Submission against a
+        // closed queue must resolve immediately and distinctly.
+        let (model, wl) = tiny_setup();
+        let service = stalled_service(4);
+        service.registry.publish("stats", model);
+        service.queue.close();
+
+        let err = service.submit(wl[0].clone()).wait().unwrap_err();
+        assert_eq!(err, ServiceError::SubmitAfterShutdown);
+
+        let ticket = service.submit_batch(&wl);
+        assert_eq!(ticket.accepted(), 0, "nothing was enqueued");
+        for result in ticket.wait_all() {
+            assert_eq!(result.unwrap_err(), ServiceError::SubmitAfterShutdown);
+        }
+    }
+
+    #[test]
+    fn close_during_submit_batch_reports_partial_acceptance() {
+        // Regression: a batch that races shutdown is *partially* enqueued
+        // — push_many blocks on a full queue, close() wakes it, and the
+        // remainder comes back Closed. The dropped remainder must resolve
+        // with SubmitAfterShutdown (not hang, not generic Shutdown) and
+        // accepted() must report the enqueued prefix.
+        let (model, wl) = tiny_setup();
+        let service = stalled_service(1); // room for exactly one job
+        service.registry.publish("stats", model);
+
+        let requests: Vec<EstimateRequest> = wl.iter().cloned().map(EstimateRequest::new).collect();
+        let batch_len = requests.len();
+        assert!(batch_len >= 2, "need a batch larger than the queue");
+
+        let ticket = std::thread::scope(|s| {
+            let submitter = s.spawn(|| service.submit_requests(requests));
+            // Wait for the submitter to fill the queue and block for room,
+            // then close — the exact mid-batch shutdown race.
+            while service.queue.is_empty() {
+                std::thread::yield_now();
+            }
+            service.queue.close();
+            submitter.join().expect("submitter thread")
+        });
+        assert_eq!(ticket.len(), batch_len);
+        assert_eq!(ticket.accepted(), 1, "one job fit before the close");
+
+        // Drain the accepted job as a worker would, so its slot resolves.
+        let job = service.queue.pop().expect("the accepted job is queued");
+        assert_eq!(job.index, 0, "the enqueued prefix comes first");
+        let handle = service.registry.get("stats").expect("published");
+        let estimates = handle.model.estimate_subplans(&job.request.query, 1);
+        let response = crate::request::EstimateResponse {
+            dataset: "stats".to_string(),
+            model_epoch: handle.epoch,
+            worker: 0,
+            queue_wait: std::time::Duration::ZERO,
+            estimate_time: std::time::Duration::ZERO,
+            estimates,
+        };
+        job.reply
+            .send((job.tag, job.index, Ok(response)))
+            .expect("ticket alive");
+
+        let results = ticket.wait_all();
+        assert!(results[0].is_ok(), "the accepted job resolves normally");
+        for result in &results[1..] {
+            assert_eq!(
+                *result.as_ref().unwrap_err(),
+                ServiceError::SubmitAfterShutdown,
+                "dropped remainder resolves with the distinct submit error"
+            );
+        }
+    }
+
+    #[test]
+    fn offer_requests_sheds_on_full_queue_and_counts_it() {
+        let (model, wl) = tiny_setup();
+        let service = stalled_service(2); // no workers: queue never drains
+        service.registry.publish("stats", Arc::clone(&model));
+        let reqs = |n: usize| -> Vec<EstimateRequest> {
+            (0..n)
+                .map(|i| EstimateRequest::new(wl[i % wl.len()].clone()))
+                .collect()
+        };
+        // A batch larger than capacity is always shed, all-or-nothing.
+        let err = service.offer_requests(reqs(3)).unwrap_err();
+        assert_eq!(err.reason, RejectReason::Overloaded);
+        assert_eq!(err.requests.len(), 3, "the batch comes back for retry");
+        assert_eq!(service.queue.len(), 0, "nothing partially enqueued");
+        // A fitting batch is accepted.
+        let ticket = service.offer_requests(reqs(2)).expect("fits");
+        assert_eq!(ticket.accepted(), 2);
+        // Now the queue is full: even a single request is shed.
+        let err = service.offer_requests(reqs(1)).unwrap_err();
+        assert_eq!(err.reason, RejectReason::Overloaded);
+        // Quota rejections recorded through the public hook.
+        service.record_admission_rejection();
+        let snap = service.stats();
+        assert_eq!(snap.shed, 4, "3 + 1 shed requests counted");
+        assert_eq!(snap.rejected, 1);
+        // Closed queue refuses with ShuttingDown instead.
+        service.queue.close();
+        let err = service.offer_requests(reqs(1)).unwrap_err();
+        assert_eq!(err.reason, RejectReason::ShuttingDown);
     }
 
     #[test]

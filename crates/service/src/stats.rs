@@ -4,26 +4,89 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// Default capacity of the latency reservoir (see [`LatencyReservoir`]).
+pub(crate) const DEFAULT_LATENCY_CAPACITY: usize = 4096;
+
+/// Fixed-capacity sliding-window latency store.
+///
+/// A long-running daemon records latencies for days; an unbounded `Vec`
+/// is a memory leak with a fuse. This ring keeps the **last `capacity`**
+/// recordings in O(capacity) memory forever:
+///
+/// * below `capacity` total recordings the window holds *every* sample, so
+///   p50/p95/p99 are exact over the whole run;
+/// * above it, percentiles are computed over the most recent `capacity`
+///   samples — a deterministic sliding window, which for serving health is
+///   the more useful number anyway (recent behaviour, not day-old history).
+struct LatencyReservoir {
+    /// Ring storage; index `total % capacity` is the next write slot.
+    ring: Vec<u64>,
+    /// Total recordings since the last reset (may exceed `capacity`).
+    total: u64,
+    capacity: usize,
+}
+
+impl LatencyReservoir {
+    fn new(capacity: usize) -> Self {
+        LatencyReservoir {
+            ring: Vec::with_capacity(capacity.max(1)),
+            total: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn record(&mut self, latency_us: u64) {
+        let slot = (self.total % self.capacity as u64) as usize;
+        if slot < self.ring.len() {
+            self.ring[slot] = latency_us;
+        } else {
+            self.ring.push(latency_us);
+        }
+        self.total += 1;
+    }
+
+    fn clear(&mut self) {
+        self.ring.clear();
+        self.total = 0;
+    }
+
+    /// The current window's samples, unordered.
+    fn window(&self) -> Vec<u64> {
+        self.ring.clone()
+    }
+}
+
 /// Shared counters the workers update as they serve (internal; read
 /// through [`crate::EstimatorService::stats`]).
 pub(crate) struct StatsInner {
     requests: AtomicU64,
     subplans: AtomicU64,
     errors: AtomicU64,
+    /// Requests refused by admission control (per-client quota) before
+    /// reaching the queue.
+    rejected: AtomicU64,
+    /// Requests shed because the bounded queue had no room (load shedding
+    /// chosen over producer blocking by the non-blocking submit path).
+    shed: AtomicU64,
     /// Completed-request latencies (queue wait + estimation) in
-    /// microseconds. Bench runs at ~10⁵ requests keep this at a few MB;
-    /// `reset` reclaims it between measurement windows.
-    latencies_us: Mutex<Vec<u64>>,
+    /// microseconds, bounded by the reservoir capacity.
+    latencies_us: Mutex<LatencyReservoir>,
     window_start: Mutex<Instant>,
 }
 
 impl StatsInner {
     pub(crate) fn new() -> Self {
+        Self::with_latency_capacity(DEFAULT_LATENCY_CAPACITY)
+    }
+
+    pub(crate) fn with_latency_capacity(capacity: usize) -> Self {
         StatsInner {
             requests: AtomicU64::new(0),
             subplans: AtomicU64::new(0),
             errors: AtomicU64::new(0),
-            latencies_us: Mutex::new(Vec::new()),
+            rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            latencies_us: Mutex::new(LatencyReservoir::new(capacity)),
             window_start: Mutex::new(Instant::now()),
         }
     }
@@ -34,11 +97,19 @@ impl StatsInner {
         self.latencies_us
             .lock()
             .expect("stats lock")
-            .push(latency.as_micros() as u64);
+            .record(latency.as_micros() as u64);
     }
 
     pub(crate) fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed(&self, requests: usize) {
+        self.shed.fetch_add(requests as u64, Ordering::Relaxed);
     }
 
     /// Clears all counters and restarts the measurement window (used
@@ -47,12 +118,14 @@ impl StatsInner {
         self.requests.store(0, Ordering::Relaxed);
         self.subplans.store(0, Ordering::Relaxed);
         self.errors.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
+        self.shed.store(0, Ordering::Relaxed);
         self.latencies_us.lock().expect("stats lock").clear();
         *self.window_start.lock().expect("stats lock") = Instant::now();
     }
 
     pub(crate) fn snapshot(&self, queue_depth: usize, queue_high_water: usize) -> StatsSnapshot {
-        let mut lat = self.latencies_us.lock().expect("stats lock").clone();
+        let mut lat = self.latencies_us.lock().expect("stats lock").window();
         lat.sort_unstable();
         let pct = |p: f64| -> Duration {
             if lat.is_empty() {
@@ -65,7 +138,10 @@ impl StatsInner {
             } else {
                 lat[lo] as f64 + (lat[hi] as f64 - lat[lo] as f64) * (pos - lo as f64)
             };
-            Duration::from_nanos((us * 1e3) as u64)
+            // Round, don't truncate: interpolation products like 0.95 × 3µs
+            // land a hair under the exact nanosecond (2849.999…) and
+            // truncation would shave it to 2849ns.
+            Duration::from_nanos((us * 1e3).round() as u64)
         };
         let elapsed = self.window_start.lock().expect("stats lock").elapsed();
         let requests = self.requests.load(Ordering::Relaxed);
@@ -75,6 +151,8 @@ impl StatsInner {
             requests,
             subplans,
             errors: self.errors.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             requests_per_second: requests as f64 / secs,
             subplans_per_second: subplans as f64 / secs,
             p50_latency: pct(50.0),
@@ -96,16 +174,28 @@ pub struct StatsSnapshot {
     pub subplans: u64,
     /// Requests that failed (unknown dataset).
     pub errors: u64,
+    /// Requests refused by admission control (per-client in-flight quota)
+    /// before they reached the queue.
+    pub rejected: u64,
+    /// Requests shed on submission because the bounded queue was full (the
+    /// non-blocking submit path refuses load instead of blocking producers).
+    pub shed: u64,
     /// Aggregate served requests per second over the window.
     pub requests_per_second: f64,
     /// Aggregate sub-plan estimates per second over the window — the
     /// throughput number the paper's serving story cares about.
     pub subplans_per_second: f64,
     /// Median end-to-end request latency (queue wait + estimation).
+    ///
+    /// Percentiles are exact while fewer requests than the latency
+    /// reservoir's capacity (4096) have completed since the last reset;
+    /// past that they describe the most recent 4096 requests (a
+    /// deterministic sliding window), keeping memory bounded for
+    /// daemon-length runs.
     pub p50_latency: Duration,
-    /// 95th-percentile latency.
+    /// 95th-percentile latency (same windowing as [`Self::p50_latency`]).
     pub p95_latency: Duration,
-    /// 99th-percentile latency.
+    /// 99th-percentile latency (same windowing as [`Self::p50_latency`]).
     pub p99_latency: Duration,
     /// Requests queued right now.
     pub queue_depth: usize,
@@ -120,11 +210,14 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} req ({} sub-plans, {} errors) in {:.2}s — {:.0} req/s, {:.0} sub-plans/s; \
+            "{} req ({} sub-plans, {} errors, {} rejected, {} shed) in {:.2}s — \
+             {:.0} req/s, {:.0} sub-plans/s; \
              latency p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs; queue depth {} (high-water {})",
             self.requests,
             self.subplans,
             self.errors,
+            self.rejected,
+            self.shed,
             self.window.as_secs_f64(),
             self.requests_per_second,
             self.subplans_per_second,
@@ -152,6 +245,8 @@ mod tests {
         assert_eq!(snap.requests, 5);
         assert_eq!(snap.subplans, 15);
         assert_eq!(snap.errors, 1);
+        assert_eq!(snap.rejected, 0);
+        assert_eq!(snap.shed, 0);
         assert_eq!(snap.queue_depth, 2);
         assert_eq!(snap.queue_high_water, 7);
         assert!(snap.p50_latency <= snap.p95_latency);
@@ -165,5 +260,74 @@ mod tests {
         let snap = s.snapshot(0, 7);
         assert_eq!(snap.requests, 0);
         assert_eq!(snap.p99_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn interpolated_percentile_rounds_instead_of_truncating() {
+        // p95 over [0µs, 3µs]: position 0.95 interpolates to 2.85µs, whose
+        // f64 product 2.85 × 1000 is 2849.9999999999995ns. Truncation
+        // reported 2849ns; rounding must report 2850ns.
+        let s = StatsInner::new();
+        s.record_success(1, Duration::from_micros(0));
+        s.record_success(1, Duration::from_micros(3));
+        let snap = s.snapshot(0, 0);
+        assert_eq!(snap.p95_latency, Duration::from_nanos(2850));
+        // Exact midpoint stays exact.
+        assert_eq!(snap.p50_latency, Duration::from_nanos(1500));
+    }
+
+    #[test]
+    fn latency_memory_stays_bounded_past_capacity() {
+        // Regression for the daemon-length memory leak: the reservoir must
+        // never hold more than its capacity, no matter how many requests
+        // are recorded.
+        let s = StatsInner::with_latency_capacity(64);
+        for i in 0..10_000u64 {
+            s.record_success(1, Duration::from_micros(i));
+        }
+        {
+            let inner = s.latencies_us.lock().unwrap();
+            assert_eq!(inner.ring.len(), 64, "ring never grows past capacity");
+            assert!(inner.ring.capacity() < 1024, "no hidden growth");
+            assert_eq!(inner.total, 10_000);
+        }
+        // The window holds exactly the most recent 64 recordings
+        // (9936..9999µs), so even p0-ish percentiles sit at the window
+        // floor — documented sliding-window behaviour above capacity.
+        let snap = s.snapshot(0, 0);
+        assert!(snap.p50_latency >= Duration::from_micros(9936));
+        assert!(snap.p99_latency <= Duration::from_micros(9999));
+        assert!(snap.p50_latency <= snap.p99_latency);
+    }
+
+    #[test]
+    fn percentiles_exact_below_capacity() {
+        // Below capacity every sample is retained: percentiles over the
+        // full history are exact even after many recordings.
+        let s = StatsInner::with_latency_capacity(128);
+        for us in 0..100u64 {
+            s.record_success(1, Duration::from_micros(us));
+        }
+        let snap = s.snapshot(0, 0);
+        // p50 over 0..=99 interpolates between 49 and 50 → 49.5µs.
+        assert_eq!(snap.p50_latency, Duration::from_nanos(49_500));
+    }
+
+    #[test]
+    fn rejected_and_shed_counters_roundtrip() {
+        let s = StatsInner::new();
+        s.record_rejected();
+        s.record_rejected();
+        s.record_shed(5);
+        let snap = s.snapshot(0, 0);
+        assert_eq!(snap.rejected, 2);
+        assert_eq!(snap.shed, 5);
+        let text = snap.to_string();
+        assert!(text.contains("2 rejected"), "{text}");
+        assert!(text.contains("5 shed"), "{text}");
+        s.reset();
+        let snap = s.snapshot(0, 0);
+        assert_eq!(snap.rejected, 0);
+        assert_eq!(snap.shed, 0);
     }
 }

@@ -13,6 +13,9 @@ use std::time::Instant;
 
 /// A queued unit of work: the request plus its reply route.
 pub(crate) struct Job {
+    /// Multiplexing tag (0 for plain submits; wire request id for the
+    /// network tier, whose connections share one reply channel).
+    pub tag: u64,
     /// Index within the submitting batch (0 for single submits).
     pub index: usize,
     pub request: EstimateRequest,
@@ -86,6 +89,6 @@ fn worker_loop(
             }
         };
         // A dropped ticket just means the client stopped waiting.
-        let _ = job.reply.send((job.index, result));
+        let _ = job.reply.send((job.tag, job.index, result));
     }
 }

@@ -1,0 +1,132 @@
+//! The network serving tier end-to-end: train, bind an `FjServer` on a
+//! loopback port, and talk to it through `FjClient` — multiplexed
+//! pipelined batches, a hot-swap detected by its epoch jump, and
+//! admission control rejecting an oversized batch instead of hanging the
+//! connection (see `ARCHITECTURE.md`, "Network serving tier").
+//!
+//! ```sh
+//! cargo run --release --example network_service
+//! FJ_WORKERS=8 cargo run --release --example network_service
+//! ```
+
+use factorjoin::{BaseEstimatorKind, BinBudget, FactorJoinConfig, FactorJoinModel};
+use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
+use fj_service::{
+    BatchOutcome, FjClient, FjServer, ModelRegistry, RejectReason, ServerConfig, ShardSpec,
+};
+use std::sync::Arc;
+
+#[path = "util/scale.rs"]
+mod util;
+use util::fj_scale;
+
+fn main() {
+    let workers: usize = std::env::var("FJ_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let catalog = stats_catalog(&StatsConfig {
+        scale: fj_scale(),
+        ..Default::default()
+    });
+    let train_cfg = FactorJoinConfig {
+        bin_budget: BinBudget::Uniform(100),
+        estimator: BaseEstimatorKind::TrueScan,
+        ..Default::default()
+    };
+    let model = Arc::new(FactorJoinModel::train(&catalog, train_cfg.clone()));
+    let queries = stats_ceb_workload(&catalog, &WorkloadConfig::tiny(5));
+    println!(
+        "trained on {} rows; workload of {} queries",
+        catalog.total_rows(),
+        queries.len()
+    );
+
+    // Bind an ephemeral loopback port. Keeping a clone of the registry
+    // lets this process hot-swap models while the server runs; a small
+    // queue makes the admission-control demo below deterministic.
+    let registry = Arc::new(ModelRegistry::new());
+    let first_epoch = registry.publish("stats", Arc::clone(&model));
+    let queue_capacity = 2 * queries.len();
+    let server = FjServer::bind(
+        "127.0.0.1:0",
+        vec![ShardSpec::with_registry("stats", Arc::clone(&registry))],
+        ServerConfig::new(workers).with_queue_capacity(queue_capacity),
+    )
+    .expect("bind loopback");
+    println!("fj-server listening on {}", server.local_addr());
+
+    // Connect and pipeline the workload: every batch in flight before the
+    // first response is read, multiplexed by request id on one socket.
+    let mut client = FjClient::connect(server.local_addr()).expect("connect");
+    println!("handshake: server offers datasets {:?}", client.datasets());
+    let ids: Vec<u64> = queries
+        .iter()
+        .map(|q| {
+            client
+                .send("stats", 1, std::slice::from_ref(q))
+                .expect("send")
+        })
+        .collect();
+    let mut subplans = 0usize;
+    for id in &ids {
+        match client.recv(*id).expect("recv") {
+            BatchOutcome::Served(results) => {
+                subplans += results
+                    .iter()
+                    .map(|r| r.as_ref().expect("served").estimates.len())
+                    .sum::<usize>();
+            }
+            BatchOutcome::Rejected { reason, message } => {
+                panic!("pipelined batch rejected ({reason}): {message}")
+            }
+        }
+    }
+    println!(
+        "pipelined {} single-query batches → {} sub-plan estimates, all epoch {}",
+        ids.len(),
+        subplans,
+        first_epoch
+    );
+
+    // Hot-swap a retrained model server-side; the client sees the swap as
+    // an epoch jump on its very next response — no reconnect, no pause.
+    let retrained = Arc::new(FactorJoinModel::train(&catalog, train_cfg));
+    registry
+        .swap_model("stats", retrained)
+        .expect("dataset registered");
+    match client.call("stats", 1, &queries).expect("post-swap call") {
+        BatchOutcome::Served(results) => {
+            let epoch = results[0].as_ref().expect("served").model_epoch;
+            println!("hot-swap detected over TCP: epoch {first_epoch} → {epoch}");
+            assert!(epoch > first_epoch, "swap must raise the epoch");
+        }
+        BatchOutcome::Rejected { reason, message } => {
+            panic!("post-swap batch rejected ({reason}): {message}")
+        }
+    }
+
+    // Admission control: a batch larger than the shard queue can never be
+    // enqueued whole, so it is shed — an explicit rejection frame, not a
+    // blocked connection — and the client simply retries smaller.
+    let oversized: Vec<_> = std::iter::repeat_with(|| queries.iter().cloned())
+        .take(queue_capacity / queries.len() + 2)
+        .flatten()
+        .collect();
+    match client.call("stats", 1, &oversized).expect("oversized call") {
+        BatchOutcome::Rejected { reason, message } => {
+            assert_eq!(reason, RejectReason::Overloaded);
+            println!(
+                "admission control shed a {}-query batch (queue holds {}): {message}",
+                oversized.len(),
+                queue_capacity
+            );
+        }
+        BatchOutcome::Served(_) => panic!("an impossible batch was served"),
+    }
+
+    let snap = server.stats("stats").expect("stats shard");
+    println!("shard stats: {snap}");
+    server.shutdown();
+    println!("server shut down cleanly");
+}

@@ -74,6 +74,11 @@ fn concurrent_service_runs() {
 }
 
 #[test]
+fn network_service_runs() {
+    run_example("network_service");
+}
+
+#[test]
 fn load_real_dataset_runs() {
     run_example("load_real_dataset");
 }
