@@ -115,6 +115,11 @@ pub enum RejectReason {
     ShuttingDown,
     /// The request named a dataset the server does not shard.
     UnknownDataset,
+    /// The batch was served, but its encoded response would not fit one
+    /// wire frame, so the results were discarded instead of written
+    /// (writing an oversized frame would make the client abort the whole
+    /// connection). The client's recourse is to split the batch.
+    ResponseTooLarge,
 }
 
 impl RejectReason {
@@ -125,6 +130,7 @@ impl RejectReason {
             RejectReason::Overloaded => "overloaded",
             RejectReason::ShuttingDown => "shutting down",
             RejectReason::UnknownDataset => "unknown dataset",
+            RejectReason::ResponseTooLarge => "response too large",
         }
     }
 }

@@ -93,9 +93,15 @@ struct ServerShared {
     datasets: Vec<String>,
     max_inflight: usize,
     shutting_down: AtomicBool,
-    /// Read halves of live connections, so shutdown can unblock their
-    /// reader threads.
-    conn_streams: Mutex<Vec<TcpStream>>,
+    /// Read halves of live connections keyed by connection id, so shutdown
+    /// can unblock their reader threads. Each connection removes its own
+    /// entry when it ends, so a long-running server does not accumulate
+    /// one duplicated fd per client ever served.
+    conn_streams: Mutex<HashMap<u64, TcpStream>>,
+    /// Ids of connections whose threads have finished; the accept loop
+    /// reaps (joins and forgets) their handles before serving the next
+    /// client, shutdown reaps whatever remains.
+    finished_conns: Mutex<Vec<u64>>,
 }
 
 /// A running TCP estimation server (see the crate docs' "network serving
@@ -114,7 +120,7 @@ pub struct FjServer {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
     accept_thread: Option<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conn_threads: Arc<Mutex<HashMap<u64, JoinHandle<()>>>>,
 }
 
 impl FjServer {
@@ -151,9 +157,10 @@ impl FjServer {
             datasets,
             max_inflight: config.max_inflight_per_client.max(1),
             shutting_down: AtomicBool::new(false),
-            conn_streams: Mutex::new(Vec::new()),
+            conn_streams: Mutex::new(HashMap::new()),
+            finished_conns: Mutex::new(Vec::new()),
         });
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let conn_threads = Arc::new(Mutex::new(HashMap::new()));
 
         let accept_shared = Arc::clone(&shared);
         let accept_conns = Arc::clone(&conn_threads);
@@ -223,20 +230,15 @@ impl FjServer {
         // Unblock every connection reader; their collector threads drain
         // naturally once the shard services (still alive here) finish the
         // in-flight jobs.
-        for stream in self
-            .shared
-            .conn_streams
-            .lock()
-            .expect("conn list")
-            .drain(..)
-        {
+        for (_, stream) in self.shared.conn_streams.lock().expect("conn list").drain() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         let handles: Vec<JoinHandle<()>> = self
             .conn_threads
             .lock()
             .expect("conn threads")
-            .drain(..)
+            .drain()
+            .map(|(_, handle)| handle)
             .collect();
         for handle in handles {
             let _ = handle.join();
@@ -255,8 +257,9 @@ impl Drop for FjServer {
 fn accept_loop(
     listener: TcpListener,
     shared: Arc<ServerShared>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conn_threads: Arc<Mutex<HashMap<u64, JoinHandle<()>>>>,
 ) {
+    let mut next_conn_id: u64 = 0;
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -264,15 +267,28 @@ fn accept_loop(
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     return;
                 }
+                // Reclaim dead connections' fds (the likely cause of a
+                // persistent EMFILE) and back off so a repeating accept
+                // error cannot busy-spin this thread at 100% CPU.
+                reap_finished(&shared, &conn_threads);
+                std::thread::sleep(std::time::Duration::from_millis(20));
                 continue;
             }
         };
         if shared.shutting_down.load(Ordering::SeqCst) {
             return; // the shutdown poke, or a client racing it
         }
+        // Join and forget connections that ended since the last accept.
+        reap_finished(&shared, &conn_threads);
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
         let _ = stream.set_nodelay(true);
         if let Ok(clone) = stream.try_clone() {
-            shared.conn_streams.lock().expect("conn list").push(clone);
+            shared
+                .conn_streams
+                .lock()
+                .expect("conn list")
+                .insert(conn_id, clone);
         }
         let conn_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -281,9 +297,43 @@ fn accept_loop(
                 // Connection errors (bad frames, disconnects) drop just
                 // this client; the server keeps serving.
                 let _ = serve_connection(stream, &conn_shared);
+                // Deregister: release the duplicated shutdown fd now and
+                // queue the thread handle for the accept loop to reap.
+                conn_shared
+                    .conn_streams
+                    .lock()
+                    .expect("conn list")
+                    .remove(&conn_id);
+                conn_shared
+                    .finished_conns
+                    .lock()
+                    .expect("finished conns")
+                    .push(conn_id);
             })
             .expect("spawn connection thread");
-        conn_threads.lock().expect("conn threads").push(handle);
+        conn_threads
+            .lock()
+            .expect("conn threads")
+            .insert(conn_id, handle);
+    }
+}
+
+/// Joins connection threads that announced completion and drops their
+/// handles. Only the accept loop calls this, and it inserts a connection's
+/// handle (program-order) before its next reap, so an announced id always
+/// finds its handle; shutdown joins whatever was never reaped.
+fn reap_finished(shared: &ServerShared, conn_threads: &Mutex<HashMap<u64, JoinHandle<()>>>) {
+    let finished: Vec<u64> = std::mem::take(&mut *shared.finished_conns.lock().expect("finished"));
+    if finished.is_empty() {
+        return;
+    }
+    let mut threads = conn_threads.lock().expect("conn threads");
+    for id in finished {
+        if let Some(handle) = threads.remove(&id) {
+            // The thread already announced completion, so this join is
+            // instant (never blocked behind a live client).
+            let _ = handle.join();
+        }
     }
 }
 
@@ -362,6 +412,17 @@ fn reader_loop(
         let batch = wire::decode_estimate_batch(buf)?;
         let id = batch.request_id;
 
+        // A duplicate in-flight id would cross-wire two responses; that is
+        // a client bug, and the protocol answer is to drop the connection.
+        // Checked before *every* reply path — including the rejects and
+        // the empty-batch fast path, which never touch `pending`.
+        if pending.lock().expect("pending").contains_key(&id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("request id {id} reused while in flight"),
+            ));
+        }
+
         let Some(shard) = shared.shards.get(&batch.dataset) else {
             reject(
                 id,
@@ -389,25 +450,14 @@ fn reader_loop(
             continue;
         }
 
-        // A duplicate in-flight id would cross-wire two responses; that is
-        // a client bug, and the protocol answer is to drop the connection.
         let n = batch.queries.len();
-        {
-            let mut map = pending.lock().expect("pending");
-            if map.contains_key(&id) {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("request id {id} reused while in flight"),
-                ));
-            }
-            map.insert(
-                id,
-                PendingBatch {
-                    results: (0..n).map(|_| None).collect(),
-                    remaining: n,
-                },
-            );
-        }
+        pending.lock().expect("pending").insert(
+            id,
+            PendingBatch {
+                results: (0..n).map(|_| None).collect(),
+                remaining: n,
+            },
+        );
 
         // Admission check 2: non-blocking, all-or-nothing enqueue. A full
         // queue sheds the whole batch back to the client instead of
@@ -417,11 +467,16 @@ fn reader_loop(
             .into_iter()
             .map(|q| EstimateRequest::new(q).with_min_size(batch.min_size))
             .collect();
+        // Count the batch against the quota *before* it can possibly
+        // complete: a fast worker pool could otherwise finish the batch
+        // and run the collector's decrement before a post-enqueue
+        // increment, wrapping the counter to usize::MAX and wedging the
+        // quota shut for the rest of the connection.
+        inflight.fetch_add(1, Ordering::SeqCst);
         match shard.service.offer_tagged(requests, id, tx) {
-            Ok(()) => {
-                inflight.fetch_add(1, Ordering::SeqCst);
-            }
+            Ok(()) => {}
             Err(rejected) => {
+                inflight.fetch_sub(1, Ordering::SeqCst);
                 pending.lock().expect("pending").remove(&id);
                 let message = format!(
                     "batch of {} refused: {}",
@@ -467,10 +522,184 @@ fn collector_loop(
             wire::encode_batch_result(tag, &results)
         };
         inflight.fetch_sub(1, Ordering::SeqCst);
-        debug_assert!(frame.len() <= MAX_FRAME_LEN as usize);
+        let frame = enforce_frame_cap(tag, frame);
         // A write failure means the client left; keep draining so shard
         // shutdown never waits on replies nobody will read.
         let mut w = writer.lock().expect("writer");
         let _ = write_frame(&mut *w, &frame);
+    }
+}
+
+/// Enforces [`MAX_FRAME_LEN`] on an outgoing batch result. A response too
+/// large to frame (a valid ≤64 MiB request can ask for far more than
+/// 64 MiB of estimates) must not reach the socket — the client would abort
+/// the whole connection over it — so it is replaced by a small
+/// [`RejectReason::ResponseTooLarge`] rejection telling the client to
+/// split the batch.
+fn enforce_frame_cap(tag: u64, frame: Vec<u8>) -> Vec<u8> {
+    if frame.len() <= MAX_FRAME_LEN as usize {
+        return frame;
+    }
+    wire::encode_rejected(
+        tag,
+        RejectReason::ResponseTooLarge,
+        &format!(
+            "encoded batch result of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame cap; \
+             split the batch into smaller requests",
+            frame.len()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::FjClient;
+    use factorjoin::{BaseEstimatorKind, BinBudget, FactorJoinConfig};
+    use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
+    use fj_query::Query;
+
+    fn tiny_setup() -> (Arc<FactorJoinModel>, Vec<Query>) {
+        let cat = stats_catalog(&StatsConfig {
+            scale: 0.02,
+            ..Default::default()
+        });
+        let model = FactorJoinModel::train(
+            &cat,
+            FactorJoinConfig {
+                bin_budget: BinBudget::Uniform(10),
+                estimator: BaseEstimatorKind::TrueScan,
+                ..Default::default()
+            },
+        );
+        let wl = stats_ceb_workload(&cat, &WorkloadConfig::tiny(3));
+        (Arc::new(model), wl)
+    }
+
+    fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !cond() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for {what}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn oversized_batch_result_is_replaced_by_a_rejection_frame() {
+        let small = wire::encode_batch_result(7, &[]);
+        assert_eq!(
+            enforce_frame_cap(7, small.clone()),
+            small,
+            "fits: untouched"
+        );
+
+        let frame = enforce_frame_cap(9, vec![0u8; MAX_FRAME_LEN as usize + 1]);
+        assert!(
+            frame.len() <= MAX_FRAME_LEN as usize,
+            "the replacement fits"
+        );
+        let (id, reason, message) = wire::decode_rejected(&frame).expect("a rejection frame");
+        assert_eq!(id, 9);
+        assert_eq!(reason, RejectReason::ResponseTooLarge);
+        assert!(message.contains("split"), "actionable message: {message}");
+    }
+
+    /// Regression for the empty-batch fast path skipping the duplicate-id
+    /// check: reusing an in-flight id — even with an empty batch — must
+    /// drop the connection, never produce two responses with one tag.
+    #[test]
+    fn empty_batch_reusing_an_in_flight_id_drops_the_connection() {
+        let (model, wl) = tiny_setup();
+        // One worker and a big batch: in flight for milliseconds while the
+        // next frame arrives microseconds later (same margin the quota
+        // integration test relies on).
+        let big: Vec<Query> = std::iter::repeat_with(|| wl.iter().cloned())
+            .take(8)
+            .flatten()
+            .collect();
+        let server = FjServer::bind(
+            "127.0.0.1:0",
+            vec![ShardSpec::new("stats", model)],
+            ServerConfig::new(1).with_queue_capacity(big.len()),
+        )
+        .expect("bind");
+
+        let mut sock = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut reader = BufReader::new(sock.try_clone().expect("clone"));
+        let mut buf = Vec::new();
+        write_frame(&mut sock, &wire::encode_hello()).unwrap();
+        assert!(read_frame(&mut reader, &mut buf).unwrap());
+        wire::decode_hello_ok(&buf).expect("hello ok");
+
+        write_frame(&mut sock, &wire::encode_estimate_batch(7, "stats", 1, &big)).unwrap();
+        // Reuse id 7 while it is in flight, via the empty-batch fast path.
+        write_frame(&mut sock, &wire::encode_estimate_batch(7, "stats", 1, &[])).unwrap();
+
+        // The in-flight batch still resolves (exactly one response for id
+        // 7), then the connection is dropped instead of answered twice.
+        assert!(read_frame(&mut reader, &mut buf).unwrap());
+        let (id, results) = wire::decode_batch_result(&buf).expect("the in-flight batch");
+        assert_eq!(id, 7);
+        assert_eq!(results.len(), big.len());
+        assert!(
+            !read_frame(&mut reader, &mut buf).expect("clean close"),
+            "the id reuse must drop the connection, not answer"
+        );
+        server.shutdown();
+    }
+
+    /// Regression for the per-connection fd/handle leak: a disconnecting
+    /// client's stream registration and thread handle are reclaimed while
+    /// the server keeps running, not only at shutdown.
+    #[test]
+    fn disconnected_clients_are_deregistered_and_reaped() {
+        let (model, wl) = tiny_setup();
+        let server = FjServer::bind(
+            "127.0.0.1:0",
+            vec![ShardSpec::new("stats", model)],
+            ServerConfig::new(1),
+        )
+        .expect("bind");
+
+        {
+            let mut client = FjClient::connect(server.local_addr()).expect("connect");
+            let outcome = client.call("stats", 1, &wl[..1]).expect("roundtrip");
+            assert!(matches!(outcome, wire::BatchOutcome::Served(_)));
+        } // dropping the client disconnects it
+
+        // The connection thread deregisters itself: its duplicated fd
+        // leaves the registry and its id lands on the reap list.
+        wait_until("the dead connection to deregister", || {
+            server
+                .shared
+                .conn_streams
+                .lock()
+                .expect("conn list")
+                .is_empty()
+                && !server
+                    .shared
+                    .finished_conns
+                    .lock()
+                    .expect("finished")
+                    .is_empty()
+        });
+        assert_eq!(server.conn_threads.lock().expect("threads").len(), 1);
+
+        // The next accepted connection reaps the dead one's handle, so the
+        // thread registry holds live connections only.
+        let _client2 = FjClient::connect(server.local_addr()).expect("reconnect");
+        wait_until("the dead connection's handle to be reaped", || {
+            server
+                .shared
+                .finished_conns
+                .lock()
+                .expect("finished")
+                .is_empty()
+                && server.conn_threads.lock().expect("threads").len() == 1
+        });
+        server.shutdown();
     }
 }

@@ -229,11 +229,25 @@ pub(crate) fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result
 /// Reads one frame into `buf` (reused across calls to avoid per-frame
 /// allocation). Returns `Ok(false)` on clean EOF at a frame boundary.
 pub(crate) fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> std::io::Result<bool> {
+    // The length prefix is read incrementally so a clean close at a frame
+    // boundary (zero bytes available) is distinguishable from a peer dying
+    // mid-prefix (1-3 bytes), which must surface as a truncation error,
+    // not be silently reported as a complete stream.
     let mut len_bytes = [0u8; 4];
-    match r.read_exact(&mut len_bytes) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(false),
-        Err(e) => return Err(e),
+    let mut filled = 0usize;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("stream ended {filled} bytes into a frame length prefix"),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
     }
     let len = u32::from_le_bytes(len_bytes);
     if len > MAX_FRAME_LEN {
@@ -264,8 +278,11 @@ pub enum BatchOutcome {
     /// query slot holds `Err(message)` only when the service dropped it
     /// mid-shutdown.
     Served(Vec<Result<WireEstimates, String>>),
-    /// The whole request was refused by admission control — nothing was
-    /// queued, retry is the client's call.
+    /// The request was refused — by admission control (nothing was queued,
+    /// retry is the client's call) or, for
+    /// [`RejectReason::ResponseTooLarge`], after serving: the results did
+    /// not fit one frame and were discarded, so the client should split
+    /// the batch.
     Rejected {
         /// Why the server refused.
         reason: RejectReason,
@@ -280,6 +297,7 @@ fn reason_code(reason: RejectReason) -> u8 {
         RejectReason::Overloaded => 1,
         RejectReason::ShuttingDown => 2,
         RejectReason::UnknownDataset => 3,
+        RejectReason::ResponseTooLarge => 4,
     }
 }
 
@@ -289,6 +307,7 @@ fn reason_from_code(code: u8) -> Result<RejectReason, WireError> {
         1 => RejectReason::Overloaded,
         2 => RejectReason::ShuttingDown,
         3 => RejectReason::UnknownDataset,
+        4 => RejectReason::ResponseTooLarge,
         tag => {
             return Err(WireError::BadTag {
                 what: "reason",
@@ -830,6 +849,7 @@ mod tests {
             RejectReason::Overloaded,
             RejectReason::ShuttingDown,
             RejectReason::UnknownDataset,
+            RejectReason::ResponseTooLarge,
         ] {
             let payload = encode_rejected(5, reason, "nope");
             let (id, got_reason, message) = decode_rejected(&payload).unwrap();
@@ -859,6 +879,27 @@ mod tests {
         let mut cursor = &huge[..];
         let err = read_frame(&mut cursor, &mut buf).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_an_error_not_clean_eof() {
+        // A peer dying 1-3 bytes into the length prefix is a truncated
+        // stream, not an orderly close.
+        let mut full = Vec::new();
+        write_frame(&mut full, &encode_hello()).unwrap();
+        let mut buf = Vec::new();
+        for cut in 1..4 {
+            let mut cursor = &full[..cut];
+            let err = read_frame(&mut cursor, &mut buf).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof,
+                "cut at {cut}"
+            );
+        }
+        // Zero bytes at a frame boundary stays a clean EOF.
+        let mut cursor: &[u8] = &[];
+        assert!(!read_frame(&mut cursor, &mut buf).unwrap());
     }
 
     #[test]
