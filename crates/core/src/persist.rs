@@ -241,7 +241,62 @@ fn key_to_string(k: &KeyRef) -> String {
     format!("{}.{}", k.table, k.column)
 }
 
+/// Writes `bytes`' producer output to `path` atomically: serialize into a
+/// same-directory temp file, flush + `fsync`, then `rename` over the
+/// target. A crash at any point leaves either the old file or the new one,
+/// never a torn mix — `rename` within one directory is atomic on POSIX
+/// filesystems, and the temp file must live in the same directory so the
+/// rename cannot cross a mount. The directory itself is fsynced
+/// best-effort afterwards so the rename survives a power cut.
+fn write_atomic(
+    path: &Path,
+    write: impl FnOnce(&mut BufWriter<std::fs::File>) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    static TEMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| err("save path has no file name"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        name.to_string_lossy(),
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+    ));
+    let result = (|| {
+        let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
+        write(&mut w)?;
+        w.flush()?;
+        let file = w.into_inner().map_err(|e| e.into_error())?;
+        // Durability point: the temp file's bytes must hit disk before the
+        // rename publishes them, or a crash could expose an empty file
+        // under the final name.
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Never leave a stray temp file behind on failure.
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // Best-effort: persist the directory entry for the rename. Failure here
+    // (e.g. platforms where directories cannot be opened) is not fatal —
+    // the data file itself is already durable.
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
 /// Serializes the model's statistics to `path` as JSON.
+///
+/// The write is crash-safe: the JSON is staged in a same-directory temp
+/// file, fsynced, and renamed over `path`, so a kill or power loss
+/// mid-save leaves the previous model file intact (`write_atomic` below).
 pub fn save_model(model: &FactorJoinModel, path: &Path) -> std::io::Result<()> {
     let cfg = model.config();
     let estimator = match cfg.estimator {
@@ -276,10 +331,7 @@ pub fn save_model(model: &FactorJoinModel, path: &Path) -> std::io::Result<()> {
         group_of,
         key_stats,
     };
-    let file = std::fs::File::create(path)?;
-    let mut w = BufWriter::new(file);
-    serde_json::to_writer(&mut w, &saved_to_json(&saved))?;
-    w.flush()
+    write_atomic(path, |w| serde_json::to_writer(w, &saved_to_json(&saved)))
 }
 
 /// Loads a saved model, rebuilding single-table estimators from `catalog`.
@@ -289,7 +341,16 @@ pub fn save_model(model: &FactorJoinModel, path: &Path) -> std::io::Result<()> {
 /// and key statistics are restored verbatim).
 pub fn load_model(path: &Path, catalog: &Catalog) -> std::io::Result<FactorJoinModel> {
     let file = std::fs::File::open(path)?;
-    let saved = saved_from_json(&serde_json::from_reader(BufReader::new(file))?)?;
+    // A truncated file (torn non-atomic write, interrupted copy) fails JSON
+    // parsing; surface it with the path so the operator knows which file to
+    // restore rather than getting a bare "unexpected end of input".
+    let value = serde_json::from_reader(BufReader::new(file)).map_err(|e| {
+        err(format!(
+            "model file {} is truncated or corrupt: {e}",
+            path.display()
+        ))
+    })?;
+    let saved = saved_from_json(&value)?;
     let estimator = if saved.estimator == "bayesnet" {
         BaseEstimatorKind::BayesNet(BnConfig::default())
     } else if saved.estimator == "truescan" {
@@ -393,6 +454,74 @@ mod tests {
         });
         assert!(load_model(&path, &cat).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_load_rejects_truncation() {
+        let cat = stats_catalog(&StatsConfig {
+            scale: 0.05,
+            ..Default::default()
+        });
+        let cfg = FactorJoinConfig {
+            bin_budget: BinBudget::Uniform(10),
+            estimator: BaseEstimatorKind::TrueScan,
+            ..Default::default()
+        };
+        let model = FactorJoinModel::train(&cat, cfg);
+        let q = parse_query(
+            &cat,
+            "SELECT COUNT(*) FROM posts p, comments c WHERE p.id = c.post_id;",
+        )
+        .unwrap();
+        let before = model.estimate(&q);
+
+        let dir = std::env::temp_dir().join("fj_persist_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_model(&model, &path).unwrap();
+
+        // A successful save leaves no staging debris behind.
+        let strays: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(strays.is_empty(), "temp files left after save: {strays:?}");
+
+        // Simulate a crash mid-write of a *second* save: the writer died
+        // after staging half the bytes but before the rename. The temp file
+        // sits in the directory; the published model file is untouched.
+        let good = std::fs::read(&path).unwrap();
+        let torn = dir.join(".model.json.tmp.99999.0");
+        std::fs::write(&torn, &good[..good.len() / 2]).unwrap();
+        let loaded = load_model(&path, &cat).unwrap();
+        assert_eq!(
+            before,
+            loaded.estimate(&q),
+            "old model must survive a crashed save"
+        );
+
+        // Loading the torn file itself fails with a clear error.
+        let e = match load_model(&torn, &cat) {
+            Ok(_) => panic!("torn file must not load"),
+            Err(e) => e,
+        };
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(
+            e.to_string().contains("truncated or corrupt"),
+            "unhelpful truncation error: {e}"
+        );
+
+        // An empty file (crashed before any bytes) is rejected the same way.
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, b"").unwrap();
+        assert!(load_model(&empty, &cat).is_err());
+
+        // And a later save still replaces the file cleanly.
+        save_model(&model, &path).unwrap();
+        assert_eq!(before, load_model(&path, &cat).unwrap().estimate(&q));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -55,6 +55,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod queue;
 pub mod registry;
 pub mod request;
@@ -63,11 +64,15 @@ pub mod service;
 pub mod stats;
 mod worker;
 
+pub use fault::{CutKind, FaultPlan, FaultProxy, FaultScript, FaultyStream};
 pub use registry::{ModelHandle, ModelRegistry};
 pub use request::{
     AdmissionRejected, BatchTicket, EstimateRequest, EstimateResponse, RejectReason, ServiceError,
     Ticket,
 };
-pub use server::{BatchOutcome, FjClient, FjServer, ServerConfig, ShardSpec, WireEstimates};
+pub use server::{
+    BatchOutcome, ClientConfig, FjClient, FjServer, HealthReport, RetryPolicy, ServerConfig,
+    ShardHealth, ShardSpec, WireEstimates,
+};
 pub use service::{EstimatorService, ServiceConfig};
 pub use stats::StatsSnapshot;

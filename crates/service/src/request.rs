@@ -2,7 +2,7 @@
 
 use fj_query::{Query, SubplanMask};
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One estimation request: a query plus how it should be served.
 #[derive(Debug, Clone)]
@@ -14,6 +14,12 @@ pub struct EstimateRequest {
     /// Minimum sub-plan size to report (1 = include single tables), as in
     /// [`factorjoin::FactorJoinModel::estimate_subplans`].
     pub min_size: u32,
+    /// Latest instant at which the result is still useful. A worker that
+    /// pops the request past this point **sheds** it — replies
+    /// [`ServiceError::DeadlineExceeded`] without estimating (counted as
+    /// [`crate::StatsSnapshot::expired`]) — instead of burning CPU on an
+    /// answer nobody is waiting for. `None` means no deadline.
+    pub deadline: Option<Instant>,
 }
 
 impl EstimateRequest {
@@ -24,6 +30,7 @@ impl EstimateRequest {
             dataset: None,
             query,
             min_size: 1,
+            deadline: None,
         }
     }
 
@@ -37,6 +44,17 @@ impl EstimateRequest {
     pub fn with_min_size(mut self, min_size: u32) -> Self {
         self.min_size = min_size;
         self
+    }
+
+    /// Sets the absolute deadline past which the request is shed unserved.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// [`Self::with_deadline`] as a budget relative to now.
+    pub fn with_deadline_in(self, budget: Duration) -> Self {
+        self.with_deadline(Instant::now() + budget)
     }
 }
 
@@ -80,6 +98,15 @@ pub enum ServiceError {
     /// shutdown can tell its enqueued-then-drained slots from the
     /// remainder that was dropped at the door.
     SubmitAfterShutdown,
+    /// The request's [`EstimateRequest::deadline`] passed before a worker
+    /// picked it up, so it was shed unserved (the caller stopped waiting;
+    /// estimating anyway would only steal CPU from live requests).
+    DeadlineExceeded,
+    /// The worker thread panicked while estimating this request. The panic
+    /// was contained: the worker kept serving (with a fresh scratch), no
+    /// lock was poisoned, and the panic message is carried here so the
+    /// client sees *why* instead of a hang.
+    WorkerPanicked(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -92,6 +119,12 @@ impl std::fmt::Display for ServiceError {
                     f,
                     "request rejected at submit: the service is shutting down"
                 )
+            }
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before a worker picked up the request")
+            }
+            ServiceError::WorkerPanicked(msg) => {
+                write!(f, "worker panicked while estimating: {msg}")
             }
         }
     }
@@ -120,6 +153,10 @@ pub enum RejectReason {
     /// (writing an oversized frame would make the client abort the whole
     /// connection). The client's recourse is to split the batch.
     ResponseTooLarge,
+    /// The request's deadline passed before it was fully served; whatever
+    /// was computed was discarded (a response nobody is waiting for is
+    /// dead weight on the wire). Retrying is pointless on the same budget.
+    DeadlineExceeded,
 }
 
 impl RejectReason {
@@ -131,6 +168,7 @@ impl RejectReason {
             RejectReason::ShuttingDown => "shutting down",
             RejectReason::UnknownDataset => "unknown dataset",
             RejectReason::ResponseTooLarge => "response too large",
+            RejectReason::DeadlineExceeded => "deadline exceeded",
         }
     }
 }

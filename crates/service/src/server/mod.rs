@@ -15,10 +15,15 @@
 //! mid-flight.
 
 mod client;
+mod retry;
 #[allow(clippy::module_inception)]
 mod server;
 pub mod wire;
 
-pub use client::FjClient;
+pub use client::{ClientConfig, FjClient};
+pub use retry::RetryPolicy;
 pub use server::{FjServer, ServerConfig, ShardSpec};
-pub use wire::{BatchOutcome, WireError, WireEstimates, PROTOCOL_VERSION};
+pub use wire::{
+    BatchOutcome, HealthReport, ShardHealth, WireError, WireEstimates, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};

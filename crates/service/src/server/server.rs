@@ -1,8 +1,11 @@
 //! [`FjServer`]: the TCP serving tier over per-dataset estimator shards.
 
-use super::wire::{self, read_frame, write_frame, WireEstimates, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use super::wire::{
+    self, read_frame_idle, write_frame, FrameRead, WireEstimates, MAX_FRAME_LEN,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
 use crate::registry::ModelRegistry;
-use crate::request::{EstimateRequest, RejectReason, Reply};
+use crate::request::{EstimateRequest, RejectReason, Reply, ServiceError};
 use crate::service::{EstimatorService, ServiceConfig};
 use crate::stats::StatsSnapshot;
 use factorjoin::FactorJoinModel;
@@ -12,6 +15,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// One dataset served by the network tier: a name plus the registry its
 /// models are published through.
@@ -55,16 +59,36 @@ pub struct ServerConfig {
     /// requests in flight per client. The next request past the quota is
     /// rejected ([`RejectReason::QuotaExceeded`]), never queued or blocked.
     pub max_inflight_per_client: usize,
+    /// Socket read timeout per connection. Bounds how long a peer may
+    /// stall **mid-frame** before the connection is dropped as broken; a
+    /// timeout at a frame boundary just means the peer is quiet and is
+    /// tolerated up to [`ServerConfig::idle_timeout`]. `None` restores
+    /// blocking reads (a stalled peer then pins its reader thread until
+    /// shutdown).
+    pub read_timeout: Option<Duration>,
+    /// Reap a connection with no request in flight and no frame received
+    /// for this long (needs [`ServerConfig::read_timeout`] to be
+    /// effective, since idleness is only observed when a read wakes).
+    /// `None` keeps idle connections forever.
+    pub idle_timeout: Option<Duration>,
+    /// Socket write timeout per connection: a client that cannot drain
+    /// this long is treated as dead and disconnected, so its backpressure
+    /// cannot wedge the reply path. `None` blocks writes indefinitely.
+    pub write_timeout: Option<Duration>,
 }
 
 impl ServerConfig {
     /// Defaults: 2 workers per shard, 1024-deep queues, 64 in-flight
-    /// batches per client.
+    /// batches per client, 500 ms read / 30 s write timeouts, 60 s idle
+    /// reaping.
     pub fn new(workers_per_shard: usize) -> Self {
         ServerConfig {
             workers_per_shard,
             queue_capacity: 1024,
             max_inflight_per_client: 64,
+            read_timeout: Some(Duration::from_millis(500)),
+            idle_timeout: Some(Duration::from_secs(60)),
+            write_timeout: Some(Duration::from_secs(30)),
         }
     }
 
@@ -77,6 +101,24 @@ impl ServerConfig {
     /// Overrides the per-client in-flight quota.
     pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
         self.max_inflight_per_client = max_inflight.max(1);
+        self
+    }
+
+    /// Overrides the socket read timeout.
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Overrides the idle-connection reaping threshold.
+    pub fn with_idle_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Overrides the socket write timeout.
+    pub fn with_write_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.write_timeout = timeout;
         self
     }
 }
@@ -92,7 +134,14 @@ struct ServerShared {
     /// Sorted dataset names, precomputed for the hello frame.
     datasets: Vec<String>,
     max_inflight: usize,
+    read_timeout: Option<Duration>,
+    idle_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
     shutting_down: AtomicBool,
+    /// Graceful shutdown in progress: no new connections, no new batches
+    /// (rejected with [`RejectReason::ShuttingDown`]), in-flight work
+    /// finishes. Health probes keep answering so peers see the state.
+    draining: AtomicBool,
     /// Read halves of live connections keyed by connection id, so shutdown
     /// can unblock their reader threads. Each connection removes its own
     /// entry when it ends, so a long-running server does not accumulate
@@ -156,7 +205,11 @@ impl FjServer {
             shards: shard_map,
             datasets,
             max_inflight: config.max_inflight_per_client.max(1),
+            read_timeout: config.read_timeout,
+            idle_timeout: config.idle_timeout,
+            write_timeout: config.write_timeout,
             shutting_down: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             conn_streams: Mutex::new(HashMap::new()),
             finished_conns: Mutex::new(Vec::new()),
         });
@@ -208,6 +261,30 @@ impl FjServer {
                 true
             }
             None => false,
+        }
+    }
+
+    /// Whether [`FjServer::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begins graceful shutdown: stop accepting new connections (the
+    /// listener closes, so fresh connects are refused at the TCP layer),
+    /// reject new batches on existing connections with
+    /// [`RejectReason::ShuttingDown`], keep answering health probes
+    /// (reporting `draining: true`), and let in-flight work finish.
+    /// Returns once the accept loop has stopped; call
+    /// [`FjServer::shutdown`] (or drop) afterwards for the full teardown.
+    pub fn begin_drain(&mut self) {
+        if self.shared.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop so it observes the drain and exits,
+        // dropping the listener. (Connect errors mean it already has.)
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
         }
     }
 
@@ -264,7 +341,9 @@ fn accept_loop(
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
+                if shared.shutting_down.load(Ordering::SeqCst)
+                    || shared.draining.load(Ordering::SeqCst)
+                {
                     return;
                 }
                 // Reclaim dead connections' fds (the likely cause of a
@@ -275,8 +354,8 @@ fn accept_loop(
                 continue;
             }
         };
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            return; // the shutdown poke, or a client racing it
+        if shared.shutting_down.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
+            return; // the shutdown/drain poke, or a client racing it
         }
         // Join and forget connections that ended since the last accept.
         reap_finished(&shared, &conn_threads);
@@ -341,24 +420,45 @@ fn reap_finished(shared: &ServerShared, conn_threads: &Mutex<HashMap<u64, JoinHa
 struct PendingBatch {
     results: Vec<Option<Result<WireEstimates, String>>>,
     remaining: usize,
+    /// At least one slot expired unserved: a partial result past the
+    /// deadline is worthless, so the whole batch becomes a
+    /// [`RejectReason::DeadlineExceeded`] rejection.
+    expired: bool,
 }
 
 fn serve_connection(stream: TcpStream, shared: &ServerShared) -> io::Result<()> {
+    stream.set_read_timeout(shared.read_timeout)?;
+    stream.set_write_timeout(shared.write_timeout)?;
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
     let mut reader = BufReader::new(stream);
     let mut buf = Vec::new();
 
     // Handshake: Hello in, HelloOk out; a version-mismatched client gets
-    // the HelloOk (so it can report *our* version) and then the door.
-    if !read_frame(&mut reader, &mut buf)? {
-        return Ok(());
+    // the HelloOk (so it can report *our* version) and then the door. A
+    // connection that never says hello is reaped on the idle timeout.
+    let opened = Instant::now();
+    loop {
+        match read_frame_idle(&mut reader, &mut buf)? {
+            FrameRead::Frame => break,
+            FrameRead::CleanEof => return Ok(()),
+            FrameRead::TimedOut => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                if let Some(idle) = shared.idle_timeout {
+                    if opened.elapsed() >= idle {
+                        return Ok(()); // never spoke; reap
+                    }
+                }
+            }
+        }
     }
     let theirs = wire::decode_hello(&buf)?;
     {
         let mut w = writer.lock().expect("writer");
         write_frame(&mut *w, &wire::encode_hello_ok(&shared.datasets))?;
     }
-    if theirs != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&theirs) {
         return Ok(());
     }
 
@@ -408,7 +508,48 @@ fn reader_loop(
         write_frame(&mut *w, &wire::encode_rejected(id, reason, message))
     };
 
-    while read_frame(reader, buf)? {
+    let mut last_frame = Instant::now();
+    loop {
+        match read_frame_idle(reader, buf)? {
+            FrameRead::Frame => {}
+            FrameRead::CleanEof => return Ok(()),
+            FrameRead::TimedOut => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                // Idle reaping: quiet *and* nothing in flight for the
+                // whole idle window — a healthy-but-slow client with work
+                // outstanding is never reaped.
+                if let Some(idle) = shared.idle_timeout {
+                    if inflight.load(Ordering::SeqCst) == 0 && last_frame.elapsed() >= idle {
+                        return Ok(());
+                    }
+                }
+                continue;
+            }
+        }
+        last_frame = Instant::now();
+
+        // Dispatch by opcode: health probes answer inline (they must keep
+        // working while draining); anything else is an estimate batch.
+        match buf.first().copied() {
+            Some(wire::OP_HEALTH) => {
+                wire::decode_health(buf)?;
+                let report = health_report(shared);
+                let mut w = writer.lock().expect("writer");
+                write_frame(&mut *w, &wire::encode_health_ok(&report))?;
+                continue;
+            }
+            Some(wire::OP_ESTIMATE_BATCH) => {}
+            Some(tag) => {
+                return Err(wire::WireError::BadTag {
+                    what: "opcode",
+                    tag,
+                }
+                .into())
+            }
+            None => return Err(wire::WireError::Truncated.into()),
+        }
         let batch = wire::decode_estimate_batch(buf)?;
         let id = batch.request_id;
 
@@ -421,6 +562,18 @@ fn reader_loop(
                 io::ErrorKind::InvalidData,
                 format!("request id {id} reused while in flight"),
             ));
+        }
+
+        // Draining: in-flight work finishes, but nothing new is admitted —
+        // the explicit rejection tells the client to fail over now rather
+        // than discover the close mid-batch.
+        if shared.draining.load(Ordering::SeqCst) {
+            reject(
+                id,
+                RejectReason::ShuttingDown,
+                "server is draining; fail over to another replica",
+            )?;
+            continue;
         }
 
         let Some(shard) = shared.shards.get(&batch.dataset) else {
@@ -456,8 +609,15 @@ fn reader_loop(
             PendingBatch {
                 results: (0..n).map(|_| None).collect(),
                 remaining: n,
+                expired: false,
             },
         );
+
+        // The wire deadline is a relative budget from receipt; workers
+        // shed any slot still queued past it instead of estimating for a
+        // caller that has stopped waiting.
+        let deadline = (batch.deadline_ms > 0)
+            .then(|| Instant::now() + Duration::from_millis(batch.deadline_ms));
 
         // Admission check 2: non-blocking, all-or-nothing enqueue. A full
         // queue sheds the whole batch back to the client instead of
@@ -465,7 +625,13 @@ fn reader_loop(
         let requests: Vec<EstimateRequest> = batch
             .queries
             .into_iter()
-            .map(|q| EstimateRequest::new(q).with_min_size(batch.min_size))
+            .map(|q| {
+                let mut request = EstimateRequest::new(q).with_min_size(batch.min_size);
+                if let Some(deadline) = deadline {
+                    request = request.with_deadline(deadline);
+                }
+                request
+            })
             .collect();
         // Count the batch against the quota *before* it can possibly
         // complete: a fast worker pool could otherwise finish the batch
@@ -487,7 +653,6 @@ fn reader_loop(
             }
         }
     }
-    Ok(())
 }
 
 fn collector_loop(
@@ -502,6 +667,9 @@ fn collector_loop(
             let Some(entry) = map.get_mut(&tag) else {
                 continue;
             };
+            if matches!(result, Err(ServiceError::DeadlineExceeded)) {
+                entry.expired = true;
+            }
             entry.results[index] = Some(match result {
                 Ok(resp) => Ok(WireEstimates {
                     model_epoch: resp.model_epoch,
@@ -514,19 +682,55 @@ fn collector_loop(
                 continue;
             }
             let entry = map.remove(&tag).expect("just updated");
-            let results: Vec<Result<WireEstimates, String>> = entry
-                .results
-                .into_iter()
-                .map(|slot| slot.expect("remaining hit zero"))
-                .collect();
-            wire::encode_batch_result(tag, &results)
+            if entry.expired {
+                // Any shed slot poisons the batch: a response assembled
+                // past its deadline is dead weight on the wire, so the
+                // client gets one small rejection instead.
+                wire::encode_rejected(
+                    tag,
+                    RejectReason::DeadlineExceeded,
+                    "deadline expired before the batch was fully served",
+                )
+            } else {
+                let results: Vec<Result<WireEstimates, String>> = entry
+                    .results
+                    .into_iter()
+                    .map(|slot| slot.expect("remaining hit zero"))
+                    .collect();
+                wire::encode_batch_result(tag, &results)
+            }
         };
         inflight.fetch_sub(1, Ordering::SeqCst);
         let frame = enforce_frame_cap(tag, frame);
-        // A write failure means the client left; keep draining so shard
-        // shutdown never waits on replies nobody will read.
+        // A write failure means the client left (or timed out draining);
+        // shut the socket so the reader thread sees it too, and keep
+        // draining replies so shard shutdown never waits on them.
         let mut w = writer.lock().expect("writer");
-        let _ = write_frame(&mut *w, &frame);
+        if write_frame(&mut *w, &frame).is_err() {
+            let _ = w.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// Snapshot for a health probe: draining state plus every shard's queue
+/// depth and published model epoch, in dataset order.
+fn health_report(shared: &ServerShared) -> wire::HealthReport {
+    let shards = shared
+        .datasets
+        .iter()
+        .map(|name| {
+            let shard = &shared.shards[name];
+            wire::ShardHealth {
+                dataset: name.clone(),
+                model_epoch: shard.registry.get(name).map_or(0, |handle| handle.epoch),
+                queue_depth: shard.service.queue_depth().min(u32::MAX as usize) as u32,
+                queue_capacity: shard.service.queue_capacity().min(u32::MAX as usize) as u32,
+            }
+        })
+        .collect();
+    wire::HealthReport {
+        draining: shared.draining.load(Ordering::SeqCst),
+        shards,
     }
 }
 
@@ -554,6 +758,7 @@ fn enforce_frame_cap(tag: u64, frame: Vec<u8>) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::wire::read_frame;
     use crate::server::FjClient;
     use factorjoin::{BaseEstimatorKind, BinBudget, FactorJoinConfig};
     use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
@@ -634,9 +839,17 @@ mod tests {
         assert!(read_frame(&mut reader, &mut buf).unwrap());
         wire::decode_hello_ok(&buf).expect("hello ok");
 
-        write_frame(&mut sock, &wire::encode_estimate_batch(7, "stats", 1, &big)).unwrap();
+        write_frame(
+            &mut sock,
+            &wire::encode_estimate_batch(7, "stats", 1, &big, 0),
+        )
+        .unwrap();
         // Reuse id 7 while it is in flight, via the empty-batch fast path.
-        write_frame(&mut sock, &wire::encode_estimate_batch(7, "stats", 1, &[])).unwrap();
+        write_frame(
+            &mut sock,
+            &wire::encode_estimate_batch(7, "stats", 1, &[], 0),
+        )
+        .unwrap();
 
         // The in-flight batch still resolves (exactly one response for id
         // 7), then the connection is dropped instead of answered twice.

@@ -16,24 +16,39 @@
 //! | opcode | direction | message |
 //! |-------:|-----------|---------|
 //! | `0x01` | C → S     | `Hello { version }` — first frame after connect |
-//! | `0x02` | C → S     | `EstimateBatch { request_id, dataset, min_size, queries }` |
+//! | `0x02` | C → S     | `EstimateBatch { request_id, dataset, min_size, queries[, deadline_ms] }` |
+//! | `0x03` | C → S     | `Health` — liveness/load probe |
 //! | `0x81` | S → C     | `HelloOk { version, datasets }` |
 //! | `0x82` | S → C     | `BatchResult { request_id, results }` — each result epoch-tagged |
 //! | `0x83` | S → C     | `Rejected { request_id, reason, message }` |
+//! | `0x84` | S → C     | `HealthOk { draining, shards }` |
 //!
 //! `request_id` is a client-chosen multiplexing tag: a client may pipeline
 //! any number of `EstimateBatch` frames before reading, and the server
 //! responds per request as each completes (order not guaranteed).
 //! Responses carry the serving model's registry epoch per query, so a
 //! client observing an epoch change mid-flight has detected a hot-swap.
+//!
+//! ## Versioning
+//!
+//! Version 2 added the optional trailing `deadline_ms` on `EstimateBatch`
+//! (a **relative** millisecond budget — peers' wall clocks are not
+//! synchronized) and the `Health`/`HealthOk` probe. A frame without a
+//! deadline is byte-identical to its version-1 encoding, so either side
+//! accepts any peer version in
+//! `[`[`MIN_PROTOCOL_VERSION`]`, `[`PROTOCOL_VERSION`]`]`.
 
 use crate::request::RejectReason;
 use fj_query::{ColRef, FilterExpr, JoinPredicate, Predicate, Query, SubplanMask, TableRef};
 use fj_storage::Value;
 use std::io::{Read, Write};
 
-/// Protocol version spoken by this build (handshake rejects mismatches).
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest peer version this build still accepts (the version-2 additions
+/// are optional-trailing, so version-1 frames decode unchanged).
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Hard ceiling on a frame payload, validated before allocating.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
@@ -42,12 +57,16 @@ pub const MAX_FRAME_LEN: u32 = 64 << 20;
 pub const OP_HELLO: u8 = 0x01;
 /// Opcode of an estimate-batch request frame.
 pub const OP_ESTIMATE_BATCH: u8 = 0x02;
+/// Opcode of a health-probe request frame.
+pub const OP_HEALTH: u8 = 0x03;
 /// Opcode of the server hello-acknowledgement frame.
 pub const OP_HELLO_OK: u8 = 0x81;
 /// Opcode of a batch-result frame.
 pub const OP_BATCH_RESULT: u8 = 0x82;
 /// Opcode of a rejection frame.
 pub const OP_REJECTED: u8 = 0x83;
+/// Opcode of a health-probe response frame.
+pub const OP_HEALTH_OK: u8 = 0x84;
 
 /// A malformed or unexpected wire payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,7 +84,8 @@ pub enum WireError {
     BadUtf8,
     /// A frame length prefix exceeded [`MAX_FRAME_LEN`].
     FrameTooLarge(u32),
-    /// The peer spoke a different protocol version.
+    /// The peer spoke a protocol version outside the accepted
+    /// `[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]` range.
     VersionMismatch {
         /// Version in the peer's hello.
         theirs: u32,
@@ -88,7 +108,8 @@ impl std::fmt::Display for WireError {
             WireError::VersionMismatch { theirs } => {
                 write!(
                     f,
-                    "peer speaks protocol version {theirs}, this build speaks {PROTOCOL_VERSION}"
+                    "peer speaks protocol version {theirs}, this build accepts \
+                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}"
                 )
             }
             WireError::BadQuery(msg) => write!(f, "invalid query on the wire: {msg}"),
@@ -207,6 +228,12 @@ impl<'a> Dec<'a> {
         Ok(n)
     }
 
+    /// Bytes not yet consumed — how optional trailing fields detect their
+    /// own presence.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     pub(crate) fn finish(self) -> Result<(), WireError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -259,6 +286,58 @@ pub(crate) fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> std::io::Resul
     Ok(true)
 }
 
+/// Outcome of [`read_frame_idle`].
+pub(crate) enum FrameRead {
+    /// A complete frame landed in the buffer.
+    Frame,
+    /// The peer closed at a frame boundary.
+    CleanEof,
+    /// The socket read timeout fired **at a frame boundary** — the peer is
+    /// merely quiet, not broken. The caller decides whether quiet means
+    /// idle-reap, shutdown-check, or keep waiting.
+    TimedOut,
+}
+
+/// [`read_frame`] for sockets with a read timeout: a timeout before any
+/// prefix byte arrived is reported as [`FrameRead::TimedOut`] (an idle
+/// peer), while a timeout *mid-frame* stays a hard error — the stream has
+/// lost sync and the only safe recovery is dropping the connection.
+pub(crate) fn read_frame_idle(r: &mut impl Read, buf: &mut Vec<u8>) -> std::io::Result<FrameRead> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(FrameRead::CleanEof),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("stream ended {filled} bytes into a frame length prefix"),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if filled == 0
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Ok(FrameRead::TimedOut)
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge(len).into());
+    }
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
+    Ok(FrameRead::Frame)
+}
+
 // --------------------------------------------------------------- messages
 
 /// One query's served estimates as they appear on the wire.
@@ -298,6 +377,7 @@ fn reason_code(reason: RejectReason) -> u8 {
         RejectReason::ShuttingDown => 2,
         RejectReason::UnknownDataset => 3,
         RejectReason::ResponseTooLarge => 4,
+        RejectReason::DeadlineExceeded => 5,
     }
 }
 
@@ -308,6 +388,7 @@ fn reason_from_code(code: u8) -> Result<RejectReason, WireError> {
         2 => RejectReason::ShuttingDown,
         3 => RejectReason::UnknownDataset,
         4 => RejectReason::ResponseTooLarge,
+        5 => RejectReason::DeadlineExceeded,
         tag => {
             return Err(WireError::BadTag {
                 what: "reason",
@@ -360,6 +441,11 @@ pub(crate) struct EstimateBatch {
     pub dataset: String,
     pub min_size: u32,
     pub queries: Vec<Query>,
+    /// Relative deadline budget in milliseconds, counted from receipt
+    /// (never an absolute wall time — clocks are not synchronized across
+    /// the wire). `0` means no deadline; on the wire the field is simply
+    /// absent then, keeping the frame byte-identical to protocol v1.
+    pub deadline_ms: u64,
 }
 
 pub(crate) fn encode_estimate_batch(
@@ -367,6 +453,7 @@ pub(crate) fn encode_estimate_batch(
     dataset: &str,
     min_size: u32,
     queries: &[Query],
+    deadline_ms: u64,
 ) -> Vec<u8> {
     let mut e = Enc::new(OP_ESTIMATE_BATCH);
     e.u64(request_id);
@@ -375,6 +462,9 @@ pub(crate) fn encode_estimate_batch(
     e.u32(queries.len() as u32);
     for q in queries {
         encode_query(&mut e, q);
+    }
+    if deadline_ms > 0 {
+        e.u64(deadline_ms);
     }
     e.finish()
 }
@@ -390,12 +480,15 @@ pub(crate) fn decode_estimate_batch(payload: &[u8]) -> Result<EstimateBatch, Wir
     for _ in 0..n {
         queries.push(decode_query(&mut d)?);
     }
+    // Optional trailing field (protocol v2): a v1 frame simply ends here.
+    let deadline_ms = if d.remaining() > 0 { d.u64()? } else { 0 };
     d.finish()?;
     Ok(EstimateBatch {
         request_id,
         dataset,
         min_size,
         queries,
+        deadline_ms,
     })
 }
 
@@ -479,6 +572,82 @@ pub(crate) fn decode_rejected(payload: &[u8]) -> Result<(u64, RejectReason, Stri
     let message = d.str()?;
     d.finish()?;
     Ok((request_id, reason, message))
+}
+
+/// One shard's load as reported by a health probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Dataset the shard serves.
+    pub dataset: String,
+    /// Registry epoch of the currently published model (0 when the shard
+    /// has no model published).
+    pub model_epoch: u64,
+    /// Requests queued but not yet picked up by a worker.
+    pub queue_depth: u32,
+    /// The shard's bounded-queue capacity.
+    pub queue_capacity: u32,
+}
+
+/// Server response to a [`OP_HEALTH`] probe: whether it is draining plus
+/// every shard's queue depth and model epoch — what a load balancer needs
+/// to stop routing to a shutting-down or saturated replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The server has begun graceful shutdown: in-flight work finishes,
+    /// new batches are rejected with `ShuttingDown` — fail over now.
+    pub draining: bool,
+    /// Per-shard load, sorted by dataset name.
+    pub shards: Vec<ShardHealth>,
+}
+
+pub(crate) fn encode_health() -> Vec<u8> {
+    Enc::new(OP_HEALTH).finish()
+}
+
+pub(crate) fn decode_health(payload: &[u8]) -> Result<(), WireError> {
+    let mut d = Dec::new(payload);
+    expect_op(&mut d, OP_HEALTH)?;
+    d.finish()
+}
+
+pub(crate) fn encode_health_ok(report: &HealthReport) -> Vec<u8> {
+    let mut e = Enc::new(OP_HEALTH_OK);
+    e.u8(report.draining as u8);
+    e.u32(report.shards.len() as u32);
+    for shard in &report.shards {
+        e.str(&shard.dataset);
+        e.u64(shard.model_epoch);
+        e.u32(shard.queue_depth);
+        e.u32(shard.queue_capacity);
+    }
+    e.finish()
+}
+
+pub(crate) fn decode_health_ok(payload: &[u8]) -> Result<HealthReport, WireError> {
+    let mut d = Dec::new(payload);
+    expect_op(&mut d, OP_HEALTH_OK)?;
+    let draining = match d.u8()? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(WireError::BadTag {
+                what: "draining",
+                tag,
+            })
+        }
+    };
+    let n = d.count(20)?;
+    let mut shards = Vec::with_capacity(n);
+    for _ in 0..n {
+        shards.push(ShardHealth {
+            dataset: d.str()?,
+            model_epoch: d.u64()?,
+            queue_depth: d.u32()?,
+            queue_capacity: d.u32()?,
+        });
+    }
+    d.finish()?;
+    Ok(HealthReport { draining, shards })
 }
 
 fn expect_op(d: &mut Dec<'_>, opcode: u8) -> Result<(), WireError> {
@@ -795,17 +964,70 @@ mod tests {
     #[test]
     fn estimate_batch_roundtrips_losslessly() {
         let q = sample_query();
-        let payload = encode_estimate_batch(42, "stats", 2, &[q.clone(), q.clone()]);
+        let payload = encode_estimate_batch(42, "stats", 2, &[q.clone(), q.clone()], 0);
         let batch = decode_estimate_batch(&payload).unwrap();
         assert_eq!(batch.request_id, 42);
         assert_eq!(batch.dataset, "stats");
         assert_eq!(batch.min_size, 2);
         assert_eq!(batch.queries.len(), 2);
+        assert_eq!(batch.deadline_ms, 0);
         for got in &batch.queries {
             assert_eq!(got.tables(), q.tables());
             assert_eq!(got.joins(), q.joins());
             assert_eq!(got.filters(), q.filters());
         }
+    }
+
+    #[test]
+    fn deadline_field_is_optional_trailing_and_v1_compatible() {
+        let q = sample_query();
+        // With a deadline: roundtrips, and is exactly 8 bytes longer.
+        let with = encode_estimate_batch(1, "stats", 1, std::slice::from_ref(&q), 250);
+        let without = encode_estimate_batch(1, "stats", 1, std::slice::from_ref(&q), 0);
+        assert_eq!(with.len(), without.len() + 8);
+        assert_eq!(decode_estimate_batch(&with).unwrap().deadline_ms, 250);
+        // Without one, the encoding is byte-identical to what a protocol-v1
+        // peer produces (v1 never wrote the field at all).
+        assert_eq!(decode_estimate_batch(&without).unwrap().deadline_ms, 0);
+        // A partial trailing field (1-7 stray bytes) is corruption, not a
+        // deadline.
+        let mut torn = without.clone();
+        torn.extend_from_slice(&[0xaa, 0xbb, 0xcc]);
+        assert!(decode_estimate_batch(&torn).is_err());
+    }
+
+    #[test]
+    fn health_frames_roundtrip() {
+        decode_health(&encode_health()).unwrap();
+        let report = HealthReport {
+            draining: true,
+            shards: vec![
+                ShardHealth {
+                    dataset: "imdb".into(),
+                    model_epoch: 3,
+                    queue_depth: 17,
+                    queue_capacity: 1024,
+                },
+                ShardHealth {
+                    dataset: "stats".into(),
+                    model_epoch: 0,
+                    queue_depth: 0,
+                    queue_capacity: 64,
+                },
+            ],
+        };
+        let got = decode_health_ok(&encode_health_ok(&report)).unwrap();
+        assert_eq!(got, report);
+        // A draining byte outside {0, 1} is a bad tag, not a bool cast.
+        let mut bad = encode_health_ok(&report);
+        bad[1] = 7;
+        assert!(matches!(
+            decode_health_ok(&bad),
+            Err(WireError::BadTag {
+                what: "draining",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -850,6 +1072,7 @@ mod tests {
             RejectReason::ShuttingDown,
             RejectReason::UnknownDataset,
             RejectReason::ResponseTooLarge,
+            RejectReason::DeadlineExceeded,
         ] {
             let payload = encode_rejected(5, reason, "nope");
             let (id, got_reason, message) = decode_rejected(&payload).unwrap();
@@ -905,7 +1128,7 @@ mod tests {
     #[test]
     fn malformed_payloads_error_instead_of_panicking() {
         // Truncated mid-field.
-        let payload = encode_estimate_batch(1, "stats", 1, &[sample_query()]);
+        let payload = encode_estimate_batch(1, "stats", 1, &[sample_query()], 0);
         for cut in [1, 5, payload.len() / 2, payload.len() - 1] {
             assert!(
                 decode_estimate_batch(&payload[..cut]).is_err(),
@@ -947,5 +1170,91 @@ mod tests {
             decode_estimate_batch(&enc.finish()),
             Err(WireError::BadQuery(_))
         ));
+    }
+
+    /// Every decoder applied to a payload; none may panic. Results are
+    /// deliberately ignored — a mutation can leave a frame valid (or valid
+    /// for a *different* opcode), and that is fine; what matters is that
+    /// arbitrary bytes always come back as `Ok`/`Err`, never an unwind.
+    fn decode_with_everything(payload: &[u8]) {
+        let _ = decode_hello(payload);
+        let _ = decode_hello_ok(payload);
+        let _ = decode_estimate_batch(payload);
+        let _ = decode_batch_result(payload);
+        let _ = decode_rejected(payload);
+        let _ = decode_health(payload);
+        let _ = decode_health_ok(payload);
+    }
+
+    /// Deterministic seeded byte-mutation fuzz over every frame type: take
+    /// each valid encoding, flip 1-8 random bytes (and sometimes truncate
+    /// or extend), and require every decoder to return instead of
+    /// panicking. Reproducible: a failure prints the seed that found it.
+    #[test]
+    fn seeded_byte_mutation_fuzz_never_panics() {
+        use crate::fault::splitmix64;
+
+        let q = sample_query();
+        let report = HealthReport {
+            draining: false,
+            shards: vec![ShardHealth {
+                dataset: "stats".into(),
+                model_epoch: 1,
+                queue_depth: 2,
+                queue_capacity: 8,
+            }],
+        };
+        let results: Vec<Result<WireEstimates, String>> = vec![
+            Ok(WireEstimates {
+                model_epoch: 4,
+                estimates: vec![(0b101, 12.5), (0b111, 9e9)],
+            }),
+            Err("slot error".into()),
+        ];
+        let frames: Vec<Vec<u8>> = vec![
+            encode_hello(),
+            encode_hello_ok(&["imdb".into(), "stats".into()]),
+            encode_estimate_batch(7, "stats", 1, &[q.clone(), q], 125),
+            encode_batch_result(9, &results),
+            encode_rejected(3, RejectReason::Overloaded, "full"),
+            encode_health(),
+            encode_health_ok(&report),
+        ];
+
+        for seed in 0..64u64 {
+            let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xfa17;
+            for round in 0..64 {
+                let base = &frames[(splitmix64(&mut rng) as usize) % frames.len()];
+                let mut mutated = base.clone();
+                let flips = 1 + (splitmix64(&mut rng) as usize) % 8;
+                for _ in 0..flips {
+                    if mutated.is_empty() {
+                        break;
+                    }
+                    let pos = (splitmix64(&mut rng) as usize) % mutated.len();
+                    mutated[pos] ^= (splitmix64(&mut rng) % 255) as u8 + 1;
+                }
+                match splitmix64(&mut rng) % 4 {
+                    0 => {
+                        // Truncate somewhere, including to empty.
+                        let cut = (splitmix64(&mut rng) as usize) % (mutated.len() + 1);
+                        mutated.truncate(cut);
+                    }
+                    1 => {
+                        // Append trailing garbage.
+                        let extra = 1 + (splitmix64(&mut rng) as usize) % 16;
+                        for _ in 0..extra {
+                            mutated.push(splitmix64(&mut rng) as u8);
+                        }
+                    }
+                    _ => {}
+                }
+                let ok = std::panic::catch_unwind(|| decode_with_everything(&mutated)).is_ok();
+                assert!(
+                    ok,
+                    "decoder panicked: seed={seed} round={round} bytes={mutated:02x?}"
+                );
+            }
+        }
     }
 }

@@ -248,6 +248,17 @@ impl EstimatorService {
         self.workers.len()
     }
 
+    /// Requests queued but not yet picked up by a worker (a health-probe
+    /// load signal).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The bounded queue's capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
     /// Service statistics since start (or the last [`Self::reset_stats`]).
     pub fn stats(&self) -> StatsSnapshot {
         self.stats

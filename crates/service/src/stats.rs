@@ -68,6 +68,12 @@ pub(crate) struct StatsInner {
     /// Requests shed because the bounded queue had no room (load shedding
     /// chosen over producer blocking by the non-blocking submit path).
     shed: AtomicU64,
+    /// Requests whose deadline passed while queued: a worker popped them
+    /// already expired and shed them without estimating.
+    expired: AtomicU64,
+    /// Worker panics contained while estimating (the worker survived and
+    /// the ticket resolved with an error instead of hanging).
+    worker_panics: AtomicU64,
     /// Completed-request latencies (queue wait + estimation) in
     /// microseconds, bounded by the reservoir capacity.
     latencies_us: Mutex<LatencyReservoir>,
@@ -86,6 +92,8 @@ impl StatsInner {
             errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             latencies_us: Mutex::new(LatencyReservoir::new(capacity)),
             window_start: Mutex::new(Instant::now()),
         }
@@ -112,6 +120,14 @@ impl StatsInner {
         self.shed.fetch_add(requests as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Clears all counters and restarts the measurement window (used
     /// between benchmark warm-up and the timed run).
     pub(crate) fn reset(&self) {
@@ -120,6 +136,8 @@ impl StatsInner {
         self.errors.store(0, Ordering::Relaxed);
         self.rejected.store(0, Ordering::Relaxed);
         self.shed.store(0, Ordering::Relaxed);
+        self.expired.store(0, Ordering::Relaxed);
+        self.worker_panics.store(0, Ordering::Relaxed);
         self.latencies_us.lock().expect("stats lock").clear();
         *self.window_start.lock().expect("stats lock") = Instant::now();
     }
@@ -153,6 +171,8 @@ impl StatsInner {
             errors: self.errors.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
             requests_per_second: requests as f64 / secs,
             subplans_per_second: subplans as f64 / secs,
             p50_latency: pct(50.0),
@@ -180,6 +200,14 @@ pub struct StatsSnapshot {
     /// Requests shed on submission because the bounded queue was full (the
     /// non-blocking submit path refuses load instead of blocking producers).
     pub shed: u64,
+    /// Requests whose deadline had already passed when a worker picked
+    /// them up: shed unserved (the deadline-aware worker path refuses to
+    /// burn CPU on work nobody is waiting for).
+    pub expired: u64,
+    /// Worker panics contained while estimating. Each one resolved its
+    /// request with [`crate::ServiceError::WorkerPanicked`] and the worker
+    /// kept serving; a nonzero count is a bug signal, not a wedge.
+    pub worker_panics: u64,
     /// Aggregate served requests per second over the window.
     pub requests_per_second: f64,
     /// Aggregate sub-plan estimates per second over the window — the
@@ -210,7 +238,8 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} req ({} sub-plans, {} errors, {} rejected, {} shed) in {:.2}s — \
+            "{} req ({} sub-plans, {} errors, {} rejected, {} shed, {} expired, \
+             {} panics) in {:.2}s — \
              {:.0} req/s, {:.0} sub-plans/s; \
              latency p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs; queue depth {} (high-water {})",
             self.requests,
@@ -218,6 +247,8 @@ impl std::fmt::Display for StatsSnapshot {
             self.errors,
             self.rejected,
             self.shed,
+            self.expired,
+            self.worker_panics,
             self.window.as_secs_f64(),
             self.requests_per_second,
             self.subplans_per_second,
@@ -311,6 +342,25 @@ mod tests {
         let snap = s.snapshot(0, 0);
         // p50 over 0..=99 interpolates between 49 and 50 → 49.5µs.
         assert_eq!(snap.p50_latency, Duration::from_nanos(49_500));
+    }
+
+    #[test]
+    fn expired_and_panic_counters_roundtrip() {
+        let s = StatsInner::new();
+        s.record_expired();
+        s.record_expired();
+        s.record_expired();
+        s.record_worker_panic();
+        let snap = s.snapshot(0, 0);
+        assert_eq!(snap.expired, 3);
+        assert_eq!(snap.worker_panics, 1);
+        let text = snap.to_string();
+        assert!(text.contains("3 expired"), "{text}");
+        assert!(text.contains("1 panics"), "{text}");
+        s.reset();
+        let snap = s.snapshot(0, 0);
+        assert_eq!(snap.expired, 0);
+        assert_eq!(snap.worker_panics, 0);
     }
 
     #[test]

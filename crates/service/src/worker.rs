@@ -64,6 +64,18 @@ fn worker_loop(
     let mut scratch = EstimationScratch::default();
     while let Some(job) = queue.pop() {
         let picked_up = Instant::now();
+        // Shed already-expired work before touching the model: the caller
+        // stopped waiting, so estimating would only steal CPU from live
+        // requests. The ticket still resolves (with DeadlineExceeded) so
+        // nothing upstream hangs.
+        if let Some(deadline) = job.request.deadline {
+            if picked_up >= deadline {
+                stats.record_expired();
+                let result = Err(ServiceError::DeadlineExceeded);
+                let _ = job.reply.send((job.tag, job.index, result));
+                continue;
+            }
+        }
         let dataset = job.request.dataset.as_deref().unwrap_or(default_dataset);
         let result = match registry.get(dataset) {
             None => {
@@ -71,24 +83,50 @@ fn worker_loop(
                 Err(ServiceError::UnknownDataset(dataset.to_string()))
             }
             Some(handle) => {
-                let estimates = handle.model.estimate_subplans_with(
-                    &mut scratch,
-                    &job.request.query,
-                    job.request.min_size,
-                );
-                let response = EstimateResponse {
-                    dataset: dataset.to_string(),
-                    model_epoch: handle.epoch,
-                    worker: worker_id,
-                    queue_wait: picked_up.duration_since(job.submitted),
-                    estimate_time: picked_up.elapsed(),
-                    estimates,
-                };
-                stats.record_success(response.estimates.len(), response.latency());
-                Ok(response)
+                // Contain estimator panics: the scratch holds only buffers,
+                // but a panic can leave them in an arbitrary state, so it is
+                // rebuilt. AssertUnwindSafe is sound because nothing else
+                // aliases the scratch and the model is read-only.
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle.model.estimate_subplans_with(
+                        &mut scratch,
+                        &job.request.query,
+                        job.request.min_size,
+                    )
+                }));
+                match attempt {
+                    Ok(estimates) => {
+                        let response = EstimateResponse {
+                            dataset: dataset.to_string(),
+                            model_epoch: handle.epoch,
+                            worker: worker_id,
+                            queue_wait: picked_up.duration_since(job.submitted),
+                            estimate_time: picked_up.elapsed(),
+                            estimates,
+                        };
+                        stats.record_success(response.estimates.len(), response.latency());
+                        Ok(response)
+                    }
+                    Err(payload) => {
+                        scratch = EstimationScratch::default();
+                        stats.record_worker_panic();
+                        Err(ServiceError::WorkerPanicked(panic_message(&payload)))
+                    }
+                }
             }
         };
         // A dropped ticket just means the client stopped waiting.
         let _ = job.reply.send((job.tag, job.index, result));
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
     }
 }

@@ -1,8 +1,10 @@
 //! The network serving tier end-to-end: train, bind an `FjServer` on a
 //! loopback port, and talk to it through `FjClient` — multiplexed
-//! pipelined batches, a hot-swap detected by its epoch jump, and
-//! admission control rejecting an oversized batch instead of hanging the
-//! connection (see `ARCHITECTURE.md`, "Network serving tier").
+//! pipelined batches, a hot-swap detected by its epoch jump, admission
+//! control rejecting an oversized batch instead of hanging the
+//! connection, a health probe, and a graceful drain (see
+//! `ARCHITECTURE.md`, "Network serving tier" and "Failure model &
+//! resilience").
 //!
 //! ```sh
 //! cargo run --release --example network_service
@@ -12,9 +14,11 @@
 use factorjoin::{BaseEstimatorKind, BinBudget, FactorJoinConfig, FactorJoinModel};
 use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
 use fj_service::{
-    BatchOutcome, FjClient, FjServer, ModelRegistry, RejectReason, ServerConfig, ShardSpec,
+    BatchOutcome, ClientConfig, FjClient, FjServer, ModelRegistry, RejectReason, RetryPolicy,
+    ServerConfig, ShardSpec,
 };
 use std::sync::Arc;
+use std::time::Duration;
 
 #[path = "util/scale.rs"]
 mod util;
@@ -56,9 +60,17 @@ fn main() {
     .expect("bind loopback");
     println!("fj-server listening on {}", server.local_addr());
 
-    // Connect and pipeline the workload: every batch in flight before the
-    // first response is read, multiplexed by request id on one socket.
-    let mut client = FjClient::connect(server.local_addr()).expect("connect");
+    // Connect with explicit resilience knobs: a bounded connect, a per-call
+    // budget that rides to the server as the wire deadline (the server
+    // sheds work whose caller stopped waiting), and opt-in retries for
+    // transport errors and Overloaded rejections. Then pipeline the
+    // workload: every batch in flight before the first response is read,
+    // multiplexed by request id on one socket.
+    let client_config = ClientConfig::default()
+        .with_connect_timeout(Some(Duration::from_secs(2)))
+        .with_request_timeout(Some(Duration::from_secs(10)))
+        .with_retry(RetryPolicy::retries(3));
+    let mut client = FjClient::connect_with(server.local_addr(), client_config).expect("connect");
     println!("handshake: server offers datasets {:?}", client.datasets());
     let ids: Vec<u64> = queries
         .iter()
@@ -108,7 +120,10 @@ fn main() {
 
     // Admission control: a batch larger than the shard queue can never be
     // enqueued whole, so it is shed — an explicit rejection frame, not a
-    // blocked connection — and the client simply retries smaller.
+    // blocked connection. (The retry policy backs off and retries the
+    // Overloaded verdict a few times; an impossible batch stays shed, so
+    // the exhausted policy surfaces the final rejection — the client's cue
+    // to split the batch.)
     let oversized: Vec<_> = std::iter::repeat_with(|| queries.iter().cloned())
         .take(queue_capacity / queries.len() + 2)
         .flatten()
@@ -125,8 +140,36 @@ fn main() {
         BatchOutcome::Served(_) => panic!("an impossible batch was served"),
     }
 
+    // Health probe: per-shard queue depth and model epoch, plus the drain
+    // flag — the fail-over signal a load balancer would poll.
+    let health = client.health().expect("health probe");
+    println!(
+        "health: draining={}, shard {:?} epoch {} queue {}/{}",
+        health.draining,
+        health.shards[0].dataset,
+        health.shards[0].model_epoch,
+        health.shards[0].queue_depth,
+        health.shards[0].queue_capacity,
+    );
+
     let snap = server.stats("stats").expect("stats shard");
     println!("shard stats: {snap}");
+
+    // Graceful drain: stop accepting, finish in-flight, reject new batches
+    // with ShuttingDown — but keep answering health probes so clients know
+    // to fail over instead of wondering why the socket went quiet.
+    let mut server = server;
+    server.begin_drain();
+    let health = client.health().expect("health while draining");
+    assert!(health.draining, "drain must be visible in the probe");
+    match client.call("stats", 1, &queries[..1]).expect("drain call") {
+        BatchOutcome::Rejected { reason, .. } => {
+            assert_eq!(reason, RejectReason::ShuttingDown);
+            println!("draining: new batches rejected with {reason}, health still answered");
+        }
+        BatchOutcome::Served(_) => panic!("draining server accepted a batch"),
+    }
+
     server.shutdown();
     println!("server shut down cleanly");
 }
