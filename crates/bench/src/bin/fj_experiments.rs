@@ -204,6 +204,15 @@ fn bench_throughput(args: &[String]) -> ! {
                          re-record with --write)"
                     ),
                 }
+                match report.metrics_overhead {
+                    Some(ratio) => println!(
+                        "metrics-enabled serving keeps {:.1}% of no-op throughput \
+                         (fail under {:.1}%)",
+                        ratio * 100.0,
+                        throughput::METRICS_OVERHEAD_FLOOR * 100.0
+                    ),
+                    None => println!("metrics overhead: not measured"),
+                }
                 report.ok
             },
         },

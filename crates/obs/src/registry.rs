@@ -1,0 +1,469 @@
+//! Metric registry with Prometheus text exposition.
+//!
+//! A [`MetricsRegistry`] owns an ordered list of metric *families* (one
+//! `# HELP`/`# TYPE` header each); every family holds one entry per label
+//! set. Entries either share ownership of a live metric (`Arc<Counter>`,
+//! `Arc<Histogram>`, …) or hold a closure sampled at render time, which
+//! lets embedded stats structs expose themselves without restructuring.
+//!
+//! Rendering follows the Prometheus text format: families and entries in
+//! registration order, label values escaped (`\\`, `\"`, `\n`), histogram
+//! buckets as cumulative `_bucket{le="…"}` series ending in `+Inf`, plus
+//! `_sum` and `_count`. Histograms record **nanosecond** durations; the
+//! exposition converts bounds and sums to seconds (the Prometheus base
+//! unit), so histogram families should be named `*_seconds`.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// What a family is, for its `# TYPE` line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Bucketed histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Source {
+    Counter(Arc<Counter>),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    Gauge(Arc<Gauge>),
+    GaugeFn(Box<dyn Fn() -> f64 + Send + Sync>),
+    Histogram(Arc<Histogram>),
+    HistogramFn(Box<dyn Fn() -> HistogramSnapshot + Send + Sync>),
+}
+
+impl Source {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Source::Counter(_) | Source::CounterFn(_) => MetricKind::Counter,
+            Source::Gauge(_) | Source::GaugeFn(_) => MetricKind::Gauge,
+            Source::Histogram(_) | Source::HistogramFn(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+struct Entry {
+    labels: Vec<(String, String)>,
+    source: Source,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    entries: Vec<Entry>,
+}
+
+/// An ordered collection of metric families with Prometheus exposition.
+///
+/// Registration takes a short lock; rendering takes the same lock and
+/// samples every entry. The hot path (recording into a `Counter` or
+/// `Histogram` obtained at registration) never touches the registry lock.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, help: &str, labels: &[(&str, &str)], source: Source) {
+        let kind = source.kind();
+        let entry = Entry {
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            source,
+        };
+        let mut fams = self.families.lock().unwrap();
+        if let Some(fam) = fams.iter_mut().find(|f| f.name == name) {
+            assert!(
+                fam.kind == kind,
+                "metric family {name:?} registered as {:?} and {kind:?}",
+                fam.kind
+            );
+            fam.entries.push(entry);
+        } else {
+            fams.push(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                entries: vec![entry],
+            });
+        }
+    }
+
+    /// Create and register a counter; the returned handle is the hot-path
+    /// recording side.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.register_counter(name, help, labels, Arc::clone(&c));
+        c
+    }
+
+    /// Register an existing counter under `name{labels}`.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        counter: Arc<Counter>,
+    ) {
+        self.register(name, help, labels, Source::Counter(counter));
+    }
+
+    /// Register a counter sampled from a closure at render time.
+    pub fn register_counter_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.register(name, help, labels, Source::CounterFn(Box::new(f)));
+    }
+
+    /// Create and register a gauge.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.register(name, help, labels, Source::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Register a gauge sampled from a closure at render time (e.g. a live
+    /// queue depth).
+    pub fn register_gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.register(name, help, labels, Source::GaugeFn(Box::new(f)));
+    }
+
+    /// Create and register a histogram. Record nanoseconds into it; the
+    /// exposition renders seconds.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.register_histogram(name, help, labels, Arc::clone(&h));
+        h
+    }
+
+    /// Register an existing histogram under `name{labels}`.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: Arc<Histogram>,
+    ) {
+        self.register(name, help, labels, Source::Histogram(hist));
+    }
+
+    /// Register a histogram sampled from a closure at render time.
+    pub fn register_histogram_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> HistogramSnapshot + Send + Sync + 'static,
+    ) {
+        self.register(name, help, labels, Source::HistogramFn(Box::new(f)));
+    }
+
+    /// Render the whole registry in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let fams = self.families.lock().unwrap();
+        let mut out = String::new();
+        for fam in fams.iter() {
+            let _ = writeln!(out, "# HELP {} {}", fam.name, escape_help(&fam.help));
+            let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.as_str());
+            for entry in &fam.entries {
+                render_entry(&mut out, &fam.name, entry);
+            }
+        }
+        out
+    }
+}
+
+fn render_entry(out: &mut String, name: &str, entry: &Entry) {
+    match &entry.source {
+        Source::Counter(c) => scalar_line(out, name, &entry.labels, None, &c.get().to_string()),
+        Source::CounterFn(f) => scalar_line(out, name, &entry.labels, None, &f().to_string()),
+        Source::Gauge(g) => scalar_line(out, name, &entry.labels, None, &g.get().to_string()),
+        Source::GaugeFn(f) => scalar_line(out, name, &entry.labels, None, &fmt_f64(f())),
+        Source::Histogram(h) => histogram_lines(out, name, &entry.labels, &h.snapshot()),
+        Source::HistogramFn(f) => histogram_lines(out, name, &entry.labels, &f()),
+    }
+}
+
+fn histogram_lines(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    snap: &HistogramSnapshot,
+) {
+    let bucket_name = format!("{name}_bucket");
+    let mut cum = 0u64;
+    for (hi_ns, count) in snap.buckets() {
+        cum += count;
+        // Divide rather than multiply by 1e-9: division by the exactly
+        // representable 1e9 is correctly rounded, so 25 ns renders as
+        // "0.000000025", not "0.000000025000000000000002".
+        let le = fmt_f64(hi_ns as f64 / 1e9);
+        scalar_line(
+            out,
+            &bucket_name,
+            labels,
+            Some(("le", &le)),
+            &cum.to_string(),
+        );
+    }
+    scalar_line(
+        out,
+        &bucket_name,
+        labels,
+        Some(("le", "+Inf")),
+        &snap.count().to_string(),
+    );
+    scalar_line(
+        out,
+        &format!("{name}_sum"),
+        labels,
+        None,
+        &fmt_f64(snap.sum() as f64 / 1e9),
+    );
+    scalar_line(
+        out,
+        &format!("{name}_count"),
+        labels,
+        None,
+        &snap.count().to_string(),
+    );
+}
+
+fn scalar_line(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: &str,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || extra.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+        }
+        if let Some((k, v)) = extra {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Format an f64 the way Prometheus expects: plain decimal, no exponent
+/// (Rust's `Display` for `f64` never emits scientific notation).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escape a label value: backslash, double-quote, and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escape a HELP string: backslash and newline (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::bucket_bounds;
+
+    #[test]
+    fn golden_exposition_text() {
+        let reg = MetricsRegistry::new();
+        let requests = reg.counter(
+            "fj_requests_total",
+            "Requests served.",
+            &[("dataset", "stats")],
+        );
+        requests.add(3);
+        reg.register_counter_fn(
+            "fj_requests_total",
+            "ignored duplicate help",
+            &[("dataset", "imdb")],
+            || 7,
+        );
+        let g = reg.gauge("fj_queue_depth", "Jobs queued.", &[]);
+        g.set(4);
+        let h = reg.histogram(
+            "fj_latency_seconds",
+            "End-to-end latency.",
+            &[("dataset", "stats")],
+        );
+        // 100 ns lands in bucket [100, 101]; 25 and 40 are in width-1
+        // buckets (exact range and the first octave).
+        h.record(25);
+        h.record(100);
+        h.record(100);
+        h.record(40);
+
+        let text = reg.render();
+        let expected = "\
+# HELP fj_requests_total Requests served.
+# TYPE fj_requests_total counter
+fj_requests_total{dataset=\"stats\"} 3
+fj_requests_total{dataset=\"imdb\"} 7
+# HELP fj_queue_depth Jobs queued.
+# TYPE fj_queue_depth gauge
+fj_queue_depth 4
+# HELP fj_latency_seconds End-to-end latency.
+# TYPE fj_latency_seconds histogram
+fj_latency_seconds_bucket{dataset=\"stats\",le=\"0.000000025\"} 1
+fj_latency_seconds_bucket{dataset=\"stats\",le=\"0.00000004\"} 2
+fj_latency_seconds_bucket{dataset=\"stats\",le=\"0.000000101\"} 4
+fj_latency_seconds_bucket{dataset=\"stats\",le=\"+Inf\"} 4
+fj_latency_seconds_sum{dataset=\"stats\"} 0.000000265
+fj_latency_seconds_count{dataset=\"stats\"} 4
+";
+        // Sanity-check the bucket bounds the golden text bakes in.
+        assert_eq!(bucket_bounds(100).1, 101);
+        assert_eq!(bucket_bounds(40).1, 40);
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn histogram_sum_and_count_carry_labels() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("fj_h_seconds", "h", &[("dataset", "s")]);
+        h.record(1);
+        let text = reg.render();
+        assert!(text.contains("fj_h_seconds_sum{dataset=\"s\"} 0.000000001"));
+        assert!(text.contains("fj_h_seconds_count{dataset=\"s\"} 1"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter(
+            "fj_weird_total",
+            "Help with \\ backslash\nand newline.",
+            &[("path", "a\\b\"c\nd")],
+        );
+        c.inc();
+        let text = reg.render();
+        assert!(
+            text.contains("# HELP fj_weird_total Help with \\\\ backslash\\nand newline.\n"),
+            "HELP escaping broken: {text}"
+        );
+        assert!(
+            text.contains("fj_weird_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            "label escaping broken: {text}"
+        );
+    }
+
+    #[test]
+    fn le_bounds_are_cumulative_and_sorted() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("fj_x_seconds", "x", &[]);
+        let mut state = 99u64;
+        for _ in 0..2000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record(state % 10_000_000);
+        }
+        let text = reg.render();
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_cum = 0u64;
+        let mut saw_inf = false;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("fj_x_seconds_bucket"))
+        {
+            let le_raw = line
+                .split("le=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .unwrap();
+            let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(cum >= last_cum, "bucket counts must be cumulative: {line}");
+            last_cum = cum;
+            if le_raw == "+Inf" {
+                saw_inf = true;
+                assert_eq!(cum, 2000, "+Inf bucket must equal the count");
+            } else {
+                assert!(!saw_inf, "+Inf must come last");
+                let le: f64 = le_raw.parse().unwrap();
+                assert!(le > last_le, "le bounds must strictly increase: {line}");
+                last_le = le;
+            }
+        }
+        assert!(saw_inf, "exposition must end histogram with +Inf bucket");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("fj_dup", "a", &[]);
+        let _ = reg.gauge("fj_dup", "b", &[]);
+    }
+}

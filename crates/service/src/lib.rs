@@ -25,15 +25,24 @@
 //!   models. [`ModelRegistry::swap_model`] atomically publishes a
 //!   retrained model without pausing readers; responses carry the serving
 //!   model's epoch so clients can tell which model answered.
-//! * [`StatsSnapshot`] reports throughput, p50/p95/p99 latency (from a
-//!   bounded latency reservoir), the queue-depth high-water mark, and the
-//!   admission-control counters ([`StatsSnapshot::rejected`] quota
-//!   refusals, [`StatsSnapshot::shed`] queue-full sheds).
+//! * [`StatsSnapshot`] reports throughput, p50/p95/p99 latency (from
+//!   bounded, mergeable [`fj_obs`] log-linear histograms — so
+//!   [`server::FjServer::stats_merged`] can combine shards exactly), the
+//!   queue-depth high-water mark, and the admission-control counters
+//!   ([`StatsSnapshot::rejected`] quota refusals, [`StatsSnapshot::shed`]
+//!   queue-full sheds).
 //! * [`server::FjServer`] / [`server::FjClient`] put the whole thing on
 //!   the network: a length-prefixed binary TCP protocol with multiplexed
 //!   pipelined batches, per-dataset shards, epoch-tagged (hot-swap
 //!   detectable) bit-identical estimates, and admission control that
 //!   rejects explicitly instead of blocking connection threads.
+//! * The serving path is observable end to end: every shard's counters,
+//!   latency histograms, and per-stage (admission / queue wait /
+//!   estimation / encode / socket write) histograms register in a
+//!   [`fj_obs::MetricsRegistry`], scrapeable remotely as Prometheus text
+//!   via [`server::FjClient::metrics`]; client-minted trace ids
+//!   ([`server::FjClient::send_traced`]) tag the server's worst-N
+//!   slow-query log so a slow batch can be pinned to its dominant stage.
 //!
 //! Everything is built on `std` threads and channels — no async runtime.
 //!
@@ -76,3 +85,9 @@ pub use server::{
 };
 pub use service::{EstimatorService, ServiceConfig};
 pub use stats::StatsSnapshot;
+
+// Re-exported so embedders can hold the registry a service installs its
+// metrics into (and reach the rest of the observability toolkit) without
+// a direct fj-obs dependency.
+pub use fj_obs;
+pub use fj_obs::MetricsRegistry;

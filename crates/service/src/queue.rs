@@ -169,6 +169,14 @@ impl<T> BoundedQueue<T> {
         let mut state = self.state.lock().expect("queue lock");
         state.high_water = state.items.len();
     }
+
+    /// Current depth and high-water mark under one lock acquisition — the
+    /// stats-snapshot path reads both, and two separate locks would double
+    /// the contention against producers for no benefit.
+    pub fn depth_and_high_water(&self) -> (usize, usize) {
+        let state = self.state.lock().expect("queue lock");
+        (state.items.len(), state.high_water)
+    }
 }
 
 #[cfg(test)]

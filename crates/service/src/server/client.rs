@@ -4,8 +4,9 @@
 use super::retry::RetryPolicy;
 use super::wire::{
     self, read_frame, write_frame, BatchOutcome, HealthReport, MIN_PROTOCOL_VERSION,
-    OP_BATCH_RESULT, OP_HEALTH_OK, OP_REJECTED, PROTOCOL_VERSION,
+    OP_BATCH_RESULT, OP_HEALTH_OK, OP_METRICS_OK, OP_REJECTED, PROTOCOL_VERSION,
 };
+use fj_obs::next_trace_id;
 use fj_query::Query;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader};
@@ -70,6 +71,7 @@ struct Conn {
     writer: TcpStream,
     stash: HashMap<u64, BatchOutcome>,
     health_stash: VecDeque<HealthReport>,
+    metrics_stash: VecDeque<String>,
     frame: Vec<u8>,
 }
 
@@ -77,6 +79,7 @@ struct Conn {
 enum Incoming {
     Batch(u64, BatchOutcome),
     Health(HealthReport),
+    Metrics(String),
 }
 
 /// A connected estimation client.
@@ -172,6 +175,7 @@ impl FjClient {
             writer,
             stash: HashMap::new(),
             health_stash: VecDeque::new(),
+            metrics_stash: VecDeque::new(),
             frame,
         });
         Ok(())
@@ -183,14 +187,40 @@ impl FjClient {
     /// configured request budget rides along as the wire deadline, so the
     /// server sheds the work if this client stops waiting.
     pub fn send(&mut self, dataset: &str, min_size: u32, queries: &[Query]) -> io::Result<u64> {
+        self.send_with(dataset, min_size, queries, 0)
+            .map(|(id, _)| id)
+    }
+
+    /// [`FjClient::send`] with a freshly minted trace id riding along on
+    /// the wire; the server records the batch's per-stage timings under it
+    /// and tags its slow-query log entry with it, so a slow response can
+    /// be matched to this exact request in a scrape
+    /// ([`FjClient::metrics`]). Returns `(request_id, trace_id)`.
+    pub fn send_traced(
+        &mut self,
+        dataset: &str,
+        min_size: u32,
+        queries: &[Query],
+    ) -> io::Result<(u64, u64)> {
+        self.send_with(dataset, min_size, queries, next_trace_id())
+    }
+
+    fn send_with(
+        &mut self,
+        dataset: &str,
+        min_size: u32,
+        queries: &[Query],
+        trace_id: u64,
+    ) -> io::Result<(u64, u64)> {
         self.ensure_connected()?;
         let id = self.next_id;
         self.next_id += 1;
         let deadline_ms = budget_ms(self.config.request_timeout);
         let conn = self.conn.as_mut().expect("just connected");
-        let frame = wire::encode_estimate_batch(id, dataset, min_size, queries, deadline_ms);
+        let frame =
+            wire::encode_estimate_batch(id, dataset, min_size, queries, deadline_ms, trace_id);
         match write_frame(&mut conn.writer, &frame) {
-            Ok(()) => Ok(id),
+            Ok(()) => Ok((id, trace_id)),
             Err(e) => {
                 self.conn = None;
                 Err(e)
@@ -232,9 +262,12 @@ impl FjClient {
         queries: &[Query],
     ) -> io::Result<BatchOutcome> {
         let deadline = self.config.request_timeout.map(|t| Instant::now() + t);
+        // One trace id for the whole call: every retry of this logical
+        // request shows up under the same trace server-side.
+        let trace_id = next_trace_id();
         let mut attempt: u32 = 0;
         loop {
-            let result = self.attempt_call(dataset, min_size, queries, deadline);
+            let result = self.attempt_call(dataset, min_size, queries, deadline, trace_id);
             let transient = match &result {
                 Ok(BatchOutcome::Rejected { reason, .. }) => {
                     RetryPolicy::is_retryable_rejection(*reason)
@@ -267,6 +300,7 @@ impl FjClient {
         min_size: u32,
         queries: &[Query],
         deadline: Option<Instant>,
+        trace_id: u64,
     ) -> io::Result<BatchOutcome> {
         remaining_budget(deadline)?;
         self.ensure_connected()?;
@@ -277,7 +311,8 @@ impl FjClient {
             None => 0,
         };
         let conn = self.conn.as_mut().expect("just connected");
-        let frame = wire::encode_estimate_batch(id, dataset, min_size, queries, deadline_ms);
+        let frame =
+            wire::encode_estimate_batch(id, dataset, min_size, queries, deadline_ms, trace_id);
         let result =
             write_frame(&mut conn.writer, &frame).and_then(|()| recv_on(conn, id, deadline));
         if result.is_err() {
@@ -303,6 +338,34 @@ impl FjClient {
                 Incoming::Batch(id, outcome) => {
                     conn.stash.insert(id, outcome);
                 }
+                Incoming::Metrics(text) => conn.metrics_stash.push_back(text),
+            }
+        });
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    /// Scrapes the server's metrics plane: the Prometheus text exposition
+    /// for every shard followed by `# slowlog` comment lines for the
+    /// worst-N batches, bounded by the request budget. Like
+    /// [`FjClient::health`], this keeps working while the server drains,
+    /// and is safe to interleave with pipelined batches.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let deadline = self.config.request_timeout.map(|t| Instant::now() + t);
+        self.ensure_connected()?;
+        let conn = self.conn.as_mut().expect("just connected");
+        let result = write_frame(&mut conn.writer, &wire::encode_metrics()).and_then(|()| loop {
+            if let Some(text) = conn.metrics_stash.pop_front() {
+                return Ok(text);
+            }
+            match read_incoming(conn, deadline)? {
+                Incoming::Metrics(text) => return Ok(text),
+                Incoming::Batch(id, outcome) => {
+                    conn.stash.insert(id, outcome);
+                }
+                Incoming::Health(report) => conn.health_stash.push_back(report),
             }
         });
         if result.is_err() {
@@ -377,6 +440,7 @@ fn read_incoming(conn: &mut Conn, deadline: Option<Instant>) -> io::Result<Incom
             ))
         }
         Some(OP_HEALTH_OK) => Ok(Incoming::Health(wire::decode_health_ok(&conn.frame)?)),
+        Some(OP_METRICS_OK) => Ok(Incoming::Metrics(wire::decode_metrics_ok(&conn.frame)?)),
         Some(tag) => Err(wire::WireError::BadTag {
             what: "opcode",
             tag,
@@ -403,6 +467,7 @@ fn recv_on(
                 conn.stash.insert(id, outcome);
             }
             Incoming::Health(report) => conn.health_stash.push_back(report),
+            Incoming::Metrics(text) => conn.metrics_stash.push_back(text),
         }
     }
 }

@@ -9,6 +9,7 @@ use crate::request::{EstimateRequest, RejectReason, Reply, ServiceError};
 use crate::service::{EstimatorService, ServiceConfig};
 use crate::stats::StatsSnapshot;
 use factorjoin::FactorJoinModel;
+use fj_obs::{Histogram, MetricsRegistry, SlowLog, SlowQuery, Stage, StageBreakdown};
 use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -75,6 +76,13 @@ pub struct ServerConfig {
     /// this long is treated as dead and disconnected, so its backpressure
     /// cannot wedge the reply path. `None` blocks writes indefinitely.
     pub write_timeout: Option<Duration>,
+    /// When false, shard workers skip latency/stage histogram recording
+    /// (counters still tick) — the no-op recorder the bench's
+    /// metrics-overhead gate compares against. Defaults to true.
+    pub metrics_enabled: bool,
+    /// Worst-N capacity of the slow-query log rendered into
+    /// [`FjServer::metrics_text`] (min 1). Defaults to 16.
+    pub slowlog_capacity: usize,
 }
 
 impl ServerConfig {
@@ -89,6 +97,8 @@ impl ServerConfig {
             read_timeout: Some(Duration::from_millis(500)),
             idle_timeout: Some(Duration::from_secs(60)),
             write_timeout: Some(Duration::from_secs(30)),
+            metrics_enabled: true,
+            slowlog_capacity: 16,
         }
     }
 
@@ -121,11 +131,43 @@ impl ServerConfig {
         self.write_timeout = timeout;
         self
     }
+
+    /// Toggles histogram recording (see [`ServerConfig::metrics_enabled`]).
+    pub fn with_metrics_enabled(mut self, enabled: bool) -> Self {
+        self.metrics_enabled = enabled;
+        self
+    }
+
+    /// Overrides the slow-query log capacity.
+    pub fn with_slowlog_capacity(mut self, capacity: usize) -> Self {
+        self.slowlog_capacity = capacity.max(1);
+        self
+    }
+}
+
+/// Serving-path stage histograms owned by the network tier. The shard
+/// service records queue-wait and estimation per query; these cover the
+/// stages only the server sees, per batch. All record nanoseconds.
+struct ShardStages {
+    admission: Histogram,
+    encode: Histogram,
+    socket_write: Histogram,
+}
+
+impl ShardStages {
+    fn new() -> Self {
+        ShardStages {
+            admission: Histogram::new(),
+            encode: Histogram::new(),
+            socket_write: Histogram::new(),
+        }
+    }
 }
 
 struct Shard {
     registry: Arc<ModelRegistry>,
     service: EstimatorService,
+    stages: Arc<ShardStages>,
 }
 
 /// Shared per-server state handed to every connection thread.
@@ -151,6 +193,21 @@ struct ServerShared {
     /// reaps (joins and forgets) their handles before serving the next
     /// client, shutdown reaps whatever remains.
     finished_conns: Mutex<Vec<u64>>,
+    /// Every shard's counters, gauges, and latency/stage histograms,
+    /// rendered on demand for the `Metrics` opcode.
+    metrics: MetricsRegistry,
+    /// Worst-N completed batches with per-stage breakdowns, rendered as
+    /// `# slowlog` comment lines after the exposition text.
+    slowlog: Arc<SlowLog>,
+}
+
+impl ServerShared {
+    /// Prometheus exposition for every shard plus the slow-query log.
+    fn metrics_text(&self) -> String {
+        let mut text = self.metrics.render();
+        text.push_str(&self.slowlog.render());
+        text
+    }
 }
 
 /// A running TCP estimation server (see the crate docs' "network serving
@@ -188,18 +245,44 @@ impl FjServer {
             let service = EstimatorService::start(
                 Arc::clone(&spec.registry),
                 ServiceConfig::new(&spec.dataset, config.workers_per_shard)
-                    .with_queue_capacity(config.queue_capacity),
+                    .with_queue_capacity(config.queue_capacity)
+                    .with_metrics_enabled(config.metrics_enabled),
             );
             shard_map.insert(
                 spec.dataset,
                 Shard {
                     registry: spec.registry,
                     service,
+                    stages: Arc::new(ShardStages::new()),
                 },
             );
         }
         let mut datasets: Vec<String> = shard_map.keys().cloned().collect();
         datasets.sort();
+
+        // Register every shard's metrics in sorted dataset order, so the
+        // exposition text is deterministic across runs.
+        let metrics = MetricsRegistry::new();
+        for name in &datasets {
+            let shard = &shard_map[name];
+            shard.service.install_metrics(&metrics, name);
+            for (stage, pick) in [
+                (
+                    "admission",
+                    (|s| &s.admission) as fn(&ShardStages) -> &Histogram,
+                ),
+                ("encode", |s| &s.encode),
+                ("socket_write", |s| &s.socket_write),
+            ] {
+                let stages = Arc::clone(&shard.stages);
+                metrics.register_histogram_fn(
+                    "fj_stage_duration_seconds",
+                    "Per-stage serving latency in seconds.",
+                    &[("dataset", name), ("stage", stage)],
+                    move || pick(&stages).snapshot(),
+                );
+            }
+        }
 
         let shared = Arc::new(ServerShared {
             shards: shard_map,
@@ -212,6 +295,8 @@ impl FjServer {
             draining: AtomicBool::new(false),
             conn_streams: Mutex::new(HashMap::new()),
             finished_conns: Mutex::new(Vec::new()),
+            metrics,
+            slowlog: Arc::new(SlowLog::new(config.slowlog_capacity)),
         });
         let conn_threads = Arc::new(Mutex::new(HashMap::new()));
 
@@ -245,6 +330,27 @@ impl FjServer {
     /// (queue-full) admission counters.
     pub fn stats(&self, dataset: &str) -> Option<StatsSnapshot> {
         self.shared.shards.get(dataset).map(|s| s.service.stats())
+    }
+
+    /// Serving statistics merged across **every** shard: counters summed,
+    /// latency percentiles computed on the merged histograms (exactly what
+    /// concatenating the shards' samples would give, up to bucket width),
+    /// queue depths summed, high-water and window taken as maxima.
+    pub fn stats_merged(&self) -> StatsSnapshot {
+        crate::stats::merged_snapshot(self.shared.shards.values().map(|shard| {
+            let (depth, high_water) = shard.service.queue_depth_and_high_water();
+            (shard.service.stats_inner().as_ref(), depth, high_water)
+        }))
+    }
+
+    /// The Prometheus text exposition for every shard — counters, gauges,
+    /// latency and per-stage histograms — followed by `# slowlog` comment
+    /// lines for the worst-N completed batches. This is exactly what the
+    /// wire `Metrics` opcode (see [`FjClient::metrics`]) returns.
+    ///
+    /// [`FjClient::metrics`]: super::FjClient::metrics
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
     }
 
     /// Datasets served, sorted (as reported to clients in the handshake).
@@ -424,6 +530,23 @@ struct PendingBatch {
     /// deadline is worthless, so the whole batch becomes a
     /// [`RejectReason::DeadlineExceeded`] rejection.
     expired: bool,
+    /// Client-minted trace id (0 = untraced), echoed into the slowlog.
+    trace_id: u64,
+    dataset: String,
+    /// Sub-plan estimates produced so far, summed across served slots.
+    subplans: usize,
+    /// When the request frame came off the socket — the batch's
+    /// end-to-end serving time starts here.
+    received: Instant,
+    /// Frame receipt → enqueue (decode, admission checks, job build).
+    admission_ns: u64,
+    /// Worst per-slot queue wait (slots wait concurrently, so the max —
+    /// not the sum — is the wall-clock the batch spent queued).
+    queue_wait_ns: u64,
+    /// Estimation time summed across slots (CPU spent on the batch).
+    estimation_ns: u64,
+    /// The owning shard's stage histograms, for encode/write recording.
+    stages: Arc<ShardStages>,
 }
 
 fn serve_connection(stream: TcpStream, shared: &ServerShared) -> io::Result<()> {
@@ -470,9 +593,10 @@ fn serve_connection(stream: TcpStream, shared: &ServerShared) -> io::Result<()> 
         let pending = Arc::clone(&pending);
         let writer = Arc::clone(&writer);
         let inflight = Arc::clone(&inflight);
+        let slowlog = Arc::clone(&shared.slowlog);
         std::thread::Builder::new()
             .name("fj-server-collect".to_string())
-            .spawn(move || collector_loop(rx, &pending, &writer, &inflight))
+            .spawn(move || collector_loop(rx, &pending, &writer, &inflight, &slowlog))
             .expect("spawn collector thread")
     };
 
@@ -529,15 +653,26 @@ fn reader_loop(
             }
         }
         last_frame = Instant::now();
+        // Stage timing starts at frame receipt; everything up to the
+        // enqueue counts as the admission stage.
+        let received = last_frame;
 
-        // Dispatch by opcode: health probes answer inline (they must keep
-        // working while draining); anything else is an estimate batch.
+        // Dispatch by opcode: health probes and metrics scrapes answer
+        // inline (both must keep working while draining, so operators can
+        // watch a drain finish); anything else is an estimate batch.
         match buf.first().copied() {
             Some(wire::OP_HEALTH) => {
                 wire::decode_health(buf)?;
                 let report = health_report(shared);
                 let mut w = writer.lock().expect("writer");
                 write_frame(&mut *w, &wire::encode_health_ok(&report))?;
+                continue;
+            }
+            Some(wire::OP_METRICS) => {
+                wire::decode_metrics(buf)?;
+                let text = shared.metrics_text();
+                let mut w = writer.lock().expect("writer");
+                write_frame(&mut *w, &wire::encode_metrics_ok(&text))?;
                 continue;
             }
             Some(wire::OP_ESTIMATE_BATCH) => {}
@@ -604,14 +739,6 @@ fn reader_loop(
         }
 
         let n = batch.queries.len();
-        pending.lock().expect("pending").insert(
-            id,
-            PendingBatch {
-                results: (0..n).map(|_| None).collect(),
-                remaining: n,
-                expired: false,
-            },
-        );
 
         // The wire deadline is a relative budget from receipt; workers
         // shed any slot still queued past it instead of estimating for a
@@ -633,6 +760,25 @@ fn reader_loop(
                 request
             })
             .collect();
+
+        let admission_ns = elapsed_ns(received);
+        shard.stages.admission.record(admission_ns);
+        pending.lock().expect("pending").insert(
+            id,
+            PendingBatch {
+                results: (0..n).map(|_| None).collect(),
+                remaining: n,
+                expired: false,
+                trace_id: batch.trace_id,
+                dataset: batch.dataset,
+                subplans: 0,
+                received,
+                admission_ns,
+                queue_wait_ns: 0,
+                estimation_ns: 0,
+                stages: Arc::clone(&shard.stages),
+            },
+        );
         // Count the batch against the quota *before* it can possibly
         // complete: a fast worker pool could otherwise finish the batch
         // and run the collector's decrement before a post-enqueue
@@ -660,9 +806,12 @@ fn collector_loop(
     pending: &Mutex<HashMap<u64, PendingBatch>>,
     writer: &Mutex<TcpStream>,
     inflight: &AtomicUsize,
+    slowlog: &SlowLog,
 ) {
     while let Ok((tag, index, result)) = rx.recv() {
-        let frame = {
+        // Fold the slot into its batch under the lock; encoding and the
+        // socket write happen outside it (and are timed as stages).
+        let entry = {
             let mut map = pending.lock().expect("pending");
             let Some(entry) = map.get_mut(&tag) else {
                 continue;
@@ -671,45 +820,86 @@ fn collector_loop(
                 entry.expired = true;
             }
             entry.results[index] = Some(match result {
-                Ok(resp) => Ok(WireEstimates {
-                    model_epoch: resp.model_epoch,
-                    estimates: resp.estimates,
-                }),
+                Ok(resp) => {
+                    entry.subplans += resp.estimates.len();
+                    // Slots wait in the queue concurrently, so the batch's
+                    // queued wall-clock is the worst slot, not the sum;
+                    // estimation is per-slot CPU, so it *does* sum.
+                    entry.queue_wait_ns = entry.queue_wait_ns.max(duration_ns(resp.queue_wait));
+                    entry.estimation_ns += duration_ns(resp.estimate_time);
+                    Ok(WireEstimates {
+                        model_epoch: resp.model_epoch,
+                        estimates: resp.estimates,
+                    })
+                }
                 Err(err) => Err(err.to_string()),
             });
             entry.remaining -= 1;
             if entry.remaining > 0 {
                 continue;
             }
-            let entry = map.remove(&tag).expect("just updated");
-            if entry.expired {
-                // Any shed slot poisons the batch: a response assembled
-                // past its deadline is dead weight on the wire, so the
-                // client gets one small rejection instead.
-                wire::encode_rejected(
-                    tag,
-                    RejectReason::DeadlineExceeded,
-                    "deadline expired before the batch was fully served",
-                )
-            } else {
-                let results: Vec<Result<WireEstimates, String>> = entry
-                    .results
-                    .into_iter()
-                    .map(|slot| slot.expect("remaining hit zero"))
-                    .collect();
-                wire::encode_batch_result(tag, &results)
-            }
+            map.remove(&tag).expect("just updated")
         };
-        inflight.fetch_sub(1, Ordering::SeqCst);
+
+        let encode_started = Instant::now();
+        let frame = if entry.expired {
+            // Any shed slot poisons the batch: a response assembled
+            // past its deadline is dead weight on the wire, so the
+            // client gets one small rejection instead.
+            wire::encode_rejected(
+                tag,
+                RejectReason::DeadlineExceeded,
+                "deadline expired before the batch was fully served",
+            )
+        } else {
+            let results: Vec<Result<WireEstimates, String>> = entry
+                .results
+                .into_iter()
+                .map(|slot| slot.expect("remaining hit zero"))
+                .collect();
+            wire::encode_batch_result(tag, &results)
+        };
         let frame = enforce_frame_cap(tag, frame);
+        let encode_ns = elapsed_ns(encode_started);
+
+        inflight.fetch_sub(1, Ordering::SeqCst);
         // A write failure means the client left (or timed out draining);
         // shut the socket so the reader thread sees it too, and keep
         // draining replies so shard shutdown never waits on them.
-        let mut w = writer.lock().expect("writer");
-        if write_frame(&mut *w, &frame).is_err() {
-            let _ = w.shutdown(std::net::Shutdown::Both);
+        let write_started = Instant::now();
+        {
+            let mut w = writer.lock().expect("writer");
+            if write_frame(&mut *w, &frame).is_err() {
+                let _ = w.shutdown(std::net::Shutdown::Both);
+            }
         }
+        let socket_write_ns = elapsed_ns(write_started);
+
+        entry.stages.encode.record(encode_ns);
+        entry.stages.socket_write.record(socket_write_ns);
+        let mut stages = StageBreakdown::new();
+        stages.set(Stage::Admission, entry.admission_ns);
+        stages.set(Stage::QueueWait, entry.queue_wait_ns);
+        stages.set(Stage::Estimation, entry.estimation_ns);
+        stages.set(Stage::Encode, encode_ns);
+        stages.set(Stage::SocketWrite, socket_write_ns);
+        slowlog.offer(SlowQuery {
+            trace_id: entry.trace_id,
+            dataset: entry.dataset,
+            subplans: entry.subplans,
+            total_ns: elapsed_ns(entry.received),
+            stages,
+        });
     }
+}
+
+/// Nanoseconds since `since`, saturating (histograms record `u64` ns).
+fn elapsed_ns(since: Instant) -> u64 {
+    duration_ns(since.elapsed())
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Snapshot for a health probe: draining state plus every shard's queue
@@ -841,13 +1031,13 @@ mod tests {
 
         write_frame(
             &mut sock,
-            &wire::encode_estimate_batch(7, "stats", 1, &big, 0),
+            &wire::encode_estimate_batch(7, "stats", 1, &big, 0, 0),
         )
         .unwrap();
         // Reuse id 7 while it is in flight, via the empty-batch fast path.
         write_frame(
             &mut sock,
-            &wire::encode_estimate_batch(7, "stats", 1, &[], 0),
+            &wire::encode_estimate_batch(7, "stats", 1, &[], 0, 0),
         )
         .unwrap();
 
@@ -860,6 +1050,53 @@ mod tests {
         assert!(
             !read_frame(&mut reader, &mut buf).expect("clean close"),
             "the id reuse must drop the connection, not answer"
+        );
+        server.shutdown();
+    }
+
+    /// Wire-compat regression: a v3 server keeps serving the exact frame
+    /// shapes older clients emit — v1 `EstimateBatch` (no trailing
+    /// fields) and v2 (deadline only) — and answers `Metrics` scrapes
+    /// even while draining, like health probes.
+    #[test]
+    fn v1_and_v2_frames_are_served_by_a_v3_server() {
+        let (model, wl) = tiny_setup();
+        let mut server = FjServer::bind(
+            "127.0.0.1:0",
+            vec![ShardSpec::new("stats", model)],
+            ServerConfig::new(1),
+        )
+        .expect("bind");
+
+        let mut sock = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut reader = BufReader::new(sock.try_clone().expect("clone"));
+        let mut buf = Vec::new();
+        write_frame(&mut sock, &wire::encode_hello()).unwrap();
+        assert!(read_frame(&mut reader, &mut buf).unwrap());
+        wire::decode_hello_ok(&buf).expect("hello ok");
+
+        // deadline=0 + trace=0 encodes the v1 shape (no trailing bytes);
+        // deadline>0 + trace=0 the v2 shape (one trailing u64). Both must
+        // round-trip through a v3 server unchanged.
+        let v1 = wire::encode_estimate_batch(1, "stats", 1, &wl[..1], 0, 0);
+        let v2 = wire::encode_estimate_batch(2, "stats", 1, &wl[..1], 30_000, 0);
+        assert_eq!(v2.len(), v1.len() + 8, "v2 adds exactly the deadline");
+        for (id, frame) in [(1, v1), (2, v2)] {
+            write_frame(&mut sock, &frame).expect("send old-shape frame");
+            assert!(read_frame(&mut reader, &mut buf).expect("response"));
+            let (got, results) = wire::decode_batch_result(&buf).expect("served");
+            assert_eq!(got, id);
+            assert_eq!(results.len(), 1);
+            assert!(results[0].is_ok());
+        }
+
+        server.begin_drain();
+        write_frame(&mut sock, &wire::encode_metrics()).expect("send metrics");
+        assert!(read_frame(&mut reader, &mut buf).expect("metrics ok"));
+        let text = wire::decode_metrics_ok(&buf).expect("decode metrics ok");
+        assert!(
+            text.contains("fj_requests_total{dataset=\"stats\"} 2"),
+            "both old-shape batches served and counted:\n{text}"
         );
         server.shutdown();
     }

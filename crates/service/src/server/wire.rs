@@ -16,12 +16,14 @@
 //! | opcode | direction | message |
 //! |-------:|-----------|---------|
 //! | `0x01` | C → S     | `Hello { version }` — first frame after connect |
-//! | `0x02` | C → S     | `EstimateBatch { request_id, dataset, min_size, queries[, deadline_ms] }` |
+//! | `0x02` | C → S     | `EstimateBatch { request_id, dataset, min_size, queries[, deadline_ms[, trace_id]] }` |
 //! | `0x03` | C → S     | `Health` — liveness/load probe |
+//! | `0x04` | C → S     | `Metrics` — scrape the server's metrics plane |
 //! | `0x81` | S → C     | `HelloOk { version, datasets }` |
 //! | `0x82` | S → C     | `BatchResult { request_id, results }` — each result epoch-tagged |
 //! | `0x83` | S → C     | `Rejected { request_id, reason, message }` |
 //! | `0x84` | S → C     | `HealthOk { draining, shards }` |
+//! | `0x85` | S → C     | `MetricsOk { text }` — Prometheus exposition + slow-query log |
 //!
 //! `request_id` is a client-chosen multiplexing tag: a client may pipeline
 //! any number of `EstimateBatch` frames before reading, and the server
@@ -33,9 +35,13 @@
 //!
 //! Version 2 added the optional trailing `deadline_ms` on `EstimateBatch`
 //! (a **relative** millisecond budget — peers' wall clocks are not
-//! synchronized) and the `Health`/`HealthOk` probe. A frame without a
-//! deadline is byte-identical to its version-1 encoding, so either side
-//! accepts any peer version in
+//! synchronized) and the `Health`/`HealthOk` probe. Version 3 adds a
+//! second optional trailing field, the client-minted `trace_id` (0 =
+//! untraced, field absent), and the `Metrics`/`MetricsOk` scrape pair.
+//! Trailing fields detect their own presence from the remaining payload
+//! length — 0, 8, or 16 bytes after the queries — so an untraced frame is
+//! byte-identical to its v2 encoding and an untraced, deadline-less frame
+//! to its v1 encoding. Either side accepts any peer version in
 //! `[`[`MIN_PROTOCOL_VERSION`]`, `[`PROTOCOL_VERSION`]`]`.
 
 use crate::request::RejectReason;
@@ -44,10 +50,11 @@ use fj_storage::Value;
 use std::io::{Read, Write};
 
 /// Protocol version spoken by this build.
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
-/// Oldest peer version this build still accepts (the version-2 additions
-/// are optional-trailing, so version-1 frames decode unchanged).
+/// Oldest peer version this build still accepts (the version-2 and
+/// version-3 additions are optional-trailing, so version-1 and version-2
+/// frames decode unchanged).
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Hard ceiling on a frame payload, validated before allocating.
@@ -59,6 +66,8 @@ pub const OP_HELLO: u8 = 0x01;
 pub const OP_ESTIMATE_BATCH: u8 = 0x02;
 /// Opcode of a health-probe request frame.
 pub const OP_HEALTH: u8 = 0x03;
+/// Opcode of a metrics-scrape request frame.
+pub const OP_METRICS: u8 = 0x04;
 /// Opcode of the server hello-acknowledgement frame.
 pub const OP_HELLO_OK: u8 = 0x81;
 /// Opcode of a batch-result frame.
@@ -67,6 +76,8 @@ pub const OP_BATCH_RESULT: u8 = 0x82;
 pub const OP_REJECTED: u8 = 0x83;
 /// Opcode of a health-probe response frame.
 pub const OP_HEALTH_OK: u8 = 0x84;
+/// Opcode of a metrics-scrape response frame.
+pub const OP_METRICS_OK: u8 = 0x85;
 
 /// A malformed or unexpected wire payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -446,6 +457,11 @@ pub(crate) struct EstimateBatch {
     /// the wire). `0` means no deadline; on the wire the field is simply
     /// absent then, keeping the frame byte-identical to protocol v1.
     pub deadline_ms: u64,
+    /// Client-minted trace id keying this request across client logs, the
+    /// server's slow-query log, and future hops (protocol v3). `0` means
+    /// untraced; the field is then absent on the wire, keeping the frame
+    /// byte-identical to its v1/v2 encoding.
+    pub trace_id: u64,
 }
 
 pub(crate) fn encode_estimate_batch(
@@ -454,6 +470,7 @@ pub(crate) fn encode_estimate_batch(
     min_size: u32,
     queries: &[Query],
     deadline_ms: u64,
+    trace_id: u64,
 ) -> Vec<u8> {
     let mut e = Enc::new(OP_ESTIMATE_BATCH);
     e.u64(request_id);
@@ -463,7 +480,13 @@ pub(crate) fn encode_estimate_batch(
     for q in queries {
         encode_query(&mut e, q);
     }
-    if deadline_ms > 0 {
+    // Trailing optional fields are positional: writing trace_id requires
+    // writing deadline_ms first (even a zero one), so a decoder can tell
+    // the 8-byte v2 shape from the 16-byte v3 shape by length alone.
+    if trace_id > 0 {
+        e.u64(deadline_ms);
+        e.u64(trace_id);
+    } else if deadline_ms > 0 {
         e.u64(deadline_ms);
     }
     e.finish()
@@ -480,8 +503,12 @@ pub(crate) fn decode_estimate_batch(payload: &[u8]) -> Result<EstimateBatch, Wir
     for _ in 0..n {
         queries.push(decode_query(&mut d)?);
     }
-    // Optional trailing field (protocol v2): a v1 frame simply ends here.
+    // Optional trailing fields: a v1 frame ends here (0 bytes left), a v2
+    // frame carries deadline_ms (8), a v3 frame deadline_ms + trace_id
+    // (16). Any other remainder is corruption and falls through to
+    // `finish()`'s TrailingBytes error.
     let deadline_ms = if d.remaining() > 0 { d.u64()? } else { 0 };
+    let trace_id = if d.remaining() > 0 { d.u64()? } else { 0 };
     d.finish()?;
     Ok(EstimateBatch {
         request_id,
@@ -489,6 +516,7 @@ pub(crate) fn decode_estimate_batch(payload: &[u8]) -> Result<EstimateBatch, Wir
         min_size,
         queries,
         deadline_ms,
+        trace_id,
     })
 }
 
@@ -598,6 +626,32 @@ pub struct HealthReport {
     pub draining: bool,
     /// Per-shard load, sorted by dataset name.
     pub shards: Vec<ShardHealth>,
+}
+
+pub(crate) fn encode_metrics() -> Vec<u8> {
+    Enc::new(OP_METRICS).finish()
+}
+
+pub(crate) fn decode_metrics(payload: &[u8]) -> Result<(), WireError> {
+    let mut d = Dec::new(payload);
+    expect_op(&mut d, OP_METRICS)?;
+    d.finish()
+}
+
+/// The scrape response body: the server's full Prometheus exposition text
+/// with the slow-query log appended as `# slowlog` comment lines.
+pub(crate) fn encode_metrics_ok(text: &str) -> Vec<u8> {
+    let mut e = Enc::new(OP_METRICS_OK);
+    e.str(text);
+    e.finish()
+}
+
+pub(crate) fn decode_metrics_ok(payload: &[u8]) -> Result<String, WireError> {
+    let mut d = Dec::new(payload);
+    expect_op(&mut d, OP_METRICS_OK)?;
+    let text = d.str()?;
+    d.finish()?;
+    Ok(text)
 }
 
 pub(crate) fn encode_health() -> Vec<u8> {
@@ -964,13 +1018,14 @@ mod tests {
     #[test]
     fn estimate_batch_roundtrips_losslessly() {
         let q = sample_query();
-        let payload = encode_estimate_batch(42, "stats", 2, &[q.clone(), q.clone()], 0);
+        let payload = encode_estimate_batch(42, "stats", 2, &[q.clone(), q.clone()], 0, 0);
         let batch = decode_estimate_batch(&payload).unwrap();
         assert_eq!(batch.request_id, 42);
         assert_eq!(batch.dataset, "stats");
         assert_eq!(batch.min_size, 2);
         assert_eq!(batch.queries.len(), 2);
         assert_eq!(batch.deadline_ms, 0);
+        assert_eq!(batch.trace_id, 0);
         for got in &batch.queries {
             assert_eq!(got.tables(), q.tables());
             assert_eq!(got.joins(), q.joins());
@@ -982,8 +1037,8 @@ mod tests {
     fn deadline_field_is_optional_trailing_and_v1_compatible() {
         let q = sample_query();
         // With a deadline: roundtrips, and is exactly 8 bytes longer.
-        let with = encode_estimate_batch(1, "stats", 1, std::slice::from_ref(&q), 250);
-        let without = encode_estimate_batch(1, "stats", 1, std::slice::from_ref(&q), 0);
+        let with = encode_estimate_batch(1, "stats", 1, std::slice::from_ref(&q), 250, 0);
+        let without = encode_estimate_batch(1, "stats", 1, std::slice::from_ref(&q), 0, 0);
         assert_eq!(with.len(), without.len() + 8);
         assert_eq!(decode_estimate_batch(&with).unwrap().deadline_ms, 250);
         // Without one, the encoding is byte-identical to what a protocol-v1
@@ -994,6 +1049,62 @@ mod tests {
         let mut torn = without.clone();
         torn.extend_from_slice(&[0xaa, 0xbb, 0xcc]);
         assert!(decode_estimate_batch(&torn).is_err());
+    }
+
+    #[test]
+    fn trace_field_decodes_v1_v2_and_v3_shapes() {
+        let q = sample_query();
+        let qs = std::slice::from_ref(&q);
+        // v1 shape: no trailing fields at all.
+        let v1 = encode_estimate_batch(1, "stats", 1, qs, 0, 0);
+        // v2 shape: deadline only — byte-identical to a v2 peer's frame.
+        let v2 = encode_estimate_batch(1, "stats", 1, qs, 250, 0);
+        // v3 shape: deadline + trace (a traced frame always carries both,
+        // even a zero deadline, so length alone disambiguates).
+        let v3 = encode_estimate_batch(1, "stats", 1, qs, 250, 0xfeed);
+        let v3_no_deadline = encode_estimate_batch(1, "stats", 1, qs, 0, 0xfeed);
+        assert_eq!(v2.len(), v1.len() + 8);
+        assert_eq!(v3.len(), v1.len() + 16);
+        assert_eq!(v3_no_deadline.len(), v1.len() + 16);
+
+        let b = decode_estimate_batch(&v1).unwrap();
+        assert_eq!((b.deadline_ms, b.trace_id), (0, 0));
+        let b = decode_estimate_batch(&v2).unwrap();
+        assert_eq!((b.deadline_ms, b.trace_id), (250, 0));
+        let b = decode_estimate_batch(&v3).unwrap();
+        assert_eq!((b.deadline_ms, b.trace_id), (250, 0xfeed));
+        let b = decode_estimate_batch(&v3_no_deadline).unwrap();
+        assert_eq!((b.deadline_ms, b.trace_id), (0, 0xfeed));
+
+        // 9..15 trailing bytes is neither shape: corruption, not a trace.
+        let mut torn = v2.clone();
+        torn.extend_from_slice(&[0x01, 0x02, 0x03]);
+        assert!(decode_estimate_batch(&torn).is_err());
+    }
+
+    #[test]
+    fn metrics_frames_roundtrip() {
+        decode_metrics(&encode_metrics()).unwrap();
+        let text = "# HELP fj_requests_total Requests served.\n\
+                    fj_requests_total{dataset=\"stats\"} 12\n\
+                    # slowlog trace_id=0x0000000000000007 dataset=\"stats\"\n";
+        let got = decode_metrics_ok(&encode_metrics_ok(text)).unwrap();
+        assert_eq!(got, text);
+        // Truncation errors instead of panicking (satellite: fuzz also
+        // covers these frames below).
+        let full = encode_metrics_ok(text);
+        for cut in [1, 3, full.len() - 1] {
+            assert!(decode_metrics_ok(&full[..cut]).is_err(), "cut at {cut}");
+        }
+        // Wrong opcode is a bad tag.
+        assert!(matches!(
+            decode_metrics_ok(&encode_metrics()),
+            Err(WireError::BadTag { what: "opcode", .. })
+        ));
+        // Trailing garbage after the text is corruption.
+        let mut padded = encode_metrics_ok(text);
+        padded.push(0x00);
+        assert_eq!(decode_metrics_ok(&padded), Err(WireError::TrailingBytes));
     }
 
     #[test]
@@ -1128,7 +1239,7 @@ mod tests {
     #[test]
     fn malformed_payloads_error_instead_of_panicking() {
         // Truncated mid-field.
-        let payload = encode_estimate_batch(1, "stats", 1, &[sample_query()], 0);
+        let payload = encode_estimate_batch(1, "stats", 1, &[sample_query()], 0, 0);
         for cut in [1, 5, payload.len() / 2, payload.len() - 1] {
             assert!(
                 decode_estimate_batch(&payload[..cut]).is_err(),
@@ -1184,6 +1295,8 @@ mod tests {
         let _ = decode_rejected(payload);
         let _ = decode_health(payload);
         let _ = decode_health_ok(payload);
+        let _ = decode_metrics(payload);
+        let _ = decode_metrics_ok(payload);
     }
 
     /// Deterministic seeded byte-mutation fuzz over every frame type: take
@@ -1214,11 +1327,14 @@ mod tests {
         let frames: Vec<Vec<u8>> = vec![
             encode_hello(),
             encode_hello_ok(&["imdb".into(), "stats".into()]),
-            encode_estimate_batch(7, "stats", 1, &[q.clone(), q], 125),
+            encode_estimate_batch(7, "stats", 1, &[q.clone(), q.clone()], 125, 0),
+            encode_estimate_batch(8, "stats", 1, &[q], 125, 0xdead_beef),
             encode_batch_result(9, &results),
             encode_rejected(3, RejectReason::Overloaded, "full"),
             encode_health(),
             encode_health_ok(&report),
+            encode_metrics(),
+            encode_metrics_ok("# HELP fj_requests_total Requests served.\nfj_requests_total 1\n"),
         ];
 
         for seed in 0..64u64 {

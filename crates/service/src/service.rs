@@ -8,6 +8,7 @@ use crate::request::{
 use crate::stats::{StatsInner, StatsSnapshot};
 use crate::worker::{spawn_workers, Job};
 use factorjoin::FactorJoinModel;
+use fj_obs::MetricsRegistry;
 use fj_query::Query;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -23,6 +24,11 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Dataset served when a request does not name one.
     pub default_dataset: String,
+    /// When false, workers skip latency/stage histogram recording
+    /// (counters still tick, so throughput math keeps working) — the
+    /// no-op recorder the bench's metrics-overhead gate compares against.
+    /// Defaults to true.
+    pub metrics_enabled: bool,
 }
 
 impl ServiceConfig {
@@ -33,12 +39,19 @@ impl ServiceConfig {
             workers,
             queue_capacity: 1024,
             default_dataset: default_dataset.to_string(),
+            metrics_enabled: true,
         }
     }
 
     /// Overrides the queue capacity.
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// Toggles histogram recording (see [`ServiceConfig::metrics_enabled`]).
+    pub fn with_metrics_enabled(mut self, enabled: bool) -> Self {
+        self.metrics_enabled = enabled;
         self
     }
 }
@@ -59,7 +72,7 @@ impl EstimatorService {
     /// Starts the worker pool against an existing (shareable) registry.
     pub fn start(registry: Arc<ModelRegistry>, config: ServiceConfig) -> Self {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-        let stats = Arc::new(StatsInner::new());
+        let stats = Arc::new(StatsInner::with_histograms(config.metrics_enabled));
         let workers = spawn_workers(
             config.workers,
             config.default_dataset,
@@ -259,10 +272,35 @@ impl EstimatorService {
         self.queue.capacity()
     }
 
+    /// Register this service's counters, latency/stage histograms, and a
+    /// live queue-depth gauge into `registry`, labelled with `dataset`.
+    /// Entries are closure-backed `Arc` clones: the hot path records into
+    /// the same atomics it always did and never touches the registry.
+    pub fn install_metrics(&self, registry: &MetricsRegistry, dataset: &str) {
+        self.stats.install_metrics(registry, dataset);
+        let queue = Arc::clone(&self.queue);
+        registry.register_gauge_fn(
+            "fj_queue_depth",
+            "Requests queued but not yet picked up by a worker.",
+            &[("dataset", dataset)],
+            move || queue.len() as f64,
+        );
+    }
+
+    /// The shard's raw stats, for cross-shard merging ([`crate::FjServer::stats_merged`]).
+    pub(crate) fn stats_inner(&self) -> &Arc<StatsInner> {
+        &self.stats
+    }
+
+    /// Queue depth and high-water mark under one lock, for snapshots.
+    pub(crate) fn queue_depth_and_high_water(&self) -> (usize, usize) {
+        self.queue.depth_and_high_water()
+    }
+
     /// Service statistics since start (or the last [`Self::reset_stats`]).
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats
-            .snapshot(self.queue.len(), self.queue.high_water())
+        let (depth, high_water) = self.queue.depth_and_high_water();
+        self.stats.snapshot(depth, high_water)
     }
 
     /// Clears counters/latencies, restarts the measurement window, and

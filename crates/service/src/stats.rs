@@ -1,188 +1,273 @@
 //! Service-level statistics: throughput, latency percentiles, saturation.
+//!
+//! Built on `fj-obs`: counters are relaxed atomics and latencies go into
+//! lock-free log-linear [`Histogram`]s (bounded memory, wait-free record,
+//! no sort-on-snapshot). Because histograms merge bucket-wise, per-shard
+//! stats combine into a fleet view (`merged_snapshot`, surfaced as
+//! `FjServer::stats_merged`) — something the old sort-a-`Mutex<Vec>`
+//! reservoir could not do. Percentiles are quantized to the histogram's
+//! bucket width: reported values are upper bucket bounds, at most
+//! 1/32 ≈ 3.1 % above the exact sample.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use fj_obs::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, Stage};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-
-/// Default capacity of the latency reservoir (see [`LatencyReservoir`]).
-pub(crate) const DEFAULT_LATENCY_CAPACITY: usize = 4096;
-
-/// Fixed-capacity sliding-window latency store.
-///
-/// A long-running daemon records latencies for days; an unbounded `Vec`
-/// is a memory leak with a fuse. This ring keeps the **last `capacity`**
-/// recordings in O(capacity) memory forever:
-///
-/// * below `capacity` total recordings the window holds *every* sample, so
-///   p50/p95/p99 are exact over the whole run;
-/// * above it, percentiles are computed over the most recent `capacity`
-///   samples — a deterministic sliding window, which for serving health is
-///   the more useful number anyway (recent behaviour, not day-old history).
-struct LatencyReservoir {
-    /// Ring storage; index `total % capacity` is the next write slot.
-    ring: Vec<u64>,
-    /// Total recordings since the last reset (may exceed `capacity`).
-    total: u64,
-    capacity: usize,
-}
-
-impl LatencyReservoir {
-    fn new(capacity: usize) -> Self {
-        LatencyReservoir {
-            ring: Vec::with_capacity(capacity.max(1)),
-            total: 0,
-            capacity: capacity.max(1),
-        }
-    }
-
-    fn record(&mut self, latency_us: u64) {
-        let slot = (self.total % self.capacity as u64) as usize;
-        if slot < self.ring.len() {
-            self.ring[slot] = latency_us;
-        } else {
-            self.ring.push(latency_us);
-        }
-        self.total += 1;
-    }
-
-    fn clear(&mut self) {
-        self.ring.clear();
-        self.total = 0;
-    }
-
-    /// The current window's samples, unordered.
-    fn window(&self) -> Vec<u64> {
-        self.ring.clone()
-    }
-}
 
 /// Shared counters the workers update as they serve (internal; read
 /// through [`crate::EstimatorService::stats`]).
 pub(crate) struct StatsInner {
-    requests: AtomicU64,
-    subplans: AtomicU64,
-    errors: AtomicU64,
+    requests: Counter,
+    subplans: Counter,
+    errors: Counter,
     /// Requests refused by admission control (per-client quota) before
     /// reaching the queue.
-    rejected: AtomicU64,
+    rejected: Counter,
     /// Requests shed because the bounded queue had no room (load shedding
     /// chosen over producer blocking by the non-blocking submit path).
-    shed: AtomicU64,
+    shed: Counter,
     /// Requests whose deadline passed while queued: a worker popped them
     /// already expired and shed them without estimating.
-    expired: AtomicU64,
+    expired: Counter,
     /// Worker panics contained while estimating (the worker survived and
     /// the ticket resolved with an error instead of hanging).
-    worker_panics: AtomicU64,
-    /// Completed-request latencies (queue wait + estimation) in
-    /// microseconds, bounded by the reservoir capacity.
-    latencies_us: Mutex<LatencyReservoir>,
+    worker_panics: Counter,
+    /// End-to-end latency (queue wait + estimation), nanoseconds.
+    latency: Histogram,
+    /// Queue-wait stage only, nanoseconds.
+    queue_wait: Histogram,
+    /// Estimation stage only, nanoseconds.
+    estimation: Histogram,
+    /// When false (the bench's no-op recorder), histogram recording is
+    /// skipped; counters still tick so throughput math keeps working.
+    histograms_enabled: bool,
     window_start: Mutex<Instant>,
 }
 
 impl StatsInner {
+    /// Full recorder (histograms on) — the production default; only the
+    /// bench's no-op comparison passes `false` to `with_histograms`.
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
-        Self::with_latency_capacity(DEFAULT_LATENCY_CAPACITY)
+        Self::with_histograms(true)
     }
 
-    pub(crate) fn with_latency_capacity(capacity: usize) -> Self {
+    /// `enabled = false` builds the no-op recorder used by the
+    /// metrics-overhead bench gate: counters tick, histograms don't.
+    pub(crate) fn with_histograms(enabled: bool) -> Self {
         StatsInner {
-            requests: AtomicU64::new(0),
-            subplans: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
-            worker_panics: AtomicU64::new(0),
-            latencies_us: Mutex::new(LatencyReservoir::new(capacity)),
+            requests: Counter::new(),
+            subplans: Counter::new(),
+            errors: Counter::new(),
+            rejected: Counter::new(),
+            shed: Counter::new(),
+            expired: Counter::new(),
+            worker_panics: Counter::new(),
+            latency: Histogram::new(),
+            queue_wait: Histogram::new(),
+            estimation: Histogram::new(),
+            histograms_enabled: enabled,
             window_start: Mutex::new(Instant::now()),
         }
     }
 
-    pub(crate) fn record_success(&self, subplans: usize, latency: Duration) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.subplans.fetch_add(subplans as u64, Ordering::Relaxed);
-        self.latencies_us
-            .lock()
-            .expect("stats lock")
-            .record(latency.as_micros() as u64);
+    /// Record one served request. Stage durations are recorded in
+    /// **nanoseconds** — `as_micros` truncation used to collapse fast
+    /// in-process estimates (hundreds of ns) into the zero bucket.
+    pub(crate) fn record_success(
+        &self,
+        subplans: usize,
+        queue_wait: Duration,
+        estimation: Duration,
+    ) {
+        self.requests.inc();
+        self.subplans.add(subplans as u64);
+        if self.histograms_enabled {
+            let qw = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
+            let est = u64::try_from(estimation.as_nanos()).unwrap_or(u64::MAX);
+            self.latency.record(qw.saturating_add(est));
+            self.queue_wait.record(qw);
+            self.estimation.record(est);
+        }
     }
 
     pub(crate) fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     pub(crate) fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     pub(crate) fn record_shed(&self, requests: usize) {
-        self.shed.fetch_add(requests as u64, Ordering::Relaxed);
+        self.shed.add(requests as u64);
     }
 
     pub(crate) fn record_expired(&self) {
-        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.expired.inc();
     }
 
+    /// A contained worker panic is both its own counter and an error: the
+    /// request resolved with `ServiceError::WorkerPanicked`, so it belongs
+    /// in the failure total too.
     pub(crate) fn record_worker_panic(&self) {
-        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+        self.worker_panics.inc();
+        self.errors.inc();
     }
 
     /// Clears all counters and restarts the measurement window (used
     /// between benchmark warm-up and the timed run).
     pub(crate) fn reset(&self) {
-        self.requests.store(0, Ordering::Relaxed);
-        self.subplans.store(0, Ordering::Relaxed);
-        self.errors.store(0, Ordering::Relaxed);
-        self.rejected.store(0, Ordering::Relaxed);
-        self.shed.store(0, Ordering::Relaxed);
-        self.expired.store(0, Ordering::Relaxed);
-        self.worker_panics.store(0, Ordering::Relaxed);
-        self.latencies_us.lock().expect("stats lock").clear();
+        self.requests.reset();
+        self.subplans.reset();
+        self.errors.reset();
+        self.rejected.reset();
+        self.shed.reset();
+        self.expired.reset();
+        self.worker_panics.reset();
+        self.latency.clear();
+        self.queue_wait.clear();
+        self.estimation.clear();
         *self.window_start.lock().expect("stats lock") = Instant::now();
     }
 
+    /// Point-in-time latency distribution (used by [`merged_snapshot`] and
+    /// the wire-level stage metrics).
+    pub(crate) fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
+    }
+
+    /// Register this shard's counters and histograms into a metrics
+    /// registry under a `dataset` label. Entries are closure-backed `Arc`
+    /// clones, so the hot path never learns the registry exists.
+    pub(crate) fn install_metrics(self: &Arc<Self>, registry: &MetricsRegistry, dataset: &str) {
+        let d = dataset;
+        let counters: [(&str, &str, fn(&StatsInner) -> &Counter); 7] = [
+            ("fj_requests_total", "Requests served successfully.", |s| {
+                &s.requests
+            }),
+            (
+                "fj_subplans_total",
+                "Sub-plan estimates produced across served requests.",
+                |s| &s.subplans,
+            ),
+            (
+                "fj_errors_total",
+                "Requests that resolved with a service error (unknown dataset, contained worker panic).",
+                |s| &s.errors,
+            ),
+            (
+                "fj_rejected_total",
+                "Requests refused by admission control before reaching the queue.",
+                |s| &s.rejected,
+            ),
+            (
+                "fj_shed_total",
+                "Requests shed because the bounded queue was full.",
+                |s| &s.shed,
+            ),
+            (
+                "fj_expired_total",
+                "Requests whose deadline passed while queued; shed unserved.",
+                |s| &s.expired,
+            ),
+            (
+                "fj_worker_panics_total",
+                "Worker panics contained while estimating.",
+                |s| &s.worker_panics,
+            ),
+        ];
+        for (name, help, get) in counters {
+            let me = Arc::clone(self);
+            registry.register_counter_fn(name, help, &[("dataset", d)], move || get(&me).get());
+        }
+        let me = Arc::clone(self);
+        registry.register_histogram_fn(
+            "fj_request_latency_seconds",
+            "End-to-end request latency (queue wait + estimation).",
+            &[("dataset", d)],
+            move || me.latency.snapshot(),
+        );
+        let stage_help = "Per-stage time for served requests.";
+        let me = Arc::clone(self);
+        registry.register_histogram_fn(
+            "fj_stage_duration_seconds",
+            stage_help,
+            &[("dataset", d), ("stage", Stage::QueueWait.name())],
+            move || me.queue_wait.snapshot(),
+        );
+        let me = Arc::clone(self);
+        registry.register_histogram_fn(
+            "fj_stage_duration_seconds",
+            stage_help,
+            &[("dataset", d), ("stage", Stage::Estimation.name())],
+            move || me.estimation.snapshot(),
+        );
+    }
+
+    fn window_elapsed(&self) -> Duration {
+        self.window_start.lock().expect("stats lock").elapsed()
+    }
+
+    fn fill_counts(&self, snap: &mut StatsSnapshot) {
+        snap.requests = self.requests.get();
+        snap.subplans = self.subplans.get();
+        snap.errors = self.errors.get();
+        snap.rejected = self.rejected.get();
+        snap.shed = self.shed.get();
+        snap.expired = self.expired.get();
+        snap.worker_panics = self.worker_panics.get();
+    }
+
     pub(crate) fn snapshot(&self, queue_depth: usize, queue_high_water: usize) -> StatsSnapshot {
-        let mut lat = self.latencies_us.lock().expect("stats lock").window();
-        lat.sort_unstable();
-        let pct = |p: f64| -> Duration {
-            if lat.is_empty() {
-                return Duration::ZERO;
-            }
-            let pos = (p / 100.0) * (lat.len() - 1) as f64;
-            let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
-            let us = if lo == hi {
-                lat[lo] as f64
-            } else {
-                lat[lo] as f64 + (lat[hi] as f64 - lat[lo] as f64) * (pos - lo as f64)
-            };
-            // Round, don't truncate: interpolation products like 0.95 × 3µs
-            // land a hair under the exact nanosecond (2849.999…) and
-            // truncation would shave it to 2849ns.
-            Duration::from_nanos((us * 1e3).round() as u64)
-        };
-        let elapsed = self.window_start.lock().expect("stats lock").elapsed();
-        let requests = self.requests.load(Ordering::Relaxed);
-        let subplans = self.subplans.load(Ordering::Relaxed);
-        let secs = elapsed.as_secs_f64().max(1e-12);
-        StatsSnapshot {
-            requests,
-            subplans,
-            errors: self.errors.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            expired: self.expired.load(Ordering::Relaxed),
-            worker_panics: self.worker_panics.load(Ordering::Relaxed),
-            requests_per_second: requests as f64 / secs,
-            subplans_per_second: subplans as f64 / secs,
-            p50_latency: pct(50.0),
-            p95_latency: pct(95.0),
-            p99_latency: pct(99.0),
+        let mut snap = StatsSnapshot::from_histogram(
+            &self.latency_snapshot(),
+            self.window_elapsed(),
             queue_depth,
             queue_high_water,
-            window: elapsed,
-        }
+        );
+        self.fill_counts(&mut snap);
+        snap.finish_rates();
+        snap
     }
+}
+
+/// Merge per-shard stats into one fleet-wide snapshot: counters sum,
+/// latency histograms merge bucket-wise (so percentiles describe the
+/// concatenation of every shard's samples, quantized to bucket width),
+/// queue depths sum, high-water and window take the max.
+pub(crate) fn merged_snapshot<'a>(
+    shards: impl IntoIterator<Item = (&'a StatsInner, usize, usize)>,
+) -> StatsSnapshot {
+    let mut hist = HistogramSnapshot::default();
+    let mut window = Duration::ZERO;
+    let mut depth = 0usize;
+    let mut high_water = 0usize;
+    let mut counts = [0u64; 7];
+    for (inner, queue_depth, queue_high_water) in shards {
+        hist.merge_from(&inner.latency_snapshot());
+        window = window.max(inner.window_elapsed());
+        depth += queue_depth;
+        high_water = high_water.max(queue_high_water);
+        counts[0] += inner.requests.get();
+        counts[1] += inner.subplans.get();
+        counts[2] += inner.errors.get();
+        counts[3] += inner.rejected.get();
+        counts[4] += inner.shed.get();
+        counts[5] += inner.expired.get();
+        counts[6] += inner.worker_panics.get();
+    }
+    let mut snap = StatsSnapshot::from_histogram(&hist, window, depth, high_water);
+    [
+        snap.requests,
+        snap.subplans,
+        snap.errors,
+        snap.rejected,
+        snap.shed,
+        snap.expired,
+        snap.worker_panics,
+    ] = counts;
+    snap.finish_rates();
+    snap
 }
 
 /// A point-in-time view of service health since the last reset.
@@ -192,7 +277,11 @@ pub struct StatsSnapshot {
     pub requests: u64,
     /// Sub-plan estimates produced across those requests.
     pub subplans: u64,
-    /// Requests that failed (unknown dataset).
+    /// Requests that resolved with a [`crate::ServiceError`] after
+    /// admission: unknown dataset at estimation time, plus contained
+    /// worker panics (also counted in [`Self::worker_panics`]). Deadline
+    /// expiries are tracked separately in [`Self::expired`]; admission
+    /// refusals in [`Self::rejected`] and [`Self::shed`].
     pub errors: u64,
     /// Requests refused by admission control (per-client in-flight quota)
     /// before they reached the queue.
@@ -215,15 +304,16 @@ pub struct StatsSnapshot {
     pub subplans_per_second: f64,
     /// Median end-to-end request latency (queue wait + estimation).
     ///
-    /// Percentiles are exact while fewer requests than the latency
-    /// reservoir's capacity (4096) have completed since the last reset;
-    /// past that they describe the most recent 4096 requests (a
-    /// deterministic sliding window), keeping memory bounded for
-    /// daemon-length runs.
+    /// Percentiles come from a log-linear histogram with bounded memory
+    /// (recorded in nanoseconds, ~15 KiB per shard, never re-sorted):
+    /// the reported value is the upper bound of the bucket holding the
+    /// rank-th sample, at most 1/32 ≈ 3.1 % above the exact latency. The
+    /// window covers *every* request since the last reset — no sliding
+    /// reservoir — and shards merge exactly bucket-wise.
     pub p50_latency: Duration,
-    /// 95th-percentile latency (same windowing as [`Self::p50_latency`]).
+    /// 95th-percentile latency (same quantization as [`Self::p50_latency`]).
     pub p95_latency: Duration,
-    /// 99th-percentile latency (same windowing as [`Self::p50_latency`]).
+    /// 99th-percentile latency (same quantization as [`Self::p50_latency`]).
     pub p99_latency: Duration,
     /// Requests queued right now.
     pub queue_depth: usize,
@@ -232,6 +322,39 @@ pub struct StatsSnapshot {
     pub queue_high_water: usize,
     /// Length of the measurement window.
     pub window: Duration,
+}
+
+impl StatsSnapshot {
+    fn from_histogram(
+        hist: &HistogramSnapshot,
+        window: Duration,
+        queue_depth: usize,
+        queue_high_water: usize,
+    ) -> Self {
+        StatsSnapshot {
+            requests: 0,
+            subplans: 0,
+            errors: 0,
+            rejected: 0,
+            shed: 0,
+            expired: 0,
+            worker_panics: 0,
+            requests_per_second: 0.0,
+            subplans_per_second: 0.0,
+            p50_latency: Duration::from_nanos(hist.value_at_quantile(0.50)),
+            p95_latency: Duration::from_nanos(hist.value_at_quantile(0.95)),
+            p99_latency: Duration::from_nanos(hist.value_at_quantile(0.99)),
+            queue_depth,
+            queue_high_water,
+            window,
+        }
+    }
+
+    fn finish_rates(&mut self) {
+        let secs = self.window.as_secs_f64().max(1e-12);
+        self.requests_per_second = self.requests as f64 / secs;
+        self.subplans_per_second = self.subplans as f64 / secs;
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -265,11 +388,27 @@ impl std::fmt::Display for StatsSnapshot {
 mod tests {
     use super::*;
 
+    /// The histogram quantizes upward by at most one bucket: 1/32 relative.
+    fn assert_quantized(actual: Duration, exact: Duration) {
+        let exact_ns = exact.as_nanos() as f64;
+        let actual_ns = actual.as_nanos() as f64;
+        assert!(
+            actual_ns >= exact_ns && actual_ns <= exact_ns * (1.0 + 1.0 / 32.0) + 1.0,
+            "{actual:?} not within one bucket above {exact:?}"
+        );
+    }
+
+    fn success(s: &StatsInner, subplans: usize, latency: Duration) {
+        // Split arbitrarily across the two stages; the end-to-end
+        // histogram records the sum.
+        s.record_success(subplans, latency / 2, latency - latency / 2);
+    }
+
     #[test]
     fn percentiles_ordered_and_reset_clears() {
         let s = StatsInner::new();
         for us in [100u64, 200, 300, 400, 1000] {
-            s.record_success(3, Duration::from_micros(us));
+            success(&s, 3, Duration::from_micros(us));
         }
         s.record_error();
         let snap = s.snapshot(2, 7);
@@ -282,7 +421,9 @@ mod tests {
         assert_eq!(snap.queue_high_water, 7);
         assert!(snap.p50_latency <= snap.p95_latency);
         assert!(snap.p95_latency <= snap.p99_latency);
-        assert_eq!(snap.p50_latency, Duration::from_micros(300));
+        // Nearest-rank p50 of five samples is the 3rd: 300µs, reported as
+        // its bucket's upper bound.
+        assert_quantized(snap.p50_latency, Duration::from_micros(300));
         assert!(snap.subplans_per_second > 0.0);
         let text = snap.to_string();
         assert!(text.contains("sub-plans/s"), "{text}");
@@ -294,54 +435,72 @@ mod tests {
     }
 
     #[test]
-    fn interpolated_percentile_rounds_instead_of_truncating() {
-        // p95 over [0µs, 3µs]: position 0.95 interpolates to 2.85µs, whose
-        // f64 product 2.85 × 1000 is 2849.9999999999995ns. Truncation
-        // reported 2849ns; rounding must report 2850ns.
+    fn sub_microsecond_latencies_are_not_truncated_to_zero() {
+        // Regression for the as_micros bug: a 250 ns estimate used to
+        // land in the zero bucket. Nanosecond recording keeps it visible.
         let s = StatsInner::new();
-        s.record_success(1, Duration::from_micros(0));
-        s.record_success(1, Duration::from_micros(3));
+        s.record_success(1, Duration::from_nanos(100), Duration::from_nanos(150));
         let snap = s.snapshot(0, 0);
-        assert_eq!(snap.p95_latency, Duration::from_nanos(2850));
-        // Exact midpoint stays exact.
-        assert_eq!(snap.p50_latency, Duration::from_nanos(1500));
+        assert!(
+            snap.p50_latency >= Duration::from_nanos(250),
+            "250 ns must not collapse to zero, got {:?}",
+            snap.p50_latency
+        );
+        assert_quantized(snap.p50_latency, Duration::from_nanos(250));
     }
 
     #[test]
-    fn latency_memory_stays_bounded_past_capacity() {
-        // Regression for the daemon-length memory leak: the reservoir must
-        // never hold more than its capacity, no matter how many requests
-        // are recorded.
-        let s = StatsInner::with_latency_capacity(64);
+    fn memory_is_bounded_with_exact_counts_past_any_volume() {
+        // The old reservoir slid past 4096 samples; the histogram keeps
+        // every sample's bucket forever in fixed memory, so early samples
+        // still shape the percentiles after 10k recordings.
+        let s = StatsInner::new();
         for i in 0..10_000u64 {
-            s.record_success(1, Duration::from_micros(i));
+            success(&s, 1, Duration::from_micros(i));
         }
-        {
-            let inner = s.latencies_us.lock().unwrap();
-            assert_eq!(inner.ring.len(), 64, "ring never grows past capacity");
-            assert!(inner.ring.capacity() < 1024, "no hidden growth");
-            assert_eq!(inner.total, 10_000);
-        }
-        // The window holds exactly the most recent 64 recordings
-        // (9936..9999µs), so even p0-ish percentiles sit at the window
-        // floor — documented sliding-window behaviour above capacity.
         let snap = s.snapshot(0, 0);
-        assert!(snap.p50_latency >= Duration::from_micros(9936));
-        assert!(snap.p99_latency <= Duration::from_micros(9999));
-        assert!(snap.p50_latency <= snap.p99_latency);
+        assert_eq!(snap.requests, 10_000);
+        assert_quantized(snap.p50_latency, Duration::from_micros(4_999));
+        assert_quantized(snap.p99_latency, Duration::from_micros(9_899));
     }
 
     #[test]
-    fn percentiles_exact_below_capacity() {
-        // Below capacity every sample is retained: percentiles over the
-        // full history are exact even after many recordings.
-        let s = StatsInner::with_latency_capacity(128);
-        for us in 0..100u64 {
-            s.record_success(1, Duration::from_micros(us));
+    fn merged_shards_match_concatenated_samples() {
+        // stats_merged acceptance at the unit level: merging two shards'
+        // histograms must equal bucketing the concatenated raw samples.
+        let (a, b) = (StatsInner::new(), StatsInner::new());
+        let mut all: Vec<u64> = Vec::new();
+        for i in 1..=300u64 {
+            let ns = i * 977; // spread across buckets
+            all.push(ns);
+            let shard = if i % 3 == 0 { &a } else { &b };
+            shard.record_success(2, Duration::ZERO, Duration::from_nanos(ns));
         }
+        all.sort_unstable();
+        let merged = merged_snapshot([(&a, 1, 5), (&b, 2, 9)]);
+        assert_eq!(merged.requests, 300);
+        assert_eq!(merged.subplans, 600);
+        assert_eq!(merged.queue_depth, 3, "queue depths sum");
+        assert_eq!(merged.queue_high_water, 9, "high water takes the max");
+        for (q, d) in [
+            (0.50, merged.p50_latency),
+            (0.95, merged.p95_latency),
+            (0.99, merged.p99_latency),
+        ] {
+            let rank = ((q * all.len() as f64).ceil() as usize).clamp(1, all.len());
+            let exact = Duration::from_nanos(all[rank - 1]);
+            assert_quantized(d, exact);
+        }
+    }
+
+    #[test]
+    fn noop_recorder_counts_but_skips_histograms() {
+        let s = StatsInner::with_histograms(false);
+        success(&s, 4, Duration::from_micros(500));
         let snap = s.snapshot(0, 0);
-        // p50 over 0..=99 interpolates between 49 and 50 → 49.5µs.
-        assert_eq!(snap.p50_latency, Duration::from_nanos(49_500));
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.subplans, 4);
+        assert_eq!(snap.p50_latency, Duration::ZERO, "no-op recorder");
     }
 
     #[test]
@@ -354,6 +513,10 @@ mod tests {
         let snap = s.snapshot(0, 0);
         assert_eq!(snap.expired, 3);
         assert_eq!(snap.worker_panics, 1);
+        assert_eq!(
+            snap.errors, 1,
+            "a contained panic is an estimation failure and belongs in the error total"
+        );
         let text = snap.to_string();
         assert!(text.contains("3 expired"), "{text}");
         assert!(text.contains("1 panics"), "{text}");
@@ -379,5 +542,39 @@ mod tests {
         let snap = s.snapshot(0, 0);
         assert_eq!(snap.rejected, 0);
         assert_eq!(snap.shed, 0);
+    }
+
+    #[test]
+    fn install_metrics_exposes_shard_families() {
+        let s = Arc::new(StatsInner::new());
+        let reg = MetricsRegistry::new();
+        s.install_metrics(&reg, "stats");
+        s.record_success(2, Duration::from_micros(10), Duration::from_micros(20));
+        s.record_rejected();
+        let text = reg.render();
+        assert!(
+            text.contains("fj_requests_total{dataset=\"stats\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fj_rejected_total{dataset=\"stats\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "fj_stage_duration_seconds_bucket{dataset=\"stats\",stage=\"queue_wait\""
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "fj_stage_duration_seconds_count{dataset=\"stats\",stage=\"estimation\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("fj_request_latency_seconds_count{dataset=\"stats\"} 1"),
+            "{text}"
+        );
     }
 }

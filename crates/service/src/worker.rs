@@ -104,7 +104,11 @@ fn worker_loop(
                             estimate_time: picked_up.elapsed(),
                             estimates,
                         };
-                        stats.record_success(response.estimates.len(), response.latency());
+                        stats.record_success(
+                            response.estimates.len(),
+                            response.queue_wait,
+                            response.estimate_time,
+                        );
                         Ok(response)
                     }
                     Err(payload) => {

@@ -1,0 +1,226 @@
+//! Integration suite for the observability plane (the fj-obs tentpole):
+//! end-to-end traces that pin a slow batch to its dominant stage, remote
+//! metrics scrapes over the wire, and cross-shard stats merging. (The
+//! raw-frame v1/v2-against-v3 wire-compat regressions live with the
+//! in-crate server tests, which can speak the `pub(crate)` codec.)
+
+use factorjoin::{BaseEstimatorKind, BinBudget, FactorJoinConfig, FactorJoinModel};
+use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
+use fj_query::Query;
+use fj_service::{BatchOutcome, FjClient, FjServer, ServerConfig, ShardSpec};
+use fj_storage::Catalog;
+use std::sync::Arc;
+
+fn tiny_catalog() -> Catalog {
+    stats_catalog(&StatsConfig {
+        scale: 0.03,
+        ..Default::default()
+    })
+}
+
+fn train(catalog: &Catalog, k: usize) -> FactorJoinModel {
+    FactorJoinModel::train(
+        catalog,
+        FactorJoinConfig {
+            bin_budget: BinBudget::Uniform(k),
+            estimator: BaseEstimatorKind::TrueScan,
+            ..Default::default()
+        },
+    )
+}
+
+fn workload(catalog: &Catalog, seed: u64) -> Vec<Query> {
+    stats_ceb_workload(catalog, &WorkloadConfig::tiny(seed))
+}
+
+/// Pull `key=<digits>` out of a slowlog line.
+fn slowlog_field(line: &str, key: &str) -> u64 {
+    let needle = format!(" {key}=");
+    let start = line.find(&needle).unwrap_or_else(|| {
+        panic!("slowlog line is missing {key}: {line}");
+    }) + needle.len();
+    line[start..]
+        .split(|c: char| c.is_whitespace())
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable {key} in: {line}"))
+}
+
+/// The headline acceptance criterion: flood a one-worker shard so a traced
+/// batch spends its life queued, scrape the metrics plane **over the
+/// wire**, and confirm the slow-query log carries the client-minted trace
+/// id and pins the latency on queue wait — not estimation.
+#[test]
+fn traced_queue_delayed_batch_is_pinned_to_queue_wait() {
+    let catalog = tiny_catalog();
+    let model = Arc::new(train(&catalog, 20));
+    let wl = workload(&catalog, 11);
+    let flood: Vec<Query> = std::iter::repeat_with(|| wl.iter().cloned())
+        .take(20)
+        .flatten()
+        .collect();
+    const FLOOD_BATCHES: usize = 6;
+
+    let server = FjServer::bind(
+        "127.0.0.1:0",
+        vec![ShardSpec::new("stats", Arc::clone(&model))],
+        ServerConfig::new(1)
+            .with_queue_capacity(FLOOD_BATCHES * flood.len() + 1)
+            .with_slowlog_capacity(FLOOD_BATCHES + 2),
+    )
+    .expect("bind");
+    let mut client = FjClient::connect(server.local_addr()).expect("connect");
+
+    // Fill the single worker's queue, then send the traced one-query batch
+    // that has to wait behind all of it.
+    let flood_ids: Vec<u64> = (0..FLOOD_BATCHES)
+        .map(|_| client.send("stats", 1, &flood).expect("send flood"))
+        .collect();
+    let (traced_id, trace_id) = client
+        .send_traced("stats", 1, &wl[..1])
+        .expect("send traced");
+    assert_ne!(trace_id, 0, "a minted trace id is never the untraced 0");
+
+    match client.recv(traced_id).expect("recv traced") {
+        BatchOutcome::Served(results) => assert_eq!(results.len(), 1),
+        other => panic!("the traced batch was not served: {other:?}"),
+    }
+    for id in flood_ids {
+        assert!(matches!(
+            client.recv(id).expect("recv flood"),
+            BatchOutcome::Served(_)
+        ));
+    }
+
+    // Scrape over the wire (the same text FjServer::metrics_text returns).
+    let text = client.metrics().expect("scrape");
+    assert_eq!(text, server.metrics_text());
+
+    // The exposition covers counters, the latency histogram, and every
+    // serving stage under one family.
+    assert!(text.contains("# TYPE fj_requests_total counter"), "{text}");
+    assert!(text.contains("# TYPE fj_request_latency_seconds histogram"));
+    assert!(text.contains("# TYPE fj_stage_duration_seconds histogram"));
+    for stage in [
+        "admission",
+        "queue_wait",
+        "estimation",
+        "encode",
+        "socket_write",
+    ] {
+        let series =
+            format!("fj_stage_duration_seconds_count{{dataset=\"stats\",stage=\"{stage}\"}}");
+        assert!(text.contains(&series), "missing {series} in:\n{text}");
+    }
+
+    // The traced batch's slowlog entry: present, attributed to our trace,
+    // and dominated by queue wait rather than estimation.
+    let needle = format!("trace_id={trace_id:#018x}");
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("# slowlog") && l.contains(&needle))
+        .unwrap_or_else(|| panic!("no slowlog entry for {needle} in:\n{text}"));
+    assert!(line.contains("dataset=\"stats\""), "{line}");
+    assert!(line.ends_with("dominant=queue_wait"), "{line}");
+    let queue_wait = slowlog_field(line, "queue_wait_ns");
+    let estimation = slowlog_field(line, "estimation_ns");
+    assert!(
+        queue_wait > estimation,
+        "queued behind {FLOOD_BATCHES} flood batches, queue wait ({queue_wait}ns) \
+         must dwarf the one-query estimation ({estimation}ns): {line}"
+    );
+
+    // The aggregate stage histograms agree with the per-request verdict:
+    // under a flood, total queued time dwarfs total estimation time.
+    let stage_sum = |stage: &str| -> f64 {
+        let series =
+            format!("fj_stage_duration_seconds_sum{{dataset=\"stats\",stage=\"{stage}\"}}");
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(&series))
+            .unwrap_or_else(|| panic!("missing {series}"));
+        line.rsplit(' ').next().unwrap().parse().expect("a float")
+    };
+    assert!(stage_sum("queue_wait") > stage_sum("estimation"));
+
+    server.shutdown();
+}
+
+/// `stats_merged` across two shards must agree with the per-shard
+/// snapshots: counters and queue depths sum, and every merged percentile
+/// sits within the envelope of the shard percentiles (the histograms merge
+/// bucket-exactly, so the union's quantile cannot leave that range).
+#[test]
+fn stats_merged_combines_shards_exactly() {
+    let catalog = tiny_catalog();
+    let model = Arc::new(train(&catalog, 20));
+    let wl = workload(&catalog, 7);
+
+    let mut server = FjServer::bind(
+        "127.0.0.1:0",
+        vec![
+            ShardSpec::new("alpha", Arc::clone(&model)),
+            ShardSpec::new("beta", Arc::clone(&model)),
+        ],
+        ServerConfig::new(2),
+    )
+    .expect("bind");
+    let mut client = FjClient::connect(server.local_addr()).expect("connect");
+
+    // Uneven traffic so the shards genuinely differ.
+    for _ in 0..3 {
+        assert!(matches!(
+            client.call("alpha", 1, &wl).expect("alpha batch"),
+            BatchOutcome::Served(_)
+        ));
+    }
+    assert!(matches!(
+        client.call("beta", 1, &wl[..2]).expect("beta batch"),
+        BatchOutcome::Served(_)
+    ));
+
+    let alpha = server.stats("alpha").expect("alpha shard");
+    let beta = server.stats("beta").expect("beta shard");
+    let merged = server.stats_merged();
+
+    assert_eq!(merged.requests, alpha.requests + beta.requests);
+    assert_eq!(merged.subplans, alpha.subplans + beta.subplans);
+    assert_eq!(merged.errors, alpha.errors + beta.errors);
+    assert_eq!(merged.rejected, alpha.rejected + beta.rejected);
+    assert_eq!(merged.shed, alpha.shed + beta.shed);
+    assert_eq!(merged.queue_depth, alpha.queue_depth + beta.queue_depth);
+    assert_eq!(
+        merged.queue_high_water,
+        alpha.queue_high_water.max(beta.queue_high_water)
+    );
+    for (pick, name) in [
+        (
+            (|s: &fj_service::StatsSnapshot| s.p50_latency) as fn(&_) -> _,
+            "p50",
+        ),
+        (|s: &fj_service::StatsSnapshot| s.p95_latency, "p95"),
+        (|s: &fj_service::StatsSnapshot| s.p99_latency, "p99"),
+    ] {
+        let (a, b, m) = (pick(&alpha), pick(&beta), pick(&merged));
+        assert!(
+            a.min(b) <= m && m <= a.max(b),
+            "{name}: merged {m:?} outside shard envelope [{:?}, {:?}]",
+            a.min(b),
+            a.max(b)
+        );
+    }
+
+    // Both shards show up in one exposition, each with its own queue gauge.
+    let text = server.metrics_text();
+    assert!(text.contains("fj_queue_depth{dataset=\"alpha\"}"));
+    assert!(text.contains("fj_queue_depth{dataset=\"beta\"}"));
+
+    // Metrics answer inline like health probes — including mid-drain, so
+    // an operator can watch a drain finish.
+    server.begin_drain();
+    let drained = client.metrics().expect("scrape while draining");
+    let expected = format!("fj_requests_total{{dataset=\"alpha\"}} {}", 3 * wl.len());
+    assert!(drained.contains(&expected), "{drained}");
+
+    server.shutdown();
+}

@@ -2,9 +2,9 @@
 //! loopback port, and talk to it through `FjClient` — multiplexed
 //! pipelined batches, a hot-swap detected by its epoch jump, admission
 //! control rejecting an oversized batch instead of hanging the
-//! connection, a health probe, and a graceful drain (see
-//! `ARCHITECTURE.md`, "Network serving tier" and "Failure model &
-//! resilience").
+//! connection, a health probe, a traced request scraped back out of the
+//! metrics plane, and a graceful drain (see `ARCHITECTURE.md`, "Network
+//! serving tier", "Observability", and "Failure model & resilience").
 //!
 //! ```sh
 //! cargo run --release --example network_service
@@ -154,6 +154,35 @@ fn main() {
 
     let snap = server.stats("stats").expect("stats shard");
     println!("shard stats: {snap}");
+
+    // Observability: send one traced request (the client mints the trace
+    // id), then scrape the whole server as Prometheus text over the same
+    // socket. The slow-query log rides along as `# slowlog` comment lines
+    // and pins our trace to its dominant stage.
+    let (traced, trace_id) = client
+        .send_traced("stats", 1, &queries[..1])
+        .expect("send traced");
+    match client.recv(traced).expect("recv traced") {
+        BatchOutcome::Served(_) => {}
+        BatchOutcome::Rejected { reason, message } => {
+            panic!("traced batch rejected ({reason}): {message}")
+        }
+    }
+    let text = client.metrics().expect("metrics scrape");
+    let requests_line = text
+        .lines()
+        .find(|l| l.starts_with("fj_requests_total"))
+        .expect("requests counter exposed");
+    println!(
+        "scraped {} bytes of exposition; {requests_line}",
+        text.len()
+    );
+    let needle = format!("trace_id={trace_id:#018x}");
+    let slow = text
+        .lines()
+        .find(|l| l.starts_with("# slowlog") && l.contains(&needle))
+        .expect("traced request in the slow-query log");
+    println!("slowlog pins the traced request: {slow}");
 
     // Graceful drain: stop accepting, finish in-flight, reject new batches
     // with ShuttingDown — but keep answering health probes so clients know
