@@ -43,6 +43,11 @@ pub const DEFAULT_THRESHOLD: f64 = 1.5;
 /// Hard floor on `retrain / apply_insert` for the ~10% insert batch.
 pub const MIN_UPDATE_SPEEDUP: f64 = 10.0;
 
+/// Hard floor on `cold_load_json / cold_load_binary` — the binary `.fjm`
+/// format must stay at least this much faster to cold-load than the JSON
+/// debug export at the pinned scale.
+pub const MIN_LOAD_SPEEDUP: f64 = 5.0;
+
 /// Hard floor on serial→parallel build speedup, enforced only on machines
 /// with at least [`SCALING_MIN_CORES`] cores.
 pub const MIN_PARALLEL_SCALING: f64 = 1.9;
@@ -91,6 +96,20 @@ pub struct TrainingSample {
     pub update_speedup: f64,
     /// Deployable model size in bytes after the update.
     pub model_bytes: usize,
+    /// On-disk size of the JSON debug export (0 in legacy histories).
+    pub json_bytes: usize,
+    /// On-disk size of the binary `.fjm` file (0 in legacy histories).
+    pub binary_bytes: usize,
+    /// Best cold `load_saved` wall time from the JSON export — file read,
+    /// parse, and validation of the persisted statistics; excludes the
+    /// estimator rebuild, which is format-independent (0 in legacy
+    /// histories).
+    pub cold_load_json_seconds: f64,
+    /// Best cold `load_saved` wall time from the binary `.fjm` file
+    /// (same stage as `cold_load_json_seconds`; 0 in legacy histories).
+    pub cold_load_binary_seconds: f64,
+    /// `cold_load_json / cold_load_binary` (0 in legacy histories).
+    pub load_speedup: f64,
 }
 
 /// Measures the pinned offline pipeline: cold builds (serial + parallel,
@@ -136,6 +155,51 @@ pub fn measure(label: &str, scale: f64, repeats: usize) -> TrainingSample {
         .iter()
         .all(|q| s1.estimate_subplans(q, 1) == s2.estimate_subplans(q, 1));
     drop((s1, s2));
+
+    // Cold-load measurement: persist the serial model in both formats and
+    // time the format stage of a cold load — `load_saved`, i.e. file read
+    // + parse/validate into the persisted statistics. The estimator
+    // rebuild from the catalog is deliberately outside the timer: it is
+    // byte-for-byte the same work on both paths (and a property of the
+    // estimator kind, not the format), so including it would only dilute
+    // the ratio the gate exists to protect. Full `load_model` fidelity is
+    // still checked below: both loaded models must reproduce the serial
+    // model's estimates bit for bit — folded into the hard-gated
+    // `bit_identical` fact, so a codec bug can never buy load speed.
+    let dir = std::env::temp_dir().join(format!("fj_bench_training_load_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir for load measurement");
+    let fjm_path = dir.join("model.fjm");
+    let json_path = dir.join("model.json");
+    factorjoin::save_model(&serial_model, &fjm_path).expect("save .fjm");
+    factorjoin::save_model_json(&serial_model, &json_path).expect("save JSON");
+    let binary_bytes = std::fs::metadata(&fjm_path).expect(".fjm size").len() as usize;
+    let json_bytes = std::fs::metadata(&json_path).expect("JSON size").len() as usize;
+    let time_load = |path: &Path| {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let saved = factorjoin::load_saved(path).expect("read persisted statistics");
+            best = best.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(&saved);
+        }
+        best
+    };
+    let cold_load_binary_seconds = time_load(&fjm_path);
+    let cold_load_json_seconds = time_load(&json_path);
+    let from_binary = factorjoin::load_model(&fjm_path, &catalog).expect("load .fjm");
+    let from_json = factorjoin::load_model(&json_path, &catalog).expect("load JSON");
+    std::fs::remove_dir_all(&dir).ok();
+    let loads_identical = {
+        let mut s0 = serial_model.subplan_estimator();
+        let mut sb = from_binary.subplan_estimator();
+        let mut sj = from_json.subplan_estimator();
+        probe.iter().all(|q| {
+            let expect = s0.estimate_subplans(q, 1);
+            expect == sb.estimate_subplans(q, 1) && expect == sj.estimate_subplans(q, 1)
+        })
+    };
+    drop((from_binary, from_json));
+    let bit_identical = bit_identical && loads_identical;
 
     // Stage the ~10% insert batch.
     let mut delta = ModelDelta::new();
@@ -193,6 +257,11 @@ pub fn measure(label: &str, scale: f64, repeats: usize) -> TrainingSample {
         retrain_seconds,
         update_speedup: retrain_seconds / apply_seconds.max(1e-12),
         model_bytes: updated.report().model_bytes,
+        json_bytes,
+        binary_bytes,
+        cold_load_json_seconds,
+        cold_load_binary_seconds,
+        load_speedup: cold_load_json_seconds / cold_load_binary_seconds.max(1e-12),
     }
 }
 
@@ -239,6 +308,17 @@ fn sample_to_json(s: &TrainingSample) -> Value {
         ),
         ("update_speedup".to_string(), Value::from(s.update_speedup)),
         ("model_bytes".to_string(), Value::from(s.model_bytes)),
+        ("json_bytes".to_string(), Value::from(s.json_bytes)),
+        ("binary_bytes".to_string(), Value::from(s.binary_bytes)),
+        (
+            "cold_load_json_seconds".to_string(),
+            Value::from(s.cold_load_json_seconds),
+        ),
+        (
+            "cold_load_binary_seconds".to_string(),
+            Value::from(s.cold_load_binary_seconds),
+        ),
+        ("load_speedup".to_string(), Value::from(s.load_speedup)),
     ])
 }
 
@@ -265,6 +345,14 @@ fn sample_from_json(v: &Value) -> std::io::Result<TrainingSample> {
         retrain_seconds: f("retrain_seconds")?,
         update_speedup: f("update_speedup")?,
         model_bytes: f("model_bytes")? as usize,
+        // Cold-load fields postdate the first recorded histories; legacy
+        // samples parse with zeros (and the comparison logic treats a
+        // zeroed baseline as "not recorded", see `compare_samples`).
+        json_bytes: v["json_bytes"].as_f64().unwrap_or(0.0) as usize,
+        binary_bytes: v["binary_bytes"].as_f64().unwrap_or(0.0) as usize,
+        cold_load_json_seconds: v["cold_load_json_seconds"].as_f64().unwrap_or(0.0),
+        cold_load_binary_seconds: v["cold_load_binary_seconds"].as_f64().unwrap_or(0.0),
+        load_speedup: v["load_speedup"].as_f64().unwrap_or(0.0),
     })
 }
 
@@ -341,12 +429,14 @@ pub struct CheckReport {
 /// The pure gate logic (factored out of the I/O so tests can prove an
 /// injected regression fails the check, like `quality::compare_samples`):
 ///
-/// * calibration-normalized timing ratios for the parallel cold build and
-///   both update paths, gated at `threshold`;
+/// * calibration-normalized timing ratios for the parallel cold build,
+///   both update paths, and — when the baseline recorded it — the binary
+///   cold load, gated at `threshold`;
 /// * model size gated at `threshold`;
-/// * hard facts of the **fresh** sample: the parallel build must be
-///   bit-identical, `update_speedup` must clear
-///   [`MIN_UPDATE_SPEEDUP`], and — on machines with at least
+/// * hard facts of the **fresh** sample: the parallel build AND both
+///   persisted-model loads must be bit-identical, `update_speedup` must
+///   clear [`MIN_UPDATE_SPEEDUP`], `load_speedup` must clear
+///   [`MIN_LOAD_SPEEDUP`], and — on machines with at least
 ///   [`SCALING_MIN_CORES`] cores — `parallel_speedup` must clear
 ///   [`MIN_PARALLEL_SCALING`].
 pub fn compare_samples(
@@ -387,6 +477,20 @@ pub fn compare_samples(
             ok: ratio <= threshold,
         });
     }
+    // The binary cold-load timing compares against the baseline only once
+    // a baseline has recorded it (legacy histories parse it as 0).
+    if baseline.cold_load_binary_seconds > 0.0 {
+        let b = norm(baseline, baseline.cold_load_binary_seconds);
+        let f = norm(fresh, fresh.cold_load_binary_seconds);
+        let ratio = f / b.max(1e-12);
+        deltas.push(TrainingDelta {
+            metric: "cold_load_binary_seconds",
+            baseline: b,
+            fresh: f,
+            ratio,
+            ok: ratio <= threshold,
+        });
+    }
     deltas.push(TrainingDelta {
         metric: "bit_identical",
         baseline: 1.0,
@@ -400,6 +504,13 @@ pub fn compare_samples(
         fresh: fresh.update_speedup,
         ratio: fresh.update_speedup / MIN_UPDATE_SPEEDUP,
         ok: fresh.update_speedup >= MIN_UPDATE_SPEEDUP,
+    });
+    deltas.push(TrainingDelta {
+        metric: "load_speedup",
+        baseline: MIN_LOAD_SPEEDUP,
+        fresh: fresh.load_speedup,
+        ratio: fresh.load_speedup / MIN_LOAD_SPEEDUP,
+        ok: fresh.load_speedup >= MIN_LOAD_SPEEDUP,
     });
     // The scaling floor arms only when BOTH sides saw ≥4 cores: the fresh
     // machine so the ratio is physically expressible, and the baseline so
@@ -441,7 +552,8 @@ pub fn format_sample(s: &TrainingSample) -> String {
     format!(
         "{}: scale {} ({} rows + {} inserted), k={}, {} cores\n  cold build: {:.1}ms serial, \
          {:.1}ms parallel ({} threads, {:.2}×, bit-identical: {})\n  update: apply {:.2}ms, \
-         clone+swap {:.2}ms, retrain {:.1}ms → {:.1}× faster than retrain\n  model {}",
+         clone+swap {:.2}ms, retrain {:.1}ms → {:.1}× faster than retrain\n  model {}\n  \
+         cold load: binary {:.2}ms ({}), JSON {:.2}ms ({}) → {:.1}× faster",
         s.label,
         s.scale,
         s.base_rows,
@@ -458,6 +570,11 @@ pub fn format_sample(s: &TrainingSample) -> String {
         s.retrain_seconds * 1e3,
         s.update_speedup,
         crate::report::fmt_bytes(s.model_bytes),
+        s.cold_load_binary_seconds * 1e3,
+        crate::report::fmt_bytes(s.binary_bytes),
+        s.cold_load_json_seconds * 1e3,
+        crate::report::fmt_bytes(s.json_bytes),
+        s.load_speedup,
     )
 }
 
@@ -504,6 +621,11 @@ mod tests {
             retrain_seconds: 0.110,
             update_speedup: 13.75,
             model_bytes: 5_000_000,
+            json_bytes: 17_000_000,
+            binary_bytes: 8_000_000,
+            cold_load_json_seconds: 0.400,
+            cold_load_binary_seconds: 0.040,
+            load_speedup: 10.0,
         }
     }
 
@@ -512,8 +634,8 @@ mod tests {
         let s = sample();
         let r = compare_samples(&s, &s.clone(), DEFAULT_THRESHOLD);
         assert!(r.ok, "{}", format_deltas(&r));
-        // Timing + size + 2 hard gates + scaling gate (8 cores ≥ 4).
-        assert_eq!(r.deltas.len(), 7);
+        // 5 timing/size gates + 3 hard gates + scaling gate (8 cores ≥ 4).
+        assert_eq!(r.deltas.len(), 9);
     }
 
     #[test]
@@ -546,6 +668,68 @@ mod tests {
             .deltas
             .iter()
             .any(|d| !d.ok && d.metric == "update_speedup"));
+    }
+
+    #[test]
+    fn injected_load_regression_fails() {
+        let base = sample();
+        // Binary load 3× slower: fails the normalized timing gate, and —
+        // with JSON load unchanged — the hard load-speedup floor once the
+        // ratio drops under MIN_LOAD_SPEEDUP.
+        let mut fresh = sample();
+        fresh.cold_load_binary_seconds *= 3.0;
+        fresh.load_speedup = fresh.cold_load_json_seconds / fresh.cold_load_binary_seconds;
+        assert!(fresh.load_speedup < MIN_LOAD_SPEEDUP);
+        let r = compare_samples(&base, &fresh, DEFAULT_THRESHOLD);
+        assert!(!r.ok);
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| !d.ok && d.metric == "cold_load_binary_seconds"));
+        assert!(r.deltas.iter().any(|d| !d.ok && d.metric == "load_speedup"));
+    }
+
+    #[test]
+    fn legacy_history_without_load_fields_parses_and_gates_fresh_only() {
+        // A baseline recorded before the binary format existed: strip the
+        // cold-load keys from the serialized sample.
+        let full = sample_to_json(&sample());
+        let new_keys = [
+            "json_bytes",
+            "binary_bytes",
+            "cold_load_json_seconds",
+            "cold_load_binary_seconds",
+            "load_speedup",
+        ];
+        let legacy_json = Value::object(
+            full.as_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| !new_keys.contains(&k.as_str()))
+                .map(|(k, v)| (k.clone(), v.clone())),
+        );
+        let legacy = sample_from_json(&legacy_json).unwrap();
+        assert_eq!(legacy.binary_bytes, 0);
+        assert_eq!(legacy.cold_load_binary_seconds, 0.0);
+        assert_eq!(legacy.load_speedup, 0.0);
+
+        // Against a legacy baseline there is no binary-load timing gate,
+        // but the fresh sample's load-speedup floor still applies…
+        let fresh = sample();
+        let r = compare_samples(&legacy, &fresh, DEFAULT_THRESHOLD);
+        assert!(r.ok, "{}", format_deltas(&r));
+        assert!(!r
+            .deltas
+            .iter()
+            .any(|d| d.metric == "cold_load_binary_seconds"));
+        assert!(r.deltas.iter().any(|d| d.metric == "load_speedup"));
+
+        // …so a fresh measurement that loses the 5× floor fails even with
+        // a legacy baseline.
+        let mut slow = sample();
+        slow.cold_load_binary_seconds = slow.cold_load_json_seconds / 2.0;
+        slow.load_speedup = 2.0;
+        assert!(!compare_samples(&legacy, &slow, DEFAULT_THRESHOLD).ok);
     }
 
     #[test]
@@ -594,6 +778,8 @@ mod tests {
         fresh.apply_seconds /= 4.0;
         fresh.swap_seconds /= 4.0;
         fresh.retrain_seconds /= 4.0;
+        fresh.cold_load_json_seconds /= 4.0;
+        fresh.cold_load_binary_seconds /= 4.0;
         assert!(compare_samples(&base, &fresh, DEFAULT_THRESHOLD).ok);
     }
 
@@ -607,6 +793,10 @@ mod tests {
         assert!((back.update_speedup - s.update_speedup).abs() < 1e-12);
         assert!((back.parallel_build_seconds - s.parallel_build_seconds).abs() < 1e-12);
         assert_eq!(back.model_bytes, 5_000_000);
+        assert_eq!(back.json_bytes, 17_000_000);
+        assert_eq!(back.binary_bytes, 8_000_000);
+        assert!((back.cold_load_binary_seconds - 0.040).abs() < 1e-12);
+        assert!((back.load_speedup - 10.0).abs() < 1e-12);
     }
 
     #[test]
@@ -619,9 +809,15 @@ mod tests {
         // update-speedup floor needs the pinned scale, so relax the hard
         // gates here by checking only the recorded structure.
         let s = measure("seed", 0.5, 2);
-        assert!(s.bit_identical, "parallel build must be bit-identical");
+        assert!(
+            s.bit_identical,
+            "parallel build and persisted loads must be bit-identical"
+        );
         assert!(s.base_rows > 0 && s.insert_rows > 0);
         assert!(s.serial_build_seconds > 0.0 && s.apply_seconds > 0.0);
+        assert!(s.json_bytes > 0 && s.binary_bytes > 0);
+        assert!(s.cold_load_json_seconds > 0.0 && s.cold_load_binary_seconds > 0.0);
+        assert!(s.load_speedup > 0.0);
         append_sample(&path, &s).unwrap();
         let history = read_history(&path).unwrap();
         assert_eq!(history.len(), 1);

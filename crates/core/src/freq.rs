@@ -147,6 +147,43 @@ impl KeyFreq {
         self.keys.len() * 8 + self.counts.len() * 8
     }
 
+    /// The raw open-addressing slabs as `(keys, counts, len)` — written
+    /// verbatim by the binary persistence format so load is a bulk copy.
+    pub fn raw_parts(&self) -> (&[i64], &[u64], usize) {
+        (&self.keys, &self.counts, self.len)
+    }
+
+    /// Rebuilds a map from raw slabs (inverse of [`Self::raw_parts`]),
+    /// validating the invariants the probing code relies on — same
+    /// discipline as `fj_stats::KeyBinMap::from_raw_parts`: equal-length
+    /// power-of-two slabs, `len` matching the occupied (non-zero-count)
+    /// slots, and occupancy within the `7/8` growth bound so probe loops
+    /// terminate. Slot placement is trusted (the writer used the identical
+    /// hash); integrity against corruption is the caller's CRC.
+    pub fn from_raw_parts(keys: Vec<i64>, counts: Vec<u64>, len: usize) -> Result<Self, String> {
+        if keys.len() != counts.len() {
+            return Err(format!(
+                "slab length mismatch: {} keys vs {} counts",
+                keys.len(),
+                counts.len()
+            ));
+        }
+        let cap = keys.len();
+        if cap != 0 && !cap.is_power_of_two() {
+            return Err(format!("slab capacity {cap} is not a power of two"));
+        }
+        let occupied = counts.iter().filter(|&&c| c > 0).count();
+        if occupied != len {
+            return Err(format!("{occupied} occupied slots but len says {len}"));
+        }
+        if cap != 0 && len * 8 > cap * 7 {
+            return Err(format!(
+                "over-full table: {len} entries in {cap} slots breaks probe termination"
+            ));
+        }
+        Ok(KeyFreq { keys, counts, len })
+    }
+
     fn grow_to(&mut self, cap: usize) {
         debug_assert!(cap.is_power_of_two());
         let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
@@ -277,6 +314,29 @@ mod tests {
         assert_eq!(f.get(i64::MAX), 1);
         assert_eq!(f.get(i64::MIN), 2);
         assert_eq!(f.get(0), 3);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_is_slab_identical() {
+        let mut f = KeyFreq::new();
+        for v in 0..2000i64 {
+            f.add((v * 7919) % 997, 1 + (v % 13) as u64);
+        }
+        let (keys, counts, len) = f.raw_parts();
+        let back = KeyFreq::from_raw_parts(keys.to_vec(), counts.to_vec(), len).unwrap();
+        assert_eq!(back, f);
+        let (k2, c2, l2) = back.raw_parts();
+        assert_eq!((k2, c2, l2), (keys, counts, len), "slabs copied verbatim");
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_invalid_slabs() {
+        assert!(KeyFreq::from_raw_parts(vec![0; 8], vec![0; 4], 0).is_err());
+        assert!(KeyFreq::from_raw_parts(vec![0; 6], vec![0; 6], 0).is_err());
+        assert!(KeyFreq::from_raw_parts(vec![0; 8], vec![0; 8], 2).is_err());
+        assert!(KeyFreq::from_raw_parts(vec![0; 8], vec![1; 8], 8).is_err());
+        let empty = KeyFreq::from_raw_parts(vec![], vec![], 0).unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

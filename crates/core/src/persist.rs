@@ -1,12 +1,33 @@
-//! Model persistence.
+//! Model persistence: the binary `.fjm` format plus a JSON debug export.
 //!
 //! FactorJoin's deployable statistics — the per-group bin maps and the
-//! per-key bin statistics — serialize to JSON. Single-table estimators are
-//! *rebuilt* from the catalog on load: they train in well under a second at
-//! paper scale (Figure 6), so shipping them would only complicate the
-//! format. The saved file pins the binning, which is the part whose
-//! reproducibility matters (bin selection is the expensive, data-dependent
-//! step, and incremental updates must keep bins fixed, §4.3).
+//! per-key bin statistics — persist in **two formats behind one API**:
+//!
+//! * **Binary `.fjm`** ([`binary`]) — the production format: versioned,
+//!   checksummed, little-endian sections whose layout mirrors the
+//!   in-memory flat slabs, so load is validate + bulk copy rather than
+//!   parse. This is what [`save_model`] writes by default.
+//! * **JSON** ([`save_model_json`]) — the debug export: human-readable,
+//!   diff-able, hand-editable for fixtures. ~an order of magnitude larger
+//!   and slower to load (`bench-training` records both cold-load times
+//!   and CI gates the ratio).
+//!
+//! The format choice is explicit on save ([`save_model`] dispatches on the
+//! path extension: `.json` → JSON, anything else → binary) and **sniffed
+//! on load**: [`load_model`] reads the first bytes and accepts either
+//! format regardless of extension — `.fjm` files start with the
+//! [`binary::MAGIC`] signature, which no JSON document can (JSON starts
+//! with `{` or whitespace), so the dispatch is unambiguous.
+//!
+//! In both formats, single-table estimators are *rebuilt* from the catalog
+//! on load: they train in well under a second at paper scale (Figure 6),
+//! so shipping them would only complicate the formats. The saved file pins
+//! the binning, which is the part whose reproducibility matters (bin
+//! selection is the expensive, data-dependent step, and incremental
+//! updates must keep bins fixed, §4.3). All writes are crash-safe via
+//! [`write_atomic`]-style staging (same-dir temp + fsync + rename).
+
+pub mod binary;
 
 use crate::binning::{BinningStrategy, KeyFreq};
 use crate::keystats::KeyStats;
@@ -15,10 +36,12 @@ use fj_stats::{BnConfig, KeyBinMap};
 use fj_storage::{Catalog, KeyRef};
 use serde_json::Value;
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
-/// On-disk representation of a trained model's statistics.
+/// On-disk representation of a trained model's statistics — the common
+/// intermediate both the binary `.fjm` codec and the JSON export encode
+/// from and decode to, so the two formats cannot drift apart semantically.
 ///
 /// The JSON mapping is hand-rolled against [`serde_json::Value`] (the
 /// vendored serde derives are no-ops, see `vendor/README.md`): integers
@@ -241,6 +264,95 @@ fn key_to_string(k: &KeyRef) -> String {
     format!("{}.{}", k.table, k.column)
 }
 
+impl SavedModel {
+    /// Snapshots a trained model's persistable statistics (bins, group
+    /// assignments, per-key stats, config fingerprint) via its public
+    /// accessors. Both the binary and JSON savers start here.
+    pub fn from_model(model: &FactorJoinModel) -> SavedModel {
+        let cfg = model.config();
+        let estimator = match cfg.estimator {
+            BaseEstimatorKind::BayesNet(_) => "bayesnet".to_string(),
+            BaseEstimatorKind::Sampling { rate } => format!("sampling:{rate}"),
+            BaseEstimatorKind::TrueScan => "truescan".to_string(),
+        };
+        let strategy = match cfg.strategy {
+            BinningStrategy::Gbsa => "gbsa",
+            BinningStrategy::EqualWidth => "equal-width",
+            BinningStrategy::EqualDepth => "equal-depth",
+        };
+        let mut group_of = HashMap::new();
+        let mut key_stats = HashMap::new();
+        let mut max_gid = 0usize;
+        for (kr, stats) in model.iter_key_stats() {
+            let gid = model
+                .group_of(kr)
+                .expect("stats exist only for grouped keys");
+            max_gid = max_gid.max(gid);
+            group_of.insert(key_to_string(kr), gid);
+            key_stats.insert(key_to_string(kr), stats.clone());
+        }
+        let group_bins: Vec<KeyBinMap> =
+            (0..=max_gid).map(|g| model.group_bins(g).clone()).collect();
+        SavedModel {
+            version: 1,
+            strategy: strategy.to_string(),
+            estimator,
+            seed: cfg.seed,
+            group_bins,
+            group_of,
+            key_stats,
+        }
+    }
+
+    /// Reconstructs a servable model from saved statistics, rebuilding
+    /// single-table estimators from `catalog`. Both load paths end here.
+    pub fn into_model(self, catalog: &Catalog) -> std::io::Result<FactorJoinModel> {
+        let estimator = if self.estimator == "bayesnet" {
+            BaseEstimatorKind::BayesNet(BnConfig::default())
+        } else if self.estimator == "truescan" {
+            BaseEstimatorKind::TrueScan
+        } else if let Some(rate) = self.estimator.strip_prefix("sampling:") {
+            BaseEstimatorKind::Sampling {
+                rate: rate.parse().unwrap_or(0.01),
+            }
+        } else {
+            return Err(err(format!("unknown estimator {:?}", self.estimator)));
+        };
+        let strategy = match self.strategy.as_str() {
+            "gbsa" => BinningStrategy::Gbsa,
+            "equal-width" => BinningStrategy::EqualWidth,
+            "equal-depth" => BinningStrategy::EqualDepth,
+            other => return Err(err(format!("unknown strategy {other:?}"))),
+        };
+        let config = FactorJoinConfig {
+            bin_budget: crate::binning::BinBudget::Uniform(
+                self.group_bins.first().map(KeyBinMap::k).unwrap_or(1),
+            ),
+            strategy,
+            estimator,
+            seed: self.seed,
+            threads: 0,
+        };
+        let mut group_of = HashMap::new();
+        let mut key_stats = HashMap::new();
+        for (key, gid) in &self.group_of {
+            let (table, column) = key.split_once('.').ok_or_else(|| err("bad key"))?;
+            let kr = KeyRef::new(table, column);
+            group_of.insert(kr.clone(), *gid);
+            if let Some(s) = self.key_stats.get(key) {
+                key_stats.insert(kr, s.clone());
+            }
+        }
+        Ok(FactorJoinModel::from_parts(
+            config,
+            group_of,
+            self.group_bins,
+            key_stats,
+            catalog,
+        ))
+    }
+}
+
 /// Writes `bytes`' producer output to `path` atomically: serialize into a
 /// same-directory temp file, flush + `fsync`, then `rename` over the
 /// target. A crash at any point leaves either the old file or the new one,
@@ -292,118 +404,71 @@ fn write_atomic(
     Ok(())
 }
 
-/// Serializes the model's statistics to `path` as JSON.
+/// Serializes the model's statistics to `path`, picking the format from
+/// the extension: `.json` → the JSON debug export, anything else (the
+/// `.fjm` convention included) → the binary format.
 ///
-/// The write is crash-safe: the JSON is staged in a same-directory temp
-/// file, fsynced, and renamed over `path`, so a kill or power loss
-/// mid-save leaves the previous model file intact (`write_atomic` below).
+/// Either way the write is crash-safe: bytes are staged in a
+/// same-directory temp file, fsynced, and renamed over `path`, so a kill
+/// or power loss mid-save leaves the previous model file intact
+/// (`write_atomic` below).
 pub fn save_model(model: &FactorJoinModel, path: &Path) -> std::io::Result<()> {
-    let cfg = model.config();
-    let estimator = match cfg.estimator {
-        BaseEstimatorKind::BayesNet(_) => "bayesnet".to_string(),
-        BaseEstimatorKind::Sampling { rate } => format!("sampling:{rate}"),
-        BaseEstimatorKind::TrueScan => "truescan".to_string(),
-    };
-    let strategy = match cfg.strategy {
-        BinningStrategy::Gbsa => "gbsa",
-        BinningStrategy::EqualWidth => "equal-width",
-        BinningStrategy::EqualDepth => "equal-depth",
-    };
-    // Walk the model's public accessors to collect the stats.
-    let mut group_of = HashMap::new();
-    let mut key_stats = HashMap::new();
-    let mut max_gid = 0usize;
-    for (kr, stats) in model.iter_key_stats() {
-        let gid = model
-            .group_of(kr)
-            .expect("stats exist only for grouped keys");
-        max_gid = max_gid.max(gid);
-        group_of.insert(key_to_string(kr), gid);
-        key_stats.insert(key_to_string(kr), stats.clone());
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("json") => save_model_json(model, path),
+        _ => binary::save_model_binary(model, path),
     }
-    let group_bins: Vec<KeyBinMap> = (0..=max_gid).map(|g| model.group_bins(g).clone()).collect();
-    let saved = SavedModel {
-        version: 1,
-        strategy: strategy.to_string(),
-        estimator,
-        seed: cfg.seed,
-        group_bins,
-        group_of,
-        key_stats,
-    };
+}
+
+/// Serializes the model's statistics to `path` as JSON, regardless of
+/// extension — the human-readable debug export (crash-safe like
+/// [`save_model`]).
+pub fn save_model_json(model: &FactorJoinModel, path: &Path) -> std::io::Result<()> {
+    let saved = SavedModel::from_model(model);
     write_atomic(path, |w| serde_json::to_writer(w, &saved_to_json(&saved)))
 }
 
 /// Loads a saved model, rebuilding single-table estimators from `catalog`.
 ///
+/// Accepts **both formats** regardless of extension by sniffing the first
+/// bytes: a file starting with [`binary::MAGIC`] decodes as `.fjm`
+/// binary; anything else is parsed as the JSON export (valid JSON can
+/// never start with the magic — its first byte has the high bit set).
+///
 /// The catalog must have the same schema as at save time; data may have
 /// changed (estimators retrain on the current data while the saved bins
 /// and key statistics are restored verbatim).
 pub fn load_model(path: &Path, catalog: &Catalog) -> std::io::Result<FactorJoinModel> {
-    let file = std::fs::File::open(path)?;
-    // A truncated file (torn non-atomic write, interrupted copy) fails JSON
-    // parsing; surface it with the path so the operator knows which file to
-    // restore rather than getting a bare "unexpected end of input".
-    let value = serde_json::from_reader(BufReader::new(file)).map_err(|e| {
-        err(format!(
-            "model file {} is truncated or corrupt: {e}",
-            path.display()
-        ))
-    })?;
-    let saved = saved_from_json(&value)?;
-    let estimator = if saved.estimator == "bayesnet" {
-        BaseEstimatorKind::BayesNet(BnConfig::default())
-    } else if saved.estimator == "truescan" {
-        BaseEstimatorKind::TrueScan
-    } else if let Some(rate) = saved.estimator.strip_prefix("sampling:") {
-        BaseEstimatorKind::Sampling {
-            rate: rate.parse().unwrap_or(0.01),
-        }
+    load_saved(path)?.into_model(catalog)
+}
+
+/// Reads and fully validates a model file's persisted statistics without
+/// rebuilding estimators — the format-sniffing read stage of
+/// [`load_model`], exposed so tooling (and `bench-training`) can measure
+/// or inspect the persistence formats in isolation.
+pub fn load_saved(path: &Path) -> std::io::Result<SavedModel> {
+    let bytes = std::fs::read(path)?;
+    if bytes.starts_with(&binary::MAGIC) {
+        // Typed rejection taxonomy lives in `binary::PersistError`; name
+        // the file here so the operator knows which one to restore.
+        binary::decode(&bytes).map_err(|e| err(format!("model file {}: {e}", path.display())))
     } else {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("unknown estimator {:?}", saved.estimator),
-        ));
-    };
-    let strategy = match saved.strategy.as_str() {
-        "gbsa" => BinningStrategy::Gbsa,
-        "equal-width" => BinningStrategy::EqualWidth,
-        "equal-depth" => BinningStrategy::EqualDepth,
-        other => {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unknown strategy {other:?}"),
+        // A truncated file (torn non-atomic write, interrupted copy) fails
+        // JSON parsing; surface it with the path so the operator sees which
+        // file to restore rather than a bare "unexpected end of input".
+        let text = std::str::from_utf8(&bytes).map_err(|_| {
+            err(format!(
+                "model file {} is truncated or corrupt: not UTF-8 and not .fjm binary",
+                path.display()
             ))
-        }
-    };
-    let config = FactorJoinConfig {
-        bin_budget: crate::binning::BinBudget::Uniform(
-            saved.group_bins.first().map(KeyBinMap::k).unwrap_or(1),
-        ),
-        strategy,
-        estimator,
-        seed: saved.seed,
-        threads: 0,
-    };
-    let mut group_of = HashMap::new();
-    let mut key_stats = HashMap::new();
-    for (key, gid) in &saved.group_of {
-        let (table, column) = key
-            .split_once('.')
-            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad key"))?;
-        let kr = KeyRef::new(table, column);
-        group_of.insert(kr.clone(), *gid);
-        if let Some(s) = saved.key_stats.get(key) {
-            key_stats.insert(kr, s.clone());
-        }
+        })?;
+        let value = serde_json::from_str(text).map_err(|e| {
+            err(format!(
+                "model file {} is truncated or corrupt: {e}",
+                path.display()
+            ))
+        })?;
+        saved_from_json(&value)
     }
-    Ok(FactorJoinModel::from_parts(
-        config,
-        group_of,
-        saved.group_bins,
-        key_stats,
-        catalog,
-    ))
 }
 
 #[cfg(test)]
@@ -547,5 +612,123 @@ mod tests {
         assert_eq!(v["version"], 1);
         assert_eq!(v["estimator"], "sampling:0.5");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_dispatches_on_extension_and_load_sniffs_magic() {
+        let cat = stats_catalog(&StatsConfig {
+            scale: 0.02,
+            ..Default::default()
+        });
+        let model = FactorJoinModel::train(
+            &cat,
+            FactorJoinConfig {
+                bin_budget: BinBudget::Uniform(8),
+                estimator: BaseEstimatorKind::TrueScan,
+                ..Default::default()
+            },
+        );
+        let q = parse_query(
+            &cat,
+            "SELECT COUNT(*) FROM posts p, comments c WHERE p.id = c.post_id;",
+        )
+        .unwrap();
+        let before = model.estimate(&q);
+
+        let dir = std::env::temp_dir().join("fj_persist_dispatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("model.json");
+        let fjm_path = dir.join("model.fjm");
+        save_model(&model, &json_path).unwrap();
+        save_model(&model, &fjm_path).unwrap();
+
+        // Extension dispatch: .json produced a JSON document, .fjm the
+        // binary signature.
+        let json_bytes = std::fs::read(&json_path).unwrap();
+        let fjm_bytes = std::fs::read(&fjm_path).unwrap();
+        assert_eq!(json_bytes[0], b'{');
+        assert!(fjm_bytes.starts_with(&binary::MAGIC));
+
+        // Magic sniffing: both load through the same entry point, and to
+        // prove sniffing beats extension, load the binary bytes from a
+        // mislabeled .json path.
+        let mislabeled = dir.join("mislabeled.json");
+        std::fs::write(&mislabeled, &fjm_bytes).unwrap();
+        for p in [&json_path, &fjm_path, &mislabeled] {
+            let loaded = load_model(p, &cat).unwrap();
+            let got = loaded.estimate(&q);
+            assert_eq!(
+                before.to_bits(),
+                got.to_bits(),
+                "estimates diverged via {}",
+                p.display()
+            );
+        }
+
+        // save -> load -> save is byte-identical for the binary format.
+        let reloaded = load_model(&fjm_path, &cat).unwrap();
+        let second = dir.join("model2.fjm");
+        save_model(&reloaded, &second).unwrap();
+        assert_eq!(
+            fjm_bytes,
+            std::fs::read(&second).unwrap(),
+            "binary save->load->save must be byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_fjm_writes_are_rejected_with_clear_errors() {
+        let cat = stats_catalog(&StatsConfig {
+            scale: 0.02,
+            ..Default::default()
+        });
+        let model = FactorJoinModel::train(
+            &cat,
+            FactorJoinConfig {
+                bin_budget: BinBudget::Uniform(6),
+                estimator: BaseEstimatorKind::TrueScan,
+                ..Default::default()
+            },
+        );
+        let dir = std::env::temp_dir().join("fj_persist_torn_fjm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.fjm");
+        save_model(&model, &path).unwrap();
+
+        // `.fjm` saves go through the same `write_atomic` staging as JSON:
+        // a successful save leaves no temp debris behind.
+        let strays: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(strays.is_empty(), "temp files left after save: {strays:?}");
+
+        // Truncate at the header, mid-table, every section boundary, and
+        // mid-section: every torn prefix must fail loudly with an
+        // InvalidData error naming the file — never load a wrong model.
+        let good = std::fs::read(&path).unwrap();
+        let mut cuts = vec![0, 7, 12, 30, good.len() - 1];
+        for i in 0..4 {
+            let e = 24 + i * 32;
+            let off = u64::from_le_bytes(good[e + 8..e + 16].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(good[e + 16..e + 24].try_into().unwrap()) as usize;
+            cuts.extend([off, off + len / 2]);
+        }
+        let torn_path = dir.join("torn.fjm");
+        for cut in cuts {
+            std::fs::write(&torn_path, &good[..cut]).unwrap();
+            let e = match load_model(&torn_path, &cat) {
+                Ok(_) => panic!("torn prefix of {cut} bytes must not load"),
+                Err(e) => e,
+            };
+            assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "cut at {cut}");
+            assert!(
+                e.to_string().contains("torn.fjm"),
+                "error must name the file: {e}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

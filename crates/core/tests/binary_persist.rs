@@ -1,0 +1,192 @@
+//! Differential persistence battery: for each persistable estimator
+//! backend, at two scales, on both synthetic workloads, the binary `.fjm`
+//! path must be **bit-identical** — the loaded model's estimates equal the
+//! in-memory model's and the JSON path's by exact `f64::to_bits`
+//! comparison (no tolerance), and save→load→save reproduces the same
+//! bytes.
+//!
+//! Backends covered: `TrueScan`, `BayesNet`, `Sampling` — the three
+//! `BaseEstimatorKind`s a `FactorJoinModel` can persist. `PostgresLike`
+//! is not here because it is a *baseline* estimator (`fj-baselines`), not
+//! a FactorJoin backend, and has no persistence path to differentiate.
+//!
+//! Bit-identity is a meaningful contract here because persistence stores
+//! bins + key statistics verbatim (raw slab copies in the binary format,
+//! exact `f64` bits in both formats) and deterministically rebuilds
+//! single-table estimators from the catalog — so *any* bit of drift means
+//! a codec bug, not noise.
+
+use factorjoin::{
+    load_model, save_model, save_model_json, BaseEstimatorKind, BinBudget, BinningStrategy,
+    FactorJoinConfig, FactorJoinModel,
+};
+use fj_datagen::{
+    imdb_catalog, imdb_job_workload, stats_catalog, stats_ceb_workload, ImdbConfig, StatsConfig,
+    WorkloadConfig,
+};
+use fj_query::Query;
+use fj_stats::BnConfig;
+use fj_storage::Catalog;
+
+fn config(estimator: BaseEstimatorKind, bins: usize) -> FactorJoinConfig {
+    FactorJoinConfig {
+        bin_budget: BinBudget::Uniform(bins),
+        strategy: BinningStrategy::Gbsa,
+        estimator,
+        seed: 7,
+        threads: 1,
+    }
+}
+
+/// Trains a model, persists it through both formats, and proves the three
+/// estimate streams (in-memory, binary-loaded, JSON-loaded) bit-identical
+/// over `queries` — plus binary save→load→save byte-identity.
+fn assert_roundtrip_bit_identical(
+    cat: &Catalog,
+    queries: &[Query],
+    cfg: FactorJoinConfig,
+    label: &str,
+) {
+    let model = FactorJoinModel::train(cat, cfg);
+    let dir = std::env::temp_dir().join(format!("fj_binary_persist_{label}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fjm = dir.join("model.fjm");
+    let json = dir.join("model.json");
+    save_model(&model, &fjm).unwrap();
+    save_model_json(&model, &json).unwrap();
+
+    let from_binary = load_model(&fjm, cat).unwrap();
+    let from_json = load_model(&json, cat).unwrap();
+
+    // Full-query estimates and every sub-plan of the join lattice: all
+    // three models must agree to the last bit.
+    let mut s0 = model.subplan_estimator();
+    let mut s1 = from_binary.subplan_estimator();
+    let mut s2 = from_json.subplan_estimator();
+    for (i, q) in queries.iter().enumerate() {
+        let e0 = model.estimate(q);
+        let e1 = from_binary.estimate(q);
+        let e2 = from_json.estimate(q);
+        assert_eq!(
+            e0.to_bits(),
+            e1.to_bits(),
+            "{label} q{i}: binary-loaded estimate diverged ({e0} vs {e1})"
+        );
+        assert_eq!(
+            e0.to_bits(),
+            e2.to_bits(),
+            "{label} q{i}: JSON-loaded estimate diverged ({e0} vs {e2})"
+        );
+        let p0 = s0.estimate_subplans(q, 1);
+        assert_eq!(p0, s1.estimate_subplans(q, 1), "{label} q{i}: sub-plans");
+        assert_eq!(p0, s2.estimate_subplans(q, 1), "{label} q{i}: sub-plans");
+    }
+
+    // The binary format is canonical: re-saving the loaded model must
+    // reproduce the original file byte for byte.
+    let again = dir.join("model2.fjm");
+    save_model(&from_binary, &again).unwrap();
+    assert_eq!(
+        std::fs::read(&fjm).unwrap(),
+        std::fs::read(&again).unwrap(),
+        "{label}: binary save->load->save is not byte-identical"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn stats_cat(scale: f64) -> Catalog {
+    stats_catalog(&StatsConfig {
+        scale,
+        ..Default::default()
+    })
+}
+
+fn imdb_cat(scale: f64) -> Catalog {
+    imdb_catalog(&ImdbConfig {
+        scale,
+        ..Default::default()
+    })
+}
+
+const SCALES: [f64; 2] = [0.02, 0.06];
+
+#[test]
+fn truescan_roundtrips_bit_identical_on_stats_ceb() {
+    for scale in SCALES {
+        let cat = stats_cat(scale);
+        let wl = stats_ceb_workload(&cat, &WorkloadConfig::tiny(11));
+        assert_roundtrip_bit_identical(
+            &cat,
+            &wl,
+            config(BaseEstimatorKind::TrueScan, 20),
+            &format!("truescan_stats_{scale}"),
+        );
+    }
+}
+
+#[test]
+fn bayesnet_roundtrips_bit_identical_on_stats_ceb() {
+    for scale in SCALES {
+        let cat = stats_cat(scale);
+        let wl = stats_ceb_workload(&cat, &WorkloadConfig::tiny(12));
+        assert_roundtrip_bit_identical(
+            &cat,
+            &wl,
+            config(BaseEstimatorKind::BayesNet(BnConfig::default()), 15),
+            &format!("bayesnet_stats_{scale}"),
+        );
+    }
+}
+
+#[test]
+fn sampling_roundtrips_bit_identical_on_stats_ceb() {
+    for scale in SCALES {
+        let cat = stats_cat(scale);
+        let wl = stats_ceb_workload(&cat, &WorkloadConfig::tiny(13));
+        assert_roundtrip_bit_identical(
+            &cat,
+            &wl,
+            config(BaseEstimatorKind::Sampling { rate: 0.25 }, 20),
+            &format!("sampling_stats_{scale}"),
+        );
+    }
+}
+
+#[test]
+fn truescan_roundtrips_bit_identical_on_imdb_job() {
+    for scale in SCALES {
+        let cat = imdb_cat(scale);
+        let wl = imdb_job_workload(&cat, &WorkloadConfig::tiny(14));
+        assert_roundtrip_bit_identical(
+            &cat,
+            &wl,
+            config(BaseEstimatorKind::TrueScan, 20),
+            &format!("truescan_imdb_{scale}"),
+        );
+    }
+}
+
+#[test]
+fn bayesnet_roundtrips_bit_identical_on_imdb_job() {
+    let cat = imdb_cat(0.04);
+    let wl = imdb_job_workload(&cat, &WorkloadConfig::tiny(15));
+    assert_roundtrip_bit_identical(
+        &cat,
+        &wl,
+        config(BaseEstimatorKind::BayesNet(BnConfig::default()), 15),
+        "bayesnet_imdb",
+    );
+}
+
+#[test]
+fn sampling_roundtrips_bit_identical_on_imdb_job() {
+    let cat = imdb_cat(0.04);
+    let wl = imdb_job_workload(&cat, &WorkloadConfig::tiny(16));
+    assert_roundtrip_bit_identical(
+        &cat,
+        &wl,
+        config(BaseEstimatorKind::Sampling { rate: 0.25 }, 20),
+        "sampling_imdb",
+    );
+}

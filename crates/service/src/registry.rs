@@ -168,6 +168,35 @@ impl ModelRegistry {
         }
     }
 
+    /// Persists the served model of `dataset` to `path` — the format
+    /// follows the extension (`.json` → JSON debug export, anything else →
+    /// binary `.fjm`), and the write is crash-safe (same-dir temp + fsync
+    /// + rename). Fails with `NotFound` for an unknown dataset.
+    pub fn save_dataset(&self, dataset: &str, path: &std::path::Path) -> std::io::Result<()> {
+        let handle = self.get(dataset).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("unknown dataset {dataset:?}"),
+            )
+        })?;
+        factorjoin::save_model(&handle.model, path)
+    }
+
+    /// Loads a model file (binary `.fjm` or JSON — `load_model` sniffs the
+    /// magic bytes) and publishes it under `dataset`, keeping `catalog`
+    /// alongside for later retrains/updates. Returns the publication
+    /// epoch. This is the registry's cold-start path: ship a trained
+    /// `.fjm` to a fresh shard and it serves without retraining.
+    pub fn load_and_publish(
+        &self,
+        dataset: &str,
+        path: &std::path::Path,
+        catalog: Arc<Catalog>,
+    ) -> std::io::Result<u64> {
+        let model = factorjoin::load_model(path, &catalog)?;
+        Ok(self.publish_with_catalog(dataset, Arc::new(model), catalog))
+    }
+
     /// Resolves `dataset` to its current model and epoch.
     pub fn get(&self, dataset: &str) -> Option<ModelHandle> {
         let entries = self.entries.read().expect("registry lock");
@@ -370,6 +399,55 @@ mod tests {
             winner.report().model_bytes,
             "the published statistics derive from the winner, not the stale loser"
         );
+    }
+
+    #[test]
+    fn save_dataset_and_load_and_publish_roundtrip_through_disk() {
+        use fj_datagen::{stats_ceb_workload, WorkloadConfig};
+        let (m, cat) = tiny_model(8);
+        let queries = stats_ceb_workload(&cat, &WorkloadConfig::tiny(21));
+        let reg = ModelRegistry::new();
+        reg.publish("stats", Arc::clone(&m));
+
+        let dir = std::env::temp_dir().join("fj_registry_persist");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.fjm");
+        // Unknown dataset: NotFound, and nothing written.
+        let e = reg.save_dataset("nope", &path).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::NotFound);
+        assert!(!path.exists());
+
+        reg.save_dataset("stats", &path).unwrap();
+        // Cold start on a fresh registry shard: load the shipped .fjm and
+        // serve bit-identically to the original in-memory model.
+        let reg2 = ModelRegistry::new();
+        let epoch = reg2
+            .load_and_publish("stats", &path, Arc::new(cat))
+            .unwrap();
+        let h = reg2.get("stats").unwrap();
+        assert_eq!(h.epoch, epoch);
+        assert!(
+            reg2.catalog("stats").is_some(),
+            "catalog kept for later updates"
+        );
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(
+                m.estimate(q).to_bits(),
+                h.model.estimate(q).to_bits(),
+                "q{i}: loaded shard must serve bit-identically"
+            );
+        }
+        // A corrupt file refuses to publish and leaves the registry empty.
+        let bad = dir.join("bad.fjm");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes.truncate(mid);
+        std::fs::write(&bad, &bytes).unwrap();
+        let reg3 = ModelRegistry::new();
+        let cat3 = reg2.catalog("stats").unwrap();
+        assert!(reg3.load_and_publish("stats", &bad, cat3).is_err());
+        assert!(reg3.is_empty(), "failed load must not publish");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -93,8 +93,20 @@ fn traced_queue_delayed_batch_is_pinned_to_queue_wait() {
     }
 
     // Scrape over the wire (the same text FjServer::metrics_text returns).
-    let text = client.metrics().expect("scrape");
-    assert_eq!(text, server.metrics_text());
+    // The collector records the encode/socket_write stages *after* writing
+    // a response, so the client can hold the last reply before its stages
+    // land — poll briefly until the metrics plane settles before comparing
+    // the two scrape paths.
+    let mut text = client.metrics().expect("scrape");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while text != server.metrics_text() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "wire scrape never converged with the in-process scrape"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        text = client.metrics().expect("scrape");
+    }
 
     // The exposition covers counters, the latency histogram, and every
     // serving stage under one family.

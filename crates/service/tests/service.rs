@@ -207,25 +207,38 @@ fn persisted_model_serves_identically() {
 
     let dir = std::env::temp_dir().join("fj_service_persist_test");
     std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("model.json");
-    save_model(&model, &path).expect("save");
-    let loaded = load_model(&path, &catalog).expect("load");
-    std::fs::remove_file(&path).ok();
-
-    let registry = Arc::new(ModelRegistry::new());
-    registry.publish_with_catalog("stats", Arc::new(loaded), Arc::new(catalog));
-    let service = EstimatorService::start(Arc::clone(&registry), ServiceConfig::new("stats", 2));
-    let responses = service.submit_batch(&queries).wait_all();
-    for (qi, resp) in responses.into_iter().enumerate() {
-        let resp = resp.expect("served");
-        assert_eq!(
-            to_bits(&resp.estimates),
-            expected[qi],
-            "loaded model diverges from the saved one on query {qi}"
-        );
+    let catalog = Arc::new(catalog);
+    // Both formats must serve bit-identically: binary `.fjm` (the
+    // production cold-start path, via the registry's own loader) and the
+    // JSON debug export (via load_model + publish).
+    for (file, via_registry) in [("model.fjm", true), ("model.json", false)] {
+        let path = dir.join(file);
+        save_model(&model, &path).expect("save");
+        let registry = Arc::new(ModelRegistry::new());
+        if via_registry {
+            registry
+                .load_and_publish("stats", &path, Arc::clone(&catalog))
+                .expect("load_and_publish");
+        } else {
+            let loaded = load_model(&path, &catalog).expect("load");
+            registry.publish_with_catalog("stats", Arc::new(loaded), Arc::clone(&catalog));
+        }
+        std::fs::remove_file(&path).ok();
+        let service =
+            EstimatorService::start(Arc::clone(&registry), ServiceConfig::new("stats", 2));
+        let responses = service.submit_batch(&queries).wait_all();
+        for (qi, resp) in responses.into_iter().enumerate() {
+            let resp = resp.expect("served");
+            assert_eq!(
+                to_bits(&resp.estimates),
+                expected[qi],
+                "{file}: loaded model diverges from the saved one on query {qi}"
+            );
+        }
+        // The registry kept the catalog for offline retraining paths.
+        assert!(registry.catalog("stats").is_some());
     }
-    // The registry kept the catalog for offline retraining paths.
-    assert!(registry.catalog("stats").is_some());
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Incremental updates under load (paper §4.3 meets serving): while

@@ -145,6 +145,61 @@ impl KeyBinMap {
         self.keys.len() * 8 + self.bins.len() * 4
     }
 
+    /// The raw open-addressing slabs as `(k, keys, bins, len)` — the
+    /// binary persistence format writes these verbatim so load is a bulk
+    /// copy, not a per-entry re-insertion.
+    pub fn raw_parts(&self) -> (usize, &[i64], &[u32], usize) {
+        (self.k, &self.keys, &self.bins, self.len)
+    }
+
+    /// Rebuilds a map from raw slabs (the inverse of [`Self::raw_parts`]),
+    /// validating every invariant the probing code relies on so a hostile
+    /// or corrupt file can never produce a map that panics, loops forever,
+    /// or indexes out of bounds:
+    ///
+    /// * `k > 0` and both slabs the same (zero or power-of-two) length;
+    /// * `len` equals the number of occupied (non-sentinel) slots;
+    /// * occupancy within the `7/8` growth bound, so probe loops always
+    ///   find an empty slot and terminate;
+    /// * every stored bin index is `< k`.
+    ///
+    /// Slot *placement* is not re-derived: a CRC-valid file stores slots
+    /// exactly where the writer's identical hash function put them.
+    pub fn from_raw_parts(
+        k: usize,
+        keys: Vec<i64>,
+        bins: Vec<u32>,
+        len: usize,
+    ) -> Result<Self, String> {
+        if k == 0 {
+            return Err("at least one bin required".into());
+        }
+        if keys.len() != bins.len() {
+            return Err(format!(
+                "slab length mismatch: {} keys vs {} bins",
+                keys.len(),
+                bins.len()
+            ));
+        }
+        let cap = keys.len();
+        if cap != 0 && !cap.is_power_of_two() {
+            return Err(format!("slab capacity {cap} is not a power of two"));
+        }
+        let occupied = bins.iter().filter(|&&b| b != EMPTY).count();
+        if occupied != len {
+            return Err(format!("{occupied} occupied slots but len says {len}"));
+        }
+        if cap != 0 && len * 8 > cap * 7 {
+            return Err(format!(
+                "over-full table: {len} entries in {cap} slots breaks probe termination"
+            ));
+        }
+        if let Some(bad) = bins.iter().find(|&&b| b != EMPTY && b as usize >= k) {
+            return Err(format!("bin index {bad} out of range for k={k}"));
+        }
+        Ok(KeyBinMap { k, keys, bins, len })
+    }
+
     /// Iterates over the explicit (value, bin) assignments (persistence).
     pub fn entries(&self) -> impl Iterator<Item = (i64, u32)> + '_ {
         self.keys
@@ -282,5 +337,45 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn zero_bins_rejected() {
         KeyBinMap::new(0, HashMap::new());
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_preserves_lookups() {
+        let map: HashMap<i64, u32> = (0..500).map(|v| (v * 13, (v % 9) as u32)).collect();
+        let b = KeyBinMap::new(9, map);
+        let (k, keys, bins, len) = b.raw_parts();
+        let back = KeyBinMap::from_raw_parts(k, keys.to_vec(), bins.to_vec(), len).unwrap();
+        assert_eq!(back.k(), b.k());
+        assert_eq!(back.assigned(), b.assigned());
+        for v in -1000..1000 {
+            assert_eq!(back.bin_of(v), b.bin_of(v), "value {v}");
+        }
+        // Raw parts of the rebuilt map are identical — byte-stable persistence.
+        let (k2, keys2, bins2, len2) = back.raw_parts();
+        assert_eq!((k2, len2), (k, len));
+        assert_eq!(keys2, keys);
+        assert_eq!(bins2, bins);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_invalid_slabs() {
+        // k = 0.
+        assert!(KeyBinMap::from_raw_parts(0, vec![], vec![], 0).is_err());
+        // Mismatched slab lengths.
+        assert!(KeyBinMap::from_raw_parts(2, vec![0; 8], vec![EMPTY; 4], 0).is_err());
+        // Non-power-of-two capacity.
+        assert!(KeyBinMap::from_raw_parts(2, vec![0; 6], vec![EMPTY; 6], 0).is_err());
+        // len disagrees with occupancy.
+        assert!(KeyBinMap::from_raw_parts(2, vec![0; 8], vec![EMPTY; 8], 3).is_err());
+        // Over-full table (no empty slot → probe loops would never end).
+        assert!(KeyBinMap::from_raw_parts(2, vec![0; 8], vec![1; 8], 8).is_err());
+        // Bin index out of range.
+        let mut bins = vec![EMPTY; 8];
+        bins[0] = 5;
+        assert!(KeyBinMap::from_raw_parts(2, vec![0; 8], bins, 1).is_err());
+        // Empty map is fine.
+        let empty = KeyBinMap::from_raw_parts(3, vec![], vec![], 0).unwrap();
+        assert_eq!(empty.assigned(), 0);
+        assert!(empty.bin_of(7) < 3);
     }
 }

@@ -82,3 +82,8 @@ fn network_service_runs() {
 fn load_real_dataset_runs() {
     run_example("load_real_dataset");
 }
+
+#[test]
+fn persistence_runs() {
+    run_example("persistence");
+}
