@@ -153,6 +153,16 @@ fn bench_estimation(args: &[String]) -> ! {
                     "planning latency {:.2}× baseline (threshold {threshold}×)",
                     report.slowdown
                 );
+                match report.kernel_slowdown {
+                    Some(k) => println!(
+                        "join kernel {k:.2}× baseline ns/bin, calibration-normalized \
+                         (threshold {threshold}×)"
+                    ),
+                    None => println!(
+                        "join kernel: ungated (baseline predates the kernel metric; \
+                         re-record with --write)"
+                    ),
+                }
                 report.ok
             },
         },
@@ -212,6 +222,16 @@ fn bench_throughput(args: &[String]) -> ! {
                         throughput::METRICS_OVERHEAD_FLOOR * 100.0
                     ),
                     None => println!("metrics overhead: not measured"),
+                }
+                match (report.cache_hit_rate, report.cache_speedup) {
+                    (Some(rate), Some(speedup)) => println!(
+                        "sub-plan cache replay: {:.1}% hit rate (fail under {:.0}%), \
+                         {speedup:.2}× uncached throughput (fail under {:.1}×)",
+                        rate * 100.0,
+                        throughput::CACHE_HIT_RATE_FLOOR * 100.0,
+                        throughput::CACHE_SPEEDUP_FLOOR
+                    ),
+                    _ => println!("sub-plan cache replay: not measured"),
                 }
                 report.ok
             },

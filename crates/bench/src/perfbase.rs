@@ -12,7 +12,9 @@
 //! training time, so the stored numbers and the bench trajectory describe
 //! the same code path.
 
-use factorjoin::{BaseEstimatorKind, BinBudget, FactorJoinConfig, FactorJoinModel};
+use factorjoin::{
+    BaseEstimatorKind, BinBudget, Factor, FactorJoinConfig, FactorJoinModel, JoinScratch, KeepVars,
+};
 use fj_datagen::{stats_catalog, stats_ceb_workload, StatsConfig, WorkloadConfig};
 use fj_stats::BnConfig;
 use serde_json::Value;
@@ -70,6 +72,13 @@ pub struct EstimationSample {
     /// history shows accuracy/speed work is not being bought with model
     /// bloat (paper Figure 6 reports both). 0 for pre-metric samples.
     pub model_bytes: usize,
+    /// Best nanoseconds per distribution bin of the isolated
+    /// `Factor::join` kernel over a bins × shared-variables sweep (see
+    /// [`kernel_ns_per_bin`]) — the innermost loop the vectorized rewrite
+    /// targets, measured without the enumeration/estimation layers on
+    /// top. 0 for pre-kernel-metric samples (those leave the kernel gate
+    /// unarmed).
+    pub kernel_ns_per_bin: f64,
 }
 
 /// Fixed CPU-bound calibration kernel (integer xorshift mix): measures how
@@ -92,6 +101,64 @@ pub fn calibration_seconds() -> f64 {
         best = best.min(t.elapsed().as_secs_f64());
     }
     best
+}
+
+/// Synthetic factor with `vars` variables of `bins` bins each; shifted per
+/// side so joins see shared and residual variables. Mirrors the
+/// `factor_join` criterion group in `crates/bench/benches/estimation.rs`
+/// so the recorded number and the bench trajectory describe the same
+/// loops.
+fn synth_factor(vars: usize, bins: usize, shift: usize) -> Factor {
+    let entries = (0..vars)
+        .map(|v| {
+            let var = v + shift;
+            let dist: Vec<f64> = (0..bins).map(|i| ((i * 7 + var * 3) % 23) as f64).collect();
+            let mfv: Vec<f64> = (0..bins).map(|i| (1 + (i + var) % 5) as f64).collect();
+            (var, dist, mfv)
+        })
+        .collect();
+    Factor::base(1000.0, entries)
+}
+
+/// Measures the isolated `Factor::join` kernel: best nanoseconds per
+/// distribution bin over a bins × shared-variables sweep (1/2/4 shared
+/// variables × 10/100/1000 bins, one residual variable per side — the
+/// same grid as the `factor_join` criterion group).
+///
+/// The aggregate is total best join time over total output bins touched,
+/// so wide joins weigh in proportion to the work they do. Isolating the
+/// kernel matters for gating: the end-to-end planning latency is
+/// dominated by enumeration and per-sub-plan bookkeeping at small k, so a
+/// kernel regression that the sub-plan cache (or those layers) would mask
+/// still moves this number.
+pub fn kernel_ns_per_bin() -> f64 {
+    let keep = KeepVars::all();
+    let mut scratch = JoinScratch::default();
+    let mut total_ns = 0.0f64;
+    let mut total_bins = 0.0f64;
+    for vars in [1usize, 2, 4] {
+        for bins in [10usize, 100, 1000] {
+            let a = synth_factor(vars + 1, bins, 0); // vars shared + 1 residual
+            let b = synth_factor(vars + 1, bins, 1); // shares 1..=vars with a
+            let iters = (20_000 / bins).max(4);
+            for _ in 0..iters.min(8) {
+                std::hint::black_box(a.join_with(&b, &keep, &mut scratch).rows);
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(a.join_with(&b, &keep, &mut scratch).rows);
+                }
+                best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+            }
+            // The joined factor keeps `vars` shared + 2 residual variables,
+            // each of `bins` bins.
+            total_ns += best * 1e9;
+            total_bins += ((vars + 2) * bins) as f64;
+        }
+    }
+    total_ns / total_bins
 }
 
 /// Builds the pinned workload and measures the estimation hot path.
@@ -159,6 +226,7 @@ pub fn measure(label: &str, scale: f64, passes: usize) -> EstimationSample {
         train_seconds: model.report().train_seconds,
         train_mode,
         model_bytes: model.report().model_bytes,
+        kernel_ns_per_bin: kernel_ns_per_bin(),
     }
 }
 
@@ -193,6 +261,10 @@ fn sample_to_json(s: &EstimationSample) -> Value {
         ("train_seconds".to_string(), Value::from(s.train_seconds)),
         ("train_mode".to_string(), Value::from(s.train_mode.clone())),
         ("model_bytes".to_string(), Value::from(s.model_bytes)),
+        (
+            "kernel_ns_per_bin".to_string(),
+            Value::from(s.kernel_ns_per_bin),
+        ),
     ])
 }
 
@@ -218,6 +290,9 @@ fn sample_from_json(v: &Value) -> std::io::Result<EstimationSample> {
         train_mode: v["train_mode"].as_str().unwrap_or("serial").to_string(),
         // Samples recorded before the model-size metric read as 0.
         model_bytes: v["model_bytes"].as_f64().unwrap_or(0.0) as usize,
+        // Samples recorded before the kernel metric read as 0, which
+        // leaves the kernel gate unarmed against them.
+        kernel_ns_per_bin: v["kernel_ns_per_bin"].as_f64().unwrap_or(0.0),
     })
 }
 
@@ -272,7 +347,13 @@ pub struct CheckReport {
     /// Calibration-normalized best-pass ratio (absolute ratio when the
     /// baseline predates the calibration metric).
     pub slowdown: f64,
-    /// Whether the slowdown stayed under the threshold.
+    /// Calibration-normalized `Factor::join` kernel ratio (fresh /
+    /// baseline ns-per-bin; >1 = slower). `None` when the baseline
+    /// predates the kernel metric (`kernel_ns_per_bin == 0`), which
+    /// leaves the kernel ungated until the baseline is re-recorded.
+    pub kernel_slowdown: Option<f64>,
+    /// Whether the slowdown — and, when armed, the kernel slowdown —
+    /// stayed under the threshold.
     pub ok: bool,
 }
 
@@ -296,11 +377,23 @@ pub fn check_against(path: &Path, threshold: f64, passes: usize) -> std::io::Res
     } else {
         fresh.best_pass_seconds / baseline.best_pass_seconds.max(1e-12)
     };
+    // The kernel gate arms only against baselines that recorded the
+    // metric; it uses the same calibration normalization as the planning
+    // latency so it too transfers across machines.
+    let kernel_slowdown = (baseline.kernel_ns_per_bin > 0.0
+        && fresh.kernel_ns_per_bin > 0.0
+        && baseline.calibration_seconds > 0.0
+        && fresh.calibration_seconds > 0.0)
+        .then(|| {
+            (fresh.kernel_ns_per_bin / fresh.calibration_seconds)
+                / (baseline.kernel_ns_per_bin / baseline.calibration_seconds).max(1e-12)
+        });
     Ok(CheckReport {
-        ok: slowdown <= threshold,
+        ok: slowdown <= threshold && kernel_slowdown.is_none_or(|k| k <= threshold),
         baseline,
         fresh,
         slowdown,
+        kernel_slowdown,
     })
 }
 
@@ -308,12 +401,14 @@ pub fn check_against(path: &Path, threshold: f64, passes: usize) -> std::io::Res
 pub fn format_sample(s: &EstimationSample) -> String {
     format!(
         "{}: {:.3} ms/pass (best {:.3}), {:.0} sub-plans/s, {:.3} ms planning/query, \
-         train {:.2}s ({}), model {} (scale {}, k={}, {} queries, {} sub-plans)",
+         join kernel {:.2} ns/bin, train {:.2}s ({}), model {} \
+         (scale {}, k={}, {} queries, {} sub-plans)",
         s.label,
         s.pass_seconds * 1e3,
         s.best_pass_seconds * 1e3,
         s.subplans_per_second,
         s.planning_s_per_query * 1e3,
+        s.kernel_ns_per_bin,
         s.train_seconds,
         s.train_mode,
         crate::report::fmt_bytes(s.model_bytes),
@@ -344,6 +439,7 @@ mod tests {
             train_seconds: 1.5,
             train_mode: "parallel:4".into(),
             model_bytes: 123_456,
+            kernel_ns_per_bin: 2.25,
         };
         let v = sample_to_json(&s);
         let back = sample_from_json(&v).unwrap();
@@ -360,6 +456,27 @@ mod tests {
         assert!((back.pass_seconds - s.pass_seconds).abs() < 1e-12);
         assert!((back.best_pass_seconds - s.best_pass_seconds).abs() < 1e-12);
         assert!((back.calibration_seconds - s.calibration_seconds).abs() < 1e-12);
+        assert!((back.kernel_ns_per_bin - 2.25).abs() < 1e-12);
+        // Pre-kernel-metric samples read as 0, leaving the gate unarmed.
+        let legacy = Value::object(
+            v.as_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| k.as_str() != "kernel_ns_per_bin")
+                .map(|(k, v)| (k.clone(), v.clone())),
+        );
+        assert_eq!(sample_from_json(&legacy).unwrap().kernel_ns_per_bin, 0.0);
+    }
+
+    #[test]
+    fn kernel_sweep_produces_a_sane_number() {
+        let ns = kernel_ns_per_bin();
+        assert!(
+            ns.is_finite() && ns > 0.0,
+            "kernel measurement must be a positive time, got {ns}"
+        );
+        // Even a slow machine joins a bin in well under a millisecond.
+        assert!(ns < 1e6, "implausible kernel time: {ns} ns/bin");
     }
 
     #[test]
@@ -370,6 +487,7 @@ mod tests {
         std::fs::remove_file(&path).ok();
         // A tiny real measurement keeps the test honest end-to-end.
         let s = measure("seed", 0.02, 1);
+        assert!(s.kernel_ns_per_bin > 0.0, "kernel sweep measured");
         append_sample(&path, &s).unwrap();
         let history = read_history(&path).unwrap();
         assert_eq!(history.len(), 1);
@@ -378,8 +496,13 @@ mod tests {
         let report = check_against(&path, 25.0, 1).unwrap();
         assert!(
             report.ok,
-            "slowdown {:.2} unexpectedly high",
-            report.slowdown
+            "slowdown {:.2} (kernel {:?}) unexpectedly high",
+            report.slowdown, report.kernel_slowdown
+        );
+        let kernel = report.kernel_slowdown.expect("kernel gate armed");
+        assert!(
+            kernel <= 25.0,
+            "kernel slowdown {kernel:.2} unexpectedly high"
         );
         std::fs::remove_file(&path).ok();
     }

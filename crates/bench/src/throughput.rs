@@ -20,6 +20,15 @@
 //! at [`METRICS_OVERHEAD_FLOOR`]: observability must cost at most 3% of
 //! `subplans_per_second`, measured back-to-back on the same machine (no
 //! calibration normalization needed).
+//!
+//! Since the sub-plan cache landed, the in-process sweep runs with the
+//! cache **disabled** so its gate keeps measuring the estimation kernel —
+//! a fleet of warm cache hits would otherwise mask a kernel regression.
+//! The cache's own win is recorded as a [`CacheComparison`]: a
+//! [`CACHE_REPLAY_QUERIES`]-query workload replayed `repeats` times with
+//! the cache at its production default versus disabled, gated on both the
+//! hit rate ([`CACHE_HIT_RATE_FLOOR`]) and the cached/uncached speedup
+//! ([`CACHE_SPEEDUP_FLOOR`]).
 
 use crate::perfbase::{calibration_seconds, PINNED_BINS, PINNED_SCALE};
 use factorjoin::{BaseEstimatorKind, BinBudget, FactorJoinConfig, FactorJoinModel};
@@ -46,6 +55,20 @@ pub const DEFAULT_THRESHOLD: f64 = 1.5;
 /// this fraction of the no-op recorder's throughput (0.97 = at most a 3%
 /// tax for histograms being on).
 pub const METRICS_OVERHEAD_FLOOR: f64 = 0.97;
+
+/// Queries in the repeated workload the cache comparison replays — wide
+/// enough to exercise many distinct sub-plans, small enough that a fleet
+/// of optimizer sessions replaying it is realistic.
+pub const CACHE_REPLAY_QUERIES: usize = 16;
+
+/// Cache gate: replaying the same workload must be served almost entirely
+/// from the sub-plan cache (the warm-up pass pays the misses).
+pub const CACHE_HIT_RATE_FLOOR: f64 = 0.9;
+
+/// Cache gate: the cache-served replay must be at least this much faster
+/// than the same replay with the cache disabled, or the cache is not
+/// paying for its lookups.
+pub const CACHE_SPEEDUP_FLOOR: f64 = 2.0;
 
 /// One worker-count point of a sweep.
 #[derive(Debug, Clone)]
@@ -94,6 +117,37 @@ impl MetricsOverhead {
     }
 }
 
+/// The sub-plan cache's win on a repeated workload, measured back-to-back
+/// at one worker count: a [`CACHE_REPLAY_QUERIES`]-query workload replayed
+/// `replays` times through a service with the cache at its production
+/// default, and again with the cache disabled
+/// (`with_subplan_cache_entries(0)`).
+#[derive(Debug, Clone)]
+pub struct CacheComparison {
+    /// Worker count both arms were measured at (the sweep's best point).
+    pub workers: usize,
+    /// Queries per replayed batch.
+    pub queries: usize,
+    /// Timed replays of the workload per arm.
+    pub replays: usize,
+    /// Fraction of served sub-plans answered from the cache during the
+    /// timed replays of the cached arm (warm-up pays the misses).
+    pub cache_hit_rate: f64,
+    /// Best observed replay throughput with the cache on.
+    pub cached_subplans_per_second: f64,
+    /// Best observed replay throughput with the cache disabled — the raw
+    /// kernel number, gated separately so a cache win can never mask a
+    /// kernel regression.
+    pub uncached_subplans_per_second: f64,
+}
+
+impl CacheComparison {
+    /// cached / uncached throughput: how much the cache buys on repeats.
+    pub fn speedup(&self) -> f64 {
+        self.cached_subplans_per_second / self.uncached_subplans_per_second.max(1e-12)
+    }
+}
+
 /// One recorded sweep.
 #[derive(Debug, Clone)]
 pub struct ThroughputSample {
@@ -120,6 +174,10 @@ pub struct ThroughputSample {
     /// `None` in history entries recorded before the metrics plane
     /// existed.
     pub metrics_overhead: Option<MetricsOverhead>,
+    /// Cached-vs-uncached repeated-workload comparison at the best worker
+    /// count. `None` in history entries recorded before the sub-plan
+    /// cache existed.
+    pub cache: Option<CacheComparison>,
 }
 
 impl ThroughputSample {
@@ -165,7 +223,11 @@ impl ThroughputSample {
 /// through a fresh service, after one warm-up pass. `metrics_enabled`
 /// selects the full recorder (histograms on — production default) or the
 /// no-op one; the sweep runs with it on, the overhead comparison runs
-/// both.
+/// both. The sub-plan cache is **disabled** here (the warm-up passes
+/// would fill it and every timed repeat would hit, so a cached sweep
+/// measures hashmap lookups, not the estimation kernel this history
+/// gates); the cache's win on repeats is measured separately by
+/// [`CacheComparison`].
 fn measure_point(
     model: &Arc<FactorJoinModel>,
     workload: &[Query],
@@ -177,7 +239,9 @@ fn measure_point(
     registry.publish("stats", Arc::clone(model));
     let service = EstimatorService::start(
         registry,
-        ServiceConfig::new("stats", workers).with_metrics_enabled(metrics_enabled),
+        ServiceConfig::new("stats", workers)
+            .with_metrics_enabled(metrics_enabled)
+            .with_subplan_cache_entries(0),
     );
     // Warm-up: every worker scratch sees the workload at least once.
     for _ in 0..workers.max(2) {
@@ -232,7 +296,11 @@ fn measure_point(
 /// connection; the queue is sized to hold the whole backlog and the
 /// client quota is lifted to `repeats`, so admission control never sheds
 /// during the measurement (its rejection paths are covered by tests, not
-/// timed here).
+/// timed here). Unlike the in-process sweep, the server runs at its
+/// production defaults — sub-plan cache **on** — so repeats hit the cache
+/// and this sweep gates the wire/codec/queue tier rather than the
+/// estimation kernel (which the in-process sweep and the estimation
+/// baseline gate uncached).
 fn measure_tcp_point(
     model: &Arc<FactorJoinModel>,
     workload: &[Query],
@@ -340,6 +408,7 @@ pub fn measure(label: &str, scale: f64, repeats: usize) -> ThroughputSample {
         .map(|&w| measure_tcp_point(&model, &wl, w, repeats))
         .collect();
     let metrics_overhead = Some(measure_metrics_overhead(&model, &wl, &points, repeats));
+    let cache = Some(measure_cache_comparison(&model, &cat, &points, repeats));
     ThroughputSample {
         label: label.to_string(),
         scale,
@@ -350,6 +419,7 @@ pub fn measure(label: &str, scale: f64, repeats: usize) -> ThroughputSample {
         points,
         tcp_points,
         metrics_overhead,
+        cache,
     }
 }
 
@@ -396,6 +466,116 @@ fn measure_metrics_overhead(
             noop_subplans_per_second: noop,
         };
         if best.as_ref().is_none_or(|b| candidate.ratio() > b.ratio()) {
+            best = Some(candidate);
+        }
+    }
+    best.expect("at least one pair measured")
+}
+
+/// One arm of the cache comparison: `replays` timed passes of the
+/// repeated workload through a fresh service, after warm-up passes that
+/// fill the cache (when one is configured) and every worker's scratch.
+/// Returns best-effort throughput plus the hit rate observed during the
+/// timed window (0 for the uncached arm — the counters never move).
+fn measure_cache_arm(
+    model: &Arc<FactorJoinModel>,
+    workload: &[Query],
+    workers: usize,
+    replays: usize,
+    cached: bool,
+) -> (f64, f64) {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("stats", Arc::clone(model));
+    let mut config = ServiceConfig::new("stats", workers);
+    if !cached {
+        config = config.with_subplan_cache_entries(0);
+    }
+    let service = EstimatorService::start(registry, config);
+    for _ in 0..workers.max(2) {
+        let responses = service.submit_batch(workload).wait_all();
+        assert!(responses.iter().all(Result::is_ok), "warm-up served");
+    }
+    // Counters reset; the cache itself deliberately survives — the timed
+    // replays are the "optimizer fleet re-asking" scenario.
+    service.reset_stats();
+    let t0 = Instant::now();
+    let tickets: Vec<_> = (0..replays)
+        .map(|_| service.submit_batch(workload))
+        .collect();
+    let mut subplans = 0usize;
+    for ticket in tickets {
+        for resp in ticket.wait_all() {
+            subplans += resp.expect("served").estimates.len();
+        }
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    let snap = service.stats();
+    service.shutdown();
+    (subplans as f64 / seconds, snap.cache_hit_rate())
+}
+
+/// Measures the sub-plan cache's repeated-workload win at the sweep's
+/// best worker count: a [`CACHE_REPLAY_QUERIES`]-query workload replayed
+/// `repeats` times with the cache at its production default versus with
+/// it disabled.
+///
+/// Like the metrics-overhead comparison, arms are taken as back-to-back
+/// alternating pairs and the pair with the best cached/uncached ratio
+/// wins, so machine-wide drift cancels out of the ratio. The hit rate is
+/// reported from the winning pair's cached arm; it is essentially
+/// deterministic (after warm-up every replay hits), so pair selection
+/// cannot cherry-pick it.
+fn measure_cache_comparison(
+    model: &Arc<FactorJoinModel>,
+    catalog: &fj_storage::Catalog,
+    points: &[ThroughputPoint],
+    repeats: usize,
+) -> CacheComparison {
+    let wl = stats_ceb_workload(
+        catalog,
+        &WorkloadConfig {
+            num_queries: CACHE_REPLAY_QUERIES,
+            num_templates: 4,
+            ..WorkloadConfig::tiny(5)
+        },
+    );
+    let workers = points
+        .iter()
+        .max_by(|a, b| {
+            a.subplans_per_second
+                .partial_cmp(&b.subplans_per_second)
+                .expect("finite throughput")
+        })
+        .expect("non-empty sweep")
+        .workers;
+    let repeats = repeats.max(1);
+    let mut best: Option<CacheComparison> = None;
+    for pair in 0..3 {
+        let (cached, uncached) = if pair % 2 == 0 {
+            let uncached = measure_cache_arm(model, &wl, workers, repeats, false);
+            (
+                measure_cache_arm(model, &wl, workers, repeats, true),
+                uncached,
+            )
+        } else {
+            let cached = measure_cache_arm(model, &wl, workers, repeats, true);
+            (
+                cached,
+                measure_cache_arm(model, &wl, workers, repeats, false),
+            )
+        };
+        let candidate = CacheComparison {
+            workers,
+            queries: wl.len(),
+            replays: repeats,
+            cache_hit_rate: cached.1,
+            cached_subplans_per_second: cached.0,
+            uncached_subplans_per_second: uncached.0,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| candidate.speedup() > b.speedup())
+        {
             best = Some(candidate);
         }
     }
@@ -486,6 +666,25 @@ fn sample_to_json(s: &ThroughputSample) -> Value {
             ]),
         );
     }
+    if let (Some(cc), Value::Object(map)) = (&s.cache, &mut doc) {
+        map.insert(
+            "cache".to_string(),
+            Value::object([
+                ("workers".to_string(), Value::from(cc.workers)),
+                ("queries".to_string(), Value::from(cc.queries)),
+                ("replays".to_string(), Value::from(cc.replays)),
+                ("cache_hit_rate".to_string(), Value::from(cc.cache_hit_rate)),
+                (
+                    "cached_subplans_per_second".to_string(),
+                    Value::from(cc.cached_subplans_per_second),
+                ),
+                (
+                    "uncached_subplans_per_second".to_string(),
+                    Value::from(cc.uncached_subplans_per_second),
+                ),
+            ]),
+        );
+    }
     doc
 }
 
@@ -520,6 +719,21 @@ fn sample_from_json(v: &Value) -> std::io::Result<ThroughputSample> {
                     workers: f("workers")? as usize,
                     enabled_subplans_per_second: f("enabled_subplans_per_second")?,
                     noop_subplans_per_second: f("noop_subplans_per_second")?,
+                })
+            }
+        },
+        // And pre-sub-plan-cache entries: no cache comparison.
+        cache: match &v["cache"] {
+            Value::Null => None,
+            cc => {
+                let f = |k: &str| cc[k].as_f64().ok_or_else(|| err(k));
+                Some(CacheComparison {
+                    workers: f("workers")? as usize,
+                    queries: f("queries")? as usize,
+                    replays: f("replays")? as usize,
+                    cache_hit_rate: f("cache_hit_rate")?,
+                    cached_subplans_per_second: f("cached_subplans_per_second")?,
+                    uncached_subplans_per_second: f("uncached_subplans_per_second")?,
                 })
             }
         },
@@ -591,10 +805,21 @@ pub struct CheckReport {
     /// runs happen on this machine back-to-back, so no calibration
     /// normalization is needed.
     pub metrics_overhead: Option<f64>,
+    /// The fresh sample's repeated-workload cache hit rate, gated against
+    /// [`CACHE_HIT_RATE_FLOOR`]: replays must actually be served from the
+    /// cache.
+    pub cache_hit_rate: Option<f64>,
+    /// The fresh sample's cached/uncached replay throughput ratio, gated
+    /// against [`CACHE_SPEEDUP_FLOOR`]. Both arms run on this machine
+    /// back-to-back, so no calibration normalization is needed; the
+    /// *uncached* arm's regression protection comes from the uncached
+    /// in-process sweep gate above.
+    pub cache_speedup: Option<f64>,
     /// Whether throughput stayed above `baseline / threshold` — on the
-    /// in-process sweep **and**, when gated, the loopback-TCP sweep — and
-    /// the metrics-overhead ratio stayed above
-    /// [`METRICS_OVERHEAD_FLOOR`].
+    /// (uncached) in-process sweep **and**, when gated, the loopback-TCP
+    /// sweep — the metrics-overhead ratio stayed above
+    /// [`METRICS_OVERHEAD_FLOOR`], and the cache comparison cleared both
+    /// [`CACHE_HIT_RATE_FLOOR`] and [`CACHE_SPEEDUP_FLOOR`].
     pub ok: bool,
 }
 
@@ -645,14 +870,24 @@ pub fn check_against(path: &Path, threshold: f64, repeats: usize) -> std::io::Re
     // baseline's machine doesn't matter for a same-machine comparison).
     let metrics_overhead = fresh.metrics_overhead.as_ref().map(MetricsOverhead::ratio);
     let overhead_ok = metrics_overhead.is_none_or(|r| r >= METRICS_OVERHEAD_FLOOR);
+    // The cache gates are same-machine properties of the fresh sample:
+    // replays must be cache-served and the cache must beat recomputation
+    // decisively. (The uncached arm needs no separate baseline gate — the
+    // in-process sweep above *is* the uncached path.)
+    let cache_hit_rate = fresh.cache.as_ref().map(|c| c.cache_hit_rate);
+    let cache_speedup = fresh.cache.as_ref().map(CacheComparison::speedup);
+    let cache_ok = cache_hit_rate.is_none_or(|r| r >= CACHE_HIT_RATE_FLOOR)
+        && cache_speedup.is_none_or(|s| s >= CACHE_SPEEDUP_FLOOR);
     Ok(CheckReport {
-        ok: speedup >= 1.0 / threshold && tcp_ok && overhead_ok,
+        ok: speedup >= 1.0 / threshold && tcp_ok && overhead_ok && cache_ok,
         baseline,
         fresh,
         workers,
         speedup,
         tcp,
         metrics_overhead,
+        cache_hit_rate,
+        cache_speedup,
     })
 }
 
@@ -707,6 +942,19 @@ pub fn format_sample(s: &ThroughputSample) -> String {
             mo.enabled_subplans_per_second,
             mo.noop_subplans_per_second,
             mo.ratio() * 100.0,
+        ));
+    }
+    if let Some(cc) = &s.cache {
+        out.push_str(&format!(
+            "\n  sub-plan cache @ {} workers ({} queries × {} replays): {:.0} cached vs \
+             {:.0} uncached sub-plans/s ({:.1}×, {:.1}% hit rate)",
+            cc.workers,
+            cc.queries,
+            cc.replays,
+            cc.cached_subplans_per_second,
+            cc.uncached_subplans_per_second,
+            cc.speedup(),
+            cc.cache_hit_rate * 100.0,
         ));
     }
     out
@@ -768,6 +1016,14 @@ mod tests {
                 enabled_subplans_per_second: 22800.0,
                 noop_subplans_per_second: 23077.0,
             }),
+            cache: Some(CacheComparison {
+                workers: 4,
+                queries: 16,
+                replays: 100,
+                cache_hit_rate: 0.98,
+                cached_subplans_per_second: 120_000.0,
+                uncached_subplans_per_second: 23000.0,
+            }),
         };
         let back = sample_from_json(&sample_to_json(&s)).unwrap();
         assert_eq!(back.label, s.label);
@@ -783,21 +1039,31 @@ mod tests {
         let mo = back.metrics_overhead.as_ref().unwrap();
         assert_eq!(mo.workers, 4);
         assert!((mo.ratio() - 22800.0 / 23077.0).abs() < 1e-9);
+        let cc = back.cache.as_ref().unwrap();
+        assert_eq!((cc.workers, cc.queries, cc.replays), (4, 16, 100));
+        assert!((cc.cache_hit_rate - 0.98).abs() < 1e-9);
+        assert!((cc.speedup() - 120_000.0 / 23000.0).abs() < 1e-9);
 
         // A pre-network-tier history entry (no tcp_points, no
-        // metrics_overhead) still parses, with both left ungated.
+        // metrics_overhead, no cache comparison) still parses, with all
+        // three left ungated.
         let legacy = Value::object(
             sample_to_json(&s)
                 .as_object()
                 .unwrap()
                 .iter()
-                .filter(|(k, _)| k.as_str() != "tcp_points" && k.as_str() != "metrics_overhead")
+                .filter(|(k, _)| {
+                    k.as_str() != "tcp_points"
+                        && k.as_str() != "metrics_overhead"
+                        && k.as_str() != "cache"
+                })
                 .map(|(k, v)| (k.clone(), v.clone())),
         );
         let back = sample_from_json(&legacy).unwrap();
         assert!(back.tcp_points.is_empty());
         assert!(back.best_tcp().is_none());
         assert!(back.metrics_overhead.is_none());
+        assert!(back.cache.is_none());
     }
 
     #[test]
@@ -813,15 +1079,28 @@ mod tests {
         let mo = s.metrics_overhead.as_ref().expect("overhead measured");
         assert!(mo.enabled_subplans_per_second > 0.0);
         assert!(mo.noop_subplans_per_second > 0.0);
+        let cc = s.cache.as_ref().expect("cache comparison measured");
+        assert_eq!(cc.queries, CACHE_REPLAY_QUERIES);
+        assert!(cc.cached_subplans_per_second > 0.0);
+        assert!(cc.uncached_subplans_per_second > 0.0);
+        // Deterministic even at tiny repeats: after the warm-up pass every
+        // replayed sub-plan is answered from the cache.
+        assert!(
+            cc.cache_hit_rate >= CACHE_HIT_RATE_FLOOR,
+            "replay hit rate {:.3} below the floor",
+            cc.cache_hit_rate
+        );
         append_sample(&path, &s).unwrap();
         let history = read_history(&path).unwrap();
         assert_eq!(history.len(), 1);
         assert!(history[0].metrics_overhead.is_some(), "overhead persisted");
+        assert!(history[0].cache.is_some(), "cache comparison persisted");
         // Same-machine re-measurement passes a generous threshold. The
         // throughput gates are asserted directly; the metrics-overhead
-        // ratio is asserted *measured* but not *passing* — a 2-repeat run
-        // is far too noisy for a 3% bound (CI exercises that gate at full
-        // repeats through `ok`).
+        // ratio and the cache speedup are asserted *measured* but not
+        // *passing* — a 2-repeat run is far too noisy for a 3% bound or a
+        // 2× ratio (CI exercises those gates at full repeats through
+        // `ok`). The hit rate *is* asserted: it is deterministic.
         let report = check_against(&path, 25.0, 2).unwrap();
         assert!(
             report.speedup >= 1.0 / 25.0,
@@ -830,6 +1109,14 @@ mod tests {
         );
         assert!(report.tcp.is_none_or(|(_, s)| s >= 1.0 / 25.0));
         assert!(report.metrics_overhead.is_some(), "overhead gated");
+        assert!(
+            report
+                .cache_hit_rate
+                .is_some_and(|r| r >= CACHE_HIT_RATE_FLOOR),
+            "cache hit rate gated: {:?}",
+            report.cache_hit_rate
+        );
+        assert!(report.cache_speedup.is_some(), "cache speedup gated");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -32,6 +32,14 @@
 //! [`JoinScratch`]; cached sub-plan factors live in a [`FactorArena`] so
 //! progressive estimation performs no per-sub-plan heap allocation once
 //! the scratch is warm.
+//!
+//! The per-bin loops themselves are written for the autovectorizer: the
+//! Eq. 5 bound is a branch-free min/max lattice (`bin_bound` — the clamps
+//! subsume the old zero-mass test), reductions run in fixed-width chunks
+//! with independent accumulators (`sum_chunked`/`max_chunked`), and the
+//! residual-copy paths bulk-copy then clamp in place instead of pushing
+//! element-wise. The `RefFactor` BTreeMap oracle tests pin all of this to
+//! the original semantics at ≤ 1e-9 relative error.
 
 /// Maximum variable id a factor can carry (ids are dense per query — the
 /// number of equivalent key groups, far below this in practice).
@@ -366,6 +374,61 @@ fn dist_slice<'a>(slab: &'a [f64], m: &VarMeta) -> &'a [f64] {
     &slab[m.off as usize..m.off as usize + m.k as usize]
 }
 
+/// Per-bin Eq. 5 bound, branch-free: the `.max(0.0)` clamps already force
+/// the min-of-products to zero whenever either side's mass is ≤ 0 (and map
+/// NaN to 0), so no explicit zero test is needed and the expression
+/// compiles to a straight-line min/max lattice the autovectorizer handles.
+///
+/// The arguments are two symmetric (dist, mfv, scale, key-scale) bundles —
+/// kept as loose scalars so the caller's loop feeds the lanes straight from
+/// its slices without building a struct per bin.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn bin_bound(d_a: f64, d_b: f64, m_a: f64, m_b: f64, sa: f64, sb: f64, ksa: f64, ksb: f64) -> f64 {
+    let av = (d_a * sa).max(0.0);
+    let bv = (d_b * sb).max(0.0);
+    // MFV counts are ≥ 1 whenever the bin holds offline mass; estimated
+    // mass in an offline-empty bin assumes MFV 1.
+    let va = (m_a * ksa).max(1.0);
+    let vb = (m_b * ksb).max(1.0);
+    // Eq. 5, with the always-valid cross-product cap.
+    (av * vb).min(bv * va).min(av * bv)
+}
+
+/// Sum reduction with four independent accumulators, so the lanes carry no
+/// loop-carried dependency and the reduction vectorizes. Reassociation
+/// shifts the result by at most a few ulp — well inside the 1e-9 relative
+/// tolerance of the `RefFactor` oracle tests.
+#[inline]
+fn sum_chunked(v: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut chunks = v.chunks_exact(4);
+    for c in &mut chunks {
+        acc[0] += c[0];
+        acc[1] += c[1];
+        acc[2] += c[2];
+        acc[3] += c[3];
+    }
+    let tail: f64 = chunks.remainder().iter().sum();
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Max reduction over non-negative values, chunked like [`sum_chunked`]
+/// (max is associative, so this one is exact).
+#[inline]
+fn max_chunked(v: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut chunks = v.chunks_exact(4);
+    for c in &mut chunks {
+        acc[0] = acc[0].max(c[0]);
+        acc[1] = acc[1].max(c[1]);
+        acc[2] = acc[2].max(c[2]);
+        acc[3] = acc[3].max(c[3]);
+    }
+    let tail = chunks.remainder().iter().fold(0.0f64, |a, &b| a.max(b));
+    acc[0].max(acc[1]).max(acc[2]).max(acc[3]).max(tail)
+}
+
 #[inline]
 fn mfv_slice<'a>(slab: &'a [f64], m: &VarMeta) -> &'a [f64] {
     &slab[m.off as usize + m.k as usize..m.off as usize + 2 * m.k as usize]
@@ -426,38 +489,32 @@ pub(crate) fn join_views_into(
         let sa = mva.dist_scale * pend_a;
         let sb = mvb.dist_scale * pend_b;
         let kept = keep.contains(mva.var as usize);
-        let mut step = 0.0f64;
+        let (ksa, ksb) = (mva.mfv_scale, mvb.mfv_scale);
+        let da = &dist_slice(a.slab, &mva)[..k];
+        let db = &dist_slice(b.slab, &mvb)[..k];
+        let ma = &mfv_slice(a.slab, &mva)[..k];
+        let mb = &mfv_slice(b.slab, &mvb)[..k];
+        let step;
         if kept && k > 0 {
             reserve_counted(&mut s.out_slab, 2 * k, &mut s.grow_events);
             reserve_counted(&mut s.out_meta, 1, &mut s.grow_events);
             reserve_counted(&mut s.combined, 1, &mut s.grow_events);
             let base = s.out_slab.len();
             s.out_slab.resize(base + 2 * k, 0.0);
-            let mut mfv_max = 0.0f64;
-            let da = dist_slice(a.slab, &mva);
-            let db = dist_slice(b.slab, &mvb);
-            let ma = mfv_slice(a.slab, &mva);
-            let mb = mfv_slice(b.slab, &mvb);
-            for x in 0..k {
-                let (av, bv) = ((da[x] * sa).max(0.0), (db[x] * sb).max(0.0));
-                // MFV counts are ≥ 1 whenever the bin holds offline mass;
-                // estimated mass in an offline-empty bin assumes MFV 1.
-                let (va, vb) = (
-                    (ma[x] * mva.mfv_scale).max(1.0),
-                    (mb[x] * mvb.mfv_scale).max(1.0),
-                );
-                // Eq. 5, with the always-valid cross-product cap.
-                let bound = if av <= 0.0 || bv <= 0.0 {
-                    0.0
-                } else {
-                    (av * vb).min(bv * va).min(av * bv)
-                };
-                s.out_slab[base + x] = bound;
-                step += bound;
-                let mnew = va * vb;
-                s.out_slab[base + k + x] = mnew;
-                mfv_max = mfv_max.max(mnew);
+            let (bounds, mfvs) = s.out_slab[base..base + 2 * k].split_at_mut(k);
+            // Pass 1: per-bin bound (branch-free, see `bin_bound`), then a
+            // chunked sum over the freshly written block.
+            for ((((out, &d_a), &d_b), &m_a), &m_b) in
+                bounds.iter_mut().zip(da).zip(db).zip(ma).zip(mb)
+            {
+                *out = bin_bound(d_a, d_b, m_a, m_b, sa, sb, ksa, ksb);
             }
+            step = sum_chunked(bounds);
+            // Pass 2: joined MFV = product of the sides' effective MFVs.
+            for ((out, &m_a), &m_b) in mfvs.iter_mut().zip(ma).zip(mb) {
+                *out = (m_a * ksa).max(1.0) * (m_b * ksb).max(1.0);
+            }
+            let mfv_max = max_chunked(mfvs);
             s.combined.push((s.out_meta.len() as u32, step));
             s.out_meta.push(VarMeta {
                 var: mva.var,
@@ -469,21 +526,23 @@ pub(crate) fn join_views_into(
                 mfv_max,
             });
         } else {
-            let da = dist_slice(a.slab, &mva);
-            let db = dist_slice(b.slab, &mvb);
-            let ma = mfv_slice(a.slab, &mva);
-            let mb = mfv_slice(b.slab, &mvb);
-            for x in 0..k {
-                let (av, bv) = ((da[x] * sa).max(0.0), (db[x] * sb).max(0.0));
-                if av <= 0.0 || bv <= 0.0 {
-                    continue;
-                }
-                let (va, vb) = (
-                    (ma[x] * mva.mfv_scale).max(1.0),
-                    (mb[x] * mvb.mfv_scale).max(1.0),
-                );
-                step += (av * vb).min(bv * va).min(av * bv);
+            // Dropped variable: only the summed bound survives. Same
+            // branch-free kernel, reduced with independent accumulators.
+            let mut acc = [0.0f64; 4];
+            let mut x = 0usize;
+            while x + 4 <= k {
+                acc[0] += bin_bound(da[x], db[x], ma[x], mb[x], sa, sb, ksa, ksb);
+                acc[1] += bin_bound(da[x + 1], db[x + 1], ma[x + 1], mb[x + 1], sa, sb, ksa, ksb);
+                acc[2] += bin_bound(da[x + 2], db[x + 2], ma[x + 2], mb[x + 2], sa, sb, ksa, ksb);
+                acc[3] += bin_bound(da[x + 3], db[x + 3], ma[x + 3], mb[x + 3], sa, sb, ksa, ksb);
+                x += 4;
             }
+            let mut tail = 0.0f64;
+            while x < k {
+                tail += bin_bound(da[x], db[x], ma[x], mb[x], sa, sb, ksa, ksb);
+                x += 1;
+            }
+            step = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
         }
         if step <= 0.0 {
             // Bound hit zero: every later step scales to zero too.
@@ -564,8 +623,11 @@ fn copy_residuals(
         out_slab.extend_from_slice(dist_slice(src.slab, m));
         // MFVs are written clamped (≥ 1) — idempotent for already-joined
         // inputs, and matches the former eager `x.max(1) · mult` rewrite.
-        for &x in mfv_slice(src.slab, m) {
-            out_slab.push(x.max(1.0));
+        // Bulk copy first, clamp in place: both loops vectorize.
+        let mstart = out_slab.len();
+        out_slab.extend_from_slice(mfv_slice(src.slab, m));
+        for x in &mut out_slab[mstart..] {
+            *x = x.max(1.0);
         }
         out_meta.push(VarMeta {
             var: m.var,
@@ -605,8 +667,10 @@ fn cross_product_into(
             reserve_counted(out_meta, 1, grow_events);
             let base = out_slab.len() as u32;
             out_slab.extend_from_slice(dist_slice(src.slab, m));
-            for &x in mfv_slice(src.slab, m) {
-                out_slab.push(x.max(1.0));
+            let mstart = out_slab.len();
+            out_slab.extend_from_slice(mfv_slice(src.slab, m));
+            for x in &mut out_slab[mstart..] {
+                *x = x.max(1.0);
             }
             out_meta.push(VarMeta {
                 var: m.var,

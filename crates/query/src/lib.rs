@@ -12,10 +12,13 @@
 //!   group* variables (paper §3.1), which become the factor-graph variables;
 //! * [`subplan`] — enumeration of all connected sub-plans, which is the set
 //!   of cardinalities a cost-based optimizer requests (paper §5.2);
+//! * [`fingerprint`] — seeded stable canonical sub-plan fingerprints, the
+//!   cache key of the service tier's sub-plan estimate cache;
 //! * [`parser`] — a SQL-subset parser so workloads can be written as text.
 
 pub mod compile;
 pub mod expr;
+pub mod fingerprint;
 pub mod graph;
 pub mod like;
 pub mod parser;
@@ -25,6 +28,7 @@ pub mod subplan;
 
 pub use compile::{compile_filter, filtered_count, filtered_selection, CompiledFilter};
 pub use expr::FilterExpr;
+pub use fingerprint::{subplan_fingerprints, StableHasher};
 pub use graph::{KeyVar, QueryGraph};
 pub use like::like_match;
 pub use parser::{parse_query, ParseError};

@@ -25,6 +25,12 @@
 //!   models. [`ModelRegistry::swap_model`] atomically publishes a
 //!   retrained model without pausing readers; responses carry the serving
 //!   model's epoch so clients can tell which model answered.
+//! * [`SubplanCache`] sits in front of the workers: a sharded,
+//!   memory-bounded map from (model epoch, canonical sub-plan
+//!   fingerprint) to the bit-exact `f64` estimate, so an optimizer fleet
+//!   replaying the same queries is served without touching the model.
+//!   Epoch keying makes hot-swap invalidation free — a swapped model can
+//!   never be answered from its predecessor's entries.
 //! * [`StatsSnapshot`] reports throughput, p50/p95/p99 latency (from
 //!   bounded, mergeable [`fj_obs`] log-linear histograms — so
 //!   [`server::FjServer::stats_merged`] can combine shards exactly), the
@@ -64,6 +70,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod fault;
 pub mod queue;
 pub mod registry;
@@ -73,6 +80,7 @@ pub mod service;
 pub mod stats;
 mod worker;
 
+pub use cache::SubplanCache;
 pub use fault::{CutKind, FaultPlan, FaultProxy, FaultScript, FaultyStream};
 pub use registry::{ModelHandle, ModelRegistry};
 pub use request::{

@@ -1,5 +1,6 @@
 //! The estimator service: a worker pool over a bounded request queue.
 
+use crate::cache::SubplanCache;
 use crate::queue::{BoundedQueue, TryPushError};
 use crate::registry::ModelRegistry;
 use crate::request::{
@@ -29,6 +30,11 @@ pub struct ServiceConfig {
     /// no-op recorder the bench's metrics-overhead gate compares against.
     /// Defaults to true.
     pub metrics_enabled: bool,
+    /// Total capacity (in cached sub-plan estimates) of the sharded
+    /// sub-plan estimate cache, rounded up to the cache's set geometry.
+    /// `0` disables the cache entirely (the bench's uncached arm);
+    /// defaults to 65 536 entries ≈ 2 MiB.
+    pub subplan_cache_entries: usize,
 }
 
 impl ServiceConfig {
@@ -40,6 +46,7 @@ impl ServiceConfig {
             queue_capacity: 1024,
             default_dataset: default_dataset.to_string(),
             metrics_enabled: true,
+            subplan_cache_entries: 65_536,
         }
     }
 
@@ -54,6 +61,13 @@ impl ServiceConfig {
         self.metrics_enabled = enabled;
         self
     }
+
+    /// Sets the sub-plan estimate cache capacity; `0` disables the cache
+    /// (see [`ServiceConfig::subplan_cache_entries`]).
+    pub fn with_subplan_cache_entries(mut self, entries: usize) -> Self {
+        self.subplan_cache_entries = entries;
+        self
+    }
 }
 
 /// A running, concurrent cardinality-estimation service (see crate docs).
@@ -65,6 +79,7 @@ pub struct EstimatorService {
     queue: Arc<BoundedQueue<Job>>,
     registry: Arc<ModelRegistry>,
     stats: Arc<StatsInner>,
+    cache: Option<Arc<SubplanCache>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -73,17 +88,21 @@ impl EstimatorService {
     pub fn start(registry: Arc<ModelRegistry>, config: ServiceConfig) -> Self {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let stats = Arc::new(StatsInner::with_histograms(config.metrics_enabled));
+        let cache = (config.subplan_cache_entries > 0)
+            .then(|| Arc::new(SubplanCache::new(config.subplan_cache_entries)));
         let workers = spawn_workers(
             config.workers,
             config.default_dataset,
             Arc::clone(&queue),
             Arc::clone(&registry),
             Arc::clone(&stats),
+            cache.clone(),
         );
         EstimatorService {
             queue,
             registry,
             stats,
+            cache,
             workers,
         }
     }
@@ -256,6 +275,12 @@ impl EstimatorService {
         &self.registry
     }
 
+    /// The sub-plan estimate cache, or `None` when disabled
+    /// ([`ServiceConfig::subplan_cache_entries`] = 0).
+    pub fn subplan_cache(&self) -> Option<&Arc<SubplanCache>> {
+        self.cache.as_ref()
+    }
+
     /// Number of worker threads.
     pub fn num_workers(&self) -> usize {
         self.workers.len()
@@ -408,6 +433,7 @@ mod tests {
             queue: Arc::new(BoundedQueue::new(queue_capacity)),
             registry: Arc::new(ModelRegistry::new()),
             stats: Arc::new(StatsInner::new()),
+            cache: None,
             workers: Vec::new(),
         }
     }

@@ -31,6 +31,16 @@ pub(crate) struct StatsInner {
     /// Worker panics contained while estimating (the worker survived and
     /// the ticket resolved with an error instead of hanging).
     worker_panics: Counter,
+    /// Sub-plan estimates served straight from the sub-plan cache,
+    /// bit-identical to a fresh computation.
+    cache_hits: Counter,
+    /// Sub-plan estimates computed by the model and inserted into the
+    /// cache (counts sub-plans, like [`Self::cache_hits`], so
+    /// hits/(hits+misses) is the per-sub-plan hit rate).
+    cache_misses: Counter,
+    /// Live cache entries evicted to make room (capacity pressure;
+    /// overwriting empty or stale-epoch slots is not counted).
+    cache_evictions: Counter,
     /// End-to-end latency (queue wait + estimation), nanoseconds.
     latency: Histogram,
     /// Queue-wait stage only, nanoseconds.
@@ -62,6 +72,9 @@ impl StatsInner {
             shed: Counter::new(),
             expired: Counter::new(),
             worker_panics: Counter::new(),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            cache_evictions: Counter::new(),
             latency: Histogram::new(),
             queue_wait: Histogram::new(),
             estimation: Histogram::new(),
@@ -106,6 +119,22 @@ impl StatsInner {
         self.expired.inc();
     }
 
+    /// Record a request fully served from the sub-plan cache (`subplans`
+    /// estimates returned without touching the model).
+    pub(crate) fn record_cache_hits(&self, subplans: usize) {
+        self.cache_hits.add(subplans as u64);
+    }
+
+    /// Record a request that missed the sub-plan cache: all `subplans`
+    /// estimates were computed and (re)inserted, with `evictions` live
+    /// entries displaced.
+    pub(crate) fn record_cache_misses(&self, subplans: usize, evictions: usize) {
+        self.cache_misses.add(subplans as u64);
+        if evictions > 0 {
+            self.cache_evictions.add(evictions as u64);
+        }
+    }
+
     /// A contained worker panic is both its own counter and an error: the
     /// request resolved with `ServiceError::WorkerPanicked`, so it belongs
     /// in the failure total too.
@@ -124,6 +153,9 @@ impl StatsInner {
         self.shed.reset();
         self.expired.reset();
         self.worker_panics.reset();
+        self.cache_hits.reset();
+        self.cache_misses.reset();
+        self.cache_evictions.reset();
         self.latency.clear();
         self.queue_wait.clear();
         self.estimation.clear();
@@ -141,7 +173,7 @@ impl StatsInner {
     /// clones, so the hot path never learns the registry exists.
     pub(crate) fn install_metrics(self: &Arc<Self>, registry: &MetricsRegistry, dataset: &str) {
         let d = dataset;
-        let counters: [(&str, &str, fn(&StatsInner) -> &Counter); 7] = [
+        let counters: [(&str, &str, fn(&StatsInner) -> &Counter); 10] = [
             ("fj_requests_total", "Requests served successfully.", |s| {
                 &s.requests
             }),
@@ -174,6 +206,21 @@ impl StatsInner {
                 "fj_worker_panics_total",
                 "Worker panics contained while estimating.",
                 |s| &s.worker_panics,
+            ),
+            (
+                "fj_subplan_cache_hits_total",
+                "Sub-plan estimates served from the sub-plan cache.",
+                |s| &s.cache_hits,
+            ),
+            (
+                "fj_subplan_cache_misses_total",
+                "Sub-plan estimates computed by the model and cached.",
+                |s| &s.cache_misses,
+            ),
+            (
+                "fj_subplan_cache_evictions_total",
+                "Live sub-plan cache entries evicted under capacity pressure.",
+                |s| &s.cache_evictions,
             ),
         ];
         for (name, help, get) in counters {
@@ -216,6 +263,9 @@ impl StatsInner {
         snap.shed = self.shed.get();
         snap.expired = self.expired.get();
         snap.worker_panics = self.worker_panics.get();
+        snap.cache_hits = self.cache_hits.get();
+        snap.cache_misses = self.cache_misses.get();
+        snap.cache_evictions = self.cache_evictions.get();
     }
 
     pub(crate) fn snapshot(&self, queue_depth: usize, queue_high_water: usize) -> StatsSnapshot {
@@ -242,7 +292,7 @@ pub(crate) fn merged_snapshot<'a>(
     let mut window = Duration::ZERO;
     let mut depth = 0usize;
     let mut high_water = 0usize;
-    let mut counts = [0u64; 7];
+    let mut counts = [0u64; 10];
     for (inner, queue_depth, queue_high_water) in shards {
         hist.merge_from(&inner.latency_snapshot());
         window = window.max(inner.window_elapsed());
@@ -255,6 +305,9 @@ pub(crate) fn merged_snapshot<'a>(
         counts[4] += inner.shed.get();
         counts[5] += inner.expired.get();
         counts[6] += inner.worker_panics.get();
+        counts[7] += inner.cache_hits.get();
+        counts[8] += inner.cache_misses.get();
+        counts[9] += inner.cache_evictions.get();
     }
     let mut snap = StatsSnapshot::from_histogram(&hist, window, depth, high_water);
     [
@@ -265,6 +318,9 @@ pub(crate) fn merged_snapshot<'a>(
         snap.shed,
         snap.expired,
         snap.worker_panics,
+        snap.cache_hits,
+        snap.cache_misses,
+        snap.cache_evictions,
     ] = counts;
     snap.finish_rates();
     snap
@@ -297,6 +353,19 @@ pub struct StatsSnapshot {
     /// request with [`crate::ServiceError::WorkerPanicked`] and the worker
     /// kept serving; a nonzero count is a bug signal, not a wedge.
     pub worker_panics: u64,
+    /// Sub-plan estimates served straight from the sub-plan cache —
+    /// bit-identical to what the model would have computed (the cache
+    /// stores raw `f64::to_bits` keyed by model epoch + canonical
+    /// sub-plan fingerprint). Counted per sub-plan, not per request.
+    pub cache_hits: u64,
+    /// Sub-plan estimates computed by the model and inserted into the
+    /// sub-plan cache (per sub-plan, so
+    /// [`Self::cache_hit_rate`] = hits/(hits+misses)). A service with
+    /// the cache disabled keeps both at zero.
+    pub cache_misses: u64,
+    /// Live sub-plan cache entries evicted under capacity pressure
+    /// (stale-epoch overwrites after a model swap are not counted).
+    pub cache_evictions: u64,
     /// Aggregate served requests per second over the window.
     pub requests_per_second: f64,
     /// Aggregate sub-plan estimates per second over the window — the
@@ -339,6 +408,9 @@ impl StatsSnapshot {
             shed: 0,
             expired: 0,
             worker_panics: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
             requests_per_second: 0.0,
             subplans_per_second: 0.0,
             p50_latency: Duration::from_nanos(hist.value_at_quantile(0.50)),
@@ -355,6 +427,18 @@ impl StatsSnapshot {
         self.requests_per_second = self.requests as f64 / secs;
         self.subplans_per_second = self.subplans as f64 / secs;
     }
+
+    /// Fraction of sub-plan estimates served from the cache,
+    /// hits/(hits+misses); 0.0 when nothing has been looked up (or the
+    /// cache is disabled).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -364,6 +448,7 @@ impl std::fmt::Display for StatsSnapshot {
             "{} req ({} sub-plans, {} errors, {} rejected, {} shed, {} expired, \
              {} panics) in {:.2}s — \
              {:.0} req/s, {:.0} sub-plans/s; \
+             cache {} hits / {} misses ({:.0}% hit rate, {} evictions); \
              latency p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs; queue depth {} (high-water {})",
             self.requests,
             self.subplans,
@@ -375,6 +460,10 @@ impl std::fmt::Display for StatsSnapshot {
             self.window.as_secs_f64(),
             self.requests_per_second,
             self.subplans_per_second,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0,
+            self.cache_evictions,
             self.p50_latency.as_secs_f64() * 1e6,
             self.p95_latency.as_secs_f64() * 1e6,
             self.p99_latency.as_secs_f64() * 1e6,
@@ -545,13 +634,57 @@ mod tests {
     }
 
     #[test]
+    fn cache_counters_roundtrip_reset_and_merge() {
+        let s = StatsInner::new();
+        s.record_cache_hits(9);
+        s.record_cache_misses(3, 2);
+        let snap = s.snapshot(0, 0);
+        assert_eq!(snap.cache_hits, 9);
+        assert_eq!(snap.cache_misses, 3);
+        assert_eq!(snap.cache_evictions, 2);
+        assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
+        let text = snap.to_string();
+        assert!(text.contains("9 hits / 3 misses"), "{text}");
+        assert!(text.contains("2 evictions"), "{text}");
+        // Merged shards sum the cache counters exactly.
+        let other = StatsInner::new();
+        other.record_cache_hits(1);
+        other.record_cache_misses(1, 0);
+        let merged = merged_snapshot([(&s, 0, 0), (&other, 0, 0)]);
+        assert_eq!(merged.cache_hits, 10);
+        assert_eq!(merged.cache_misses, 4);
+        assert_eq!(merged.cache_evictions, 2);
+        // Reset clears them with everything else.
+        s.reset();
+        let snap = s.snapshot(0, 0);
+        assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.cache_misses, 0);
+        assert_eq!(snap.cache_evictions, 0);
+        assert_eq!(snap.cache_hit_rate(), 0.0, "empty rate is 0, not NaN");
+    }
+
+    #[test]
     fn install_metrics_exposes_shard_families() {
         let s = Arc::new(StatsInner::new());
         let reg = MetricsRegistry::new();
         s.install_metrics(&reg, "stats");
         s.record_success(2, Duration::from_micros(10), Duration::from_micros(20));
         s.record_rejected();
+        s.record_cache_hits(5);
+        s.record_cache_misses(2, 1);
         let text = reg.render();
+        assert!(
+            text.contains("fj_subplan_cache_hits_total{dataset=\"stats\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fj_subplan_cache_misses_total{dataset=\"stats\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fj_subplan_cache_evictions_total{dataset=\"stats\"} 1"),
+            "{text}"
+        );
         assert!(
             text.contains("fj_requests_total{dataset=\"stats\"} 1"),
             "{text}"

@@ -1,11 +1,13 @@
 //! Worker threads: each owns a long-lived estimation scratch and serves
 //! requests from the shared queue.
 
+use crate::cache::{SubplanCache, FINGERPRINT_SEED};
 use crate::queue::BoundedQueue;
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelHandle, ModelRegistry};
 use crate::request::{EstimateRequest, EstimateResponse, Reply, ServiceError};
 use crate::stats::StatsInner;
 use factorjoin::EstimationScratch;
+use fj_query::{subplan_fingerprints, SubplanMask};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -39,16 +41,27 @@ pub(crate) fn spawn_workers(
     queue: Arc<BoundedQueue<Job>>,
     registry: Arc<ModelRegistry>,
     stats: Arc<StatsInner>,
+    cache: Option<Arc<SubplanCache>>,
 ) -> Vec<JoinHandle<()>> {
     (0..count.max(1))
         .map(|worker_id| {
             let queue = Arc::clone(&queue);
             let registry = Arc::clone(&registry);
             let stats = Arc::clone(&stats);
+            let cache = cache.clone();
             let default_dataset = default_dataset.clone();
             std::thread::Builder::new()
                 .name(format!("fj-worker-{worker_id}"))
-                .spawn(move || worker_loop(worker_id, &default_dataset, &queue, &registry, &stats))
+                .spawn(move || {
+                    worker_loop(
+                        worker_id,
+                        &default_dataset,
+                        &queue,
+                        &registry,
+                        &stats,
+                        cache.as_deref(),
+                    )
+                })
                 .expect("spawn worker thread")
         })
         .collect()
@@ -60,6 +73,7 @@ fn worker_loop(
     queue: &BoundedQueue<Job>,
     registry: &ModelRegistry,
     stats: &StatsInner,
+    cache: Option<&SubplanCache>,
 ) {
     let mut scratch = EstimationScratch::default();
     while let Some(job) = queue.pop() {
@@ -88,11 +102,7 @@ fn worker_loop(
                 // rebuilt. AssertUnwindSafe is sound because nothing else
                 // aliases the scratch and the model is read-only.
                 let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle.model.estimate_subplans_with(
-                        &mut scratch,
-                        &job.request.query,
-                        job.request.min_size,
-                    )
+                    estimate_through_cache(&handle, &mut scratch, &job.request, stats, cache)
                 }));
                 match attempt {
                     Ok(estimates) => {
@@ -122,6 +132,74 @@ fn worker_loop(
         // A dropped ticket just means the client stopped waiting.
         let _ = job.reply.send((job.tag, job.index, result));
     }
+}
+
+/// Serve the request's sub-plan estimates, consulting the sub-plan cache
+/// when one is configured.
+///
+/// The read is **all-or-nothing**: the response is assembled from the
+/// cache only when *every* sub-plan of the request hits under the
+/// handle's epoch — a partial assembly would interleave cached bits with
+/// a fresh computation for no latency win, and the all-or-nothing rule
+/// keeps the hit/miss accounting a clean per-request split. On any miss
+/// the whole request is computed by the model (the uncached path,
+/// unchanged) and every `(mask, estimate)` pair is inserted, so the next
+/// repeat hits.
+///
+/// Correctness hinges on two facts proven elsewhere:
+/// * `subplan_fingerprints` enumerates masks in exactly the order
+///   `estimate_subplans_with` returns them (asserted in debug builds),
+///   and equal fingerprints imply bit-identical estimates — so a hit
+///   reproduces the miss exactly (`f64::to_bits` round-trip, no
+///   arithmetic).
+/// * Registry epochs are globally unique and monotonic, so keying on
+///   `handle.epoch` makes entries from a superseded model unreachable
+///   the instant `swap_model`/`apply_insert` publishes: a request is
+///   served entirely by the model *and cache generation* it resolved.
+fn estimate_through_cache(
+    handle: &ModelHandle,
+    scratch: &mut EstimationScratch,
+    request: &EstimateRequest,
+    stats: &StatsInner,
+    cache: Option<&SubplanCache>,
+) -> Vec<(SubplanMask, f64)> {
+    let Some(cache) = cache else {
+        return handle
+            .model
+            .estimate_subplans_with(scratch, &request.query, request.min_size);
+    };
+    let fps = subplan_fingerprints(&request.query, request.min_size, FINGERPRINT_SEED);
+    let mut cached = Vec::with_capacity(fps.len());
+    for &(mask, fp) in &fps {
+        match cache.get(handle.epoch, mask, fp) {
+            Some(bits) => cached.push((mask, f64::from_bits(bits))),
+            None => {
+                cached.clear();
+                break;
+            }
+        }
+    }
+    if !fps.is_empty() && cached.len() == fps.len() {
+        stats.record_cache_hits(cached.len());
+        return cached;
+    }
+    let estimates = handle
+        .model
+        .estimate_subplans_with(scratch, &request.query, request.min_size);
+    debug_assert_eq!(
+        estimates.len(),
+        fps.len(),
+        "fingerprint enumeration must mirror estimate_subplans_with"
+    );
+    let mut evictions = 0usize;
+    for ((mask, estimate), &(fp_mask, fp)) in estimates.iter().zip(&fps) {
+        debug_assert_eq!(*mask, fp_mask, "sub-plan order must match");
+        if cache.insert(handle.epoch, fp_mask, fp, estimate.to_bits()) {
+            evictions += 1;
+        }
+    }
+    stats.record_cache_misses(estimates.len(), evictions);
+    estimates
 }
 
 /// Best-effort extraction of a panic payload's message.

@@ -126,12 +126,27 @@ fn traced_queue_delayed_batch_is_pinned_to_queue_wait() {
     }
 
     // The traced batch's slowlog entry: present, attributed to our trace,
-    // and dominated by queue wait rather than estimation.
+    // and dominated by queue wait rather than estimation. The collector
+    // offers the entry *after* writing the reply frame, so the client can
+    // hold the response (and scrape) before the offer lands — poll with
+    // the same bounded deadline as the convergence loop above.
     let needle = format!("trace_id={trace_id:#018x}");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !text
+        .lines()
+        .any(|l| l.starts_with("# slowlog") && l.contains(&needle))
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no slowlog entry for {needle} in:\n{text}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        text = client.metrics().expect("scrape");
+    }
     let line = text
         .lines()
         .find(|l| l.starts_with("# slowlog") && l.contains(&needle))
-        .unwrap_or_else(|| panic!("no slowlog entry for {needle} in:\n{text}"));
+        .expect("the poll above found it");
     assert!(line.contains("dataset=\"stats\""), "{line}");
     assert!(line.ends_with("dominant=queue_wait"), "{line}");
     let queue_wait = slowlog_field(line, "queue_wait_ns");
@@ -200,6 +215,21 @@ fn stats_merged_combines_shards_exactly() {
     assert_eq!(merged.errors, alpha.errors + beta.errors);
     assert_eq!(merged.rejected, alpha.rejected + beta.rejected);
     assert_eq!(merged.shed, alpha.shed + beta.shed);
+    assert_eq!(merged.cache_hits, alpha.cache_hits + beta.cache_hits);
+    assert_eq!(merged.cache_misses, alpha.cache_misses + beta.cache_misses);
+    assert_eq!(
+        merged.cache_evictions,
+        alpha.cache_evictions + beta.cache_evictions
+    );
+    assert!(
+        alpha.cache_hits > 0,
+        "alpha replayed the same workload 3x; repeats must hit the sub-plan cache"
+    );
+    assert_eq!(
+        alpha.cache_hits + alpha.cache_misses,
+        alpha.subplans,
+        "every served sub-plan is either a cache hit or a counted miss"
+    );
     assert_eq!(merged.queue_depth, alpha.queue_depth + beta.queue_depth);
     assert_eq!(
         merged.queue_high_water,

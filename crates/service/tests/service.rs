@@ -335,6 +335,127 @@ fn apply_insert_absorbs_updates_under_load() {
     let resp = service.submit(queries[0].clone()).wait().expect("served");
     assert_eq!(resp.model_epoch, swap_epoch);
     assert_eq!(to_bits(&resp.estimates), expected_updated[0]);
+
+    // The swap's epoch fences the sub-plan cache: the submit above either
+    // hit an entry written under swap_epoch or inserted one, so an
+    // immediate repeat is a guaranteed cache hit — and it must still
+    // carry the **updated** model's bits, never a pre-swap estimate.
+    let hits_before = service.stats().cache_hits;
+    let repeat = service.submit(queries[0].clone()).wait().expect("served");
+    assert_eq!(repeat.model_epoch, swap_epoch);
+    assert_eq!(
+        to_bits(&repeat.estimates),
+        expected_updated[0],
+        "a cache hit after the epoch bump must serve post-swap statistics"
+    );
+    assert!(
+        service.stats().cache_hits > hits_before,
+        "the repeat under a settled epoch is served from the cache"
+    );
+}
+
+/// Sub-plan cache acceptance: for **every estimator backend**, a cache
+/// hit is bit-identical (`f64::to_bits`) to the miss that populated it.
+/// The first pass misses and fills the cache; the second pass must be
+/// served entirely from it, and both passes must equal the
+/// single-threaded oracle exactly.
+#[test]
+fn cache_hit_is_bit_identical_to_miss_for_every_backend() {
+    let catalog = tiny_catalog();
+    let backends = [
+        ("true_scan", BaseEstimatorKind::TrueScan),
+        (
+            "bayes_net",
+            BaseEstimatorKind::BayesNet(fj_stats::BnConfig::default()),
+        ),
+        ("sampling", BaseEstimatorKind::Sampling { rate: 0.5 }),
+    ];
+    for (name, estimator) in backends {
+        let model = Arc::new(FactorJoinModel::train(
+            &catalog,
+            FactorJoinConfig {
+                bin_budget: BinBudget::Uniform(20),
+                estimator,
+                ..Default::default()
+            },
+        ));
+        let queries = workload(&catalog, 29);
+        let expected = expected_bits(&model, &queries);
+        let service = EstimatorService::serve(name, Arc::clone(&model), 2);
+
+        let first: Vec<_> = service
+            .submit_batch(&queries)
+            .wait_all()
+            .into_iter()
+            .map(|r| to_bits(&r.expect("served (miss pass)").estimates))
+            .collect();
+        let after_fill = service.stats();
+        assert!(
+            after_fill.cache_misses > 0,
+            "{name}: the cold pass must populate the cache"
+        );
+
+        let second: Vec<_> = service
+            .submit_batch(&queries)
+            .wait_all()
+            .into_iter()
+            .map(|r| to_bits(&r.expect("served (hit pass)").estimates))
+            .collect();
+        let after_replay = service.stats();
+
+        for (qi, exp) in expected.iter().enumerate() {
+            assert_eq!(&first[qi], exp, "{name}: miss pass diverges on query {qi}");
+            assert_eq!(
+                second[qi], first[qi],
+                "{name}: cache hit is not bit-identical to the miss on query {qi}"
+            );
+        }
+        let replayed_subplans: u64 = expected.iter().map(|e| e.len() as u64).sum();
+        assert_eq!(
+            after_replay.cache_hits - after_fill.cache_hits,
+            replayed_subplans,
+            "{name}: the replay pass must be served entirely from the cache"
+        );
+        assert_eq!(
+            after_replay.cache_misses, after_fill.cache_misses,
+            "{name}: no new misses on the replay pass"
+        );
+    }
+}
+
+/// With the cache disabled (`subplan_cache_entries = 0`) the service
+/// serves bit-identically through the uncached path and the cache
+/// counters never move — the bench's uncached arm cannot be silently
+/// cached.
+#[test]
+fn disabled_cache_serves_identically_with_zero_counters() {
+    let catalog = tiny_catalog();
+    let model = Arc::new(train(&catalog, 20));
+    let queries = workload(&catalog, 31);
+    let expected = expected_bits(&model, &queries);
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("stats", Arc::clone(&model));
+    let service = EstimatorService::start(
+        registry,
+        ServiceConfig::new("stats", 2).with_subplan_cache_entries(0),
+    );
+    assert!(service.subplan_cache().is_none(), "0 entries disables");
+    for _ in 0..2 {
+        for (qi, resp) in service
+            .submit_batch(&queries)
+            .wait_all()
+            .into_iter()
+            .enumerate()
+        {
+            assert_eq!(to_bits(&resp.expect("served").estimates), expected[qi]);
+        }
+    }
+    let snap = service.stats();
+    assert_eq!(snap.cache_hits, 0);
+    assert_eq!(snap.cache_misses, 0);
+    assert_eq!(snap.cache_evictions, 0);
+    assert_eq!(snap.cache_hit_rate(), 0.0);
 }
 
 /// Backpressure: a queue smaller than the batch still serves everything

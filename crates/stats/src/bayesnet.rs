@@ -53,6 +53,31 @@ impl Default for BnConfig {
     }
 }
 
+/// Dense dot product with four independent accumulators, so the reduction
+/// carries no loop-carried dependency and autovectorizes. Used by the
+/// downward belief-propagation pass, whose rows are `max_codes`-wide.
+#[inline]
+fn dot_chunked(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f64; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+    }
+    let tail: f64 = ca
+        .remainder()
+        .iter()
+        .zip(cb.remainder())
+        .map(|(&x, &y)| x * y)
+        .sum();
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
 /// Reusable belief-propagation buffers. Sizes track the network shape, so
 /// after the first query on a table no per-propagation allocation remains.
 #[derive(Debug, Default)]
@@ -510,15 +535,11 @@ impl BayesNetEstimator {
                     let belief_i = &mut s.belief[i];
                     belief_i.clear();
                     belief_i.resize(k, 0.0);
+                    // Branch-free per-code dot product: a zero π entry
+                    // contributes an exact 0.0, so the former `pe > 0.0`
+                    // test only blocked vectorization.
                     for (c, slot) in belief_i.iter_mut().enumerate() {
-                        let mut acc = 0.0;
-                        let row = &cpt[c * kp..(c + 1) * kp];
-                        for (&pe, &p_cp) in s.pi_ex.iter().zip(row) {
-                            if pe > 0.0 {
-                                acc += p_cp * pe;
-                            }
-                        }
-                        *slot = acc;
+                        *slot = dot_chunked(&s.pi_ex, &cpt[c * kp..(c + 1) * kp]);
                     }
                     if s.has_ev[i] {
                         for (b, &l) in s.belief[i].iter_mut().zip(&s.lambda[i]) {
